@@ -1,0 +1,426 @@
+//! The page-visit simulation world and its network machinery.
+//!
+//! [`PageWorld`] is the world type driven by `hb_simnet::Simulation`. It
+//! owns the browser, the RNG, the connection to the simulated Internet
+//! (router + latency directory + fault injector), and whatever per-visit
+//! protocol state the active flow (HB wrapper / waterfall) needs.
+//!
+//! [`send_request`] is the single door to the network: it samples latency,
+//! consults fault injection, notifies webRequest observers, serializes the
+//! response handler through the page's single JS thread, and finally calls
+//! the caller's continuation.
+
+use hb_dom::{Browser, FailureReason};
+use hb_http::{Request, Response, Router, Url};
+use hb_simnet::{
+    Dist, FaultDecision, FaultInjector, LatencyModel, Rng, Scheduler, SimDuration, SimTime,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-host latency directory with domain-suffix fallback.
+#[derive(Default)]
+pub struct HostDirectory {
+    models: HashMap<String, LatencyModel>,
+    default: Option<LatencyModel>,
+}
+
+impl HostDirectory {
+    /// Empty directory (uses a 80 ms log-normal default).
+    pub fn new() -> HostDirectory {
+        HostDirectory::default()
+    }
+
+    /// Register a latency model for a host (and all its subdomains).
+    pub fn insert(&mut self, host: impl Into<String>, model: LatencyModel) {
+        self.models.insert(host.into().to_ascii_lowercase(), model);
+    }
+
+    /// Set the default model for unknown hosts.
+    pub fn set_default(&mut self, model: LatencyModel) {
+        self.default = Some(model);
+    }
+
+    /// Look up the model for `host` (suffix walk, then default).
+    pub fn lookup(&self, host: &str) -> LatencyModel {
+        let mut rest = host;
+        loop {
+            if let Some(m) = self.models.get(rest) {
+                return m.clone();
+            }
+            match rest.split_once('.') {
+                Some((_, suffix)) if !suffix.is_empty() => rest = suffix,
+                _ => break,
+            }
+        }
+        self.default
+            .clone()
+            .unwrap_or_else(|| LatencyModel::log_normal(80.0, 0.4))
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// The simulated Internet a visit talks to.
+#[derive(Clone)]
+pub struct Net {
+    /// Hostname → endpoint routing.
+    pub router: Arc<Router>,
+    /// Hostname → latency model.
+    pub latency: Arc<HostDirectory>,
+    /// Ambient fault injection.
+    pub faults: Arc<FaultInjector>,
+}
+
+impl Net {
+    /// Wire up a network.
+    pub fn new(router: Arc<Router>, latency: Arc<HostDirectory>, faults: Arc<FaultInjector>) -> Net {
+        Net {
+            router,
+            latency,
+            faults,
+        }
+    }
+}
+
+/// How long the browser waits before declaring a dropped request failed.
+pub const BROWSER_NET_TIMEOUT: SimDuration = SimDuration(30_000_000);
+
+/// Result of a network exchange, delivered to the continuation.
+#[derive(Clone, Debug)]
+pub enum NetOutcome {
+    /// The response arrived (after JS-thread scheduling).
+    Response(Response),
+    /// The request could not be delivered or timed out.
+    Failed(FailureReason),
+}
+
+/// Per-visit world state.
+pub struct PageWorld {
+    /// The browser instance.
+    pub browser: Browser,
+    /// The network.
+    pub net: Net,
+    /// Deterministic randomness for this visit.
+    pub rng: Rng,
+    /// JS handler service-time distribution (ms per response callback).
+    pub handler_service_ms: Dist,
+    /// Number of requests currently in flight.
+    pub in_flight: u32,
+    /// Multiplier applied to all sampled RTTs (site network quality).
+    pub rtt_scale: f64,
+    /// Auction bookkeeping shared by the flows (wrapper state machine).
+    pub flow: crate::wrapper::FlowState,
+}
+
+impl PageWorld {
+    /// Create a world for one visit.
+    pub fn new(url: Url, net: Net, rng: Rng) -> PageWorld {
+        PageWorld {
+            browser: Browser::open_untraced(url, SimTime::ZERO),
+            net,
+            rng,
+            handler_service_ms: Dist::Uniform { lo: 1.0, hi: 6.0 },
+            in_flight: 0,
+            rtt_scale: 1.0,
+            flow: crate::wrapper::FlowState::default(),
+        }
+    }
+
+    /// Enable the diagnostic trace (examples / debugging).
+    pub fn with_trace(mut self) -> PageWorld {
+        self.browser.trace = hb_simnet::Trace::new(8192);
+        self
+    }
+}
+
+/// Continuation invoked when a request resolves.
+pub type NetContinuation = Box<dyn FnOnce(&mut PageWorld, &mut Scheduler<PageWorld>, NetOutcome)>;
+
+/// Issue a request on behalf of the page.
+///
+/// Semantics, in order:
+/// 1. webRequest observers see the request leave *now*;
+/// 2. unknown hosts fail fast (DNS error) after a 1 ms bounce;
+/// 3. the fault injector may drop the exchange — the failure surfaces only
+///    when the browser's network timeout fires;
+/// 4. otherwise the response arrives after `RTT + server processing`
+///    (+ fault slowdown), observers see it at arrival time, and the
+///    continuation runs once the single JS thread has a free slot.
+pub fn send_request(
+    w: &mut PageWorld,
+    s: &mut Scheduler<PageWorld>,
+    req: Request,
+    on_done: NetContinuation,
+) {
+    let now = s.now();
+    w.in_flight += 1;
+    w.browser.note_request_out(&req, now);
+
+    // DNS: unknown host?
+    if w.net.router.resolve(&req.url.host).is_none() {
+        s.after(SimDuration::from_millis(1), move |w: &mut PageWorld, s| {
+            w.in_flight -= 1;
+            w.browser
+                .note_request_failed(&req, FailureReason::NoSuchHost, s.now());
+            on_done(w, s, NetOutcome::Failed(FailureReason::NoSuchHost));
+        });
+        return;
+    }
+
+    // Fault decision.
+    let mut extra = SimDuration::ZERO;
+    match w.net.faults.decide(&req.url.host, &mut w.rng) {
+        FaultDecision::Drop => {
+            s.after(BROWSER_NET_TIMEOUT, move |w: &mut PageWorld, s| {
+                w.in_flight -= 1;
+                w.browser
+                    .note_request_failed(&req, FailureReason::NetworkDropped, s.now());
+                on_done(w, s, NetOutcome::Failed(FailureReason::NetworkDropped));
+            });
+            return;
+        }
+        FaultDecision::Slow(penalty) => extra = penalty,
+        FaultDecision::Deliver => {}
+    }
+
+    // Latency + server processing, computed eagerly (deterministic): the
+    // endpoint is a pure function of (request, rng).
+    let raw_rtt = w.net.latency.lookup(&req.url.host).sample(&mut w.rng);
+    let rtt = hb_simnet::SimDuration::from_millis_f64(raw_rtt.as_millis_f64() * w.rtt_scale.max(0.05));
+    let reply = w
+        .net
+        .router
+        .dispatch(&req, &mut w.rng)
+        .expect("resolve() succeeded above");
+    let arrival_delay = rtt + reply.processing + extra;
+    let response = reply.response;
+
+    s.after(arrival_delay, move |w: &mut PageWorld, s| {
+        let arrived = s.now();
+        w.in_flight -= 1;
+        w.browser.note_response_in(&req, &response, arrived);
+        // Serialize the handler through the JS thread.
+        let service = w.handler_service_ms.sample_ms(&mut w.rng);
+        let slot = w.browser.js.run_task(arrived, service);
+        let run_at = slot.end;
+        s.at(run_at, move |w: &mut PageWorld, s| {
+            on_done(w, s, NetOutcome::Response(response));
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_http::{RequestId, ServerReply, Status};
+    use std::rc::Rc as Rc2;
+    use hb_simnet::Simulation;
+
+    fn test_net(drop_all: bool) -> Net {
+        let mut router = Router::new();
+        router.register("fast.example", |r: &Request, _: &mut Rng| {
+            ServerReply::instant(Response::text(r.id, "ok"))
+        });
+        router.register("slow.example", |r: &Request, _: &mut Rng| {
+            ServerReply::after(Response::text(r.id, "slow"), SimDuration::from_millis(500))
+        });
+        let mut latency = HostDirectory::new();
+        latency.insert("fast.example", LatencyModel::constant(10.0));
+        latency.insert("slow.example", LatencyModel::constant(10.0));
+        let faults = if drop_all {
+            FaultInjector::none().with_drop_chance(1.0)
+        } else {
+            FaultInjector::none()
+        };
+        Net::new(Arc::new(router), Arc::new(latency), Arc::new(faults))
+    }
+
+    fn world(net: Net) -> Simulation<PageWorld> {
+        let url = Url::parse("https://pub.example/").unwrap();
+        Simulation::new(PageWorld::new(url, net, Rng::new(1)))
+    }
+
+    #[test]
+    fn response_arrives_after_rtt_and_processing() {
+        let mut sim = world(test_net(false));
+        let req = {
+            let w = sim.world_mut();
+            let id = w.browser.next_request_id();
+            Request::get(id, Url::parse("https://slow.example/x").unwrap())
+        };
+        let done: Rc2<std::cell::RefCell<Option<SimTime>>> =
+            Rc2::new(std::cell::RefCell::new(None));
+        let d2 = done.clone();
+        {
+            let sched = sim.scheduler();
+            sched.after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+                send_request(
+                    w,
+                    s,
+                    req,
+                    Box::new(move |_w, s, out| {
+                        assert!(matches!(out, NetOutcome::Response(_)));
+                        *d2.borrow_mut() = Some(s.now());
+                    }),
+                );
+            });
+        }
+        sim.run_to_idle(100);
+        let t = done.borrow().unwrap();
+        // 10ms RTT + 500ms processing + 1-6ms JS service.
+        assert!(t >= SimTime::from_millis(510), "t = {t}");
+        assert!(t <= SimTime::from_millis(520), "t = {t}");
+        assert_eq!(sim.world().in_flight, 0);
+    }
+
+    #[test]
+    fn unknown_host_fails_fast() {
+        let mut sim = world(test_net(false));
+        let req = {
+            let w = sim.world_mut();
+            let id = w.browser.next_request_id();
+            Request::get(id, Url::parse("https://ghost.example/x").unwrap())
+        };
+        let failed = Rc2::new(std::cell::RefCell::new(false));
+        let f2 = failed.clone();
+        sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+            send_request(
+                w,
+                s,
+                req,
+                Box::new(move |_w, _s, out| {
+                    assert!(matches!(
+                        out,
+                        NetOutcome::Failed(FailureReason::NoSuchHost)
+                    ));
+                    *f2.borrow_mut() = true;
+                }),
+            );
+        });
+        sim.run_to_idle(100);
+        assert!(*failed.borrow());
+        assert!(sim.now() < SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn dropped_request_surfaces_at_browser_timeout() {
+        let mut sim = world(test_net(true));
+        let req = {
+            let w = sim.world_mut();
+            let id = w.browser.next_request_id();
+            Request::get(id, Url::parse("https://fast.example/x").unwrap())
+        };
+        let failed_at = Rc2::new(std::cell::RefCell::new(None));
+        let f2 = failed_at.clone();
+        sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+            send_request(
+                w,
+                s,
+                req,
+                Box::new(move |_w, s, out| {
+                    assert!(matches!(
+                        out,
+                        NetOutcome::Failed(FailureReason::NetworkDropped)
+                    ));
+                    *f2.borrow_mut() = Some(s.now());
+                }),
+            );
+        });
+        sim.run_to_idle(100);
+        assert_eq!(failed_at.borrow().unwrap(), SimTime::ZERO + BROWSER_NET_TIMEOUT);
+    }
+
+    #[test]
+    fn js_thread_serializes_continuations() {
+        // Two simultaneous responses: the second continuation must run
+        // after the first one's service time.
+        let mut sim = world(test_net(false));
+        let (r1, r2) = {
+            let w = sim.world_mut();
+            let a = Request::get(
+                w.browser.next_request_id(),
+                Url::parse("https://fast.example/1").unwrap(),
+            );
+            let b = Request::get(
+                w.browser.next_request_id(),
+                Url::parse("https://fast.example/2").unwrap(),
+            );
+            (a, b)
+        };
+        let order: Rc2<std::cell::RefCell<Vec<(u64, SimTime)>>> =
+            Rc2::new(std::cell::RefCell::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+            send_request(
+                w,
+                s,
+                r1,
+                Box::new(move |_w, s, _| o1.borrow_mut().push((1, s.now()))),
+            );
+            send_request(
+                w,
+                s,
+                r2,
+                Box::new(move |_w, s, _| o2.borrow_mut().push((2, s.now()))),
+            );
+        });
+        sim.run_to_idle(100);
+        let got = order.borrow().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[1].0, 2);
+        assert!(got[1].1 > got[0].1, "second handler queued behind first");
+    }
+
+    #[test]
+    fn webrequest_observers_see_all_traffic() {
+        let mut sim = world(test_net(false));
+        let seen = Rc2::new(std::cell::RefCell::new(0u32));
+        let s2 = seen.clone();
+        sim.world_mut().browser.webrequest.tap(move |_| {
+            *s2.borrow_mut() += 1;
+        });
+        let req = {
+            let w = sim.world_mut();
+            Request::get(
+                w.browser.next_request_id(),
+                Url::parse("https://fast.example/y").unwrap(),
+            )
+        };
+        sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+            send_request(w, s, req, Box::new(|_, _, _| {}));
+        });
+        sim.run_to_idle(100);
+        assert_eq!(*seen.borrow(), 2, "Before + Completed");
+    }
+
+    #[test]
+    fn host_directory_suffix_lookup() {
+        let mut d = HostDirectory::new();
+        d.insert("adnet.example", LatencyModel::constant(42.0));
+        let mut rng = Rng::new(1);
+        assert_eq!(
+            d.lookup("fast.adnet.example").sample(&mut rng),
+            SimDuration::from_millis(42)
+        );
+        // Unknown host gets the default model.
+        let dur = d.lookup("unknown.example").sample(&mut rng);
+        assert!(dur > SimDuration::ZERO);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(Status::OK.is_success());
+        assert_eq!(RequestId(3), RequestId(3));
+    }
+}

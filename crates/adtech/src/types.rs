@@ -1,0 +1,219 @@
+//! Shared ad-tech domain types: ad sizes, CPM prices, facets, ad units.
+
+use std::fmt;
+
+/// An ad creative size in pixels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AdSize {
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl AdSize {
+    /// Construct a size.
+    pub const fn new(w: u32, h: u32) -> AdSize {
+        AdSize { w, h }
+    }
+
+    /// Area in square pixels.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Parse from `"300x250"` notation.
+    pub fn parse(s: &str) -> Option<AdSize> {
+        let (w, h) = s.split_once('x')?;
+        Some(AdSize {
+            w: w.trim().parse().ok()?,
+            h: h.trim().parse().ok()?,
+        })
+    }
+
+    /// The medium rectangle (side banner) — the web's most common slot.
+    pub const MEDIUM_RECT: AdSize = AdSize::new(300, 250);
+    /// The leaderboard (top banner).
+    pub const LEADERBOARD: AdSize = AdSize::new(728, 90);
+    /// Half page.
+    pub const HALF_PAGE: AdSize = AdSize::new(300, 600);
+    /// Mobile banner.
+    pub const MOBILE_BANNER: AdSize = AdSize::new(320, 50);
+    /// Billboard.
+    pub const BILLBOARD: AdSize = AdSize::new(970, 250);
+    /// Wide skyscraper.
+    pub const SKYSCRAPER: AdSize = AdSize::new(160, 600);
+}
+
+impl fmt::Display for AdSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.w, self.h)
+    }
+}
+
+/// A price in CPM (cost per thousand impressions, USD).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Cpm(pub f64);
+
+impl Cpm {
+    /// Zero price.
+    pub const ZERO: Cpm = Cpm(0.0);
+
+    /// Is this price positive?
+    pub fn is_positive(&self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Round **down** to a price bucket of the given granularity — the
+    /// `hb_pb` key-value prebid sends to the ad server. Buckets are floored
+    /// so the publisher is never over-reported. A small epsilon keeps the
+    /// operation idempotent under floating-point division (re-bucketing an
+    /// already-bucketed price must not drop it a bucket).
+    pub fn bucket(&self, granularity: f64) -> Cpm {
+        if granularity <= 0.0 {
+            return *self;
+        }
+        Cpm((self.0 / granularity + 1e-9).floor() * granularity)
+    }
+
+    /// Render as the ad-server string form (2 decimals).
+    pub fn to_param(&self) -> String {
+        format!("{:.2}", self.0)
+    }
+
+    /// Parse from a parameter string.
+    pub fn parse(s: &str) -> Option<Cpm> {
+        let v: f64 = s.trim().parse().ok()?;
+        if v.is_finite() && v >= 0.0 {
+            Some(Cpm(v))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Cpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4} CPM", self.0)
+    }
+}
+
+/// The three deployment facets of header bidding identified by the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HbFacet {
+    /// The auction runs entirely in the browser (Fig. 5).
+    ClientSide,
+    /// A single provider runs the auction server-side (Fig. 6).
+    ServerSide,
+    /// Client fan-out plus a server-side auction at the ad server (Fig. 7).
+    Hybrid,
+}
+
+impl HbFacet {
+    /// Stable label used in records and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HbFacet::ClientSide => "client-side",
+            HbFacet::ServerSide => "server-side",
+            HbFacet::Hybrid => "hybrid",
+        }
+    }
+
+    /// All facets, in the paper's market-share order.
+    pub fn all() -> [HbFacet; 3] {
+        [HbFacet::ServerSide, HbFacet::Hybrid, HbFacet::ClientSide]
+    }
+}
+
+impl fmt::Display for HbFacet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An ad slot a publisher puts up for auction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdUnit {
+    /// Slot code (matches the page's `div` id).
+    pub code: String,
+    /// Accepted creative sizes (first is primary).
+    pub sizes: Vec<AdSize>,
+    /// Floor price agreed with the publisher.
+    pub floor: Cpm,
+}
+
+impl AdUnit {
+    /// Construct an ad unit with one size.
+    pub fn new(code: impl Into<String>, size: AdSize, floor: Cpm) -> AdUnit {
+        AdUnit {
+            code: code.into(),
+            sizes: vec![size],
+            floor,
+        }
+    }
+
+    /// Primary size.
+    pub fn primary_size(&self) -> AdSize {
+        self.sizes.first().copied().unwrap_or(AdSize::MEDIUM_RECT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adsize_parse_display_roundtrip() {
+        let s = AdSize::parse("300x250").unwrap();
+        assert_eq!(s, AdSize::MEDIUM_RECT);
+        assert_eq!(format!("{s}"), "300x250");
+        assert_eq!(AdSize::parse("x"), None);
+        assert_eq!(AdSize::parse("300"), None);
+        assert_eq!(AdSize::parse(" 728 x 90 ").unwrap(), AdSize::LEADERBOARD);
+    }
+
+    #[test]
+    fn adsize_area() {
+        assert_eq!(AdSize::MEDIUM_RECT.area(), 75_000);
+        assert_eq!(AdSize::new(0, 10).area(), 0);
+    }
+
+    #[test]
+    fn cpm_bucketing_floors() {
+        assert_eq!(Cpm(0.57).bucket(0.10).0, 0.5);
+        assert_eq!(Cpm(0.57).bucket(0.05).0, 0.55);
+        let exact = Cpm(1.0).bucket(0.5);
+        assert!((exact.0 - 1.0).abs() < 1e-12);
+        // Degenerate granularity leaves the price untouched.
+        assert_eq!(Cpm(0.37).bucket(0.0).0, 0.37);
+    }
+
+    #[test]
+    fn cpm_param_roundtrip() {
+        let c = Cpm(0.5);
+        assert_eq!(c.to_param(), "0.50");
+        assert_eq!(Cpm::parse("0.50"), Some(Cpm(0.5)));
+        assert_eq!(Cpm::parse("-1"), None);
+        assert_eq!(Cpm::parse("nan"), None);
+        assert_eq!(Cpm::parse("abc"), None);
+    }
+
+    #[test]
+    fn facet_labels() {
+        assert_eq!(HbFacet::ClientSide.label(), "client-side");
+        assert_eq!(HbFacet::all().len(), 3);
+        assert_eq!(HbFacet::all()[0], HbFacet::ServerSide);
+    }
+
+    #[test]
+    fn ad_unit_primary_size() {
+        let u = AdUnit::new("ad-slot-1", AdSize::LEADERBOARD, Cpm(0.05));
+        assert_eq!(u.primary_size(), AdSize::LEADERBOARD);
+        let empty = AdUnit {
+            code: "x".into(),
+            sizes: vec![],
+            floor: Cpm::ZERO,
+        };
+        assert_eq!(empty.primary_size(), AdSize::MEDIUM_RECT);
+    }
+}

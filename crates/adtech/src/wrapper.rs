@@ -1,0 +1,767 @@
+//! The header bidding wrapper and visit flows.
+//!
+//! This module drives a full page visit through one of the four protocol
+//! flows the paper studies:
+//!
+//! * **Client-Side HB** (Fig. 5): wrapper fans out to partners from the
+//!   browser, collects bids, forwards them to the publisher's own ad server;
+//! * **Server-Side HB** (Fig. 6): a single request to a provider who runs
+//!   the auction remotely and returns only winning impressions;
+//! * **Hybrid HB** (Fig. 7): client fan-out plus a server-side auction at
+//!   the provider/ad server;
+//! * **Waterfall** (baseline): the prioritized daisy chain, implemented in
+//!   [`crate::waterfall`].
+//!
+//! The wrapper fires the DOM events the paper's detector reverse-engineered
+//! (`auctionInit`, `bidRequested`, `bidResponse`, `auctionEnd`, `bidWon`,
+//! `slotRenderEnded`, `adRenderFailed`).
+
+use crate::partner::bid_request_body;
+use crate::protocol::{self, events, params, BidPayload, FillChannel, WinnerPayload};
+use crate::session::{send_request, NetOutcome, PageWorld};
+use crate::types::{AdUnit, HbFacet};
+use hb_http::{Body, Json, Request, Url};
+use hb_simnet::{Scheduler, SimDuration, SimTime};
+
+/// Reference to a partner as the publisher configures it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartnerRef {
+    /// Bidder code (`appnexus`).
+    pub code: String,
+    /// Display name (`AppNexus`).
+    pub name: String,
+    /// Hostname of the partner's endpoint.
+    pub host: String,
+}
+
+/// Publisher-tunable wrapper configuration.
+#[derive(Clone, Debug)]
+pub struct WrapperConfig {
+    /// Bidder timeout; `None` = wait for every partner (no cut-off).
+    pub timeout: Option<SimDuration>,
+    /// Misconfiguration: send to the ad server immediately, without
+    /// waiting for any bid (the paper's §5.2 explanation for partners
+    /// losing 100% of their bids).
+    pub send_immediately: bool,
+    /// `hb_pb` price bucket granularity.
+    pub pb_granularity: f64,
+}
+
+impl Default for WrapperConfig {
+    fn default() -> Self {
+        WrapperConfig {
+            timeout: Some(SimDuration::from_millis(
+                protocol::DEFAULT_BIDDER_TIMEOUT_MS,
+            )),
+            send_immediately: false,
+            pb_granularity: protocol::DEFAULT_PB_GRANULARITY,
+        }
+    }
+}
+
+/// Everything the simulation needs to visit one site.
+#[derive(Clone, Debug)]
+pub struct SiteRuntime {
+    /// Page URL.
+    pub page_url: Url,
+    /// Alexa-style rank (1-based).
+    pub rank: u32,
+    /// The HB facet; `None` = waterfall-only site.
+    pub facet: Option<HbFacet>,
+    /// Ad units up for auction (already includes any multi-device
+    /// duplication the publisher misconfigured).
+    pub ad_units: Vec<AdUnit>,
+    /// Client-side partners (client and hybrid facets).
+    pub client_partners: Vec<PartnerRef>,
+    /// The ad server / server-side provider host.
+    pub ad_server_host: String,
+    /// Account id at the ad server.
+    pub account_id: String,
+    /// Wrapper tuning.
+    pub wrapper: WrapperConfig,
+    /// Waterfall tiers (baseline comparison).
+    pub waterfall_tiers: Vec<crate::waterfall::WaterfallTier>,
+    /// CDN host serving wrapper/ad-manager libraries.
+    pub cdn_host: String,
+    /// Probability an ad render fails after winning.
+    pub render_fail_rate: f64,
+    /// Per-site network quality multiplier applied to every RTT of the
+    /// visit (premium publishers sit on better-peered infrastructure;
+    /// drives the rank-latency association of Fig. 13). 1.0 = neutral.
+    pub net_quality: f64,
+}
+
+/// Ground truth collected during the visit (for validating the detector
+/// and for the waterfall baseline, which the detector deliberately does
+/// not capture).
+#[derive(Clone, Debug, Default)]
+pub struct VisitGroundTruth {
+    /// Facet that actually ran.
+    pub facet: Option<HbFacet>,
+    /// Number of slots auctioned.
+    pub slots_auctioned: usize,
+    /// Client-visible bids received (in time or late).
+    pub client_bids: usize,
+    /// Bids that arrived after the ad-server send.
+    pub late_bids: usize,
+    /// When the first bid request left.
+    pub first_bid_request_at: Option<SimTime>,
+    /// When the ad-server request left.
+    pub adserver_sent_at: Option<SimTime>,
+    /// When the ad-server response arrived.
+    pub adserver_response_at: Option<SimTime>,
+    /// Winners per slot.
+    pub winners: Vec<WinnerPayload>,
+    /// Waterfall fill latency (waterfall sites only).
+    pub waterfall_latency: Option<SimDuration>,
+    /// Which waterfall tier filled (0-based; `None` = fallback).
+    pub waterfall_fill_tier: Option<usize>,
+}
+
+impl VisitGroundTruth {
+    /// Total HB latency per the paper's definition: first bid request until
+    /// the ad server responds.
+    pub fn hb_latency(&self) -> Option<SimDuration> {
+        Some(
+            self.adserver_response_at?
+                .saturating_since(self.first_bid_request_at?),
+        )
+    }
+}
+
+/// Mutable per-visit flow state living inside [`PageWorld`].
+#[derive(Default)]
+pub struct FlowState {
+    /// The site being visited.
+    pub site: Option<SiteRuntime>,
+    /// Auction correlation id.
+    pub auction_id: String,
+    /// Client-collected bids.
+    pub bids: Vec<BidPayload>,
+    /// Partners that have not answered yet.
+    pub partners_pending: usize,
+    /// Has the ad-server request been sent?
+    pub sent_to_adserver: bool,
+    /// Is the visit complete (ads rendered / given up)?
+    pub done: bool,
+    /// Ground truth accumulator.
+    pub truth: VisitGroundTruth,
+}
+
+impl FlowState {
+    fn site(&self) -> &SiteRuntime {
+        self.site.as_ref().expect("flow started without a site")
+    }
+}
+
+/// Entry point: start a visit for `site`. Schedules the page fetch and the
+/// facet-appropriate flow. Run the simulation to completion afterwards.
+pub fn begin_visit(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, site: SiteRuntime) {
+    let auction_id = format!("auc-{}-{}", site.rank, w.rng.below(1_000_000_000));
+    w.rtt_scale = site.net_quality;
+    w.flow.site = Some(site.clone());
+    w.flow.auction_id = auction_id;
+    // 1. Fetch the page HTML.
+    let id = w.browser.next_request_id();
+    let req = Request::get(id, site.page_url.clone()).from_initiator("navigation");
+    send_request(
+        w,
+        s,
+        req,
+        Box::new(move |w, s, out| {
+            if !matches!(out, NetOutcome::Response(_)) {
+                w.flow.done = true; // site unreachable
+                return;
+            }
+            w.browser.page.mark_header_parsed(s.now());
+            fetch_libraries(w, s);
+        }),
+    );
+}
+
+/// 2. Fetch wrapper + ad-manager libraries from the CDN, then start the flow.
+fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
+    let site = w.flow.site().clone();
+    let cdn = site.cdn_host.clone();
+    // The ad-manager tag is fetched in parallel; we only gate on the
+    // wrapper library (it is what issues the bid requests).
+    let gpt_id = w.browser.next_request_id();
+    let gpt_req = Request::get(gpt_id, Url::https(&cdn, protocol::paths::GPT_JS))
+        .from_initiator("document");
+    send_request(w, s, gpt_req, Box::new(|_, _, _| {}));
+
+    let lib_id = w.browser.next_request_id();
+    let lib_req = Request::get(lib_id, Url::https(&cdn, protocol::paths::WRAPPER_JS))
+        .from_initiator("document");
+    send_request(
+        w,
+        s,
+        lib_req,
+        Box::new(move |w, s, _| {
+            w.browser.page.mark_dom_ready(s.now());
+            match site.facet {
+                Some(HbFacet::ClientSide) | Some(HbFacet::Hybrid) => start_client_auction(w, s),
+                Some(HbFacet::ServerSide) => start_server_side(w, s),
+                None => crate::waterfall::start_waterfall(w, s),
+            }
+        }),
+    );
+}
+
+/// 3a. Client-side / hybrid: fan out to the configured partners.
+fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
+    let site = w.flow.site().clone();
+    let auction_id = w.flow.auction_id.clone();
+    let now = s.now();
+    w.flow.truth.facet = site.facet;
+    w.flow.truth.slots_auctioned = site.ad_units.len();
+
+    let unit_codes: Vec<Json> = site
+        .ad_units
+        .iter()
+        .map(|u| Json::str(u.code.clone()))
+        .collect();
+    w.browser.fire_event(
+        now,
+        events::AUCTION_INIT,
+        Json::obj([
+            (params::HB_AUCTION, Json::str(auction_id.clone())),
+            ("adUnitCodes", Json::Arr(unit_codes)),
+            ("timestamp", Json::num(now.as_millis_f64())),
+        ]),
+    );
+    w.browser.fire_event(
+        now,
+        events::REQUEST_BIDS,
+        Json::obj([(params::HB_AUCTION, Json::str(auction_id.clone()))]),
+    );
+
+    let slots: Vec<(String, crate::types::AdSize)> = site
+        .ad_units
+        .iter()
+        .map(|u| (u.code.clone(), u.primary_size()))
+        .collect();
+    w.flow.partners_pending = site.client_partners.len();
+
+    for partner in &site.client_partners {
+        let code = partner.code.clone();
+        let url = Url::https(&partner.host, protocol::paths::BID)
+            .with_param(params::HB_AUCTION, auction_id.clone())
+            .with_param(params::HB_BIDDER, code.clone())
+            .with_param(params::HB_SOURCE, "client")
+            .with_param("slots", slots.len().to_string());
+        let id = w.browser.next_request_id();
+        let req = Request::post(id, url, Body::Json(bid_request_body(&slots)))
+            .from_initiator("prebid.js");
+        w.browser.fire_event(
+            s.now(),
+            events::BID_REQUESTED,
+            Json::obj([
+                (params::HB_BIDDER, Json::str(code.clone())),
+                (params::HB_AUCTION, Json::str(auction_id.clone())),
+            ]),
+        );
+        if w.flow.truth.first_bid_request_at.is_none() {
+            w.flow.truth.first_bid_request_at = Some(s.now());
+        }
+        send_request(
+            w,
+            s,
+            req,
+            Box::new(move |w, s, out| handle_bid_outcome(w, s, &code, out)),
+        );
+    }
+
+    if site.client_partners.is_empty() {
+        // Degenerate config: nothing to wait for.
+        send_to_adserver(w, s);
+        return;
+    }
+
+    if site.wrapper.send_immediately {
+        // Misconfigured wrapper: ship an empty bid set right away.
+        send_to_adserver(w, s);
+    } else if let Some(timeout) = site.wrapper.timeout {
+        s.after(timeout, |w: &mut PageWorld, s| {
+            if !w.flow.sent_to_adserver && !w.flow.done {
+                send_to_adserver(w, s);
+            }
+        });
+    }
+}
+
+/// Handle a partner's bid response (or failure).
+fn handle_bid_outcome(
+    w: &mut PageWorld,
+    s: &mut Scheduler<PageWorld>,
+    bidder: &str,
+    out: NetOutcome,
+) {
+    w.flow.partners_pending = w.flow.partners_pending.saturating_sub(1);
+    let arrived_late = w.flow.sent_to_adserver;
+    if let NetOutcome::Response(rsp) = out {
+        if rsp.status.is_success() {
+            if let Some(body) = rsp.body.as_json() {
+                if let Some((_, bids)) = protocol::parse_bid_response(&body) {
+                    for bid in bids {
+                        w.flow.truth.client_bids += 1;
+                        if arrived_late {
+                            w.flow.truth.late_bids += 1;
+                        }
+                        w.browser.fire_event(
+                            s.now(),
+                            events::BID_RESPONSE,
+                            Json::obj([
+                                (params::BIDDER, Json::str(bid.bidder.clone())),
+                                (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
+                                (params::HB_SLOT, Json::str(bid.slot.clone())),
+                                (params::CPM, Json::num(bid.cpm.0)),
+                                (params::HB_SIZE, Json::str(bid.size.to_string())),
+                                (params::HB_CURRENCY, Json::str(bid.currency.clone())),
+                            ]),
+                        );
+                        if !arrived_late {
+                            w.flow.bids.push(bid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = bidder;
+    if w.flow.partners_pending == 0 && !w.flow.sent_to_adserver && !w.flow.done {
+        send_to_adserver(w, s);
+    }
+}
+
+/// 4. Ship collected bids to the ad server; fires `auctionEnd`.
+fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
+    if w.flow.sent_to_adserver {
+        return;
+    }
+    w.flow.sent_to_adserver = true;
+    let now = s.now();
+    w.flow.truth.adserver_sent_at = Some(now);
+    let site = w.flow.site().clone();
+    let auction_id = w.flow.auction_id.clone();
+
+    w.browser.fire_event(
+        now,
+        events::AUCTION_END,
+        Json::obj([
+            (params::HB_AUCTION, Json::str(auction_id.clone())),
+            ("bidsReceived", Json::num(w.flow.bids.len() as f64)),
+            ("timestamp", Json::num(now.as_millis_f64())),
+        ]),
+    );
+
+    // Bucket prices for targeting.
+    let bucketed: Vec<BidPayload> = w
+        .flow
+        .bids
+        .iter()
+        .map(|b| BidPayload {
+            cpm: b.cpm.bucket(site.wrapper.pb_granularity),
+            ..b.clone()
+        })
+        .collect();
+
+    let mut url = Url::https(&site.ad_server_host, protocol::paths::AD_SERVER)
+        .with_param("account", site.account_id.clone())
+        .with_param(params::HB_AUCTION, auction_id)
+        .with_param(params::HB_SOURCE, "client");
+    for unit in &site.ad_units {
+        url.query.append(params::HB_SLOT, unit.code.clone());
+    }
+    // Echo the best bid per slot as hb_* targeting key-values (what DFP
+    // line items key on, and what the detector sees in the URL).
+    for unit in &site.ad_units {
+        if let Some(best) = bucketed
+            .iter()
+            .filter(|b| b.slot == unit.code)
+            .max_by(|a, b| a.cpm.partial_cmp(&b.cpm).unwrap())
+        {
+            url.query.append(params::HB_BIDDER, best.bidder.clone());
+            url.query.append(params::HB_PB, best.cpm.to_param());
+            url.query.append(params::HB_SIZE, best.size.to_string());
+            url.query.append(params::HB_ADID, best.ad_id.clone());
+        }
+    }
+    let id = w.browser.next_request_id();
+    let body = protocol::bid_response_body(&w.flow.auction_id, &bucketed);
+    let req = Request::post(id, url, Body::Json(body)).from_initiator("prebid.js");
+    if w.flow.truth.first_bid_request_at.is_none() {
+        // Server-side-like degenerate case: the ad-server call is the first
+        // HB-related request.
+        w.flow.truth.first_bid_request_at = Some(now);
+    }
+    send_request(
+        w,
+        s,
+        req,
+        Box::new(|w, s, out| handle_adserver_response(w, s, out)),
+    );
+}
+
+/// 3b. Server-Side HB: one request to the provider; it runs the auction.
+fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
+    let site = w.flow.site().clone();
+    let now = s.now();
+    w.flow.truth.facet = site.facet;
+    w.flow.truth.slots_auctioned = site.ad_units.len();
+    w.flow.truth.first_bid_request_at = Some(now);
+    w.flow.truth.adserver_sent_at = Some(now);
+    w.flow.sent_to_adserver = true;
+
+    let mut url = Url::https(&site.ad_server_host, protocol::paths::AD_SERVER)
+        .with_param("account", site.account_id.clone())
+        .with_param(params::HB_AUCTION, w.flow.auction_id.clone())
+        .with_param(params::HB_SOURCE, "s2s");
+    for unit in &site.ad_units {
+        url.query.append(params::HB_SLOT, unit.code.clone());
+    }
+    let id = w.browser.next_request_id();
+    let req = Request::get(id, url).from_initiator("hb-provider-tag");
+    send_request(
+        w,
+        s,
+        req,
+        Box::new(|w, s, out| handle_adserver_response(w, s, out)),
+    );
+}
+
+/// 5. Ad-server response: fire win events, render slots, notify winners.
+fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out: NetOutcome) {
+    let now = s.now();
+    w.flow.truth.adserver_response_at = Some(now);
+    let site = w.flow.site().clone();
+    let winners = match out {
+        NetOutcome::Response(rsp) if rsp.status.is_success() => rsp
+            .body
+            .as_json()
+            .and_then(|b| protocol::parse_ad_server_response(&b))
+            .map(|(_, ws)| ws)
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    w.flow.truth.winners = winners.clone();
+
+    let fires_prebid_events = matches!(
+        site.facet,
+        Some(HbFacet::ClientSide) | Some(HbFacet::Hybrid)
+    );
+    for winner in &winners {
+        if winner.channel == FillChannel::HeaderBid && fires_prebid_events {
+            w.browser.fire_event(
+                now,
+                events::BID_WON,
+                Json::obj([
+                    (params::HB_BIDDER, Json::str(winner.bidder.clone())),
+                    (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
+                    (params::HB_SLOT, Json::str(winner.slot.clone())),
+                    (params::HB_PB, Json::str(winner.pb.to_param())),
+                    (params::HB_SIZE, Json::str(winner.size.to_string())),
+                ]),
+            );
+        }
+        // Win notification back to client-side partners we know the host of.
+        if winner.channel == FillChannel::HeaderBid {
+            if let Some(partner) = site
+                .client_partners
+                .iter()
+                .find(|p| p.code == winner.bidder)
+            {
+                let url = Url::https(&partner.host, protocol::paths::WIN)
+                    .with_param(params::HB_PRICE, winner.pb.to_param())
+                    .with_param(params::HB_ADID, winner.ad_id.clone())
+                    .with_param(params::HB_AUCTION, w.flow.auction_id.clone());
+                let id = w.browser.next_request_id();
+                let req = Request::get(id, url).from_initiator("prebid.js");
+                send_request(w, s, req, Box::new(|_, _, _| {}));
+            }
+        }
+    }
+
+    // Render each slot after a short creative-injection delay.
+    let n = winners.len();
+    for (i, winner) in winners.into_iter().enumerate() {
+        let delay = SimDuration::from_millis(20 + 15 * i as u64);
+        let fail = w.rng.chance(site.render_fail_rate)
+            && winner.channel != FillChannel::Unfilled;
+        let last = i + 1 == n;
+        s.after(delay, move |w: &mut PageWorld, s| {
+            let now = s.now();
+            if fail {
+                w.browser.fire_event(
+                    now,
+                    events::AD_RENDER_FAILED,
+                    Json::obj([(params::HB_SLOT, Json::str(winner.slot.clone()))]),
+                );
+                w.browser.page.mark_ad_failed();
+            } else {
+                w.browser.fire_event(
+                    now,
+                    events::SLOT_RENDER_ENDED,
+                    Json::obj([
+                        (params::HB_SLOT, Json::str(winner.slot.clone())),
+                        (params::HB_SIZE, Json::str(winner.size.to_string())),
+                        (
+                            "isEmpty",
+                            Json::Bool(winner.channel == FillChannel::Unfilled),
+                        ),
+                        ("channel", Json::str(winner.channel.label())),
+                    ]),
+                );
+                w.browser.page.mark_ad_rendered(now);
+            }
+            if last {
+                w.browser.page.mark_loaded(now);
+                w.flow.done = true;
+            }
+        });
+    }
+    if n == 0 {
+        w.browser.page.mark_loaded(now);
+        w.flow.done = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adserver::{AdServerAccount, AdServerEndpoint};
+    use crate::partner::{partner_endpoint, PartnerProfile};
+    use crate::session::{HostDirectory, Net};
+    use crate::types::{AdSize, Cpm};
+    use hb_http::{Response, Router, ServerReply};
+    use hb_simnet::{FaultInjector, LatencyModel, Rng, Simulation};
+    use std::sync::Arc as Rc;
+
+    /// Build a tiny world: one publisher page, a CDN, two partners, and an
+    /// ad server with one account.
+    fn build_world(facet: Option<HbFacet>, wrapper: WrapperConfig) -> Simulation<PageWorld> {
+        let mut router = Router::new();
+        router.register("pub1.example", |r: &Request, _: &mut Rng| {
+            ServerReply::instant(Response::text(r.id, "<html><head></head></html>"))
+        });
+        router.register("cdn.example", |r: &Request, _: &mut Rng| {
+            ServerReply::instant(Response::text(r.id, "// js"))
+        });
+        let mut fast = PartnerProfile::test_profile(1, "alpha");
+        fast.bid_rate = 1.0;
+        fast.host = "alpha.adnet.example".into();
+        let mut slow = PartnerProfile::test_profile(2, "beta");
+        slow.bid_rate = 1.0;
+        slow.host = "beta.adnet.example".into();
+        router.register("alpha.adnet.example", partner_endpoint(fast));
+        router.register("beta.adnet.example", partner_endpoint(slow));
+
+        let units = vec![
+            AdUnit::new("ad-slot-1", AdSize::MEDIUM_RECT, Cpm(0.01)),
+            AdUnit::new("ad-slot-2", AdSize::LEADERBOARD, Cpm(0.01)),
+        ];
+        let mut account = AdServerAccount::test_account("pub-1", units.clone());
+        if facet == Some(HbFacet::ServerSide) || facet == Some(HbFacet::Hybrid) {
+            let mut s2s = PartnerProfile::test_profile(3, "gamma");
+            s2s.bid_rate = 1.0;
+            account.s2s_partners = vec![s2s];
+        }
+        router.register("ads.pub1.example", AdServerEndpoint::new([account.clone()]));
+        router.register("dfp-adnet.example", AdServerEndpoint::new([account]));
+
+        let mut latency = HostDirectory::new();
+        latency.insert("pub1.example", LatencyModel::constant(30.0));
+        latency.insert("cdn.example", LatencyModel::constant(10.0));
+        latency.insert("alpha.adnet.example", LatencyModel::constant(100.0));
+        latency.insert("beta.adnet.example", LatencyModel::constant(400.0));
+        latency.insert("ads.pub1.example", LatencyModel::constant(50.0));
+        latency.insert("dfp-adnet.example", LatencyModel::constant(50.0));
+
+        let net = Net::new(
+            Rc::new(router),
+            Rc::new(latency),
+            Rc::new(FaultInjector::none()),
+        );
+        let url = Url::parse("https://pub1.example/").unwrap();
+        let mut world = PageWorld::new(url.clone(), net, Rng::new(42));
+        world.handler_service_ms = hb_simnet::Dist::Const(2.0);
+
+        let ad_server_host = match facet {
+            Some(HbFacet::ClientSide) | None => "ads.pub1.example",
+            _ => "dfp-adnet.example",
+        };
+        let site = SiteRuntime {
+            page_url: url,
+            rank: 1,
+            facet,
+            ad_units: vec![
+                AdUnit::new("ad-slot-1", AdSize::MEDIUM_RECT, Cpm(0.01)),
+                AdUnit::new("ad-slot-2", AdSize::LEADERBOARD, Cpm(0.01)),
+            ],
+            client_partners: if facet == Some(HbFacet::ServerSide) {
+                vec![]
+            } else {
+                vec![
+                    PartnerRef {
+                        code: "alpha".into(),
+                        name: "Alpha".into(),
+                        host: "alpha.adnet.example".into(),
+                    },
+                    PartnerRef {
+                        code: "beta".into(),
+                        name: "Beta".into(),
+                        host: "beta.adnet.example".into(),
+                    },
+                ]
+            },
+            ad_server_host: ad_server_host.into(),
+            account_id: "pub-1".into(),
+            wrapper,
+            waterfall_tiers: vec![],
+            cdn_host: "cdn.example".into(),
+            render_fail_rate: 0.0,
+            net_quality: 1.0,
+        };
+        let mut sim = Simulation::new(world);
+        sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+            begin_visit(w, s, site);
+        });
+        sim
+    }
+
+    #[test]
+    fn client_side_full_flow() {
+        let mut sim = build_world(Some(HbFacet::ClientSide), WrapperConfig::default());
+        sim.run_to_idle(10_000);
+        let w = sim.world();
+        assert!(w.flow.done, "visit completed");
+        let truth = &w.flow.truth;
+        assert_eq!(truth.slots_auctioned, 2);
+        // Both partners bid on both slots.
+        assert_eq!(truth.client_bids, 4);
+        assert_eq!(truth.late_bids, 0, "no late bids under the 3s timeout");
+        assert_eq!(truth.winners.len(), 2);
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::HeaderBid));
+        // Events fired.
+        assert_eq!(w.browser.events.emitted_count(events::AUCTION_INIT), 1);
+        assert_eq!(w.browser.events.emitted_count(events::BID_REQUESTED), 2);
+        assert_eq!(w.browser.events.emitted_count(events::BID_RESPONSE), 4);
+        assert_eq!(w.browser.events.emitted_count(events::AUCTION_END), 1);
+        assert_eq!(w.browser.events.emitted_count(events::BID_WON), 2);
+        assert_eq!(w.browser.events.emitted_count(events::SLOT_RENDER_ENDED), 2);
+        // Latency: slowest partner 400ms dominates; + adserver 50ms + sundry.
+        let lat = truth.hb_latency().unwrap();
+        assert!(lat >= SimDuration::from_millis(450), "lat {lat}");
+        assert!(lat <= SimDuration::from_millis(600), "lat {lat}");
+    }
+
+    #[test]
+    fn server_side_flow_single_request_no_prebid_events() {
+        let mut sim = build_world(Some(HbFacet::ServerSide), WrapperConfig::default());
+        sim.run_to_idle(10_000);
+        let w = sim.world();
+        assert!(w.flow.done);
+        let truth = &w.flow.truth;
+        assert_eq!(truth.client_bids, 0);
+        assert_eq!(truth.winners.len(), 2);
+        // The s2s partner always bids, so HB wins.
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::HeaderBid && win.bidder == "gamma"));
+        assert_eq!(w.browser.events.emitted_count(events::AUCTION_INIT), 0);
+        assert_eq!(w.browser.events.emitted_count(events::BID_RESPONSE), 0);
+        assert_eq!(w.browser.events.emitted_count(events::BID_WON), 0);
+        // gpt-style render events still fire.
+        assert_eq!(w.browser.events.emitted_count(events::SLOT_RENDER_ENDED), 2);
+        // Latency: single 50ms call + s2s fan-out processing.
+        let lat = truth.hb_latency().unwrap();
+        assert!(lat < SimDuration::from_millis(400), "lat {lat}");
+    }
+
+    #[test]
+    fn hybrid_flow_merges_client_and_s2s_bids() {
+        let mut sim = build_world(Some(HbFacet::Hybrid), WrapperConfig::default());
+        sim.run_to_idle(10_000);
+        let w = sim.world();
+        assert!(w.flow.done);
+        let truth = &w.flow.truth;
+        assert_eq!(truth.client_bids, 4, "client partners answered");
+        assert_eq!(truth.winners.len(), 2);
+        assert!(w.browser.events.emitted_count(events::BID_RESPONSE) > 0);
+        // Winner can be a client partner or the s2s partner "gamma" —
+        // either way it is an HB fill.
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::HeaderBid));
+    }
+
+    #[test]
+    fn misconfigured_wrapper_loses_all_bids_as_late() {
+        let cfg = WrapperConfig {
+            send_immediately: true,
+            ..WrapperConfig::default()
+        };
+        let mut sim = build_world(Some(HbFacet::ClientSide), cfg);
+        sim.run_to_idle(10_000);
+        let w = sim.world();
+        let truth = &w.flow.truth;
+        assert_eq!(truth.client_bids, 4);
+        assert_eq!(truth.late_bids, 4, "every bid arrives after the send");
+        // With no usable bids, slots fall back.
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::Fallback));
+        // HB latency is tiny: just the ad-server round trip.
+        let lat = truth.hb_latency().unwrap();
+        assert!(lat < SimDuration::from_millis(120), "lat {lat}");
+    }
+
+    #[test]
+    fn short_timeout_cuts_off_slow_partner() {
+        let cfg = WrapperConfig {
+            timeout: Some(SimDuration::from_millis(200)),
+            ..WrapperConfig::default()
+        };
+        let mut sim = build_world(Some(HbFacet::ClientSide), cfg);
+        sim.run_to_idle(10_000);
+        let w = sim.world();
+        let truth = &w.flow.truth;
+        // alpha (100ms) made it; beta (400ms) is late.
+        assert_eq!(truth.client_bids, 4);
+        assert_eq!(truth.late_bids, 2);
+        let alpha_won = truth
+            .winners
+            .iter()
+            .filter(|win| win.bidder == "alpha")
+            .count();
+        assert_eq!(alpha_won, 2, "only alpha's bids were usable");
+    }
+
+    #[test]
+    fn no_timeout_waits_for_everyone() {
+        let cfg = WrapperConfig {
+            timeout: None,
+            ..WrapperConfig::default()
+        };
+        let mut sim = build_world(Some(HbFacet::ClientSide), cfg);
+        sim.run_to_idle(10_000);
+        let truth = &sim.world().flow.truth;
+        assert_eq!(truth.late_bids, 0);
+        assert_eq!(truth.client_bids, 4);
+    }
+
+    #[test]
+    fn ground_truth_latency_accounts() {
+        let mut sim = build_world(Some(HbFacet::ClientSide), WrapperConfig::default());
+        sim.run_to_idle(10_000);
+        let truth = &sim.world().flow.truth;
+        assert!(truth.first_bid_request_at.unwrap() < truth.adserver_sent_at.unwrap());
+        assert!(truth.adserver_sent_at.unwrap() < truth.adserver_response_at.unwrap());
+    }
+}

@@ -1,0 +1,268 @@
+//! Demand partner analyses: popularity (Fig. 8), partners per site
+//! (Fig. 9), combinations (Fig. 10), and bid share per facet (Fig. 11).
+
+use crate::report::FigureReport;
+use hb_crawler::CrawlDataset;
+use hb_core::VisitRecord;
+use hb_stats::{fmt_pct, Align, Counter, Ecdf, Table};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The set of HB sites keyed by domain with their union of partners
+/// (request-level evidence, day-0 plus dailies).
+fn partners_per_site(ds: &CrawlDataset) -> BTreeMap<&str, BTreeSet<&str>> {
+    let mut map: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for v in ds.hb_visits() {
+        let entry = map.entry(v.domain.as_str()).or_default();
+        for p in &v.partners {
+            entry.insert(p.as_str());
+        }
+    }
+    map
+}
+
+/// Fig. 8: top Demand Partners by share of HB sites they appear on.
+pub fn f08_top_partners(ds: &CrawlDataset) -> FigureReport {
+    let sites = partners_per_site(ds);
+    let n_sites = sites.len().max(1);
+    let mut counter = Counter::new();
+    for partners in sites.values() {
+        for p in partners {
+            counter.add(*p);
+        }
+    }
+    let ranked = counter.ranked();
+    let mut table = Table::new(
+        "Fig. 8 — top Demand Partners (share of HB sites)",
+        &["partner", "sites", "share"],
+    )
+    .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    for (name, count) in ranked.iter().take(11) {
+        table.row(vec![
+            name.clone(),
+            count.to_string(),
+            fmt_pct(*count as f64 / n_sites as f64),
+        ]);
+    }
+    // The paper's "Other" bucket: every partner outside the top 11.
+    let other_sites: BTreeSet<&str> = sites
+        .iter()
+        .filter(|(_, ps)| {
+            ps.iter()
+                .any(|p| !ranked.iter().take(11).any(|(n, _)| n == p))
+        })
+        .map(|(d, _)| *d)
+        .collect();
+    table.row(vec![
+        "Other".into(),
+        other_sites.len().to_string(),
+        fmt_pct(other_sites.len() as f64 / n_sites as f64),
+    ]);
+
+    let dfp_share = counter.count("DFP") as f64 / n_sites as f64;
+    let top_is_dfp = ranked.first().map(|(n, _)| n == "DFP").unwrap_or(false);
+    FigureReport {
+        id: "F8".into(),
+        title: "Top Demand Partners in HB".into(),
+        paper_expectation: "DFP on >80% of HB sites; other 73 partners cover 36%".into(),
+        table,
+        metrics: vec![
+            ("dfp_share".into(), dfp_share),
+            ("top_is_dfp".into(), if top_is_dfp { 1.0 } else { 0.0 }),
+            ("distinct_partners".into(), counter.distinct() as f64),
+            (
+                "other_share".into(),
+                other_sites.len() as f64 / n_sites as f64,
+            ),
+        ],
+        notes: vec![],
+    }
+}
+
+/// Fig. 9: ECDF of Demand Partners per website.
+pub fn f09_partners_per_site(ds: &CrawlDataset) -> FigureReport {
+    let sites = partners_per_site(ds);
+    let counts: Vec<f64> = sites.values().map(|p| p.len() as f64).collect();
+    let ecdf = Ecdf::from_iter(counts.iter().copied());
+    let mut table = Table::new(
+        "Fig. 9 — Demand Partners per HB site (ECDF)",
+        &["partners", "P[X<=x]"],
+    );
+    for k in [1u32, 2, 3, 5, 10, 15, 20] {
+        table.row(vec![k.to_string(), format!("{:.4}", ecdf.eval(k as f64))]);
+    }
+    let share_one = counts.iter().filter(|&&c| c == 1.0).count() as f64 / counts.len().max(1) as f64;
+    let share_ge5 = counts.iter().filter(|&&c| c >= 5.0).count() as f64 / counts.len().max(1) as f64;
+    let share_ge10 =
+        counts.iter().filter(|&&c| c >= 10.0).count() as f64 / counts.len().max(1) as f64;
+    FigureReport {
+        id: "F9".into(),
+        title: "Demand Partners per website".into(),
+        paper_expectation: ">50% of sites use one partner; ~20% use 5+; ~5% use 10+; max ~20"
+            .into(),
+        table,
+        metrics: vec![
+            ("share_one_partner".into(), share_one),
+            ("share_ge5".into(), share_ge5),
+            ("share_ge10".into(), share_ge10),
+            (
+                "max_partners".into(),
+                counts.iter().copied().fold(0.0, f64::max),
+            ),
+        ],
+        notes: vec![],
+    }
+}
+
+/// Fig. 10: most frequent Demand Partner combinations.
+pub fn f10_combinations(ds: &CrawlDataset) -> FigureReport {
+    let sites = partners_per_site(ds);
+    let n_sites = sites.len().max(1);
+    let mut combos = Counter::new();
+    for partners in sites.values() {
+        let mut names: Vec<&str> = partners.iter().copied().collect();
+        names.sort_unstable();
+        combos.add(names.join(", "));
+    }
+    let mut table = Table::new(
+        "Fig. 10 — top Demand Partner combinations",
+        &["combination", "sites", "share"],
+    )
+    .with_aligns(&[Align::Left, Align::Right, Align::Right]);
+    for (combo, count) in combos.top(15) {
+        table.row(vec![
+            combo.clone(),
+            count.to_string(),
+            fmt_pct(count as f64 / n_sites as f64),
+        ]);
+    }
+    let dfp_alone = combos.count("DFP") as f64 / n_sites as f64;
+    // Share of multi-partner combinations that include DFP.
+    let (mut with_dfp, mut multi) = (0u64, 0u64);
+    for (combo, count) in combos.iter() {
+        if combo.contains(", ") {
+            multi += count;
+            if combo.split(", ").any(|p| p == "DFP") {
+                with_dfp += count;
+            }
+        }
+    }
+    FigureReport {
+        id: "F10".into(),
+        title: "Most frequent Demand Partner combinations".into(),
+        paper_expectation: "DFP alone on 48% of sites; DFP inside 51% of competing groups".into(),
+        table,
+        metrics: vec![
+            ("dfp_alone_share".into(), dfp_alone),
+            (
+                "dfp_in_groups_share".into(),
+                with_dfp as f64 / multi.max(1) as f64,
+            ),
+            ("distinct_combinations".into(), combos.distinct() as f64),
+        ],
+        notes: vec![],
+    }
+}
+
+/// Fig. 11: top partners by share of bids, per facet.
+pub fn f11_bids_by_facet(ds: &CrawlDataset) -> FigureReport {
+    let mut per_facet: BTreeMap<&str, Counter> = BTreeMap::new();
+    for v in ds.hb_visits() {
+        let Some(facet) = v.facet else { continue };
+        let counter = per_facet.entry(facet.label()).or_default();
+        for b in &v.bids {
+            counter.add(b.bidder_code.clone());
+        }
+    }
+    let mut table = Table::new(
+        "Fig. 11 — top bidders by share of bids, per facet",
+        &["facet", "bidder", "bids", "share"],
+    )
+    .with_aligns(&[Align::Left, Align::Left, Align::Right, Align::Right]);
+    let mut metrics = Vec::new();
+    for (facet, counter) in &per_facet {
+        for (code, count) in counter.top(10) {
+            table.row(vec![
+                facet.to_string(),
+                code.clone(),
+                count.to_string(),
+                fmt_pct(count as f64 / counter.total().max(1) as f64),
+            ]);
+        }
+        if let Some((top_code, _)) = counter.top(2).first() {
+            let is_big = matches!(top_code.as_str(), "rubicon" | "appnexus" | "ix");
+            metrics.push((
+                format!("{facet}_top_is_major_exchange"),
+                if is_big { 1.0 } else { 0.0 },
+            ));
+        }
+    }
+    FigureReport {
+        id: "F11".into(),
+        title: "Top Demand Partners per HB facet (by bids)".into(),
+        paper_expectation: "Rubicon and AppNexus lead every facet; Index follows".into(),
+        table,
+        metrics,
+        notes: vec!["server/hybrid bid evidence comes from ad-server responses".into()],
+    }
+}
+
+/// Helper shared by tests: number of distinct HB sites in a dataset.
+pub fn n_hb_sites(ds: &CrawlDataset) -> usize {
+    partners_per_site(ds).len()
+}
+
+/// Helper for the latency module: visits grouped per domain.
+pub fn visits_by_domain(ds: &CrawlDataset) -> BTreeMap<&str, Vec<&VisitRecord>> {
+    let mut map: BTreeMap<&str, Vec<&VisitRecord>> = BTreeMap::new();
+    for v in ds.hb_visits() {
+        map.entry(v.domain.as_str()).or_default().push(v);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::small_dataset;
+
+    #[test]
+    fn f08_dfp_dominates() {
+        let ds = small_dataset();
+        let r = f08_top_partners(&ds);
+        assert_eq!(r.metric("top_is_dfp"), Some(1.0));
+        let share = r.metric("dfp_share").unwrap();
+        assert!(share > 0.65, "DFP share {share}");
+        assert!(r.metric("distinct_partners").unwrap() > 10.0);
+    }
+
+    #[test]
+    fn f09_partner_counts() {
+        let ds = small_dataset();
+        let r = f09_partners_per_site(&ds);
+        let one = r.metric("share_one_partner").unwrap();
+        assert!(one > 0.35 && one < 0.70, "one-partner share {one}");
+        assert!(r.metric("max_partners").unwrap() <= 20.0);
+    }
+
+    #[test]
+    fn f10_dfp_alone_is_top_combo() {
+        let ds = small_dataset();
+        let r = f10_combinations(&ds);
+        let alone = r.metric("dfp_alone_share").unwrap();
+        assert!(alone > 0.30, "DFP-alone share {alone}");
+    }
+
+    #[test]
+    fn f11_major_exchanges_lead() {
+        let ds = small_dataset();
+        let r = f11_bids_by_facet(&ds);
+        // At least two of the three facets led by a major exchange.
+        let led: f64 = r
+            .metrics
+            .iter()
+            .filter(|(k, _)| k.ends_with("_top_is_major_exchange"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(led >= 2.0, "facets led by majors: {led}");
+    }
+}

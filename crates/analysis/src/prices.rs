@@ -1,0 +1,245 @@
+//! Bid-price analyses: price ECDF per facet (Fig. 22), price per ad size
+//! (Fig. 23), price vs partner popularity (Fig. 24).
+
+use crate::latency::partner_popularity;
+use crate::report::FigureReport;
+use hb_adtech::AdSize;
+use hb_crawler::CrawlDataset;
+use hb_stats::{fmt_f, Align, Ecdf, GroupedSamples, Samples, Table, Whisker};
+use std::collections::BTreeMap;
+
+/// All bid prices (CPM) grouped by facet label.
+fn prices_by_facet(ds: &CrawlDataset) -> BTreeMap<&'static str, Vec<f64>> {
+    let mut map: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for v in ds.hb_visits() {
+        let Some(f) = v.facet else { continue };
+        let bucket = map.entry(f.label()).or_default();
+        for b in &v.bids {
+            if b.cpm > 0.0 {
+                bucket.push(b.cpm);
+            }
+        }
+    }
+    map
+}
+
+/// Fig. 22: ECDF of bid prices per facet.
+pub fn f22_price_ecdf(ds: &CrawlDataset) -> FigureReport {
+    let by_facet = prices_by_facet(ds);
+    let mut table = Table::new(
+        "Fig. 22 — bid prices per facet (CPM)",
+        &["facet", "n", "p25", "median", "p75", "share > 0.5"],
+    )
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut metrics = Vec::new();
+    for (facet, prices) in &by_facet {
+        let s = Samples::from_iter(prices.iter().copied());
+        let ecdf = Ecdf::from_iter(prices.iter().copied());
+        table.row(vec![
+            facet.to_string(),
+            s.len().to_string(),
+            fmt_f(s.quantile(0.25).unwrap_or(0.0)),
+            fmt_f(s.median().unwrap_or(0.0)),
+            fmt_f(s.quantile(0.75).unwrap_or(0.0)),
+            hb_stats::fmt_pct(1.0 - ecdf.eval(0.5)),
+        ]);
+        metrics.push((format!("median_{facet}"), s.median().unwrap_or(0.0)));
+        metrics.push((format!("share_over_half_{facet}"), 1.0 - ecdf.eval(0.5)));
+    }
+    // Pooled share over 0.5 CPM (paper: >20%).
+    let all: Vec<f64> = by_facet.values().flatten().copied().collect();
+    let pooled = Ecdf::from_iter(all.iter().copied());
+    metrics.push(("share_over_half_all".into(), 1.0 - pooled.eval(0.5)));
+    FigureReport {
+        id: "F22".into(),
+        title: "Bid prices per HB facet".into(),
+        paper_expectation:
+            "client-side draws the highest prices; >20% of bids above 0.5 CPM; baseline-user prices low"
+                .into(),
+        table,
+        metrics,
+        notes: vec!["prices are for clean-profile (baseline) users".into()],
+    }
+}
+
+/// Fig. 23: bid prices per ad-slot size (x-axis sorted by area).
+pub fn f23_price_by_size(ds: &CrawlDataset) -> FigureReport {
+    let mut by_size: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for v in ds.hb_visits() {
+        for b in &v.bids {
+            if b.cpm > 0.0 && !b.size.is_empty() {
+                by_size.entry(b.size.clone()).or_default().push(b.cpm);
+            }
+        }
+    }
+    let min_obs = 5;
+    let mut rows: Vec<(String, u64, Whisker)> = by_size
+        .iter()
+        .filter(|(_, v)| v.len() >= min_obs)
+        .filter_map(|(size, prices)| {
+            let area = AdSize::parse(size).map(|s| s.area()).unwrap_or(0);
+            Whisker::from_iter(prices.iter().copied()).map(|w| (size.clone(), area, w))
+        })
+        .collect();
+    rows.sort_by_key(|(_, area, _)| *area);
+
+    let mut table = Table::new(
+        "Fig. 23 — bid prices per ad size (sorted by area)",
+        &["size", "n", "p25", "median", "p75"],
+    )
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for (size, _, w) in &rows {
+        table.row(vec![
+            size.clone(),
+            w.n.to_string(),
+            fmt_f(w.p25),
+            fmt_f(w.p50),
+            fmt_f(w.p75),
+        ]);
+    }
+    let median_of = |size: &str| {
+        rows.iter()
+            .find(|(s, _, _)| s == size)
+            .map(|(_, _, w)| w.p50)
+            .unwrap_or(0.0)
+    };
+    FigureReport {
+        id: "F23".into(),
+        title: "Bid prices per ad-slot size".into(),
+        paper_expectation:
+            "medians span ~0.001–0.1 CPM; 120x600 dearest; 300x50 cheapest; 300x250 ≈0.03".into(),
+        table,
+        metrics: vec![
+            ("median_300x250".into(), median_of("300x250")),
+            ("median_120x600".into(), median_of("120x600")),
+            ("median_300x50".into(), median_of("300x50")),
+            ("median_320x50".into(), median_of("320x50")),
+            ("sizes_measured".into(), rows.len() as f64),
+        ],
+        notes: vec![],
+    }
+}
+
+/// Fig. 24: bid prices vs partner popularity rank (bins of 10).
+pub fn f24_price_by_popularity(ds: &CrawlDataset) -> FigureReport {
+    let popularity = partner_popularity(ds);
+    let rank_of: BTreeMap<&str, usize> = popularity
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let mut grouped = GroupedSamples::new();
+    for v in ds.hb_visits() {
+        for b in &v.bids {
+            if b.cpm > 0.0 {
+                if let Some(&rank0) = rank_of.get(b.partner_name.as_str()) {
+                    grouped.add(rank0 as u64 / 10, b.cpm);
+                }
+            }
+        }
+    }
+    let mut table = Table::new(
+        "Fig. 24 — bid prices vs partner popularity (bins of 10)",
+        &["popularity bin", "n", "p25", "median", "p75", "spread"],
+    )
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let mut medians = Vec::new();
+    let mut spreads = Vec::new();
+    for (bin, w) in grouped.whiskers() {
+        table.row(vec![
+            format!("{}-{}", bin * 10 + 1, (bin + 1) * 10),
+            w.n.to_string(),
+            fmt_f(w.p25),
+            fmt_f(w.p50),
+            fmt_f(w.p75),
+            fmt_f(w.box_spread()),
+        ]);
+        medians.push(w.p50);
+        spreads.push(w.box_spread());
+    }
+    FigureReport {
+        id: "F24".into(),
+        title: "Bid prices vs Demand Partner popularity".into(),
+        paper_expectation: "popular partners bid lower and more consistently".into(),
+        table,
+        metrics: vec![
+            ("top_bin_median".into(), medians.first().copied().unwrap_or(0.0)),
+            (
+                "bottom_bin_median".into(),
+                medians.last().copied().unwrap_or(0.0),
+            ),
+            ("top_bin_spread".into(), spreads.first().copied().unwrap_or(0.0)),
+            (
+                "bottom_bin_spread".into(),
+                spreads.last().copied().unwrap_or(0.0),
+            ),
+        ],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::small_dataset;
+
+    #[test]
+    fn f22_client_side_prices_highest() {
+        let ds = small_dataset();
+        let r = f22_price_ecdf(&ds);
+        let client = r.metric("median_client-side").unwrap_or(0.0);
+        let server = r.metric("median_server-side").unwrap_or(0.0);
+        assert!(client > 0.0 && server > 0.0);
+        assert!(
+            client > server,
+            "client {client} should exceed server {server}"
+        );
+    }
+
+    #[test]
+    fn f23_size_ordering() {
+        let ds = small_dataset();
+        let r = f23_price_by_size(&ds);
+        let mid = r.metric("median_300x250").unwrap();
+        assert!(mid > 0.0);
+        // The full-scale ordering (300x250 > 320x50 > 300x50) is asserted
+        // against the paper-scale run in EXPERIMENTS.md; at test scale the
+        // thin sizes carry few samples, so only a loose sanity bound holds.
+        let mobile = r.metric("median_320x50").unwrap_or(0.0);
+        if mobile > 0.0 {
+            assert!(mid > mobile * 0.3, "300x250 {mid} vs 320x50 {mobile}");
+        }
+        assert!(r.metric("sizes_measured").unwrap() >= 4.0);
+    }
+
+    #[test]
+    fn f24_popular_bid_lower() {
+        let ds = small_dataset();
+        let r = f24_price_by_popularity(&ds);
+        let top = r.metric("top_bin_median").unwrap();
+        let bottom = r.metric("bottom_bin_median").unwrap();
+        if bottom > 0.0 {
+            assert!(top < bottom * 1.5, "top {top} vs bottom {bottom}");
+        }
+    }
+}

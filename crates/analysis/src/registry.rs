@@ -1,0 +1,77 @@
+//! The experiment registry: every table/figure builder in one place.
+
+use crate::report::FigureReport;
+use hb_crawler::{AdoptionPoint, CrawlDataset, OverlapPoint};
+
+/// Build every dataset-driven report (T1 + A1/A2 + F8..F24 + X1).
+pub fn dataset_reports(ds: &CrawlDataset) -> Vec<FigureReport> {
+    vec![
+        crate::summary::t1_summary(ds),
+        crate::summary::adoption_bands(ds),
+        crate::summary::facet_breakdown(ds),
+        crate::partners::f08_top_partners(ds),
+        crate::partners::f09_partners_per_site(ds),
+        crate::partners::f10_combinations(ds),
+        crate::partners::f11_bids_by_facet(ds),
+        crate::latency::f12_latency_ecdf(ds),
+        crate::latency::f13_latency_vs_rank(ds),
+        crate::latency::f14_partner_latency(ds),
+        crate::latency::f15_latency_vs_partners(ds),
+        crate::latency::f16_latency_vs_popularity(ds),
+        crate::late::f17_late_ecdf(ds),
+        crate::late::f18_late_by_partner(ds),
+        crate::slots::f19_slots_ecdf(ds),
+        crate::slots::f20_latency_vs_slots(ds),
+        crate::slots::f21_sizes(ds),
+        crate::prices::f22_price_ecdf(ds),
+        crate::prices::f23_price_by_size(ds),
+        crate::prices::f24_price_by_popularity(ds),
+        crate::waterfall_cmp::x01_waterfall_compare(ds),
+    ]
+}
+
+/// Build the historical reports (F4 + F4b) from the Wayback study outputs.
+pub fn history_reports(
+    adoption: &[AdoptionPoint],
+    overlaps: &[OverlapPoint],
+) -> Vec<FigureReport> {
+    vec![
+        crate::adoption::f04_adoption(adoption),
+        crate::adoption::f04b_overlaps(overlaps),
+    ]
+}
+
+/// Build everything.
+pub fn all_reports(
+    ds: &CrawlDataset,
+    adoption: &[AdoptionPoint],
+    overlaps: &[OverlapPoint],
+) -> Vec<FigureReport> {
+    let mut v = history_reports(adoption, overlaps);
+    v.extend(dataset_reports(ds));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::small_dataset;
+    use hb_crawler::{adoption_study, overlap_study};
+
+    #[test]
+    fn registry_builds_all_reports_with_unique_ids() {
+        let ds = small_dataset();
+        let adoption = adoption_study(1, 500);
+        let overlaps = overlap_study(1, 500);
+        let reports = all_reports(&ds, &adoption, &overlaps);
+        assert_eq!(reports.len(), 23);
+        let mut ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 23, "duplicate report id");
+        for r in &reports {
+            assert!(!r.render().is_empty());
+            assert!(!r.to_csv().is_empty());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The common shape of every regenerated table/figure.
+
+use hb_stats::Table;
+
+/// One regenerated artifact (a table or the data series behind a figure).
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Stable id (`T1`, `F12`, `X1`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports (the expectation the shape is judged against).
+    pub paper_expectation: String,
+    /// The regenerated table.
+    pub table: Table,
+    /// Key scalar metrics extracted from the data (also used by tests and
+    /// EXPERIMENTS.md).
+    pub metrics: Vec<(String, f64)>,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Render the report for stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n### [{}] {}\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n", self.paper_expectation));
+        out.push_str(&self.table.render());
+        if !self.metrics.is_empty() {
+            out.push_str("metrics: ");
+            let parts: Vec<String> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.4}"))
+                .collect();
+            out.push_str(&parts.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// The CSV of the underlying table.
+    pub fn to_csv(&self) -> String {
+        self.table.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_metric_lookup() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        let r = FigureReport {
+            id: "F99".into(),
+            title: "test".into(),
+            paper_expectation: "n/a".into(),
+            table: t,
+            metrics: vec![("m".into(), 0.5)],
+            notes: vec!["hello".into()],
+        };
+        assert_eq!(r.metric("m"), Some(0.5));
+        assert_eq!(r.metric("nope"), None);
+        let s = r.render();
+        assert!(s.contains("[F99]"));
+        assert!(s.contains("m=0.5000"));
+        assert!(s.contains("note: hello"));
+        assert!(r.to_csv().starts_with("a\n"));
+    }
+}

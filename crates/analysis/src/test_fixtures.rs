@@ -1,0 +1,14 @@
+//! Shared test fixture: one tiny campaign, computed once per process.
+
+use hb_crawler::{run_campaign, CampaignConfig, CrawlDataset};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use std::sync::OnceLock;
+
+/// A cached small-scale dataset for analysis unit tests.
+pub fn small_dataset() -> &'static CrawlDataset {
+    static DS: OnceLock<CrawlDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let eco = Ecosystem::generate(EcosystemConfig::test_scale());
+        run_campaign(&eco, &CampaignConfig::default())
+    })
+}

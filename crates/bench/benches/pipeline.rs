@@ -1,0 +1,93 @@
+//! Criterion benches for the measurement pipeline itself: single-visit
+//! simulation per protocol flow, detector hot paths, and a tiny campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_adtech::HbFacet;
+use hb_crawler::{crawl_site, SessionConfig};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use hb_http::{Json, Request, RequestId, Url};
+use std::hint::black_box;
+
+fn visit_bench(c: &mut Criterion) {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let pick = |facet: Option<HbFacet>| {
+        eco.sites
+            .iter()
+            .find(|s| s.facet == facet)
+            .expect("facet present in tiny universe")
+    };
+    let cases = [
+        ("client_side", pick(Some(HbFacet::ClientSide))),
+        ("server_side", pick(Some(HbFacet::ServerSide))),
+        ("hybrid", pick(Some(HbFacet::Hybrid))),
+        ("waterfall", pick(None)),
+    ];
+    let session = SessionConfig::default();
+    for (label, site) in cases {
+        c.bench_function(&format!("visit/{label}"), |b| {
+            b.iter(|| {
+                black_box(crawl_site(
+                    eco.net(),
+                    eco.runtime_for(site),
+                    eco.partner_list(),
+                    eco.visit_rng(site.rank, 0),
+                    0,
+                    &session,
+                ))
+            })
+        });
+    }
+}
+
+fn detector_hot_paths(c: &mut Criterion) {
+    let list = hb_core::PartnerList::demo();
+    let bid_req = Request::get(
+        RequestId(1),
+        Url::parse(
+            "https://appnexus-adnet.example/hb/bid?hb_auction=a1&hb_bidder=appnexus&hb_source=client&slots=4",
+        )
+        .unwrap(),
+    );
+    let unrelated = Request::get(
+        RequestId(2),
+        Url::parse("https://static.site.example/app.js?v=12").unwrap(),
+    );
+    c.bench_function("detector/classify_bid_request", |b| {
+        b.iter(|| black_box(hb_core::classify_request(&list, black_box(&bid_req))))
+    });
+    c.bench_function("detector/classify_unrelated", |b| {
+        b.iter(|| black_box(hb_core::classify_request(&list, black_box(&unrelated))))
+    });
+    let payload = r#"{"hb_auction":"a1","bids":[{"bidder":"appnexus","hb_slot":"s1","cpm":0.4,"hb_size":"300x250","hb_adid":"c","hb_currency":"USD"}]}"#;
+    c.bench_function("detector/parse_bid_response_json", |b| {
+        b.iter(|| black_box(Json::parse(black_box(payload)).unwrap()))
+    });
+    let html = hb_dom::HtmlBuilder::new("t")
+        .head_script("https://cdn.hbrepro.example/prebid.js")
+        .head_inline("pbjs.requestBids({timeout: 3000});")
+        .ad_slot("ad-slot-1")
+        .build();
+    let sigs = hb_core::LibrarySignatures::default();
+    c.bench_function("detector/static_analysis", |b| {
+        b.iter(|| black_box(hb_core::analyze_html(&sigs, black_box(&html))))
+    });
+}
+
+fn campaign_bench(c: &mut Criterion) {
+    c.bench_function("campaign/tiny_200_sites", |b| {
+        b.iter(|| {
+            let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+            black_box(hb_crawler::run_campaign(
+                &eco,
+                &hb_crawler::CampaignConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = visit_bench, detector_hot_paths, campaign_bench
+);
+criterion_main!(pipeline);

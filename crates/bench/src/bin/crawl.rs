@@ -1,0 +1,49 @@
+//! Run a crawl campaign and persist the dataset as CSV.
+//!
+//! Usage: `crawl [tiny|test|medium|paper] [--out DIR]`
+//!
+//! Writes `visits.csv`, `bids.csv` and `truth.csv` under the output
+//! directory (default `results/dataset/`), ready for external analysis
+//! tooling. The run is deterministic in the ecosystem seed.
+
+use hb_bench::{build_dataset, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Test;
+    let mut out = PathBuf::from("results/dataset");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            word => {
+                scale = Scale::parse(word).unwrap_or_else(|| {
+                    eprintln!("unknown scale {word:?}; use tiny|test|medium|paper");
+                    std::process::exit(2);
+                });
+            }
+        }
+        i += 1;
+    }
+    eprintln!("crawling at {scale:?} scale…");
+    let started = std::time::Instant::now();
+    let (eco, ds) = build_dataset(scale, true);
+    eprintln!(
+        "done: {} visits over {} sites in {:.1?}",
+        ds.visits.len(),
+        eco.sites.len(),
+        started.elapsed()
+    );
+    ds.save(&out).expect("write dataset");
+    eprintln!(
+        "dataset written to {} ({} HB domains, {} auctions, {} bids)",
+        out.display(),
+        ds.hb_domains().len(),
+        ds.total_auctions(),
+        ds.total_bids()
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! Usage: `figures [tiny|test|medium|paper] [--csv DIR]`
+//!
+//! Runs the Wayback adoption study, generates the ecosystem, runs the full
+//! crawl campaign, and prints each `FigureReport` with the paper's stated
+//! expectation next to the regenerated numbers. With `--csv DIR`, every
+//! report's table is additionally written as `DIR/<id>.csv`.
+
+use hb_analysis::all_reports;
+use hb_bench::{build_dataset, Scale};
+use hb_crawler::{adoption_study, overlap_study};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Test;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(PathBuf::from(
+                    args.get(i).expect("--csv needs a directory"),
+                ));
+            }
+            word => {
+                scale = Scale::parse(word).unwrap_or_else(|| {
+                    eprintln!("unknown scale {word:?}; use tiny|test|medium|paper");
+                    std::process::exit(2);
+                });
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("[1/3] historical adoption study (Wayback substitute)…");
+    let seed = scale.config().seed;
+    let adoption = adoption_study(seed, 1_000);
+    let overlaps = overlap_study(seed, 5_000);
+
+    eprintln!("[2/3] generating ecosystem and running campaign at {scale:?} scale…");
+    let started = std::time::Instant::now();
+    let (_eco, ds) = build_dataset(scale, true);
+    eprintln!(
+        "      campaign done: {} visits in {:.1?}",
+        ds.visits.len(),
+        started.elapsed()
+    );
+
+    eprintln!("[3/3] building reports…");
+    let reports = all_reports(&ds, &adoption, &overlaps);
+    for r in &reports {
+        print!("{}", r.render());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{}.csv", r.id));
+            std::fs::write(&path, r.to_csv()).expect("write csv");
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        eprintln!("CSV written to {}", dir.display());
+    }
+}

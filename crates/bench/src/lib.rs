@@ -1,0 +1,84 @@
+//! # hb-bench
+//!
+//! Shared harness for the benchmark suite and the `figures` binary: builds
+//! ecosystems and datasets at the requested scale and caches the test-scale
+//! dataset so every Criterion bench and analysis test reuses one crawl.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hb_crawler::{run_campaign, CampaignConfig, CrawlDataset};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use std::sync::OnceLock;
+
+/// Scale selector for harness runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// 200 sites x 1 day - CI-friendly smoke runs.
+    Tiny,
+    /// 1,400 sites x 3 days - default for tests/examples.
+    Test,
+    /// 7,000 sites x 10 days - heavier shape-check runs.
+    Medium,
+    /// 35,000 sites x 34 days - the paper's full workload.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI word.
+    pub fn parse(s: &str) -> Option<Scale> {
+        Some(match s {
+            "tiny" => Scale::Tiny,
+            "test" => Scale::Test,
+            "medium" => Scale::Medium,
+            "paper" => Scale::Paper,
+            _ => return None,
+        })
+    }
+
+    /// The ecosystem configuration for this scale.
+    pub fn config(self) -> EcosystemConfig {
+        match self {
+            Scale::Tiny => EcosystemConfig::tiny_scale(),
+            Scale::Test => EcosystemConfig::test_scale(),
+            Scale::Medium => EcosystemConfig::paper_scale().with_sites(7_000).with_days(10),
+            Scale::Paper => EcosystemConfig::paper_scale(),
+        }
+    }
+}
+
+/// Generate the ecosystem and run the full campaign at the given scale.
+pub fn build_dataset(scale: Scale, progress: bool) -> (Ecosystem, CrawlDataset) {
+    let eco = Ecosystem::generate(scale.config());
+    let cfg = CampaignConfig {
+        progress_every: if progress { 5_000 } else { 0 },
+        ..CampaignConfig::default()
+    };
+    let ds = run_campaign(&eco, &cfg);
+    (eco, ds)
+}
+
+/// Cached test-scale dataset shared by the Criterion benches.
+pub fn cached_test_dataset() -> &'static CrawlDataset {
+    static DS: OnceLock<CrawlDataset> = OnceLock::new();
+    DS.get_or_init(|| build_dataset(Scale::Test, false).1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn tiny_dataset_builds() {
+        let (eco, ds) = build_dataset(Scale::Tiny, false);
+        assert_eq!(eco.sites.len(), 200);
+        assert!(ds.total_auctions() > 0);
+    }
+}

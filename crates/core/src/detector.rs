@@ -1,0 +1,661 @@
+//! The HBDetector: attachment, observation, and reconstruction.
+//!
+//! Combines the paper's detection methods 2 (DOM event inspection) and 3
+//! (webRequest inspection). The detector attaches to a [`Browser`] before
+//! navigation, records everything relevant during the visit, and
+//! [`HbDetector::finish`] reconstructs a [`VisitRecord`]: HB presence,
+//! facet, partners, bids, latencies, late bids, prices, sizes.
+
+use crate::classify::{
+    classify_request, hb_params_of_response, Classification, RequestKind,
+};
+use crate::events::{CapturedEvent, HbEventKind};
+use crate::list::PartnerList;
+use crate::record::{
+    BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,
+};
+use hb_dom::{Browser, WebRequestEvent};
+use hb_http::{Json, RequestId};
+use hb_simnet::SimTime;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One observed request with its lifecycle timing and extracted content.
+#[derive(Clone, Debug)]
+struct ObservedRequest {
+    classification: Classification,
+    sent_at: SimTime,
+    completed_at: Option<SimTime>,
+    failed: bool,
+    /// Parsed bid entries from a successful bid response.
+    response_bids: Vec<RawBid>,
+    /// Parsed winner entries from an ad-server response.
+    response_winners: Vec<RawWinner>,
+    /// HB params seen in the response body (server-side signal).
+    response_hb_params: Vec<(String, String)>,
+}
+
+/// A bid parsed from response JSON (before enrichment).
+#[derive(Clone, Debug)]
+struct RawBid {
+    bidder: String,
+    slot: String,
+    cpm: f64,
+    size: String,
+}
+
+/// A winner parsed from an ad-server response.
+#[derive(Clone, Debug)]
+struct RawWinner {
+    slot: String,
+    bidder: String,
+    pb: f64,
+    size: String,
+    channel: String,
+}
+
+/// Accumulated observation state (shared with the browser taps).
+#[derive(Default)]
+struct DetectorState {
+    events: Vec<CapturedEvent>,
+    requests: HashMap<RequestId, ObservedRequest>,
+    order: Vec<RequestId>,
+}
+
+/// The HBDetector. Create with a partner list, [`attach`](Self::attach) to
+/// a browser, run the visit, then [`finish`](Self::finish).
+pub struct HbDetector {
+    list: Rc<PartnerList>,
+    state: Rc<RefCell<DetectorState>>,
+}
+
+impl HbDetector {
+    /// Create a detector with the given known-partner list.
+    pub fn new(list: PartnerList) -> HbDetector {
+        HbDetector {
+            list: Rc::new(list),
+            state: Rc::new(RefCell::new(DetectorState::default())),
+        }
+    }
+
+    /// Attach the detector's taps to a browser (content script + webRequest
+    /// observer). Must be called before the visit starts.
+    pub fn attach(&self, browser: &mut Browser) {
+        // DOM event tap (method 2).
+        let state = self.state.clone();
+        browser.events.tap(move |ev| {
+            if let Some(captured) = CapturedEvent::from_dom(ev) {
+                state.borrow_mut().events.push(captured);
+            }
+        });
+        // webRequest tap (method 3).
+        let state = self.state.clone();
+        let list = self.list.clone();
+        browser.webrequest.tap(move |ev| {
+            let mut st = state.borrow_mut();
+            match ev {
+                WebRequestEvent::Before { request, at } => {
+                    let classification = classify_request(&list, request);
+                    if classification.kind == RequestKind::Unrelated {
+                        return;
+                    }
+                    st.order.push(request.id);
+                    st.requests.insert(
+                        request.id,
+                        ObservedRequest {
+                            classification,
+                            sent_at: *at,
+                            completed_at: None,
+                            failed: false,
+                            response_bids: Vec::new(),
+                            response_winners: Vec::new(),
+                            response_hb_params: Vec::new(),
+                        },
+                    );
+                }
+                WebRequestEvent::Completed { request, response, at } => {
+                    if let Some(obs) = st.requests.get_mut(&request.id) {
+                        obs.completed_at = Some(*at);
+                        obs.response_hb_params = hb_params_of_response(response);
+                        if let Some(body) = response.body.as_json() {
+                            parse_response_content(obs, &body);
+                        }
+                    }
+                }
+                WebRequestEvent::Failed { request, .. } => {
+                    if let Some(obs) = st.requests.get_mut(&request.id) {
+                        obs.failed = true;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Number of HB events captured so far (diagnostics).
+    pub fn events_captured(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// Reconstruct the visit record. `domain`, `rank` and `day` are crawl
+    /// metadata; `page_load_ms` comes from the page timing.
+    pub fn finish(
+        &self,
+        domain: &str,
+        rank: u32,
+        day: u32,
+        page_load_ms: Option<f64>,
+    ) -> VisitRecord {
+        let st = self.state.borrow();
+        let mut rec = VisitRecord {
+            domain: domain.to_string(),
+            rank,
+            day,
+            page_load_ms,
+            ..VisitRecord::default()
+        };
+
+        // --- Gather the key requests -------------------------------------
+        let ordered: Vec<&ObservedRequest> = st
+            .order
+            .iter()
+            .filter_map(|id| st.requests.get(id))
+            .collect();
+        let bid_requests: Vec<&ObservedRequest> = ordered
+            .iter()
+            .copied()
+            .filter(|r| r.classification.kind == RequestKind::BidRequest)
+            .collect();
+        let adserver_calls: Vec<&ObservedRequest> = ordered
+            .iter()
+            .copied()
+            .filter(|r| r.classification.kind == RequestKind::AdServerCall)
+            .collect();
+
+        // --- HB present? ---------------------------------------------------
+        let has_proof_event = st.events.iter().any(|e| e.kind.proves_hb());
+        let has_hb_response_params = adserver_calls
+            .iter()
+            .any(|r| !r.response_hb_params.is_empty())
+            || bid_requests.iter().any(|r| !r.response_hb_params.is_empty());
+        rec.hb_detected = has_proof_event || !bid_requests.is_empty() || has_hb_response_params;
+        if !rec.hb_detected {
+            return rec;
+        }
+
+        // --- Facet --------------------------------------------------------
+        let adserver_call = adserver_calls.first().copied();
+        let adserver_is_partner = adserver_call
+            .map(|c| c.classification.partner_name.is_some())
+            .unwrap_or(false);
+        rec.facet = Some(if bid_requests.is_empty() {
+            DetectedFacet::Server
+        } else if adserver_is_partner {
+            DetectedFacet::Hybrid
+        } else {
+            DetectedFacet::Client
+        });
+
+        // --- Partners (request-level evidence) ------------------------------
+        let mut partners: Vec<String> = Vec::new();
+        for r in bid_requests.iter().chain(adserver_call.iter()) {
+            if let Some(name) = &r.classification.partner_name {
+                if !partners.contains(name) {
+                    partners.push(name.clone());
+                }
+            }
+        }
+        partners.sort();
+        rec.partners = partners;
+
+        // --- Timing ---------------------------------------------------------
+        let first_hb_request_at = bid_requests
+            .iter()
+            .map(|r| r.sent_at)
+            .chain(adserver_call.iter().map(|r| r.sent_at))
+            .min();
+        let adserver_sent_at = adserver_call.map(|c| c.sent_at);
+        let adserver_done_at = adserver_call.and_then(|c| c.completed_at);
+        if let (Some(t0), Some(t1)) = (first_hb_request_at, adserver_done_at) {
+            rec.hb_latency_ms = Some(t1.saturating_since(t0).as_millis_f64());
+        }
+
+        // --- Bids -----------------------------------------------------------
+        for r in &bid_requests {
+            let late = match (r.completed_at, adserver_sent_at) {
+                (Some(done), Some(sent)) => done > sent,
+                // Never completed: counts as lost, not late.
+                _ => false,
+            };
+            let latency_ms = r
+                .completed_at
+                .map(|done| done.saturating_since(r.sent_at).as_millis_f64());
+            if let (Some(name), Some(code)) = (
+                r.classification.partner_name.clone(),
+                r.classification.partner_code.clone(),
+            ) {
+                if let Some(lat) = latency_ms {
+                    rec.partner_latencies.push(PartnerLatency {
+                        partner_name: name.clone(),
+                        bidder_code: code,
+                        latency_ms: lat,
+                        late,
+                    });
+                }
+            }
+            for bid in &r.response_bids {
+                let partner_name = self
+                    .list
+                    .by_code(&bid.bidder)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_else(|| bid.bidder.clone());
+                rec.bids.push(DetectedBid {
+                    bidder_code: bid.bidder.clone(),
+                    partner_name,
+                    slot: bid.slot.clone(),
+                    cpm: bid.cpm,
+                    size: bid.size.clone(),
+                    late,
+                    latency_ms,
+                    source: BidSource::ClientVisible,
+                });
+            }
+        }
+        // Provider latency for the ad-server call itself (the paper's
+        // partner-latency view includes the providers).
+        if let Some(c) = adserver_call {
+            if let (Some(name), Some(code), Some(done)) = (
+                c.classification.partner_name.clone(),
+                c.classification.partner_code.clone(),
+                c.completed_at,
+            ) {
+                rec.partner_latencies.push(PartnerLatency {
+                    partner_name: name,
+                    bidder_code: code,
+                    latency_ms: done.saturating_since(c.sent_at).as_millis_f64(),
+                    late: false,
+                });
+            }
+        }
+
+        // --- Winners / slots -------------------------------------------------
+        for c in &adserver_calls {
+            for w in &c.response_winners {
+                if w.channel == "hb" && !w.bidder.is_empty() {
+                    // Server-reported wins: visible bid evidence for
+                    // Server-Side and Hybrid HB (the only price signal the
+                    // client gets there). Skip bidders already seen as
+                    // client bids for this slot to avoid double counting.
+                    let already = rec
+                        .bids
+                        .iter()
+                        .any(|b| b.source == BidSource::ClientVisible
+                            && b.bidder_code == w.bidder
+                            && b.slot == w.slot);
+                    if !already {
+                        let partner_name = self
+                            .list
+                            .by_code(&w.bidder)
+                            .map(|e| e.name.clone())
+                            .unwrap_or_else(|| w.bidder.clone());
+                        rec.bids.push(DetectedBid {
+                            bidder_code: w.bidder.clone(),
+                            partner_name,
+                            slot: w.slot.clone(),
+                            cpm: w.pb,
+                            size: w.size.clone(),
+                            late: false,
+                            latency_ms: None,
+                            source: BidSource::ServerReported,
+                        });
+                    }
+                }
+                rec.slots.push(DetectedSlot {
+                    slot: w.slot.clone(),
+                    size: w.size.clone(),
+                    winner: w.bidder.clone(),
+                    price: w.pb,
+                    channel: w.channel.clone(),
+                });
+            }
+        }
+
+        // --- Slots auctioned --------------------------------------------------
+        // Prefer the auctionInit adUnitCodes count; fall back to the
+        // ad-server call's hb_slot parameters; then to rendered slots.
+        let from_events = st
+            .events
+            .iter()
+            .filter(|e| e.kind == HbEventKind::AuctionInit)
+            .count();
+        let _ = from_events;
+        let init_units: Option<u32> = None; // adUnitCodes not stored per event; use slots
+        rec.slots_auctioned = init_units.unwrap_or_else(|| {
+            let from_slots = rec.slots.len() as u32;
+            if from_slots > 0 {
+                from_slots
+            } else {
+                rec.bids
+                    .iter()
+                    .map(|b| b.slot.clone())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len() as u32
+            }
+        });
+
+        // --- Event counters ----------------------------------------------------
+        let mut counts: HashMap<&'static str, u32> = HashMap::new();
+        for e in &st.events {
+            *counts.entry(e.kind.event_name()).or_insert(0) += 1;
+        }
+        let mut event_counts: Vec<(String, u32)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        event_counts.sort();
+        rec.event_counts = event_counts;
+
+        rec
+    }
+}
+
+/// Parse bid-response and ad-server-response JSON into raw entries.
+fn parse_response_content(obs: &mut ObservedRequest, body: &Json) {
+    if let Some(bids) = body.get("bids").and_then(|b| b.as_arr()) {
+        for b in bids {
+            let bidder = b
+                .get("bidder")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string();
+            if bidder.is_empty() {
+                continue;
+            }
+            obs.response_bids.push(RawBid {
+                bidder,
+                slot: b
+                    .get("hb_slot")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                cpm: b.get("cpm").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                size: b
+                    .get("hb_size")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+    }
+    if let Some(winners) = body.get("winners").and_then(|w| w.as_arr()) {
+        for w in winners {
+            obs.response_winners.push(RawWinner {
+                slot: w
+                    .get("hb_slot")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                bidder: w
+                    .get("hb_bidder")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                pb: w
+                    .get("hb_pb")
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or(0.0),
+                size: w
+                    .get("hb_size")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                channel: w
+                    .get("channel")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_http::{Request, Response, Url};
+    use hb_simnet::SimTime;
+
+    fn browser() -> Browser {
+        Browser::open(Url::parse("https://pub.example/").unwrap(), SimTime::ZERO)
+    }
+
+    /// Drive a synthetic client-side HB visit directly against the browser
+    /// notification API (no simulator needed at this level).
+    fn synthetic_client_visit(b: &mut Browser) {
+        // auctionInit
+        b.fire_event(
+            SimTime::from_millis(100),
+            "auctionInit",
+            Json::obj([("hb_auction", Json::str("a1"))]),
+        );
+        // bid request to AppNexus at t=100, response at t=300 with one bid.
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse(
+                "https://appnexus-adnet.example/hb/bid?hb_auction=a1&hb_bidder=appnexus&hb_source=client",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(100));
+        let rsp_body = Json::parse(
+            r#"{"hb_auction":"a1","bids":[{"bidder":"appnexus","hb_slot":"s1","cpm":0.4,"hb_size":"300x250","hb_adid":"cr1","hb_currency":"USD"}]}"#,
+        )
+        .unwrap();
+        b.note_response_in(&req, &Response::json(id, rsp_body), SimTime::from_millis(300));
+        b.fire_event(
+            SimTime::from_millis(300),
+            "bidResponse",
+            Json::obj([("bidder", Json::str("appnexus")), ("cpm", Json::num(0.4))]),
+        );
+        // auctionEnd + ad server call to the publisher's own server.
+        b.fire_event(SimTime::from_millis(400), "auctionEnd", Json::obj([]));
+        let id2 = b.next_request_id();
+        let req2 = Request::get(
+            id2,
+            Url::parse(
+                "https://ads.pub.example/gampad/ads?account=pub-1&hb_auction=a1&hb_slot=s1&hb_bidder=appnexus&hb_pb=0.40&hb_size=300x250",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req2, SimTime::from_millis(400));
+        let winners = Json::parse(
+            r#"{"hb_auction":"a1","winners":[{"hb_slot":"s1","channel":"hb","hb_bidder":"appnexus","hb_pb":"0.40","hb_size":"300x250","hb_adid":"cr1"}]}"#,
+        )
+        .unwrap();
+        b.note_response_in(&req2, &Response::json(id2, winners), SimTime::from_millis(460));
+        b.fire_event(
+            SimTime::from_millis(470),
+            "bidWon",
+            Json::obj([("hb_bidder", Json::str("appnexus"))]),
+        );
+    }
+
+    #[test]
+    fn client_side_reconstruction() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        synthetic_client_visit(&mut b);
+        let rec = det.finish("pub.example", 10, 0, Some(900.0));
+        assert!(rec.hb_detected);
+        assert_eq!(rec.facet, Some(DetectedFacet::Client));
+        assert_eq!(rec.partners, vec!["AppNexus".to_string()]);
+        assert_eq!(rec.bids.len(), 1);
+        assert_eq!(rec.bids[0].bidder_code, "appnexus");
+        assert!(!rec.bids[0].late);
+        assert_eq!(rec.bids[0].latency_ms, Some(200.0));
+        // 100 → 460 ms.
+        assert_eq!(rec.hb_latency_ms, Some(360.0));
+        assert_eq!(rec.slots_auctioned, 1);
+        assert_eq!(rec.slots.len(), 1);
+        assert_eq!(rec.slots[0].channel, "hb");
+        assert_eq!(rec.page_load_ms, Some(900.0));
+        // Winner already counted as a client bid: no double count.
+        assert_eq!(rec.bids.len(), 1);
+    }
+
+    #[test]
+    fn server_side_reconstruction() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        // Single call to DFP, hb params only in request/response; no events
+        // except render.
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse(
+                "https://doubleclick-adnet.example/gampad/ads?account=pub-2&hb_auction=a2&hb_source=s2s&hb_slot=s1&hb_slot=s2",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(50));
+        let winners = Json::parse(
+            r#"{"hb_auction":"a2","winners":[
+                {"hb_slot":"s1","channel":"hb","hb_bidder":"rubicon","hb_pb":"0.30","hb_size":"300x250","hb_adid":"x"},
+                {"hb_slot":"s2","channel":"fallback","hb_size":"728x90"}
+            ]}"#,
+        )
+        .unwrap();
+        b.note_response_in(&req, &Response::json(id, winners), SimTime::from_millis(320));
+        b.fire_event(
+            SimTime::from_millis(340),
+            "slotRenderEnded",
+            Json::obj([("hb_slot", Json::str("s1"))]),
+        );
+        let rec = det.finish("pub2.example", 20, 3, None);
+        assert!(rec.hb_detected);
+        assert_eq!(rec.facet, Some(DetectedFacet::Server));
+        assert_eq!(rec.partners, vec!["DFP".to_string()]);
+        assert_eq!(rec.hb_latency_ms, Some(270.0));
+        // One server-reported bid (the winner), one fallback slot.
+        assert_eq!(rec.bids.len(), 1);
+        assert_eq!(rec.bids[0].source, BidSource::ServerReported);
+        assert_eq!(rec.bids[0].partner_name, "Rubicon");
+        assert_eq!(rec.slots.len(), 2);
+        assert_eq!(rec.slots_auctioned, 2);
+        assert_eq!(rec.day, 3);
+    }
+
+    #[test]
+    fn hybrid_reconstruction() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        // Client bid to rubicon + ad-server call to DFP (a known partner).
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse(
+                "https://rubicon-adnet.example/hb/bid?hb_auction=a3&hb_bidder=rubicon&hb_source=client",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(10));
+        b.note_response_in(&req, &Response::no_content(id), SimTime::from_millis(150));
+        let id2 = b.next_request_id();
+        let req2 = Request::get(
+            id2,
+            Url::parse(
+                "https://doubleclick-adnet.example/gampad/ads?account=pub-3&hb_auction=a3&hb_source=client&hb_slot=s1",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req2, SimTime::from_millis(200));
+        b.note_response_in(&req2, &Response::no_content(id2), SimTime::from_millis(350));
+        let rec = det.finish("pub3.example", 30, 1, None);
+        assert!(rec.hb_detected);
+        assert_eq!(rec.facet, Some(DetectedFacet::Hybrid));
+        let mut partners = rec.partners.clone();
+        partners.sort();
+        assert_eq!(partners, vec!["DFP".to_string(), "Rubicon".to_string()]);
+        // No-bid from rubicon still yields a latency observation.
+        assert_eq!(rec.partner_latencies.len(), 2, "rubicon + provider");
+    }
+
+    #[test]
+    fn late_bids_detected_from_timing() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        // Bid request out at 10; ad server call sent at 100; bid response
+        // arrives at 500 → late.
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse(
+                "https://appnexus-adnet.example/hb/bid?hb_auction=a4&hb_bidder=appnexus&hb_source=client",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(10));
+        let id2 = b.next_request_id();
+        let req2 = Request::get(
+            id2,
+            Url::parse("https://ads.pub.example/gampad/ads?account=p&hb_auction=a4&hb_slot=s1")
+                .unwrap(),
+        );
+        b.note_request_out(&req2, SimTime::from_millis(100));
+        b.note_response_in(&req2, &Response::no_content(id2), SimTime::from_millis(160));
+        let body = Json::parse(
+            r#"{"hb_auction":"a4","bids":[{"bidder":"appnexus","hb_slot":"s1","cpm":0.2,"hb_size":"300x250","hb_adid":"c","hb_currency":"USD"}]}"#,
+        )
+        .unwrap();
+        b.note_response_in(&req, &Response::json(id, body), SimTime::from_millis(500));
+        let rec = det.finish("pub4.example", 40, 0, None);
+        assert_eq!(rec.bids.len(), 1);
+        assert!(rec.bids[0].late);
+        assert_eq!(rec.late_fraction(), Some(1.0));
+        assert_eq!(rec.partner_latencies.len(), 1);
+        assert!(rec.partner_latencies[0].late);
+    }
+
+    #[test]
+    fn waterfall_site_not_detected() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        // RTB-style traffic to a known partner without hb params.
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse("https://rubicon-adnet.example/rtb/ad?floor=0.10&size=300x250&cb=7")
+                .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(10));
+        b.note_response_in(&req, &Response::no_content(id), SimTime::from_millis(90));
+        let id2 = b.next_request_id();
+        let req2 = Request::get(
+            id2,
+            Url::parse("https://rubicon-adnet.example/rtb/notify?wp=0.21&cb=9").unwrap(),
+        );
+        b.note_request_out(&req2, SimTime::from_millis(100));
+        let rec = det.finish("wf.example", 50, 0, None);
+        assert!(!rec.hb_detected, "waterfall must not be flagged");
+        assert!(rec.facet.is_none());
+        assert!(rec.bids.is_empty());
+    }
+
+    #[test]
+    fn empty_visit_not_detected() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        let rec = det.finish("static.example", 60, 0, Some(120.0));
+        assert!(!rec.hb_detected);
+        assert_eq!(rec.partner_count(), 0);
+        assert_eq!(det.events_captured(), 0);
+    }
+}

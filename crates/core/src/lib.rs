@@ -1,0 +1,40 @@
+//! # hb-core — HBDetector
+//!
+//! The paper's primary contribution, re-implemented as a Rust library: a
+//! real-time header bidding detector operating purely on browser-level
+//! artifacts. It combines:
+//!
+//! * **DOM event inspection** ([`events`]): the eight wrapper events
+//!   reverse-engineered from prebid.js and friends;
+//! * **webRequest inspection** ([`classify`]): matching traffic against a
+//!   curated partner list ([`list`]) and the library-fixed `hb_*`
+//!   parameter dictionary;
+//! * **reconstruction** ([`detector`]): correlating both streams into
+//!   per-visit records ([`record`]) with facet classification, partner
+//!   sets, bids, prices, total HB latency and late-bid accounting;
+//! * **static analysis** ([`static_analysis`]): the signature-scan method
+//!   used for historical (Wayback) snapshots, with its documented
+//!   false-positive/negative modes.
+//!
+//! The crate deliberately depends only on the browser substrate
+//! (`hb-dom`/`hb-http`), never on the ad-tech simulation — the same
+//! measurement boundary the original Chrome extension has.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod detector;
+pub mod events;
+pub mod list;
+pub mod record;
+pub mod static_analysis;
+
+pub use classify::{classify_request, is_hb_param, Classification, RequestKind};
+pub use detector::HbDetector;
+pub use events::{CapturedEvent, HbEventKind};
+pub use list::{LibrarySignatures, PartnerEntry, PartnerList};
+pub use record::{
+    BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,
+};
+pub use static_analysis::{analyze_html, StaticFinding};

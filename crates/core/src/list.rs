@@ -1,0 +1,224 @@
+//! The known-Demand-Partner list.
+//!
+//! The paper's HBDetector carries a curated list of HB Demand Partners
+//! ("we collected and combined several lists used by HB tools designed to
+//! help publishers fine tune their HB") and checks all WebRequests against
+//! it. [`PartnerList`] is that list: domain-suffix matching from hostname
+//! to partner identity.
+
+use hb_dom::find_ci;
+use std::collections::HashMap;
+
+/// One entry of the partner list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartnerEntry {
+    /// Display name as reported in figures (e.g. `AppNexus`).
+    pub name: String,
+    /// Bidder/adapter code (e.g. `appnexus`).
+    pub code: String,
+    /// Domains owned by this partner.
+    pub domains: Vec<String>,
+    /// Whether the partner is known to operate an ad server / server-side
+    /// HB product (DFP-like). Used by facet classification.
+    pub is_ad_server: bool,
+}
+
+/// The detector's curated list of known HB Demand Partners.
+#[derive(Clone, Debug, Default)]
+pub struct PartnerList {
+    entries: Vec<PartnerEntry>,
+    by_domain: HashMap<String, usize>,
+}
+
+impl PartnerList {
+    /// Build from entries.
+    pub fn new(entries: impl IntoIterator<Item = PartnerEntry>) -> PartnerList {
+        let mut list = PartnerList::default();
+        for e in entries {
+            list.push(e);
+        }
+        list
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, entry: PartnerEntry) {
+        let idx = self.entries.len();
+        for d in &entry.domains {
+            self.by_domain.insert(d.to_ascii_lowercase(), idx);
+        }
+        self.entries.push(entry);
+    }
+
+    /// Number of partners known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[PartnerEntry] {
+        &self.entries
+    }
+
+    /// Match a hostname against the list (exact or subdomain).
+    pub fn match_host(&self, host: &str) -> Option<&PartnerEntry> {
+        let host = host.to_ascii_lowercase();
+        let mut rest = host.as_str();
+        loop {
+            if let Some(&idx) = self.by_domain.get(rest) {
+                return Some(&self.entries[idx]);
+            }
+            match rest.split_once('.') {
+                Some((_, suffix)) if !suffix.is_empty() => rest = suffix,
+                _ => return None,
+            }
+        }
+    }
+
+    /// Find an entry by bidder code.
+    pub fn by_code(&self, code: &str) -> Option<&PartnerEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.code.eq_ignore_ascii_case(code))
+    }
+
+    /// Find an entry by display name (case-insensitive).
+    pub fn by_name(&self, name: &str) -> Option<&PartnerEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// A tiny built-in list for tests and the quickstart example. The full
+    /// 84-partner catalog lives in `hb-ecosystem`, which exports it as a
+    /// `PartnerList` the way real deployments feed tuned lists to the tool.
+    pub fn demo() -> PartnerList {
+        PartnerList::new([
+            PartnerEntry {
+                name: "DFP".into(),
+                code: "dfp".into(),
+                domains: vec!["doubleclick-adnet.example".into()],
+                is_ad_server: true,
+            },
+            PartnerEntry {
+                name: "AppNexus".into(),
+                code: "appnexus".into(),
+                domains: vec!["appnexus-adnet.example".into()],
+                is_ad_server: false,
+            },
+            PartnerEntry {
+                name: "Rubicon".into(),
+                code: "rubicon".into(),
+                domains: vec!["rubicon-adnet.example".into()],
+                is_ad_server: false,
+            },
+        ])
+    }
+}
+
+/// Known HB library signatures for static analysis (Figure 4 methodology).
+///
+/// Each signature is matched case-insensitively against script `src`
+/// attributes and inline script bodies.
+#[derive(Clone, Debug)]
+pub struct LibrarySignatures {
+    /// Substrings identifying wrapper script files.
+    pub src_markers: Vec<String>,
+    /// Substrings identifying inline wrapper code.
+    pub inline_markers: Vec<String>,
+}
+
+impl Default for LibrarySignatures {
+    fn default() -> Self {
+        LibrarySignatures {
+            src_markers: vec![
+                "prebid".into(),
+                "pubfood".into(),
+                "hb-wrapper".into(),
+                "headerbid".into(),
+            ],
+            inline_markers: vec![
+                "pbjs.requestbids".into(),
+                "pbjs.addadunits".into(),
+                "pubfood(".into(),
+                "headerbidding.init".into(),
+            ],
+        }
+    }
+}
+
+impl LibrarySignatures {
+    /// Does a script `src` URL look like an HB wrapper?
+    pub fn matches_src(&self, src: &str) -> bool {
+        self.src_markers.iter().any(|m| find_ci(src, m).is_some())
+    }
+
+    /// Does an inline script body look like HB wrapper code?
+    pub fn matches_inline(&self, body: &str) -> bool {
+        self.inline_markers
+            .iter()
+            .any(|m| find_ci(body, m).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_subdomain_matching() {
+        let list = PartnerList::demo();
+        assert_eq!(
+            list.match_host("appnexus-adnet.example").unwrap().name,
+            "AppNexus"
+        );
+        assert_eq!(
+            list.match_host("fast.cdn.appnexus-adnet.example").unwrap().code,
+            "appnexus"
+        );
+        assert!(list.match_host("unknown.example").is_none());
+        assert!(list.match_host("notappnexus-adnet.example").is_none());
+    }
+
+    #[test]
+    fn case_insensitive_host_matching() {
+        let list = PartnerList::demo();
+        assert!(list.match_host("AppNexus-AdNet.Example").is_some());
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        let list = PartnerList::demo();
+        assert_eq!(list.by_code("rubicon").unwrap().name, "Rubicon");
+        assert_eq!(list.by_name("dfp").unwrap().code, "dfp");
+        assert!(list.by_code("ghost").is_none());
+    }
+
+    #[test]
+    fn ad_server_flag() {
+        let list = PartnerList::demo();
+        assert!(list.by_code("dfp").unwrap().is_ad_server);
+        assert!(!list.by_code("appnexus").unwrap().is_ad_server);
+    }
+
+    #[test]
+    fn signatures_match_known_libraries() {
+        let sigs = LibrarySignatures::default();
+        assert!(sigs.matches_src("https://cdn.example/Prebid.js"));
+        assert!(sigs.matches_src("https://x/pubfood.min.js"));
+        assert!(!sigs.matches_src("https://x/jquery.js"));
+        assert!(sigs.matches_inline("pbjs.requestBids({timeout: 3000})"));
+        assert!(!sigs.matches_inline("console.log('hi')"));
+    }
+
+    #[test]
+    fn empty_list_matches_nothing() {
+        let list = PartnerList::new([]);
+        assert!(list.is_empty());
+        assert!(list.match_host("x.example").is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the detector's classification and list-matching
+//! invariants.
+
+use hb_core::{classify_request, is_hb_param, PartnerEntry, PartnerList, RequestKind};
+use hb_http::{Request, RequestId, Url};
+use proptest::prelude::*;
+
+fn arb_host() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,10}(\\.[a-z][a-z0-9]{0,10}){1,3}").unwrap()
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("(/[a-z0-9._-]{0,12}){0,4}").unwrap()
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("([a-z_]{1,10}=[a-zA-Z0-9.%-]{0,10}&?){0,6}").unwrap()
+}
+
+proptest! {
+    /// Classification never panics and always returns a coherent result on
+    /// arbitrary URLs.
+    #[test]
+    fn classification_total(host in arb_host(), path in arb_path(), query in arb_query()) {
+        let list = PartnerList::demo();
+        let raw = format!("https://{host}{}{}{}",
+            if path.is_empty() { "/" } else { &path },
+            if query.is_empty() { "" } else { "?" },
+            query);
+        let url = Url::parse(&raw).unwrap();
+        let req = Request::get(RequestId(1), url);
+        let c = classify_request(&list, &req);
+        // Partner metadata is present iff the host matched.
+        prop_assert_eq!(c.partner_name.is_some(), c.partner_code.is_some());
+        if c.kind == RequestKind::PartnerOther {
+            prop_assert!(c.partner_name.is_some());
+        }
+    }
+
+    /// Traffic without hb_* params to unknown hosts is never HB-classified.
+    #[test]
+    fn no_hb_params_no_hb_class(host in arb_host(), path in arb_path()) {
+        let list = PartnerList::demo();
+        prop_assume!(list.match_host(&host).is_none());
+        prop_assume!(!path.ends_with(".js"));
+        prop_assume!(!path.contains("prebid") && !path.contains("gpt") && !path.contains("pubfood"));
+        let url = Url::parse(&format!("https://{host}{}", if path.is_empty() { "/" } else { &path })).unwrap();
+        let req = Request::get(RequestId(1), url);
+        let c = classify_request(&list, &req);
+        prop_assert_eq!(c.kind, RequestKind::Unrelated);
+    }
+
+    /// The hb_ param dictionary is prefix-consistent.
+    #[test]
+    fn hb_param_prefix(key in "[a-z_]{1,16}") {
+        if key.starts_with("hb_") {
+            prop_assert!(is_hb_param(&key));
+        }
+        if is_hb_param(&key) {
+            prop_assert!(key.starts_with("hb_") || key == "bidder" || key == "cpm");
+        }
+    }
+
+    /// Subdomains of listed partner domains always match; unrelated
+    /// suffix-similar hosts never do.
+    #[test]
+    fn partner_list_matching(sub in "[a-z]{1,8}", decoy in "[a-z]{1,8}") {
+        let list = PartnerList::new([PartnerEntry {
+            name: "X".into(),
+            code: "x".into(),
+            domains: vec!["x-adnet.example".into()],
+            is_ad_server: false,
+        }]);
+        let sub_host = format!("{sub}.x-adnet.example");
+        let decoy_host = format!("{decoy}x-adnet.example");
+        prop_assert!(list.match_host(&sub_host).is_some());
+        prop_assert!(list.match_host(&decoy_host).is_none());
+    }
+}

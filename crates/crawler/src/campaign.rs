@@ -1,0 +1,228 @@
+//! Multi-day crawl campaigns over the ecosystem.
+//!
+//! The paper's methodology, mechanized: a day-0 sweep over the full
+//! toplist (detecting which sites run HB at all), followed by daily
+//! revisits of the detected HB sites for `crawl_days` days. Visits run in
+//! parallel on a crossbeam work queue; determinism is preserved because
+//! every `(site, day)` visit derives its own RNG stream from the master
+//! seed, independent of scheduling order.
+
+use crate::dataset::{CrawlDataset, TruthRecord};
+use crate::session::{crawl_site, SessionConfig, SiteVisit};
+use hb_ecosystem::Ecosystem;
+use std::collections::BTreeSet;
+
+/// Campaign tuning.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads (0 = available parallelism).
+    pub parallelism: usize,
+    /// Session policy.
+    pub session: SessionConfig,
+    /// Progress callback interval (visits); 0 disables progress output.
+    pub progress_every: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            parallelism: 0,
+            session: SessionConfig::default(),
+            progress_every: 0,
+        }
+    }
+}
+
+/// One unit of crawl work.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    site_idx: usize,
+    day: u32,
+}
+
+/// Run a set of jobs in parallel, preserving determinism.
+fn run_jobs(eco: &Ecosystem, jobs: &[Job], cfg: &CampaignConfig) -> Vec<SiteVisit> {
+    let workers = if cfg.parallelism == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.parallelism
+    };
+    let (job_tx, job_rx) = crossbeam_channel::unbounded::<Job>();
+    let (out_tx, out_rx) = crossbeam_channel::unbounded::<(usize, u32, SiteVisit)>();
+    for job in jobs {
+        job_tx.send(*job).unwrap();
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let site = &eco.sites[job.site_idx];
+                    let visit = crawl_site(
+                        eco.net(),
+                        eco.runtime_for(site),
+                        eco.partner_list(),
+                        eco.visit_rng(site.rank, job.day),
+                        job.day,
+                        &cfg.session,
+                    );
+                    let _ = out_tx.send((job.site_idx, job.day, visit));
+                }
+            });
+        }
+        drop(out_tx);
+        let mut results: Vec<(usize, u32, SiteVisit)> = Vec::with_capacity(jobs.len());
+        let mut done = 0usize;
+        while let Ok(item) = out_rx.recv() {
+            done += 1;
+            if cfg.progress_every > 0 && done % cfg.progress_every == 0 {
+                eprintln!("  crawled {done}/{} visits", jobs.len());
+            }
+            results.push(item);
+        }
+        // Deterministic output order regardless of thread interleaving.
+        results.sort_by_key(|(idx, day, _)| (*day, *idx));
+        results.into_iter().map(|(_, _, v)| v).collect()
+    })
+}
+
+/// Run the full campaign: day-0 sweep + daily HB-site revisits.
+pub fn run_campaign(eco: &Ecosystem, cfg: &CampaignConfig) -> CrawlDataset {
+    // Day 0: the adoption sweep over the whole toplist.
+    let sweep_jobs: Vec<Job> = (0..eco.sites.len())
+        .map(|site_idx| Job { site_idx, day: 0 })
+        .collect();
+    let sweep = run_jobs(eco, &sweep_jobs, cfg);
+
+    // The sites the *detector* flagged (not ground truth) are revisited.
+    let hb_detected: BTreeSet<usize> = sweep
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.record.hb_detected)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut visits = Vec::with_capacity(sweep.len() + hb_detected.len() * eco.config.crawl_days as usize);
+    let mut truths = Vec::with_capacity(visits.capacity());
+    for (i, v) in sweep.into_iter().enumerate() {
+        truths.push(TruthRecord::from_truth(eco.sites[i].rank, 0, &v.truth));
+        visits.push(v.record);
+    }
+
+    // Days 1..=crawl_days: daily revisits of detected HB sites.
+    let mut daily_jobs = Vec::new();
+    for day in 1..=eco.config.crawl_days {
+        for &site_idx in &hb_detected {
+            daily_jobs.push(Job { site_idx, day });
+        }
+    }
+    let daily = run_jobs(eco, &daily_jobs, cfg);
+    for (job, v) in daily_jobs.iter().zip(daily.into_iter()) {
+        truths.push(TruthRecord::from_truth(
+            eco.sites[job.site_idx].rank,
+            job.day,
+            &v.truth,
+        ));
+        visits.push(v.record);
+    }
+
+    CrawlDataset {
+        visits,
+        truths,
+        n_sites: eco.config.n_sites,
+        n_days: eco.config.crawl_days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ecosystem::EcosystemConfig;
+
+    fn tiny_campaign() -> CrawlDataset {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        run_campaign(&eco, &CampaignConfig::default())
+    }
+
+    #[test]
+    fn campaign_covers_sweep_plus_daily() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let ds = run_campaign(&eco, &CampaignConfig::default());
+        let hb_day0 = ds
+            .visits
+            .iter()
+            .filter(|v| v.day == 0 && v.hb_detected)
+            .count();
+        assert_eq!(
+            ds.visits.len(),
+            eco.sites.len() + hb_day0 * eco.config.crawl_days as usize
+        );
+        assert_eq!(ds.truths.len(), ds.visits.len());
+    }
+
+    #[test]
+    fn detector_matches_ground_truth_adoption() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let ds = run_campaign(&eco, &CampaignConfig::default());
+        let truth_hb: BTreeSet<&str> = eco
+            .hb_sites()
+            .map(|s| s.domain.as_str())
+            .collect();
+        let detected: BTreeSet<&str> = ds
+            .visits
+            .iter()
+            .filter(|v| v.day == 0 && v.hb_detected)
+            .map(|v| v.domain.as_str())
+            .collect();
+        // 100% precision (paper §4.1): nothing detected that is not HB.
+        for d in &detected {
+            assert!(truth_hb.contains(d), "{d} is a false positive");
+        }
+        // Near-100% recall in the simulated world (page loads can fail
+        // under fault injection, so allow a small gap).
+        let recall = detected.len() as f64 / truth_hb.len() as f64;
+        assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_parallelism() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let a = run_campaign(
+            &eco,
+            &CampaignConfig {
+                parallelism: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        let b = run_campaign(
+            &eco,
+            &CampaignConfig {
+                parallelism: 4,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(a.visits.len(), b.visits.len());
+        for (x, y) in a.visits.iter().zip(b.visits.iter()) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.hb_latency_ms, y.hb_latency_ms);
+            assert_eq!(x.bids.len(), y.bids.len());
+        }
+    }
+
+    #[test]
+    fn dataset_statistics_plausible() {
+        let ds = tiny_campaign();
+        assert!(ds.total_auctions() > 0);
+        assert!(ds.total_bids() > 0);
+        assert!(!ds.distinct_partners().is_empty());
+        // Bids per auction should be well below 1 for clean profiles.
+        let ratio = ds.total_bids() as f64 / ds.total_auctions() as f64;
+        assert!(ratio < 1.5, "bids/auction {ratio}");
+    }
+}

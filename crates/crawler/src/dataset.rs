@@ -1,0 +1,339 @@
+//! The crawl dataset: flattened records plus CSV persistence.
+
+use hb_adtech::{FillChannel, VisitGroundTruth};
+use hb_core::VisitRecord;
+use hb_stats::{csv_escape, parse_csv};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Flattened ground truth for one visit (thread-transferable, CSV-friendly).
+#[derive(Clone, Debug, Default)]
+pub struct TruthRecord {
+    /// Site rank.
+    pub rank: u32,
+    /// Crawl day.
+    pub day: u32,
+    /// Ground-truth facet label (`client-side`/`server-side`/`hybrid`/`none`).
+    pub facet: String,
+    /// Slots auctioned.
+    pub slots: u32,
+    /// Client-visible bids.
+    pub client_bids: u32,
+    /// Late bids.
+    pub late_bids: u32,
+    /// HB latency ms (first bid request → ad-server response).
+    pub hb_latency_ms: Option<f64>,
+    /// Waterfall fill latency ms (waterfall sites).
+    pub waterfall_latency_ms: Option<f64>,
+    /// Number of slots filled by an HB bid.
+    pub hb_wins: u32,
+    /// Revenue proxy: sum of clearing price buckets.
+    pub revenue_cpm: f64,
+}
+
+impl TruthRecord {
+    /// Flatten a visit's ground truth.
+    pub fn from_truth(rank: u32, day: u32, t: &VisitGroundTruth) -> TruthRecord {
+        TruthRecord {
+            rank,
+            day,
+            facet: t
+                .facet
+                .map(|f| f.label().to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            slots: t.slots_auctioned as u32,
+            client_bids: t.client_bids as u32,
+            late_bids: t.late_bids as u32,
+            hb_latency_ms: t.hb_latency().map(|d| d.as_millis_f64()),
+            waterfall_latency_ms: t.waterfall_latency.map(|d| d.as_millis_f64()),
+            hb_wins: t
+                .winners
+                .iter()
+                .filter(|w| w.channel == FillChannel::HeaderBid)
+                .count() as u32,
+            revenue_cpm: t.winners.iter().map(|w| w.pb.0).sum(),
+        }
+    }
+}
+
+/// The assembled dataset of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CrawlDataset {
+    /// Detector records, one per visit.
+    pub visits: Vec<VisitRecord>,
+    /// Ground truth, one per visit (same order not guaranteed; keyed by
+    /// rank/day).
+    pub truths: Vec<TruthRecord>,
+    /// Number of sites in the crawled universe.
+    pub n_sites: u32,
+    /// Number of crawl days (excluding the day-0 adoption sweep).
+    pub n_days: u32,
+}
+
+impl CrawlDataset {
+    /// Visits with detected HB.
+    pub fn hb_visits(&self) -> impl Iterator<Item = &VisitRecord> {
+        self.visits.iter().filter(|v| v.hb_detected)
+    }
+
+    /// Distinct domains with detected HB.
+    pub fn hb_domains(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .hb_visits()
+            .map(|r| r.domain.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total auctions detected (slot-level, per the paper's Table 1).
+    pub fn total_auctions(&self) -> u64 {
+        self.hb_visits().map(|v| v.slots_auctioned as u64).sum()
+    }
+
+    /// Total bids detected.
+    pub fn total_bids(&self) -> u64 {
+        self.hb_visits().map(|v| v.bids.len() as u64).sum()
+    }
+
+    /// Distinct partner display names seen.
+    pub fn distinct_partners(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for v in self.hb_visits() {
+            for p in &v.partners {
+                set.insert(p.clone());
+            }
+            for b in &v.bids {
+                set.insert(b.partner_name.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Serialize the visit table to CSV.
+    pub fn visits_csv(&self) -> String {
+        let mut out = String::from(
+            "domain,rank,day,hb_detected,facet,partners,slots,hb_latency_ms,n_bids,n_late,page_load_ms\n",
+        );
+        for v in &self.visits {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                csv_escape(&v.domain),
+                v.rank,
+                v.day,
+                v.hb_detected,
+                v.facet.map(|f| f.label()).unwrap_or("none"),
+                csv_escape(&v.partners.join("|")),
+                v.slots_auctioned,
+                v.hb_latency_ms.map(|x| format!("{x:.3}")).unwrap_or_default(),
+                v.bids.len(),
+                v.late_bids(),
+                v.page_load_ms.map(|x| format!("{x:.1}")).unwrap_or_default(),
+            );
+        }
+        out
+    }
+
+    /// Serialize the per-bid table to CSV.
+    pub fn bids_csv(&self) -> String {
+        let mut out = String::from(
+            "domain,rank,day,facet,bidder,partner,slot,cpm,size,late,latency_ms,source\n",
+        );
+        for v in self.hb_visits() {
+            for b in &v.bids {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+                    csv_escape(&v.domain),
+                    v.rank,
+                    v.day,
+                    v.facet.map(|f| f.label()).unwrap_or("none"),
+                    csv_escape(&b.bidder_code),
+                    csv_escape(&b.partner_name),
+                    csv_escape(&b.slot),
+                    b.cpm,
+                    b.size,
+                    b.late,
+                    b.latency_ms.map(|x| format!("{x:.3}")).unwrap_or_default(),
+                    match b.source {
+                        hb_core::BidSource::ClientVisible => "client",
+                        hb_core::BidSource::ServerReported => "server",
+                    },
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialize the ground-truth table to CSV.
+    pub fn truths_csv(&self) -> String {
+        let mut out = String::from(
+            "rank,day,facet,slots,client_bids,late_bids,hb_latency_ms,waterfall_latency_ms,hb_wins,revenue_cpm\n",
+        );
+        for t in &self.truths {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{:.6}",
+                t.rank,
+                t.day,
+                t.facet,
+                t.slots,
+                t.client_bids,
+                t.late_bids,
+                t.hb_latency_ms.map(|x| format!("{x:.3}")).unwrap_or_default(),
+                t.waterfall_latency_ms
+                    .map(|x| format!("{x:.3}"))
+                    .unwrap_or_default(),
+                t.hb_wins,
+                t.revenue_cpm,
+            );
+        }
+        out
+    }
+
+    /// Write the dataset as three CSV files under `dir`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("visits.csv"), self.visits_csv())?;
+        std::fs::write(dir.join("bids.csv"), self.bids_csv())?;
+        std::fs::write(dir.join("truth.csv"), self.truths_csv())?;
+        Ok(())
+    }
+
+    /// Reload the ground-truth table from CSV (round-trip support for the
+    /// truth records, which drive the waterfall baseline figures).
+    pub fn load_truths(csv: &str) -> Vec<TruthRecord> {
+        let rows = parse_csv(csv);
+        rows.into_iter()
+            .skip(1)
+            .filter(|r| r.len() >= 10)
+            .map(|r| TruthRecord {
+                rank: r[0].parse().unwrap_or(0),
+                day: r[1].parse().unwrap_or(0),
+                facet: r[2].clone(),
+                slots: r[3].parse().unwrap_or(0),
+                client_bids: r[4].parse().unwrap_or(0),
+                late_bids: r[5].parse().unwrap_or(0),
+                hb_latency_ms: r[6].parse().ok(),
+                waterfall_latency_ms: r[7].parse().ok(),
+                hb_wins: r[8].parse().unwrap_or(0),
+                revenue_cpm: r[9].parse().unwrap_or(0.0),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::{BidSource, DetectedBid, DetectedFacet};
+
+    fn mk_visit(domain: &str, rank: u32, detected: bool) -> VisitRecord {
+        VisitRecord {
+            domain: domain.to_string(),
+            rank,
+            day: 0,
+            hb_detected: detected,
+            facet: detected.then_some(DetectedFacet::Client),
+            partners: vec!["AppNexus".into()],
+            slots_auctioned: 3,
+            hb_latency_ms: Some(512.0),
+            bids: vec![DetectedBid {
+                bidder_code: "appnexus".into(),
+                partner_name: "AppNexus".into(),
+                slot: "s1".into(),
+                cpm: 0.21,
+                size: "300x250".into(),
+                late: false,
+                latency_ms: Some(230.0),
+                source: BidSource::ClientVisible,
+            }],
+            partner_latencies: vec![],
+            slots: vec![],
+            event_counts: vec![],
+            page_load_ms: Some(1400.0),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let ds = CrawlDataset {
+            visits: vec![
+                mk_visit("a.example", 1, true),
+                mk_visit("b.example", 2, false),
+                mk_visit("a.example", 1, true),
+            ],
+            truths: vec![],
+            n_sites: 10,
+            n_days: 1,
+        };
+        assert_eq!(ds.hb_visits().count(), 2);
+        assert_eq!(ds.hb_domains(), vec!["a.example"]);
+        assert_eq!(ds.total_auctions(), 6);
+        assert_eq!(ds.total_bids(), 2);
+        assert_eq!(ds.distinct_partners(), vec!["AppNexus".to_string()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_truths() {
+        let ds = CrawlDataset {
+            visits: vec![],
+            truths: vec![
+                TruthRecord {
+                    rank: 5,
+                    day: 2,
+                    facet: "hybrid".into(),
+                    slots: 4,
+                    client_bids: 3,
+                    late_bids: 1,
+                    hb_latency_ms: Some(612.5),
+                    waterfall_latency_ms: None,
+                    hb_wins: 2,
+                    revenue_cpm: 0.61,
+                },
+                TruthRecord {
+                    rank: 9,
+                    day: 0,
+                    facet: "none".into(),
+                    slots: 1,
+                    client_bids: 0,
+                    late_bids: 0,
+                    hb_latency_ms: None,
+                    waterfall_latency_ms: Some(210.0),
+                    hb_wins: 0,
+                    revenue_cpm: 0.02,
+                },
+            ],
+            n_sites: 10,
+            n_days: 3,
+        };
+        let csv = ds.truths_csv();
+        let back = CrawlDataset::load_truths(&csv);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].rank, 5);
+        assert_eq!(back[0].facet, "hybrid");
+        assert_eq!(back[0].hb_latency_ms, Some(612.5));
+        assert_eq!(back[1].waterfall_latency_ms, Some(210.0));
+        assert_eq!(back[1].hb_latency_ms, None);
+    }
+
+    #[test]
+    fn visit_csv_has_header_and_rows() {
+        let ds = CrawlDataset {
+            visits: vec![mk_visit("a.example", 1, true)],
+            truths: vec![],
+            n_sites: 1,
+            n_days: 1,
+        };
+        let csv = ds.visits_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("domain,rank,day"));
+        assert!(lines[1].contains("client-side"));
+        let bids = ds.bids_csv();
+        assert!(bids.contains("appnexus"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # hb-crawler
+//!
+//! The crawl harness: clean-slate per-site sessions with the detector
+//! attached ([`session`]), parallel multi-day campaigns over the ecosystem
+//! ([`campaign`]), dataset assembly with CSV persistence ([`dataset`]),
+//! and the historical Wayback adoption crawl ([`wayback_crawl`]).
+//!
+//! Methodology mirrors the paper's §3.2: stateless browser instances, a
+//! 60 s page timeout, a 5 s settle window, a day-0 sweep over the full
+//! toplist followed by daily revisits of detected HB sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod dataset;
+pub mod session;
+pub mod wayback_crawl;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use dataset::{CrawlDataset, TruthRecord};
+pub use session::{crawl_site, SessionConfig, SiteVisit};
+pub use wayback_crawl::{adoption_study, overlap_study, AdoptionPoint, OverlapPoint};

@@ -1,0 +1,224 @@
+//! One crawl session: a clean-slate browser visit to one site with the
+//! detector attached.
+//!
+//! Reproduces the paper's §3.2 methodology: a fresh browser instance per
+//! visit (no cookies, no history), a 60-second page-load timeout, and an
+//! extra 5-second settle window after load for pending responses.
+
+use hb_adtech::{begin_visit, Net, PageWorld, SiteRuntime, VisitGroundTruth};
+use hb_core::{HbDetector, PartnerList, VisitRecord};
+use hb_simnet::{Rng, SimDuration, Simulation, SimTime};
+
+/// Session policy knobs (paper defaults).
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Hard page timeout (paper: 60 s).
+    pub page_timeout: SimDuration,
+    /// Extra settle window after load (paper: 5 s).
+    pub settle: SimDuration,
+    /// Event budget guarding against runaway simulations.
+    pub max_events: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            page_timeout: SimDuration::from_secs(60),
+            settle: SimDuration::from_secs(5),
+            max_events: 100_000,
+        }
+    }
+}
+
+/// The outcome of one visit: what the detector saw and what actually
+/// happened (ground truth, used for validation and the waterfall baseline).
+#[derive(Clone, Debug)]
+pub struct SiteVisit {
+    /// The detector's record.
+    pub record: VisitRecord,
+    /// Simulation ground truth.
+    pub truth: VisitGroundTruth,
+    /// Whether the page finished loading within the timeout.
+    pub page_completed: bool,
+}
+
+/// Crawl one site once.
+pub fn crawl_site(
+    net: Net,
+    runtime: SiteRuntime,
+    list: PartnerList,
+    rng: Rng,
+    day: u32,
+    cfg: &SessionConfig,
+) -> SiteVisit {
+    let rank = runtime.rank;
+    let domain = runtime.page_url.host.clone();
+    let mut world = PageWorld::new(runtime.page_url.clone(), net, rng);
+    let detector = HbDetector::new(list);
+    detector.attach(&mut world.browser);
+
+    let mut sim = Simulation::new(world);
+    {
+        let rt = runtime.clone();
+        sim.scheduler()
+            .after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
+                begin_visit(w, s, rt);
+            });
+    }
+    // Phase 1: run until the page deadline.
+    sim.run_until(SimTime::ZERO + cfg.page_timeout, cfg.max_events);
+    // Phase 2: settle window — the crawler waits a bit longer after load
+    // for pending responses (this is what surfaces late bids).
+    let loaded_at = sim.world().browser.page.loaded.unwrap_or_else(|| sim.now());
+    let settle_deadline = (loaded_at + cfg.settle).max(sim.now());
+    sim.run_until(settle_deadline.min(SimTime::ZERO + cfg.page_timeout + cfg.settle), cfg.max_events);
+
+    let world = sim.world();
+    let page_completed = world.browser.page.loaded.is_some();
+    let page_load_ms = world
+        .browser
+        .page
+        .page_load_time()
+        .map(|d| d.as_millis_f64());
+    let record = detector.finish(&domain, rank, day, page_load_ms);
+    SiteVisit {
+        record,
+        truth: world.flow.truth.clone(),
+        page_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ecosystem::{Ecosystem, EcosystemConfig};
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny_scale())
+    }
+
+    #[test]
+    fn hb_site_detected_with_correct_facet() {
+        let eco = eco();
+        let mut checked = 0;
+        for site in eco.hb_sites().take(12) {
+            let visit = crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, 0),
+                0,
+                &SessionConfig::default(),
+            );
+            assert!(visit.record.hb_detected, "{} not detected", site.domain);
+            let truth_label = site.facet.unwrap().label();
+            let detected_label = visit.record.facet.map(|f| f.label()).unwrap_or("none");
+            assert_eq!(
+                truth_label, detected_label,
+                "facet mismatch on {}",
+                site.domain
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn waterfall_site_not_detected() {
+        let eco = eco();
+        let site = eco.sites.iter().find(|s| s.facet.is_none()).unwrap();
+        let visit = crawl_site(
+            eco.net(),
+            eco.runtime_for(site),
+            eco.partner_list(),
+            eco.visit_rng(site.rank, 0),
+            0,
+            &SessionConfig::default(),
+        );
+        assert!(!visit.record.hb_detected);
+        assert!(visit.truth.waterfall_latency.is_some());
+        assert!(visit.page_completed);
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let eco = eco();
+        let site = eco.hb_sites().next().unwrap();
+        let run = || {
+            crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, 1),
+                1,
+                &SessionConfig::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.record.hb_latency_ms, b.record.hb_latency_ms);
+        assert_eq!(a.record.bids.len(), b.record.bids.len());
+        assert_eq!(
+            a.truth.adserver_response_at,
+            b.truth.adserver_response_at
+        );
+    }
+
+    #[test]
+    fn different_days_differ() {
+        let eco = eco();
+        // Latency samples differ day to day for at least one site.
+        let mut any_diff = false;
+        for site in eco.hb_sites().take(5) {
+            let a = crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, 0),
+                0,
+                &SessionConfig::default(),
+            );
+            let b = crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, 1),
+                1,
+                &SessionConfig::default(),
+            );
+            if a.record.hb_latency_ms != b.record.hb_latency_ms {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn detector_latency_close_to_ground_truth() {
+        let eco = eco();
+        for site in eco.hb_sites().take(8) {
+            let visit = crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, 2),
+                2,
+                &SessionConfig::default(),
+            );
+            let (Some(det), Some(truth)) = (
+                visit.record.hb_latency_ms,
+                visit.truth.hb_latency().map(|d| d.as_millis_f64()),
+            ) else {
+                continue;
+            };
+            // The detector measures network-level completion; ground truth
+            // marks the JS handler; they must agree within the JS service
+            // noise (~10ms).
+            assert!(
+                (det - truth).abs() < 20.0,
+                "{}: detector {det} vs truth {truth}",
+                site.domain
+            );
+        }
+    }
+}

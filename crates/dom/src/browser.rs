@@ -1,0 +1,185 @@
+//! The browser: glue object owning the page, DOM event bus, webRequest bus,
+//! JS thread, cookie jar and trace.
+//!
+//! The browser is *passive* with respect to the simulation driver: the
+//! orchestration layer (hb-adtech) owns request dispatch and scheduling,
+//! and calls into the browser to record what happened. Extensions (the
+//! detector) attach through [`Browser::events`] and [`Browser::webrequest`],
+//! exactly like a content script plus a webRequest listener.
+
+use crate::event::EventBus;
+use crate::event_loop::JsThread;
+use crate::page::Page;
+use crate::webrequest::WebRequestBus;
+use hb_http::{CookieJar, Request, RequestId, Url};
+use hb_simnet::{SimTime, Trace, TraceKind};
+
+/// A simulated browser instance (one per page visit — the crawler uses a
+/// clean slate for every site).
+pub struct Browser {
+    /// The page being visited.
+    pub page: Page,
+    /// DOM event target.
+    pub events: EventBus,
+    /// Network observation bus.
+    pub webrequest: WebRequestBus,
+    /// The single JS execution thread.
+    pub js: JsThread,
+    /// Session cookies (empty in clean-slate crawling).
+    pub cookies: CookieJar,
+    /// Diagnostic trace.
+    pub trace: Trace,
+    next_request_id: u64,
+}
+
+impl Browser {
+    /// Open a fresh browser navigating to `url` at `now`.
+    pub fn open(url: Url, now: SimTime) -> Browser {
+        Browser {
+            page: Page::navigate(url, now),
+            events: EventBus::new(),
+            webrequest: WebRequestBus::new(),
+            js: JsThread::new(),
+            cookies: CookieJar::new(),
+            trace: Trace::new(4096),
+            next_request_id: 1,
+        }
+    }
+
+    /// Open with tracing disabled (large campaigns).
+    pub fn open_untraced(url: Url, now: SimTime) -> Browser {
+        let mut b = Browser::open(url, now);
+        b.trace = Trace::disabled();
+        b
+    }
+
+    /// Allocate the next request id.
+    pub fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request_id);
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Record an outgoing request (notifies webRequest observers).
+    pub fn note_request_out(&mut self, req: &Request, now: SimTime) {
+        self.trace.push(
+            now,
+            TraceKind::RequestOut,
+            format!("{} {}", req.method, req.url),
+        );
+        self.webrequest
+            .notify(&crate::webrequest::WebRequestEvent::Before {
+                request: req.clone(),
+                at: now,
+            });
+    }
+
+    /// Record a completed response (notifies webRequest observers).
+    pub fn note_response_in(
+        &mut self,
+        req: &Request,
+        rsp: &hb_http::Response,
+        now: SimTime,
+    ) {
+        self.trace.push(
+            now,
+            TraceKind::ResponseIn,
+            format!("{} {} <- {}", rsp.status.0, req.url.host, req.url.path),
+        );
+        self.webrequest
+            .notify(&crate::webrequest::WebRequestEvent::Completed {
+                request: req.clone(),
+                response: rsp.clone(),
+                at: now,
+            });
+    }
+
+    /// Record a failed request (notifies webRequest observers).
+    pub fn note_request_failed(
+        &mut self,
+        req: &Request,
+        reason: crate::webrequest::FailureReason,
+        now: SimTime,
+    ) {
+        self.trace.push(
+            now,
+            TraceKind::Dropped,
+            format!("{} {} ({reason:?})", req.method, req.url.host),
+        );
+        self.webrequest
+            .notify(&crate::webrequest::WebRequestEvent::Failed {
+                request: req.clone(),
+                reason,
+                at: now,
+            });
+    }
+
+    /// Fire a DOM event (notifies DOM listeners).
+    pub fn fire_event(&mut self, now: SimTime, name: &str, payload: hb_http::Json) {
+        self.trace.push(now, TraceKind::DomEvent, name.to_string());
+        self.events.emit(now, name, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_http::{Json, Response};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn browser() -> Browser {
+        Browser::open(
+            Url::parse("https://pub.example/").unwrap(),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn request_ids_are_sequential() {
+        let mut b = browser();
+        assert_eq!(b.next_request_id(), RequestId(1));
+        assert_eq!(b.next_request_id(), RequestId(2));
+    }
+
+    #[test]
+    fn request_notifications_reach_observers_and_trace() {
+        let mut b = browser();
+        let count = Rc::new(RefCell::new(0u32));
+        let c2 = count.clone();
+        b.webrequest.tap(move |_| *c2.borrow_mut() += 1);
+        let id = b.next_request_id();
+        let req = Request::get(id, Url::parse("https://dsp.example/bid").unwrap());
+        b.note_request_out(&req, SimTime::from_millis(1));
+        b.note_response_in(&req, &Response::no_content(id), SimTime::from_millis(9));
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(b.trace.len(), 2);
+    }
+
+    #[test]
+    fn dom_events_traced() {
+        let mut b = browser();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s2 = seen.clone();
+        b.events.tap(move |e| s2.borrow_mut().push(e.name.clone()));
+        b.fire_event(SimTime::from_millis(2), "auctionInit", Json::Null);
+        assert_eq!(&*seen.borrow(), &["auctionInit".to_string()]);
+        assert!(b.trace.dump().contains("auctionInit"));
+    }
+
+    #[test]
+    fn untraced_browser_records_nothing() {
+        let mut b = Browser::open_untraced(
+            Url::parse("https://pub.example/").unwrap(),
+            SimTime::ZERO,
+        );
+        b.fire_event(SimTime::ZERO, "x", Json::Null);
+        assert!(b.trace.is_empty());
+    }
+
+    #[test]
+    fn clean_slate_cookies() {
+        let b = browser();
+        assert!(b.cookies.is_empty(), "crawler sessions start stateless");
+    }
+}

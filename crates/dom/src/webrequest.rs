@@ -1,0 +1,193 @@
+//! The webRequest observation bus.
+//!
+//! Chrome extensions observe network traffic through the `webRequest` API:
+//! callbacks fire before a request leaves and when a response completes or
+//! fails. [`WebRequestBus`] reproduces that read-only vantage point: the
+//! browser notifies the bus, and observers (the detector) record what they
+//! see without being able to alter traffic — matching the paper's note that
+//! HBDetector inspects requests "without altering them".
+
+use hb_http::{Request, RequestId, Response};
+use hb_simnet::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The host could not be resolved.
+    NoSuchHost,
+    /// The request was dropped by the network (fault injection / outage).
+    NetworkDropped,
+    /// The page was torn down before the response arrived.
+    Aborted,
+}
+
+/// A webRequest lifecycle notification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WebRequestEvent {
+    /// A request is about to leave the browser.
+    Before {
+        /// The outgoing request.
+        request: Request,
+        /// When it left.
+        at: SimTime,
+    },
+    /// A response arrived.
+    Completed {
+        /// The original request.
+        request: Request,
+        /// The response.
+        response: Response,
+        /// When it arrived.
+        at: SimTime,
+    },
+    /// The request will never complete.
+    Failed {
+        /// The original request.
+        request: Request,
+        /// Why it failed.
+        reason: FailureReason,
+        /// When the failure was determined.
+        at: SimTime,
+    },
+}
+
+impl WebRequestEvent {
+    /// The request id this notification concerns.
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            WebRequestEvent::Before { request, .. }
+            | WebRequestEvent::Completed { request, .. }
+            | WebRequestEvent::Failed { request, .. } => request.id,
+        }
+    }
+
+    /// The timestamp of this notification.
+    pub fn at(&self) -> SimTime {
+        match self {
+            WebRequestEvent::Before { at, .. }
+            | WebRequestEvent::Completed { at, .. }
+            | WebRequestEvent::Failed { at, .. } => *at,
+        }
+    }
+}
+
+/// An observer callback.
+pub type WebRequestObserver = Rc<RefCell<dyn FnMut(&WebRequestEvent)>>;
+
+/// Read-only network observation bus.
+#[derive(Default)]
+pub struct WebRequestBus {
+    observers: Vec<WebRequestObserver>,
+    notified: u64,
+}
+
+impl WebRequestBus {
+    /// Create an empty bus.
+    pub fn new() -> Self {
+        WebRequestBus::default()
+    }
+
+    /// Register an observer.
+    pub fn observe(&mut self, o: WebRequestObserver) {
+        self.observers.push(o);
+    }
+
+    /// Convenience: register a closure observer.
+    pub fn tap<F: FnMut(&WebRequestEvent) + 'static>(&mut self, f: F) {
+        self.observe(Rc::new(RefCell::new(f)));
+    }
+
+    /// Notify all observers.
+    pub fn notify(&mut self, ev: &WebRequestEvent) {
+        self.notified += 1;
+        for o in &self.observers {
+            (o.borrow_mut())(ev);
+        }
+    }
+
+    /// Number of notifications delivered.
+    pub fn notified_count(&self) -> u64 {
+        self.notified
+    }
+
+    /// Number of registered observers.
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_http::{Method, Url};
+
+    fn mk_request(id: u64) -> Request {
+        Request::get(RequestId(id), Url::parse("https://x.example/a").unwrap())
+    }
+
+    #[test]
+    fn observers_receive_all_phases() {
+        let mut bus = WebRequestBus::new();
+        let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        bus.tap(move |ev| {
+            let tag = match ev {
+                WebRequestEvent::Before { .. } => "before",
+                WebRequestEvent::Completed { .. } => "done",
+                WebRequestEvent::Failed { .. } => "fail",
+            };
+            l2.borrow_mut().push(format!("{}:{}", tag, ev.request_id().0));
+        });
+        let req = mk_request(7);
+        bus.notify(&WebRequestEvent::Before {
+            request: req.clone(),
+            at: SimTime::ZERO,
+        });
+        bus.notify(&WebRequestEvent::Completed {
+            request: req.clone(),
+            response: Response::no_content(req.id),
+            at: SimTime::from_millis(10),
+        });
+        bus.notify(&WebRequestEvent::Failed {
+            request: req,
+            reason: FailureReason::NetworkDropped,
+            at: SimTime::from_millis(20),
+        });
+        assert_eq!(
+            &*log.borrow(),
+            &["before:7".to_string(), "done:7".to_string(), "fail:7".to_string()]
+        );
+        assert_eq!(bus.notified_count(), 3);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let req = mk_request(3);
+        assert_eq!(req.method, Method::Get);
+        let ev = WebRequestEvent::Before {
+            request: req,
+            at: SimTime::from_millis(4),
+        };
+        assert_eq!(ev.request_id(), RequestId(3));
+        assert_eq!(ev.at(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn multiple_observers_all_notified() {
+        let mut bus = WebRequestBus::new();
+        let a = Rc::new(RefCell::new(0u32));
+        let b = Rc::new(RefCell::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        bus.tap(move |_| *a2.borrow_mut() += 1);
+        bus.tap(move |_| *b2.borrow_mut() += 1);
+        assert_eq!(bus.observer_count(), 2);
+        bus.notify(&WebRequestEvent::Before {
+            request: mk_request(1),
+            at: SimTime::ZERO,
+        });
+        assert_eq!(*a.borrow(), 1);
+        assert_eq!(*b.borrow(), 1);
+    }
+}

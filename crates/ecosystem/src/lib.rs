@@ -1,0 +1,174 @@
+//! # hb-ecosystem
+//!
+//! The synthetic web + ad-tech universe the crawler measures: the
+//! 84-partner catalog with per-partner calibration ([`catalog`]),
+//! rank-banded publisher profiles ([`publisher`]), Alexa-style toplists
+//! with yearly churn ([`toplist`]), Wayback-style historical snapshots
+//! ([`wayback`]), ad-size popularity tables ([`sizes`]), and the world
+//! assembly wiring everything into one routable simulated Internet
+//! ([`world`]).
+//!
+//! The [`Ecosystem`] facade generates the full universe from a single seed
+//! and hands the crawler everything it needs: a `Send + Sync` router, the
+//! latency directory, the detector's partner list, and per-site runtimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod config;
+pub mod publisher;
+pub mod sizes;
+pub mod toplist;
+pub mod wayback;
+pub mod world;
+
+pub use catalog::PartnerSpec;
+pub use config::EcosystemConfig;
+pub use publisher::SiteProfile;
+pub use toplist::{site_domain, TopList, YEARLY_OVERLAPS};
+pub use wayback::{snapshot, yearly_archive, Snapshot, YEARLY_ADOPTION};
+pub use world::{ad_server_host_for, build_world, page_html, site_runtime, CDN_HOST};
+
+use hb_adtech::{HostDirectory, Net, PartnerProfile};
+use hb_core::PartnerList;
+use hb_http::Router;
+use hb_simnet::{FaultInjector, Rng};
+use std::sync::Arc;
+
+/// The fully generated universe.
+pub struct Ecosystem {
+    /// The configuration it was generated from.
+    pub config: EcosystemConfig,
+    /// Partner calibration specs (index = partner id).
+    pub specs: Vec<PartnerSpec>,
+    /// Partner runtime profiles (index = partner id).
+    pub profiles: Vec<PartnerProfile>,
+    /// Every site in the toplist, rank order.
+    pub sites: Vec<SiteProfile>,
+    /// The simulated Internet.
+    pub router: Arc<Router>,
+    /// Per-host latency models.
+    pub latency: Arc<HostDirectory>,
+    /// Ambient fault injection.
+    pub faults: Arc<FaultInjector>,
+}
+
+impl Ecosystem {
+    /// Generate the universe. Deterministic in `config.seed`.
+    pub fn generate(config: EcosystemConfig) -> Ecosystem {
+        let specs = catalog::catalog();
+        let profiles = catalog::profiles(&specs);
+        let providers = catalog::providers(&specs);
+        let pool = catalog::s2s_pool(&specs);
+        let root = Rng::new(config.seed).derive_str("site-profiles");
+        let sites: Vec<SiteProfile> = (1..=config.n_sites)
+            .map(|rank| {
+                let mut rng = root.derive(rank as u64);
+                publisher::generate_site(&config, &specs, &providers, &pool, rank, &mut rng)
+            })
+            .collect();
+        let world = world::build_world(&sites, &specs, &profiles);
+        let faults = FaultInjector::none()
+            .with_drop_chance(config.drop_chance)
+            .with_slowdown(
+                config.slow_chance,
+                hb_simnet::Dist::log_normal_median(350.0, 0.7).clamped(50.0, 12_000.0),
+            );
+        Ecosystem {
+            config,
+            specs,
+            profiles,
+            sites,
+            router: Arc::new(world.router),
+            latency: Arc::new(world.latency),
+            faults: Arc::new(faults),
+        }
+    }
+
+    /// The network handle visits connect through.
+    pub fn net(&self) -> Net {
+        Net::new(
+            self.router.clone(),
+            self.latency.clone(),
+            self.faults.clone(),
+        )
+    }
+
+    /// The detector's partner list for this universe.
+    pub fn partner_list(&self) -> PartnerList {
+        catalog::partner_list(&self.specs)
+    }
+
+    /// Sites that actually run HB (ground truth).
+    pub fn hb_sites(&self) -> impl Iterator<Item = &SiteProfile> {
+        self.sites.iter().filter(|s| s.facet.is_some())
+    }
+
+    /// The per-visit runtime for a site.
+    pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
+        world::site_runtime(site, &self.specs)
+    }
+
+    /// Derive the deterministic RNG stream for a `(site, day)` visit.
+    pub fn visit_rng(&self, rank: u32, day: u32) -> Rng {
+        Rng::new(self.config.seed)
+            .derive_str("visits")
+            .derive(rank as u64)
+            .derive(day as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_tiny_universe() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        assert_eq!(eco.sites.len(), 200);
+        assert_eq!(eco.specs.len(), 84);
+        assert_eq!(eco.partner_list().len(), 84);
+        let hb = eco.hb_sites().count();
+        assert!(hb > 10 && hb < 60, "hb sites {hb}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let b = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        for (sa, sb) in a.sites.iter().zip(b.sites.iter()) {
+            assert_eq!(sa.domain, sb.domain);
+            assert_eq!(sa.facet, sb.facet);
+            assert_eq!(sa.client_partner_ids, sb.client_partner_ids);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(1));
+        let b = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(2));
+        let facets_a: Vec<_> = a.sites.iter().map(|s| s.facet).collect();
+        let facets_b: Vec<_> = b.sites.iter().map(|s| s.facet).collect();
+        assert_ne!(facets_a, facets_b);
+    }
+
+    #[test]
+    fn visit_rng_streams_are_stable_and_distinct() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let mut a = eco.visit_rng(5, 2);
+        let mut b = eco.visit_rng(5, 2);
+        let mut c = eco.visit_rng(5, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn net_handle_resolves_universe_hosts() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let net = eco.net();
+        assert!(net.router.resolve("pub1.example").is_some());
+        assert!(net.router.resolve(CDN_HOST).is_some());
+        assert!(net.router.resolve("appnexus-adnet.example").is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! World assembly: wiring the generated sites and partner catalog into a
+//! routable simulated Internet.
+//!
+//! One [`Router`] serves the whole universe: every publisher page, every
+//! publisher-owned ad server (client-side sites), the shared DFP-like
+//! providers, all 84 partner endpoints and the CDN. The router is
+//! `Send + Sync`, so the crawler can share a single world across worker
+//! threads.
+
+use crate::catalog::PartnerSpec;
+use crate::publisher::{partner_refs, SiteProfile};
+use hb_adtech::{
+    partner_endpoint, waterfall_endpoint, AdServerAccount, AdServerEndpoint, DirectOrder,
+    HostDirectory, PartnerProfile,
+};
+use hb_http::{Endpoint, Request, Response, Router, ServerReply};
+use hb_simnet::{LatencyModel, Rng};
+
+/// The shared CDN host serving wrapper/ad-manager libraries.
+pub const CDN_HOST: &str = "cdn.hbrepro.example";
+
+/// Build the HTML of a live publisher page (also served by its endpoint).
+pub fn page_html(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
+    let mut b = hb_dom::HtmlBuilder::new(format!("{} — rank {}", site.domain, site.rank));
+    if site.facet.is_some() {
+        b = b.head_script(format!("https://{CDN_HOST}/prebid.js"));
+        b = b.head_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
+        let partner_codes: Vec<&str> = site
+            .client_partner_ids
+            .iter()
+            .map(|&i| specs[i].code)
+            .collect();
+        b = b.head_inline(format!(
+            "pbjs.addAdUnits({}); pbjs.requestBids({{timeout: {}}});",
+            site.ad_units.len(),
+            site.wrapper
+                .timeout
+                .map(|t| t.as_micros() / 1000)
+                .unwrap_or(0),
+        ));
+        if !partner_codes.is_empty() {
+            b = b.head_inline(format!("// bidders: {}", partner_codes.join(",")));
+        }
+    } else {
+        b = b.body_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
+    }
+    let mut builder = b;
+    for unit in &site.ad_units {
+        builder = builder.ad_slot(unit.code.clone());
+    }
+    builder.build()
+}
+
+/// Build the ad-server account for a site (used by its own ad server for
+/// client-side sites, or registered at the provider for server/hybrid).
+pub fn account_for(
+    site: &SiteProfile,
+    profiles: &[PartnerProfile],
+) -> AdServerAccount {
+    let direct_orders = site
+        .direct_order_cpm
+        .map(|cpm| {
+            vec![DirectOrder {
+                cpm: hb_adtech::Cpm(cpm),
+                fill_rate: 0.12,
+                sizes: vec![],
+            }]
+        })
+        .unwrap_or_default();
+    AdServerAccount {
+        account_id: site.account_id(),
+        direct_orders,
+        fallback_cpm: Some(hb_adtech::Cpm(0.02)),
+        floor: hb_adtech::Cpm(site.floor),
+        s2s_partners: site
+            .s2s_partner_ids
+            .iter()
+            .map(|&i| profiles[i].clone())
+            .collect(),
+        ad_units: site.ad_units.clone(),
+    }
+}
+
+/// Assembled world: router + latency directory.
+pub struct World {
+    /// Hostname routing for every endpoint in the universe.
+    pub router: Router,
+    /// Per-host latency models.
+    pub latency: HostDirectory,
+}
+
+/// Build the world for a set of sites.
+pub fn build_world(
+    sites: &[SiteProfile],
+    specs: &[PartnerSpec],
+    profiles: &[PartnerProfile],
+) -> World {
+    let mut router = Router::new();
+    let mut latency = HostDirectory::new();
+    latency.set_default(LatencyModel::log_normal(90.0, 0.4));
+
+    // CDN.
+    router.register(CDN_HOST, |r: &Request, _: &mut Rng| {
+        ServerReply::instant(Response::text(r.id, "// library"))
+    });
+    latency.insert(CDN_HOST, LatencyModel::log_normal(18.0, 0.25).with_floor(4.0));
+
+    // Partner endpoints: every partner serves both the HB bid path and the
+    // waterfall RTB path on the same host.
+    for (spec, profile) in specs.iter().zip(profiles.iter()) {
+        let host = spec.host();
+        let hb = partner_endpoint(profile.clone());
+        let wf = waterfall_endpoint(
+            // Waterfall fill rates are higher than clean-profile HB bid
+            // rates (networks monetize remnant aggressively).
+            (spec.bid_rate * 4.0).min(0.85),
+            profile.price.clone(),
+            6.0,
+        );
+        router.register(host.clone(), move |req: &Request, rng: &mut Rng| {
+            if req.url.path.starts_with("/rtb/") {
+                wf.handle(req, rng)
+            } else {
+                hb.handle(req, rng)
+            }
+        });
+        latency.insert(host.clone(), profile.latency.clone());
+        // Waterfall tags hit warm, keep-alive ad-server paths on a separate
+        // edge (`rtb.<host>`): one hop there is far cheaper than a cold
+        // header-auction fan-out, which is what makes the waterfall
+        // baseline faster per request (abstract's 3x claim).
+        let wf_edge = waterfall_endpoint(
+            (spec.bid_rate * 4.0).min(0.85),
+            profile.price.clone(),
+            4.0,
+        );
+        let rtb_host = format!("rtb.{host}");
+        router.register(rtb_host.clone(), move |req: &Request, rng: &mut Rng| {
+            wf_edge.handle(req, rng)
+        });
+        latency.insert(rtb_host, LatencyModel::log_normal(82.0, 0.35).with_floor(15.0));
+    }
+
+    // Provider ad servers (one endpoint per provider host, holding the
+    // accounts of every site that chose it).
+    let mut provider_accounts: std::collections::HashMap<usize, Vec<AdServerAccount>> =
+        std::collections::HashMap::new();
+    for site in sites {
+        if let Some(pid) = site.provider_id {
+            provider_accounts
+                .entry(pid)
+                .or_default()
+                .push(account_for(site, profiles));
+        }
+    }
+    for (pid, accounts) in provider_accounts {
+        let host = specs[pid].host();
+        // The provider host already serves partner traffic; give the ad
+        // server its own subdomain, mirroring ad.doubleclick.net.
+        let ads_host = format!("ads.{host}");
+        router.register(ads_host.clone(), AdServerEndpoint::new(accounts));
+        latency.insert(ads_host, specs[pid].to_profile(0).latency.clone());
+    }
+
+    // Publisher pages + own ad servers.
+    for site in sites {
+        let html = page_html(site, specs);
+        router.register(site.domain.clone(), move |r: &Request, _: &mut Rng| {
+            ServerReply::instant(Response::text(r.id, html.clone()))
+        });
+        latency.insert(
+            site.domain.clone(),
+            LatencyModel::log_normal(site.page_latency_ms, 0.3).with_floor(8.0),
+        );
+        if site.facet == Some(hb_adtech::HbFacet::ClientSide) {
+            let host = site.own_ad_server_host();
+            router.register(
+                host.clone(),
+                AdServerEndpoint::new([account_for(site, profiles)]),
+            );
+            // Publisher-operated ad servers are self-hosted and markedly
+            // slower than Google-grade infrastructure (part of why
+            // Client-Side HB is the slow facet).
+            latency.insert(
+                host,
+                LatencyModel::log_normal(150.0 + site.page_latency_ms, 0.45).with_floor(20.0),
+            );
+        }
+    }
+
+    World { router, latency }
+}
+
+/// Host of the ad server a site's wrapper talks to.
+pub fn ad_server_host_for(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
+    match (site.facet, site.provider_id) {
+        (Some(hb_adtech::HbFacet::ClientSide), _) | (None, _) => site.own_ad_server_host(),
+        (_, Some(pid)) => format!("ads.{}", specs[pid].host()),
+        _ => site.own_ad_server_host(),
+    }
+}
+
+/// Build the per-visit [`SiteRuntime`](hb_adtech::SiteRuntime).
+pub fn site_runtime(
+    site: &SiteProfile,
+    specs: &[PartnerSpec],
+) -> hb_adtech::SiteRuntime {
+    hb_adtech::SiteRuntime {
+        page_url: hb_http::Url::parse(&site.url_string()).expect("valid generated url"),
+        rank: site.rank,
+        facet: site.facet,
+        ad_units: site.ad_units.clone(),
+        client_partners: partner_refs(specs, &site.client_partner_ids),
+        ad_server_host: ad_server_host_for(site, specs),
+        account_id: site.account_id(),
+        wrapper: site.wrapper.clone(),
+        waterfall_tiers: site
+            .waterfall_tier_ids
+            .iter()
+            .map(|&i| hb_adtech::WaterfallTier {
+                partner: partner_refs(specs, &[i]).remove(0),
+                floor: hb_adtech::Cpm(site.floor),
+            })
+            .collect(),
+        cdn_host: CDN_HOST.to_string(),
+        render_fail_rate: 0.015,
+        net_quality: site.net_quality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::config::EcosystemConfig;
+    use crate::publisher::generate_site;
+
+    fn small_world() -> (Vec<SiteProfile>, Vec<PartnerSpec>, World) {
+        let cfg = EcosystemConfig::tiny_scale();
+        let specs = catalog::catalog();
+        let providers = catalog::providers(&specs);
+        let pool = catalog::s2s_pool(&specs);
+        let profiles = catalog::profiles(&specs);
+        let root = Rng::new(5);
+        let sites: Vec<SiteProfile> = (1..=cfg.n_sites)
+            .map(|rank| {
+                let mut rng = root.derive(rank as u64);
+                generate_site(&cfg, &specs, &providers, &pool, rank, &mut rng)
+            })
+            .collect();
+        let world = build_world(&sites, &specs, &profiles);
+        (sites, specs, world)
+    }
+
+    #[test]
+    fn every_page_host_routes() {
+        let (sites, _, world) = small_world();
+        for site in &sites {
+            assert!(
+                world.router.resolve(&site.domain).is_some(),
+                "{} unroutable",
+                site.domain
+            );
+        }
+    }
+
+    #[test]
+    fn partner_hosts_route_and_have_latency() {
+        let (_, specs, world) = small_world();
+        let mut rng = Rng::new(1);
+        for spec in &specs {
+            let host = spec.host();
+            assert!(world.router.resolve(&host).is_some(), "{host}");
+            let sample = world.latency.lookup(&host).sample(&mut rng);
+            assert!(sample.as_micros() > 0);
+        }
+    }
+
+    #[test]
+    fn client_sites_get_own_ad_server() {
+        let (sites, specs, world) = small_world();
+        let mut seen = false;
+        for site in sites
+            .iter()
+            .filter(|s| s.facet == Some(hb_adtech::HbFacet::ClientSide))
+        {
+            seen = true;
+            let host = ad_server_host_for(site, &specs);
+            assert_eq!(host, site.own_ad_server_host());
+            assert!(world.router.resolve(&host).is_some(), "{host}");
+        }
+        assert!(seen, "tiny world should include client-side sites");
+    }
+
+    #[test]
+    fn provider_sites_point_at_provider_ads_host() {
+        let (sites, specs, world) = small_world();
+        for site in sites.iter().filter(|s| s.provider_id.is_some()) {
+            let host = ad_server_host_for(site, &specs);
+            assert!(host.starts_with("ads."));
+            assert!(host.ends_with("-adnet.example"));
+            assert!(world.router.resolve(&host).is_some(), "{host}");
+        }
+    }
+
+    #[test]
+    fn page_html_reflects_hb_configuration() {
+        let (sites, specs, _) = small_world();
+        let hb_site = sites.iter().find(|s| s.facet.is_some()).unwrap();
+        let html = page_html(hb_site, &specs);
+        assert!(html.contains("prebid.js"));
+        assert!(html.contains("ad-slot-1"));
+        let plain = sites.iter().find(|s| s.facet.is_none()).unwrap();
+        let html2 = page_html(plain, &specs);
+        assert!(!html2.contains("prebid.js"));
+    }
+
+    #[test]
+    fn site_runtime_is_complete() {
+        let (sites, specs, _) = small_world();
+        let site = sites.iter().find(|s| s.facet.is_some()).unwrap();
+        let rt = site_runtime(site, &specs);
+        assert_eq!(rt.rank, site.rank);
+        assert_eq!(rt.ad_units.len(), site.ad_units.len());
+        assert_eq!(rt.client_partners.len(), site.client_partner_ids.len());
+        assert!(!rt.waterfall_tiers.is_empty());
+        assert_eq!(rt.cdn_host, CDN_HOST);
+    }
+}

@@ -1,0 +1,110 @@
+//! A minimal cookie jar.
+//!
+//! The crawl methodology in the paper is explicitly *stateless*: a clean
+//! browser instance per visit, no cookies, no history. The jar exists so
+//! the simulation can (a) prove statelessness in tests and (b) model the
+//! user-tracking cookies partners try to set, which matter for the
+//! "baseline user" pricing discussion (§5.4).
+
+use crate::url::host_matches;
+use std::collections::BTreeMap;
+
+/// One cookie.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain the cookie is scoped to.
+    pub domain: String,
+}
+
+/// A per-session cookie store.
+#[derive(Clone, Debug, Default)]
+pub struct CookieJar {
+    // (domain, name) -> value
+    store: BTreeMap<(String, String), String>,
+}
+
+impl CookieJar {
+    /// A fresh, empty jar (the crawler's clean-slate state).
+    pub fn new() -> Self {
+        CookieJar::default()
+    }
+
+    /// Store a cookie.
+    pub fn set(&mut self, domain: &str, name: &str, value: &str) {
+        self.store
+            .insert((domain.to_string(), name.to_string()), value.to_string());
+    }
+
+    /// Cookies that would be sent to `host` (domain-suffix matching).
+    pub fn cookies_for(&self, host: &str) -> Vec<Cookie> {
+        self.store
+            .iter()
+            .filter(|((domain, _), _)| host_matches(host, domain))
+            .map(|((domain, name), value)| Cookie {
+                name: name.clone(),
+                value: value.clone(),
+                domain: domain.clone(),
+            })
+            .collect()
+    }
+
+    /// Total cookies stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no cookies are stored (clean-slate invariant).
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.store.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_jar_is_empty() {
+        let jar = CookieJar::new();
+        assert!(jar.is_empty());
+        assert_eq!(jar.len(), 0);
+        assert!(jar.cookies_for("any.example").is_empty());
+    }
+
+    #[test]
+    fn set_and_match_by_domain_suffix() {
+        let mut jar = CookieJar::new();
+        jar.set("tracker.example", "uid", "abc123");
+        assert_eq!(jar.cookies_for("tracker.example").len(), 1);
+        assert_eq!(jar.cookies_for("cdn.tracker.example").len(), 1);
+        assert!(jar.cookies_for("other.example").is_empty());
+        assert!(jar.cookies_for("nottracker.example").is_empty());
+    }
+
+    #[test]
+    fn overwrite_same_cookie() {
+        let mut jar = CookieJar::new();
+        jar.set("d.example", "uid", "v1");
+        jar.set("d.example", "uid", "v2");
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.cookies_for("d.example")[0].value, "v2");
+    }
+
+    #[test]
+    fn clear_restores_clean_slate() {
+        let mut jar = CookieJar::new();
+        jar.set("a.example", "x", "1");
+        jar.set("b.example", "y", "2");
+        jar.clear();
+        assert!(jar.is_empty());
+    }
+}

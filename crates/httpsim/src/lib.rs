@@ -1,0 +1,28 @@
+//! # hb-http
+//!
+//! Simulation-level HTTP substrate for the header bidding reproduction:
+//!
+//! * [`Url`] + [`QueryParams`] — URL parsing with a query-string multimap
+//!   and percent-encoding (the detector's parameter-extraction surface);
+//! * [`Json`] — a minimal, auditable JSON value type for bid payloads;
+//! * [`Request`] / [`Response`] — webRequest-level message types;
+//! * [`CookieJar`] — clean-slate session state;
+//! * [`Endpoint`] / [`Router`] — the simulated server side of the web.
+//!
+//! Everything is implemented in-repo (no external parsers) so the
+//! measurement pipeline is fully auditable end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cookies;
+pub mod endpoint;
+pub mod json;
+pub mod message;
+pub mod url;
+
+pub use cookies::{Cookie, CookieJar};
+pub use endpoint::{Endpoint, Router, ServerReply};
+pub use json::{Json, JsonError};
+pub use message::{Body, Headers, Method, Request, RequestId, Response, Status};
+pub use url::{percent_decode, percent_encode, QueryParams, Url, UrlError};

@@ -1,0 +1,421 @@
+//! URL parsing and construction.
+//!
+//! A deliberately small URL type covering what ad-tech traffic needs:
+//! scheme, host, optional port, path, and a query-string multimap with
+//! percent-encoding. Implemented in-repo so the detector's parameter
+//! extraction is fully auditable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced when parsing a URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UrlError {
+    /// The scheme separator `://` was missing.
+    MissingScheme,
+    /// The host component was empty.
+    EmptyHost,
+    /// A port component failed to parse.
+    BadPort(String),
+}
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlError::MissingScheme => write!(f, "missing '://' scheme separator"),
+            UrlError::EmptyHost => write!(f, "empty host"),
+            UrlError::BadPort(p) => write!(f, "invalid port: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+/// An ordered multimap of query parameters.
+///
+/// Preserves insertion order for serialization (ad servers are sensitive to
+/// `hb_*` key ordering in logs) while allowing repeated keys.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryParams {
+    entries: Vec<(String, String)>,
+}
+
+impl QueryParams {
+    /// Empty parameter list.
+    pub fn new() -> Self {
+        QueryParams::default()
+    }
+
+    /// Parse from a raw query string (no leading `?`).
+    pub fn parse(raw: &str) -> Self {
+        let mut q = QueryParams::new();
+        if raw.is_empty() {
+            return q;
+        }
+        for pair in raw.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            match pair.split_once('=') {
+                Some((k, v)) => q.append(percent_decode(k), percent_decode(v)),
+                None => q.append(percent_decode(pair), String::new()),
+            }
+        }
+        q
+    }
+
+    /// Append a key/value pair (repeated keys allowed).
+    pub fn append(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((key.into(), value.into()));
+    }
+
+    /// Set a key to a single value, removing previous occurrences.
+    pub fn set(&mut self, key: &str, value: impl Into<String>) {
+        self.entries.retain(|(k, _)| k != key);
+        self.entries.push((key.to_string(), value.into()));
+    }
+
+    /// First value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `key`.
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does `key` exist?
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Iterate `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys that start with `prefix`, with their values, insertion-ordered.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Collect into a `BTreeMap`, keeping the **first** value per key.
+    pub fn to_map(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        for (k, v) in self.iter() {
+            m.entry(k.to_string()).or_insert_with(|| v.to_string());
+        }
+        m
+    }
+
+    /// Serialize (percent-encoded, insertion order).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            out.push_str(&percent_encode(k));
+            out.push('=');
+            out.push_str(&percent_encode(v));
+        }
+        out
+    }
+}
+
+/// Characters that survive percent-encoding untouched (RFC 3986 unreserved).
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encode a string.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Percent-decode a string; invalid escapes are passed through literally.
+/// `+` is decoded as a space (form encoding convention).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &s[i + 1..i + 3];
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A parsed URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Url {
+    /// Scheme, e.g. `https`.
+    pub scheme: String,
+    /// Hostname, lower-cased.
+    pub host: String,
+    /// Optional explicit port.
+    pub port: Option<u16>,
+    /// Path beginning with `/` (defaults to `/`).
+    pub path: String,
+    /// Query parameters.
+    pub query: QueryParams,
+}
+
+impl Url {
+    /// Parse a URL string.
+    pub fn parse(raw: &str) -> Result<Url, UrlError> {
+        let (scheme, rest) = raw.split_once("://").ok_or(UrlError::MissingScheme)?;
+        let (authority, path_query) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(UrlError::EmptyHost);
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()) => {
+                let port = p.parse::<u16>().map_err(|_| UrlError::BadPort(p.into()))?;
+                (h, Some(port))
+            }
+            _ => (authority, None),
+        };
+        if host.is_empty() {
+            return Err(UrlError::EmptyHost);
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), QueryParams::parse(q)),
+            None => (path_query.to_string(), QueryParams::new()),
+        };
+        Ok(Url {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+            query,
+        })
+    }
+
+    /// Build a URL programmatically.
+    pub fn build(scheme: &str, host: &str, path: &str) -> Url {
+        Url {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port: None,
+            path: if path.starts_with('/') {
+                path.to_string()
+            } else {
+                format!("/{path}")
+            },
+            query: QueryParams::new(),
+        }
+    }
+
+    /// `https://host/path` convenience constructor.
+    pub fn https(host: &str, path: &str) -> Url {
+        Url::build("https", host, path)
+    }
+
+    /// Add a query parameter (builder style).
+    pub fn with_param(mut self, key: &str, value: impl Into<String>) -> Url {
+        self.query.append(key, value);
+        self
+    }
+
+    /// The registrable-ish domain: final two labels of the host
+    /// (`sub.ads.example.com` → `example.com`). Approximation sufficient
+    /// for partner matching in the simulated DNS namespace.
+    pub fn base_domain(&self) -> &str {
+        base_domain_of(&self.host)
+    }
+
+    /// Does this URL's host equal `domain` or end with `.domain`?
+    pub fn host_matches(&self, domain: &str) -> bool {
+        host_matches(&self.host, domain)
+    }
+
+    /// Serialize back to a string.
+    pub fn to_string_full(&self) -> String {
+        let mut out = format!("{}://{}", self.scheme, self.host);
+        if let Some(p) = self.port {
+            out.push_str(&format!(":{p}"));
+        }
+        out.push_str(&self.path);
+        if !self.query.is_empty() {
+            out.push('?');
+            out.push_str(&self.query.encode());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_full())
+    }
+}
+
+/// The final two labels of a hostname (`a.b.c` → `b.c`).
+pub fn base_domain_of(host: &str) -> &str {
+    let mut dots = host.rmatch_indices('.');
+    match (dots.next(), dots.next()) {
+        (Some(_), Some((idx, _))) => &host[idx + 1..],
+        _ => host,
+    }
+}
+
+/// `host` equals `domain` or is a subdomain of it.
+pub fn host_matches(host: &str, domain: &str) -> bool {
+    host == domain || (host.len() > domain.len() && host.ends_with(domain) && host.as_bytes()[host.len() - domain.len() - 1] == b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("https://Ads.Example.com:8443/bid/v1?hb_bidder=appnexus&hb_pb=0.50").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "ads.example.com");
+        assert_eq!(u.port, Some(8443));
+        assert_eq!(u.path, "/bid/v1");
+        assert_eq!(u.query.get("hb_bidder"), Some("appnexus"));
+        assert_eq!(u.query.get("hb_pb"), Some("0.50"));
+    }
+
+    #[test]
+    fn parse_without_path_defaults_root() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.path, "/");
+        assert!(u.query.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Url::parse("example.com/x"), Err(UrlError::MissingScheme));
+        assert_eq!(Url::parse("https:///x"), Err(UrlError::EmptyHost));
+        assert!(matches!(Url::parse("https://h:99999/"), Err(UrlError::BadPort(_))));
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        let raw = "https://dsp.adnet.example/hb/bid?a=1&b=two%20words";
+        let u = Url::parse(raw).unwrap();
+        let again = Url::parse(&u.to_string_full()).unwrap();
+        assert_eq!(u, again);
+    }
+
+    #[test]
+    fn query_multimap_semantics() {
+        let q = QueryParams::parse("k=1&k=2&other=x");
+        assert_eq!(q.get("k"), Some("1"));
+        let all: Vec<&str> = q.get_all("k").collect();
+        assert_eq!(all, vec!["1", "2"]);
+        assert_eq!(q.len(), 3);
+        assert!(q.contains("other"));
+        assert!(!q.contains("missing"));
+    }
+
+    #[test]
+    fn query_set_replaces() {
+        let mut q = QueryParams::parse("k=1&k=2");
+        q.set("k", "9");
+        let all: Vec<&str> = q.get_all("k").collect();
+        assert_eq!(all, vec!["9"]);
+    }
+
+    #[test]
+    fn prefix_scan_finds_hb_params() {
+        let q = QueryParams::parse("hb_pb=0.5&hb_bidder=rubicon&cust=1");
+        let hb: Vec<(&str, &str)> = q.with_prefix("hb_").collect();
+        assert_eq!(hb, vec![("hb_pb", "0.5"), ("hb_bidder", "rubicon")]);
+    }
+
+    #[test]
+    fn percent_coding_roundtrip() {
+        let original = "a b&c=d/e?f";
+        let enc = percent_encode(original);
+        assert!(!enc.contains(' '));
+        assert!(!enc.contains('&'));
+        assert_eq!(percent_decode(&enc), original);
+    }
+
+    #[test]
+    fn percent_decode_tolerates_garbage() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn base_domain_and_matching() {
+        let u = Url::parse("https://fast.cdn.prebid.org/lib.js").unwrap();
+        assert_eq!(u.base_domain(), "prebid.org");
+        assert!(u.host_matches("prebid.org"));
+        assert!(u.host_matches("cdn.prebid.org"));
+        assert!(!u.host_matches("ebid.org"));
+        assert!(!u.host_matches("other.org"));
+        assert_eq!(base_domain_of("localhost"), "localhost");
+    }
+
+    #[test]
+    fn with_param_builder() {
+        let u = Url::https("ads.example.com", "/bid")
+            .with_param("hb_size", "300x250")
+            .with_param("cpm", "0.42");
+        assert!(u.to_string_full().contains("hb_size=300x250"));
+        assert!(u.to_string_full().contains("cpm=0.42"));
+    }
+
+    #[test]
+    fn to_map_keeps_first() {
+        let q = QueryParams::parse("k=1&k=2&a=9");
+        let m = q.to_map();
+        assert_eq!(m.get("k").map(String::as_str), Some("1"));
+        assert_eq!(m.get("a").map(String::as_str), Some("9"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the HTTP substrate: URL and JSON round-trips.
+
+use hb_http::{percent_decode, percent_encode, Json, QueryParams, Url};
+use proptest::prelude::*;
+
+/// Strategy for URL-safe-ish arbitrary strings (anything printable).
+fn any_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").unwrap()
+}
+
+fn hostish() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,8}(\\.[a-z][a-z0-9]{0,8}){1,3}").unwrap()
+}
+
+fn json_leaf() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite, roundtrip-safe numbers.
+        (-1.0e12f64..1.0e12).prop_map(|n| Json::Num((n * 1000.0).round() / 1000.0)),
+        any_text().prop_map(Json::Str),
+    ]
+}
+
+fn json_value() -> impl Strategy<Value = Json> {
+    json_leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            proptest::collection::btree_map(
+                proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_]{0,10}").unwrap(),
+                inner,
+                0..4
+            )
+            .prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    /// Percent-encoding always decodes back to the original string.
+    #[test]
+    fn percent_roundtrip(s in "\\PC*") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    /// Query strings round-trip through encode/parse.
+    #[test]
+    fn query_roundtrip(pairs in proptest::collection::vec((any_text(), any_text()), 0..12)) {
+        let mut q = QueryParams::new();
+        for (k, v) in &pairs {
+            q.append(k.clone(), v.clone());
+        }
+        let parsed = QueryParams::parse(&q.encode());
+        // encode always emits `k=v` (even for empty k and v), so the
+        // round-trip is exact — only bare `&&` segments are skipped by the
+        // parser, and encode never produces those.
+        let got: Vec<(String, String)> =
+            parsed.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        prop_assert_eq!(got, pairs);
+    }
+
+    /// URLs round-trip through to_string/parse.
+    #[test]
+    fn url_roundtrip(
+        host in hostish(),
+        path in proptest::string::string_regex("(/[a-z0-9]{0,6}){0,4}").unwrap(),
+        pairs in proptest::collection::vec((any_text(), any_text()), 0..6),
+    ) {
+        let mut u = Url::https(&host, if path.is_empty() { "/" } else { &path });
+        for (k, v) in &pairs {
+            if k.is_empty() && v.is_empty() { continue; }
+            u.query.append(k.clone(), v.clone());
+        }
+        let reparsed = Url::parse(&u.to_string_full()).unwrap();
+        prop_assert_eq!(u, reparsed);
+    }
+
+    /// JSON values round-trip through serialize/parse.
+    #[test]
+    fn json_roundtrip(v in json_value()) {
+        let s = v.to_string_compact();
+        let parsed = Json::parse(&s).unwrap();
+        prop_assert_eq!(v, parsed);
+    }
+
+    /// The JSON parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_total(s in "\\PC{0,64}") {
+        let _ = Json::parse(&s);
+    }
+
+    /// The URL parser never panics on arbitrary input.
+    #[test]
+    fn url_parser_total(s in "\\PC{0,64}") {
+        let _ = Url::parse(&s);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fault injection for the simulated network.
+//!
+//! Mirrors the knobs real network test harnesses expose: random request
+//! drops (server never answers), random slowdowns (an extra latency penalty),
+//! and hard outages of specific endpoints. All decisions are drawn from the
+//! caller's RNG so runs stay reproducible.
+
+use crate::dist::Dist;
+use crate::rng::Rng;
+use crate::time::SimDuration;
+use std::collections::HashSet;
+
+/// What the fault injector decided for one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver, but add this much extra latency.
+    Slow(SimDuration),
+    /// Drop: the response never arrives.
+    Drop,
+}
+
+/// Configurable fault injection policy.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    /// Probability a request is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a request is slowed.
+    pub slow_chance: f64,
+    /// Extra latency distribution for slowed requests (milliseconds).
+    pub slow_penalty_ms: Dist,
+    /// Hosts that are hard-down: every request to them is dropped.
+    outages: HashSet<String>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+impl FaultInjector {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            slow_chance: 0.0,
+            slow_penalty_ms: Dist::Const(0.0),
+            outages: HashSet::new(),
+        }
+    }
+
+    /// A light ambient-loss profile: occasional drops and slowdowns, the
+    /// kind of background noise a real crawl sees.
+    pub fn ambient() -> Self {
+        FaultInjector {
+            drop_chance: 0.01,
+            slow_chance: 0.05,
+            slow_penalty_ms: Dist::log_normal_median(400.0, 0.8).clamped(50.0, 15_000.0),
+            outages: HashSet::new(),
+        }
+    }
+
+    /// Builder: set the drop probability.
+    pub fn with_drop_chance(mut self, p: f64) -> Self {
+        self.drop_chance = p;
+        self
+    }
+
+    /// Builder: set the slowdown probability and penalty distribution.
+    pub fn with_slowdown(mut self, p: f64, penalty_ms: Dist) -> Self {
+        self.slow_chance = p;
+        self.slow_penalty_ms = penalty_ms;
+        self
+    }
+
+    /// Mark a host as hard-down.
+    pub fn add_outage(&mut self, host: impl Into<String>) {
+        self.outages.insert(host.into());
+    }
+
+    /// Clear an outage.
+    pub fn clear_outage(&mut self, host: &str) -> bool {
+        self.outages.remove(host)
+    }
+
+    /// Is this host currently in outage?
+    pub fn is_down(&self, host: &str) -> bool {
+        self.outages.contains(host)
+    }
+
+    /// Decide the fate of a request to `host`.
+    pub fn decide(&self, host: &str, rng: &mut Rng) -> FaultDecision {
+        if self.outages.contains(host) {
+            return FaultDecision::Drop;
+        }
+        if rng.chance(self.drop_chance) {
+            return FaultDecision::Drop;
+        }
+        if rng.chance(self.slow_chance) {
+            return FaultDecision::Slow(self.slow_penalty_ms.sample_ms(rng));
+        }
+        FaultDecision::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_always_delivers() {
+        let inj = FaultInjector::none();
+        let mut rng = Rng::new(1);
+        for _ in 0..1_000 {
+            assert_eq!(inj.decide("x.com", &mut rng), FaultDecision::Deliver);
+        }
+    }
+
+    #[test]
+    fn outage_always_drops() {
+        let mut inj = FaultInjector::none();
+        inj.add_outage("down.example");
+        let mut rng = Rng::new(2);
+        assert!(inj.is_down("down.example"));
+        assert_eq!(inj.decide("down.example", &mut rng), FaultDecision::Drop);
+        assert_eq!(inj.decide("up.example", &mut rng), FaultDecision::Deliver);
+        assert!(inj.clear_outage("down.example"));
+        assert!(!inj.clear_outage("down.example"));
+        assert_eq!(inj.decide("down.example", &mut rng), FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let inj = FaultInjector {
+            drop_chance: 0.25,
+            ..FaultInjector::none()
+        };
+        let mut rng = Rng::new(3);
+        let n = 20_000;
+        let drops = (0..n)
+            .filter(|_| inj.decide("h", &mut rng) == FaultDecision::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn slow_adds_positive_penalty() {
+        let inj = FaultInjector {
+            slow_chance: 1.0,
+            slow_penalty_ms: Dist::Const(120.0),
+            ..FaultInjector::none()
+        };
+        let mut rng = Rng::new(4);
+        match inj.decide("h", &mut rng) {
+            FaultDecision::Slow(d) => assert_eq!(d, SimDuration::from_millis(120)),
+            other => panic!("expected Slow, got {other:?}"),
+        }
+    }
+}

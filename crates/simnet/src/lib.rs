@@ -1,0 +1,38 @@
+//! # hb-simnet
+//!
+//! Deterministic discrete-event simulation engine underpinning the header
+//! bidding reproduction. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond simulated time;
+//! * [`Rng`] — a self-contained xoshiro256++ generator with stream
+//!   derivation (so parallel crawls are order-independent);
+//! * [`Dist`] — declarative scalar distributions used by the ecosystem
+//!   generators and latency models;
+//! * [`EventQueue`] / [`Simulation`] — the future-event list and driver;
+//! * [`LatencyModel`] — per-endpoint round-trip models with heavy tails;
+//! * [`FaultInjector`] — drops, slowdowns and outages;
+//! * [`Trace`] — a pcap-style bounded record of what happened.
+//!
+//! The engine is intentionally single-threaded and allocation-light; the
+//! crawler achieves parallelism by running many independent simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod event;
+pub mod fault;
+pub mod link;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use dist::Dist;
+pub use event::{EventId, EventQueue};
+pub use fault::{FaultDecision, FaultInjector};
+pub use link::LatencyModel;
+pub use rng::{fnv1a, Rng};
+pub use sim::{Callback, Scheduler, Simulation, StopReason};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceKind, TraceRecord};

@@ -1,0 +1,259 @@
+//! The simulator: a clock plus the future-event list, executing boxed
+//! closures against a user-supplied world state.
+//!
+//! The design follows the event-driven style of embedded TCP/IP stacks:
+//! a single-threaded loop, no hidden global state, and explicit time. The
+//! world type `W` is owned by the caller and handed to every callback, so
+//! callbacks can freely schedule further events through the [`Scheduler`]
+//! handle they receive.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled callback: receives the world and a scheduler handle.
+pub type Callback<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// Handle exposed to callbacks for scheduling more work.
+///
+/// Separating the handle from [`Simulation`] lets callbacks mutate the event
+/// queue while the simulation loop holds the world mutably.
+pub struct Scheduler<W> {
+    now: SimTime,
+    queue: EventQueue<Callback<W>>,
+    executed: u64,
+}
+
+impl<W> Scheduler<W> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of callbacks executed so far.
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule a callback at an absolute time. Times in the past are
+    /// clamped to "now" (they run next, in insertion order).
+    pub fn at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        self.queue.schedule(at, Box::new(f))
+    }
+
+    /// Schedule a callback after a relative delay.
+    pub fn after<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = self.now.saturating_add(delay);
+        self.queue.schedule(at, Box::new(f))
+    }
+
+    /// Cancel a pending event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// A deterministic discrete-event simulation over a world `W`.
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+}
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The event queue drained before the deadline.
+    Idle,
+    /// The deadline was reached with events still pending.
+    Deadline,
+    /// The event budget was exhausted (runaway protection).
+    EventBudget,
+}
+
+impl<W> Simulation<W> {
+    /// Create a simulation owning `world`, with the clock at zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The scheduler handle (for seeding initial events).
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Execute a single event if one is pending. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some((at, _, cb)) => {
+                debug_assert!(at >= self.sched.now, "time went backwards");
+                self.sched.now = at;
+                self.sched.executed += 1;
+                cb(&mut self.world, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains, `deadline` passes, or `max_events`
+    /// callbacks have executed. The clock never advances past `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> StopReason {
+        let mut budget = max_events;
+        loop {
+            if budget == 0 {
+                return StopReason::EventBudget;
+            }
+            match self.sched.queue.peek_time() {
+                None => return StopReason::Idle,
+                Some(t) if t > deadline => {
+                    self.sched.now = deadline;
+                    return StopReason::Deadline;
+                }
+                Some(_) => {
+                    self.step();
+                    budget -= 1;
+                }
+            }
+        }
+    }
+
+    /// Run to quiescence with an event budget (default deadline: forever).
+    pub fn run_to_idle(&mut self, max_events: u64) -> StopReason {
+        self.run_until(SimTime::MAX, max_events)
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_order_and_advance_clock() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler().after(SimDuration::from_millis(20), |w: &mut World, s| {
+            w.log.push((s.now().as_micros(), "b"));
+        });
+        sim.scheduler().after(SimDuration::from_millis(10), |w: &mut World, s| {
+            w.log.push((s.now().as_micros(), "a"));
+        });
+        let reason = sim.run_to_idle(100);
+        assert_eq!(reason, StopReason::Idle);
+        assert_eq!(
+            sim.world().log,
+            vec![(10_000, "a"), (20_000, "b")]
+        );
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn callbacks_can_chain() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler().after(SimDuration::from_millis(1), |_, s| {
+            s.after(SimDuration::from_millis(2), |w: &mut World, s| {
+                w.log.push((s.now().as_micros(), "chained"));
+            });
+        });
+        sim.run_to_idle(10);
+        assert_eq!(sim.world().log, vec![(3_000, "chained")]);
+    }
+
+    #[test]
+    fn deadline_stops_and_clamps_clock() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler().after(SimDuration::from_secs(10), |w: &mut World, _| {
+            w.log.push((0, "too late"));
+        });
+        let reason = sim.run_until(SimTime::from_secs(1), 100);
+        assert_eq!(reason, StopReason::Deadline);
+        assert!(sim.world().log.is_empty());
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        struct Loopy;
+        fn respawn(_: &mut Loopy, s: &mut Scheduler<Loopy>) {
+            s.after(SimDuration::from_micros(1), respawn);
+        }
+        let mut sim = Simulation::new(Loopy);
+        sim.scheduler().after(SimDuration::ZERO, respawn);
+        let reason = sim.run_to_idle(1_000);
+        assert_eq!(reason, StopReason::EventBudget);
+    }
+
+    #[test]
+    fn cancellation_prevents_execution() {
+        let mut sim = Simulation::new(World::default());
+        let id = sim
+            .scheduler()
+            .after(SimDuration::from_millis(5), |w: &mut World, _| {
+                w.log.push((0, "cancelled"));
+            });
+        sim.scheduler().cancel(id);
+        sim.run_to_idle(10);
+        assert!(sim.world().log.is_empty());
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut sim = Simulation::new(World::default());
+        sim.scheduler().after(SimDuration::from_millis(10), |_, s| {
+            // Scheduling "at zero" from t=10ms must not rewind the clock.
+            s.at(SimTime::ZERO, |w: &mut World, s| {
+                w.log.push((s.now().as_micros(), "late"));
+            });
+        });
+        sim.run_to_idle(10);
+        assert_eq!(sim.world().log, vec![(10_000, "late")]);
+    }
+}

@@ -1,0 +1,175 @@
+//! A lightweight simulation trace, in the spirit of a pcap: a bounded ring
+//! of timestamped records that tools and tests can inspect after a run.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Category of a trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A request left the browser.
+    RequestOut,
+    /// A response arrived.
+    ResponseIn,
+    /// A request was dropped by fault injection.
+    Dropped,
+    /// A DOM event fired.
+    DomEvent,
+    /// A page lifecycle transition.
+    Lifecycle,
+    /// Anything else.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::RequestOut => "req>",
+            TraceKind::ResponseIn => "<rsp",
+            TraceKind::Dropped => "drop",
+            TraceKind::DomEvent => "dom ",
+            TraceKind::Lifecycle => "life",
+            TraceKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What kind of record.
+    pub kind: TraceKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Bounded ring buffer of trace records.
+#[derive(Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Create a trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: `push` is a no-op. Useful for large campaigns.
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(0);
+        t.enabled = false;
+        t
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, at: SimTime, kind: TraceKind, detail: impl Into<String>) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to capacity.
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the trace as a text dump (one line per record).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "[{:>12}] {} {}\n",
+                format!("{}", r.at),
+                r.kind,
+                r.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut t = Trace::new(10);
+        t.push(SimTime::from_millis(1), TraceKind::RequestOut, "GET /a");
+        t.push(SimTime::from_millis(2), TraceKind::ResponseIn, "200 /a");
+        assert_eq!(t.len(), 2);
+        let kinds: Vec<TraceKind> = t.records().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::RequestOut, TraceKind::ResponseIn]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.push(SimTime::from_millis(i), TraceKind::Note, format!("{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        let details: Vec<&str> = t.records().map(|r| r.detail.as_str()).collect();
+        assert_eq!(details, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(SimTime::ZERO, TraceKind::Note, "x");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn dump_contains_detail() {
+        let mut t = Trace::new(4);
+        t.push(SimTime::from_millis(5), TraceKind::DomEvent, "auctionEnd");
+        let d = t.dump();
+        assert!(d.contains("auctionEnd"));
+        assert!(d.contains("dom"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation engine invariants.
+
+use hb_simnet::{Dist, EventQueue, Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue always yields non-decreasing timestamps.
+    #[test]
+    fn queue_pops_monotonically(times in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0usize;
+        while let Some((t, _, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal-time events preserve insertion order (FIFO among ties).
+    #[test]
+    fn queue_ties_are_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_millis(7), i);
+        }
+        let mut expected = 0usize;
+        while let Some((_, _, p)) = q.pop() {
+            prop_assert_eq!(p, expected);
+            expected += 1;
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_exact(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.schedule(SimTime::from_micros(*t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, _, p)) = q.pop() {
+            popped.push(p);
+        }
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// Rng streams are reproducible: same seed, same sequence.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Derivation is independent of how much parent state was consumed.
+    #[test]
+    fn rng_derive_position_independent(seed in any::<u64>(), burn in 0usize..64, label in any::<u64>()) {
+        let fresh = Rng::new(seed);
+        let mut consumed = Rng::new(seed);
+        for _ in 0..burn {
+            consumed.next_u64();
+        }
+        let mut d1 = fresh.derive(label);
+        let mut d2 = consumed.derive(label);
+        for _ in 0..8 {
+            prop_assert_eq!(d1.next_u64(), d2.next_u64());
+        }
+    }
+
+    /// below(n) is always < n.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut r = Rng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+
+    /// Clamped distributions always respect their bounds.
+    #[test]
+    fn dist_clamp_respected(seed in any::<u64>(), lo in -100.0f64..0.0, width in 0.0f64..100.0) {
+        let hi = lo + width;
+        let d = Dist::Normal { mean: 0.0, std_dev: 50.0 }.clamped(lo, hi);
+        let mut r = Rng::new(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut r);
+            prop_assert!(x >= lo && x <= hi, "{x} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Zipf samples stay within [1, n].
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1u64..5_000, s in 0.2f64..3.0) {
+        let mut r = Rng::new(seed);
+        for _ in 0..32 {
+            let k = r.zipf(n, s);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// SimTime/SimDuration arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrip(t in 0u64..1 << 40, d in 0u64..1 << 40) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur).saturating_since(time), dur);
+    }
+
+    /// Sampled indices are distinct and within bounds.
+    #[test]
+    fn sample_indices_invariant(seed in any::<u64>(), n in 0usize..200, k in 0usize..250) {
+        let mut r = Rng::new(seed);
+        let s = r.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+}

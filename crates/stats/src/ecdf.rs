@@ -1,0 +1,158 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most figures in the paper are ECDFs (latency per website, partners per
+//! site, late-bid fractions, bid prices). [`Ecdf`] produces the plotted
+//! series: for each distinct sample value, the fraction of samples at or
+//! below it.
+
+use crate::quantile::Samples;
+
+/// An empirical CDF over `f64` samples.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    samples: Samples,
+}
+
+/// One plotted ECDF point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EcdfPoint {
+    /// Sample value (x-axis).
+    pub x: f64,
+    /// Cumulative fraction `P[X <= x]` (y-axis).
+    pub p: f64,
+}
+
+impl Ecdf {
+    /// Build from raw values (non-finite discarded).
+    pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Ecdf {
+        Ecdf {
+            samples: Samples::from_iter(values),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `P[X <= x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.samples.frac_at_or_below(x)
+    }
+
+    /// Inverse ECDF (quantile function).
+    pub fn inverse(&self, p: f64) -> Option<f64> {
+        self.samples.quantile(p)
+    }
+
+    /// The underlying samples.
+    pub fn samples(&self) -> &Samples {
+        &self.samples
+    }
+
+    /// The full step-function series: one point per distinct value.
+    pub fn points(&self) -> Vec<EcdfPoint> {
+        let sorted = self.samples.sorted();
+        let n = sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = sorted[i];
+            let mut j = i + 1;
+            while j < n && sorted[j] == v {
+                j += 1;
+            }
+            out.push(EcdfPoint {
+                x: v,
+                p: j as f64 / n as f64,
+            });
+            i = j;
+        }
+        out
+    }
+
+    /// A downsampled series of at most `max_points` evenly spaced (in
+    /// probability) points — what a plotting script would consume.
+    pub fn series(&self, max_points: usize) -> Vec<EcdfPoint> {
+        let pts = self.points();
+        if pts.len() <= max_points || max_points == 0 {
+            return pts;
+        }
+        let mut out = Vec::with_capacity(max_points);
+        for k in 0..max_points {
+            let idx = k * (pts.len() - 1) / (max_points - 1);
+            out.push(pts[idx]);
+        }
+        out.dedup_by(|a, b| a.x == b.x);
+        out
+    }
+
+    /// Verify the monotonicity invariant (used by property tests).
+    pub fn is_monotone(&self) -> bool {
+        let pts = self.points();
+        pts.windows(2).all(|w| w[0].x < w[1].x && w[0].p <= w[1].p)
+            && pts.last().map(|p| (p.p - 1.0).abs() < 1e-9).unwrap_or(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_known_values() {
+        let e = Ecdf::from_iter(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn points_deduplicate_values() {
+        let e = Ecdf::from_iter(vec![5.0, 5.0, 5.0, 7.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], EcdfPoint { x: 5.0, p: 0.75 });
+        assert_eq!(pts[1], EcdfPoint { x: 7.0, p: 1.0 });
+    }
+
+    #[test]
+    fn last_point_reaches_one() {
+        let e = Ecdf::from_iter((0..100).map(|i| i as f64));
+        let pts = e.points();
+        assert!((pts.last().unwrap().p - 1.0).abs() < 1e-12);
+        assert!(e.is_monotone());
+    }
+
+    #[test]
+    fn series_downsamples() {
+        let e = Ecdf::from_iter((0..1000).map(|i| i as f64));
+        let s = e.series(10);
+        assert!(s.len() <= 10);
+        assert_eq!(s.first().unwrap().x, 0.0);
+        assert_eq!(s.last().unwrap().x, 999.0);
+    }
+
+    #[test]
+    fn inverse_matches_quantile() {
+        let e = Ecdf::from_iter(vec![10.0, 20.0, 30.0]);
+        assert_eq!(e.inverse(0.5), Some(20.0));
+        assert_eq!(e.inverse(0.0), Some(10.0));
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let e = Ecdf::from_iter(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 1.0); // vacuous: 1 - frac_above(=0)
+        assert!(e.points().is_empty());
+        assert!(e.is_monotone());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for statistics invariants.
+
+use hb_stats::{Ecdf, Samples, Whisker};
+use proptest::prelude::*;
+
+proptest! {
+    /// ECDFs are monotone non-decreasing and end at 1.
+    #[test]
+    fn ecdf_monotone(values in proptest::collection::vec(-1e9f64..1e9, 0..300)) {
+        let e = Ecdf::from_iter(values);
+        prop_assert!(e.is_monotone());
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Samples::from_iter(values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for q in qs {
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= last);
+            prop_assert!(v >= s.min().unwrap() - 1e-9);
+            prop_assert!(v <= s.max().unwrap() + 1e-9);
+            last = v;
+        }
+    }
+
+    /// Whisker percentiles are always ordered.
+    #[test]
+    fn whisker_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let w = Whisker::from_iter(values).unwrap();
+        prop_assert!(w.is_ordered());
+        prop_assert!(w.box_spread() >= 0.0);
+        prop_assert!(w.whisker_spread() >= 0.0);
+    }
+
+    /// frac_above + frac_at_or_below = 1.
+    #[test]
+    fn fracs_partition(values in proptest::collection::vec(-100f64..100.0, 1..100), t in -100f64..100.0) {
+        let s = Samples::from_iter(values);
+        let sum = s.frac_above(t) + s.frac_at_or_below(t);
+        prop_assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    /// CSV escape/parse round-trips arbitrary fields.
+    #[test]
+    fn csv_roundtrip(fields in proptest::collection::vec("[ -~]{0,16}", 1..6)) {
+        let strings: Vec<String> = fields;
+        let line: String = strings
+            .iter()
+            .map(|f| hb_stats::csv_escape(f))
+            .collect::<Vec<_>>()
+            .join(",") + "\n";
+        let rows = hb_stats::parse_csv(&line);
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(&rows[0], &strings);
+    }
+}

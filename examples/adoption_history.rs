@@ -1,0 +1,31 @@
+//! Historical adoption: the six-year Wayback study (Figure 4) plus the
+//! toplist overlap sanity check (§3.2), using the static-analysis path of
+//! the detector.
+//!
+//! Run with: `cargo run --example adoption_history`
+
+use hb_repro::analysis::adoption;
+use hb_repro::prelude::*;
+
+fn main() {
+    println!("scanning archived top-1k snapshots for 2014-2019…\n");
+    let points = adoption_study(42, 1_000);
+    let overlaps = overlap_study(42, 5_000);
+
+    print!("{}", adoption::f04_adoption(&points).render());
+    print!("{}", adoption::f04b_overlaps(&overlaps).render());
+
+    println!("\nyear-by-year detail (static analysis vs archive ground truth):");
+    for p in &points {
+        let bar = "#".repeat((p.detected_rate * 100.0).round() as usize);
+        println!(
+            "  {}  {:>5.1}% detected ({:>5.1}% true)  {bar}",
+            p.year,
+            p.detected_rate * 100.0,
+            p.true_rate * 100.0
+        );
+    }
+    println!(
+        "\nearly adopters (~10% in 2014) grew to a steady ~20% plateau after the\n2016 breakthrough — the Figure 4 shape."
+    );
+}

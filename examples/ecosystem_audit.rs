@@ -1,0 +1,48 @@
+//! Ecosystem audit: run a reduced-scale campaign and print the market
+//! structure figures — dataset summary (Table 1), adoption by rank band,
+//! facet breakdown, top partners, partners per site, and combinations.
+//!
+//! Run with: `cargo run --release --example ecosystem_audit`
+
+use hb_repro::analysis::{partners, summary};
+use hb_repro::prelude::*;
+
+fn main() {
+    let eco = Ecosystem::generate(EcosystemConfig::test_scale());
+    println!(
+        "generated universe: {} sites / {} partners; crawling {} days…",
+        eco.sites.len(),
+        eco.partner_list().len(),
+        eco.config.crawl_days
+    );
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    println!(
+        "campaign finished: {} visits, {} HB domains\n",
+        ds.visits.len(),
+        ds.hb_domains().len()
+    );
+
+    for report in [
+        summary::t1_summary(&ds),
+        summary::adoption_bands(&ds),
+        summary::facet_breakdown(&ds),
+        partners::f08_top_partners(&ds),
+        partners::f09_partners_per_site(&ds),
+        partners::f10_combinations(&ds),
+        partners::f11_bids_by_facet(&ds),
+    ] {
+        print!("{}", report.render());
+    }
+
+    // Headline checks against the paper's market-structure findings.
+    let f8 = partners::f08_top_partners(&ds);
+    println!(
+        "\nDFP present on {:.1}% of HB sites (paper: >80%)",
+        f8.metric("dfp_share").unwrap() * 100.0
+    );
+    let f9 = partners::f09_partners_per_site(&ds);
+    println!(
+        "{:.1}% of HB sites use a single Demand Partner (paper: >50%)",
+        f9.metric("share_one_partner").unwrap() * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Latency study: regenerate the user-experience figures — the total HB
+//! latency ECDF, latency vs rank / partner count / slot count, per-partner
+//! whiskers, late-bid accounting, and the waterfall comparison.
+//!
+//! Run with: `cargo run --release --example latency_study`
+
+use hb_repro::analysis::{late, latency, slots, waterfall_cmp};
+use hb_repro::prelude::*;
+
+fn main() {
+    let eco = Ecosystem::generate(EcosystemConfig::test_scale());
+    println!("crawling {} sites for latency analysis…", eco.sites.len());
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+
+    for report in [
+        latency::f12_latency_ecdf(&ds),
+        latency::f13_latency_vs_rank(&ds),
+        latency::f14_partner_latency(&ds),
+        latency::f15_latency_vs_partners(&ds),
+        latency::f16_latency_vs_popularity(&ds),
+        late::f17_late_ecdf(&ds),
+        late::f18_late_by_partner(&ds),
+        slots::f20_latency_vs_slots(&ds),
+        waterfall_cmp::x01_waterfall_compare(&ds),
+    ] {
+        print!("{}", report.render());
+    }
+
+    let f12 = latency::f12_latency_ecdf(&ds);
+    let x1 = waterfall_cmp::x01_waterfall_compare(&ds);
+    println!("\n=== headline numbers ===");
+    println!(
+        "median HB latency: {:.0} ms; {:.1}% of visits exceed 3 s",
+        f12.metric("median_ms").unwrap(),
+        f12.metric("frac_over_3s").unwrap() * 100.0
+    );
+    println!(
+        "HB vs waterfall: {:.2}x at the median, {:.2}x at p90 (paper: up to 3x median)",
+        x1.metric("median_ratio").unwrap(),
+        x1.metric("p90_ratio").unwrap()
+    );
+}

@@ -1,0 +1,85 @@
+//! Quickstart: attach HBDetector to a single page visit and inspect what
+//! it sees — events, requests, bids, facet, latency.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hb_repro::prelude::*;
+
+fn main() {
+    // A tiny deterministic universe: 200 sites, 84 demand partners.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    println!(
+        "universe: {} sites, {} run header bidding, {} demand partners",
+        eco.sites.len(),
+        eco.hb_sites().count(),
+        eco.partner_list().len()
+    );
+
+    // Visit the highest-ranked HB site with the detector attached.
+    let site = eco.hb_sites().next().expect("tiny universe has HB sites");
+    println!(
+        "\nvisiting {} (rank {}, ground-truth facet: {})",
+        site.domain,
+        site.rank,
+        site.facet.unwrap()
+    );
+    let visit = crawl_site(
+        eco.net(),
+        eco.runtime_for(site),
+        eco.partner_list(),
+        eco.visit_rng(site.rank, 0),
+        0,
+        &SessionConfig::default(),
+    );
+
+    let r = &visit.record;
+    println!("\n=== HBDetector findings ===");
+    println!("hb detected:      {}", r.hb_detected);
+    println!(
+        "facet:            {}",
+        r.facet.map(|f| f.label()).unwrap_or("-")
+    );
+    println!("partners:         {}", r.partners.join(", "));
+    println!("slots auctioned:  {}", r.slots_auctioned);
+    println!(
+        "total HB latency: {:.0} ms",
+        r.hb_latency_ms.unwrap_or(f64::NAN)
+    );
+    println!(
+        "bids:             {} ({} late)",
+        r.bids.len(),
+        r.late_bids()
+    );
+    for b in &r.bids {
+        println!(
+            "  - {} bid {:.4} CPM on {} ({}, {})",
+            b.bidder_code,
+            b.cpm,
+            b.slot,
+            b.size,
+            if b.late { "LATE" } else { "in time" }
+        );
+    }
+    println!("\nDOM events observed:");
+    for (name, count) in &r.event_counts {
+        println!("  {name:>18} x{count}");
+    }
+    println!("\nslot outcomes:");
+    for s in &r.slots {
+        println!(
+            "  {} ({}) <- {} @ {:.2} via {}",
+            s.slot,
+            s.size,
+            if s.winner.is_empty() { "-" } else { &s.winner },
+            s.price,
+            s.channel
+        );
+    }
+
+    // The detector's verdict matches the simulation's ground truth.
+    assert_eq!(
+        r.facet.map(|f| f.label()),
+        visit.truth.facet.map(|f| f.label())
+    );
+    println!("\ndetector facet matches ground truth: OK");
+}

@@ -1,0 +1,53 @@
+//! # hb-repro
+//!
+//! Reproduction of *"No More Chasing Waterfalls: A Measurement Study of
+//! the Header Bidding Ad-Ecosystem"* (IMC 2019) as a Rust workspace.
+//!
+//! This façade crate re-exports the whole stack:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | engine | [`simnet`] | discrete-event simulator, RNG, distributions, faults |
+//! | web | [`http`] | URLs, query params, JSON, messages, endpoints/router |
+//! | browser | [`dom`] | DOM events, HTML scanning, JS thread, webRequest bus |
+//! | ad-tech | [`adtech`] | partners, RTB, ad server, HB wrapper, waterfall |
+//! | **detector** | [`core`] | **HBDetector — the paper's contribution** |
+//! | universe | [`ecosystem`] | 84-partner catalog, publishers, toplists, Wayback |
+//! | harness | [`crawler`] | sessions, campaigns, datasets |
+//! | statistics | [`stats`] | ECDF, quantiles, whiskers, tables |
+//! | figures | [`analysis`] | every table/figure regenerated as a report |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hb_repro::prelude::*;
+//!
+//! // A 200-site universe, crawled once.
+//! let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+//! let dataset = run_campaign(&eco, &CampaignConfig::default());
+//! let summary = hb_repro::analysis::summary::t1_summary(&dataset);
+//! assert!(summary.metric("websites_with_hb").unwrap() > 0.0);
+//! ```
+
+pub use hb_adtech as adtech;
+pub use hb_analysis as analysis;
+pub use hb_core as core;
+pub use hb_crawler as crawler;
+pub use hb_dom as dom;
+pub use hb_ecosystem as ecosystem;
+pub use hb_http as http;
+pub use hb_simnet as simnet;
+pub use hb_stats as stats;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use hb_adtech::{AdSize, AdUnit, Cpm, HbFacet};
+    pub use hb_analysis::{all_reports, dataset_reports, FigureReport};
+    pub use hb_core::{HbDetector, PartnerList, VisitRecord};
+    pub use hb_crawler::{
+        adoption_study, crawl_site, overlap_study, run_campaign, CampaignConfig, CrawlDataset,
+        SessionConfig,
+    };
+    pub use hb_ecosystem::{Ecosystem, EcosystemConfig};
+    pub use hb_simnet::{Rng, SimDuration, SimTime};
+}

@@ -1,0 +1,16 @@
+//! Shared integration-test fixtures: one test-scale campaign per process.
+
+use hb_repro::prelude::*;
+use std::sync::OnceLock;
+
+/// The test-scale ecosystem (1,400 sites × 3 days), generated once.
+pub fn ecosystem() -> &'static Ecosystem {
+    static ECO: OnceLock<Ecosystem> = OnceLock::new();
+    ECO.get_or_init(|| Ecosystem::generate(EcosystemConfig::test_scale()))
+}
+
+/// The test-scale dataset, crawled once.
+pub fn dataset() -> &'static CrawlDataset {
+    static DS: OnceLock<CrawlDataset> = OnceLock::new();
+    DS.get_or_init(|| run_campaign(ecosystem(), &CampaignConfig::default()))
+}

@@ -1,0 +1,67 @@
+//! Dataset persistence: CSV round-trips and file output.
+
+use hb_repro::prelude::*;
+
+#[test]
+fn save_writes_three_csv_files() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    let dir = std::env::temp_dir().join(format!("hb-repro-test-{}", std::process::id()));
+    ds.save(&dir).expect("save dataset");
+    for f in ["visits.csv", "bids.csv", "truth.csv"] {
+        let path = dir.join(f);
+        let content = std::fs::read_to_string(&path).expect("file exists");
+        assert!(content.lines().count() > 1, "{f} has data rows");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truth_csv_roundtrip_preserves_every_record() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    let csv = ds.truths_csv();
+    let back = CrawlDataset::load_truths(&csv);
+    assert_eq!(back.len(), ds.truths.len());
+    for (a, b) in ds.truths.iter().zip(back.iter()) {
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.day, b.day);
+        assert_eq!(a.facet, b.facet);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.client_bids, b.client_bids);
+        assert_eq!(a.late_bids, b.late_bids);
+        assert_eq!(a.hb_wins, b.hb_wins);
+        match (a.hb_latency_ms, b.hb_latency_ms) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 0.01),
+            (None, None) => {}
+            other => panic!("latency mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn visits_csv_is_well_formed() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    let csv = ds.visits_csv();
+    let rows = hb_repro::stats::parse_csv(&csv);
+    assert_eq!(rows[0].len(), 11, "11 header columns");
+    assert_eq!(rows.len(), ds.visits.len() + 1);
+    for row in rows.iter().skip(1) {
+        assert_eq!(row.len(), 11, "row width");
+        assert!(row[1].parse::<u32>().is_ok(), "rank parses");
+        assert!(matches!(
+            row[4].as_str(),
+            "none" | "client-side" | "server-side" | "hybrid"
+        ));
+    }
+}
+
+#[test]
+fn bids_csv_rows_match_bid_count() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    let csv = ds.bids_csv();
+    let rows = hb_repro::stats::parse_csv(&csv);
+    assert_eq!(rows.len() as u64, ds.total_bids() + 1);
+}

@@ -1,0 +1,80 @@
+//! Reproducibility guarantees: identical seeds yield identical universes,
+//! crawls and reports, regardless of parallelism.
+
+use hb_repro::prelude::*;
+
+#[test]
+fn same_seed_same_dataset() {
+    let run = || {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        run_campaign(&eco, &CampaignConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.visits.len(), b.visits.len());
+    for (x, y) in a.visits.iter().zip(b.visits.iter()) {
+        assert_eq!(x.domain, y.domain);
+        assert_eq!(x.day, y.day);
+        assert_eq!(x.hb_detected, y.hb_detected);
+        assert_eq!(x.hb_latency_ms, y.hb_latency_ms);
+        assert_eq!(x.bids.len(), y.bids.len());
+        for (bx, by) in x.bids.iter().zip(y.bids.iter()) {
+            assert_eq!(bx.bidder_code, by.bidder_code);
+            assert_eq!(bx.cpm, by.cpm);
+            assert_eq!(bx.late, by.late);
+        }
+    }
+}
+
+#[test]
+fn parallelism_does_not_change_results() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let serial = run_campaign(
+        &eco,
+        &CampaignConfig {
+            parallelism: 1,
+            ..CampaignConfig::default()
+        },
+    );
+    let parallel = run_campaign(
+        &eco,
+        &CampaignConfig {
+            parallelism: 8,
+            ..CampaignConfig::default()
+        },
+    );
+    assert_eq!(serial.visits.len(), parallel.visits.len());
+    for (a, b) in serial.visits.iter().zip(parallel.visits.iter()) {
+        assert_eq!(a.domain, b.domain);
+        assert_eq!(a.hb_latency_ms, b.hb_latency_ms);
+        assert_eq!(a.slots_auctioned, b.slots_auctioned);
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let build = || {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let ds = run_campaign(&eco, &CampaignConfig::default());
+        hb_repro::analysis::dataset_reports(&ds)
+            .into_iter()
+            .map(|r| r.render())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(100));
+    let b = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(200));
+    let hb_a: Vec<u32> = a.hb_sites().map(|s| s.rank).collect();
+    let hb_b: Vec<u32> = b.hb_sites().map(|s| s.rank).collect();
+    assert_ne!(hb_a, hb_b, "different seeds must differ");
+}
+
+#[test]
+fn adoption_and_overlap_studies_are_deterministic() {
+    assert_eq!(adoption_study(9, 400), adoption_study(9, 400));
+    assert_eq!(overlap_study(9, 400), overlap_study(9, 400));
+}
