@@ -1,0 +1,324 @@
+//! The columnar analysis index: build once per dataset, read by every
+//! figure.
+//!
+//! ## Why
+//!
+//! The row-oriented [`CrawlDataset`] stores one `VisitRecord` per visit
+//! with nested bid/latency/slot vectors. Every figure used to re-walk
+//! that structure — visiting ~20 pointer-chasing fields to extract the
+//! two or three columns it actually needed, and re-deriving the same
+//! per-site partner unions and popularity rankings up to five times per
+//! report run. [`DatasetIndex`] hoists all of that into flat, parallel
+//! arrays (struct-of-arrays) plus the shared derived tables, so figure
+//! builders become tight scans over contiguous memory.
+//!
+//! ## Contract: build once, read many
+//!
+//! * [`DatasetIndex::build`] performs **one** pass over the dataset (plus
+//!   sorts for the derived tables) and borrows the dataset immutably; it
+//!   never mutates or copies record strings — symbols are resolved
+//!   against `ds.strings` on demand.
+//! * Figure builders take `&DatasetIndex` and must not re-scan
+//!   `ds.visits`; everything order-sensitive (site tables sorted by
+//!   domain, partner tables sorted by name, popularity sorted by count
+//!   desc / name asc) is precomputed here so ported figures stay
+//!   byte-identical to their row-scan ancestors.
+//! * The index is immutable after build; share it freely (`&` across
+//!   threads is fine — it is `Sync` like the dataset).
+//!
+//! Every column below is consumed by at least one figure builder — when a
+//! figure stops needing a column, delete it here too; `DatasetIndex::build`
+//! cost (tracked by the `figure/INDEX_build` bench) is paid per column.
+//!
+//! Column groups, all parallel within their group:
+//!
+//! | group | arrays | one row per |
+//! |---|---|---|
+//! | HB visits | `v_*` | visit with `hb_detected` |
+//! | day-0 visits | `d0_*` | visit with `day == 0` (HB or not) |
+//! | bids | `b_*` | detected bid in an HB visit |
+//! | latency observations | `l_*` | partner latency sample |
+//! | slot decisions | `s_*` | slot decision in an HB visit |
+
+use hb_core::{DetectedFacet, Symbol};
+use hb_crawler::CrawlDataset;
+use std::collections::HashMap;
+
+/// One HB site (distinct domain) with its cross-visit aggregates.
+#[derive(Clone, Debug)]
+pub struct SiteRow {
+    /// Site domain.
+    pub domain: Symbol,
+    /// Union of partner names over all visits, sorted by resolved name.
+    pub partners: Vec<Symbol>,
+    /// Every measured per-visit HB latency of this site, in visit order.
+    pub latencies: Vec<f64>,
+}
+
+/// Columnar view over one [`CrawlDataset`]. See the module docs for the
+/// build-once/read-many contract.
+pub struct DatasetIndex<'a> {
+    /// The indexed dataset (strings resolve against `ds.strings`).
+    pub ds: &'a CrawlDataset,
+
+    // --- HB-visit columns (one row per hb_detected visit) -----------------
+    /// Site rank.
+    pub v_rank: Vec<u32>,
+    /// Crawl day.
+    pub v_day: Vec<u32>,
+    /// Facet verdict.
+    pub v_facet: Vec<Option<DetectedFacet>>,
+    /// Total HB latency ms (`NaN` when unmeasured).
+    pub v_latency: Vec<f64>,
+    /// Slots auctioned.
+    pub v_slots_auctioned: Vec<u32>,
+    /// Number of bids.
+    pub v_n_bids: Vec<u32>,
+    /// Number of late bids.
+    pub v_n_late: Vec<u32>,
+
+    // --- day-0 sweep columns (every visit, HB or not) ---------------------
+    /// Site rank.
+    pub d0_rank: Vec<u32>,
+    /// Detector verdict.
+    pub d0_hb: Vec<bool>,
+    /// Facet of detected sites (`None` otherwise).
+    pub d0_facet: Vec<Option<DetectedFacet>>,
+
+    // --- bid columns ------------------------------------------------------
+    /// Row index into the HB-visit columns.
+    pub b_visit: Vec<u32>,
+    /// Bidder code.
+    pub b_bidder: Vec<Symbol>,
+    /// Partner display name.
+    pub b_partner: Vec<Symbol>,
+    /// Size string.
+    pub b_size: Vec<Symbol>,
+    /// CPM price.
+    pub b_cpm: Vec<f64>,
+
+    // --- partner latency observation columns ------------------------------
+    /// Partner display name.
+    pub l_partner: Vec<Symbol>,
+    /// Late flag.
+    pub l_late: Vec<bool>,
+
+    // --- slot decision columns --------------------------------------------
+    /// Row index into the HB-visit columns.
+    pub s_visit: Vec<u32>,
+    /// Size string.
+    pub s_size: Vec<Symbol>,
+
+    // --- derived tables ---------------------------------------------------
+    /// Distinct HB sites sorted by domain name.
+    pub sites: Vec<SiteRow>,
+    /// Partner popularity `(name, distinct sites)`, count desc / name asc.
+    pub partner_popularity: Vec<(Symbol, usize)>,
+    /// Per-partner latency samples, sorted by partner name; samples keep
+    /// visit order.
+    pub partner_latency: Vec<(Symbol, Vec<f64>)>,
+    /// Lookup from partner symbol to its `partner_latency` row.
+    pub partner_latency_by_sym: HashMap<Symbol, u32>,
+}
+
+impl<'a> DatasetIndex<'a> {
+    /// Build the index in one pass over `ds` (plus derived-table sorts).
+    pub fn build(ds: &'a CrawlDataset) -> DatasetIndex<'a> {
+        let mut ix = DatasetIndex {
+            ds,
+            v_rank: Vec::new(),
+            v_day: Vec::new(),
+            v_facet: Vec::new(),
+            v_latency: Vec::new(),
+            v_slots_auctioned: Vec::new(),
+            v_n_bids: Vec::new(),
+            v_n_late: Vec::new(),
+            d0_rank: Vec::new(),
+            d0_hb: Vec::new(),
+            d0_facet: Vec::new(),
+            b_visit: Vec::new(),
+            b_bidder: Vec::new(),
+            b_partner: Vec::new(),
+            b_size: Vec::new(),
+            b_cpm: Vec::new(),
+            l_partner: Vec::new(),
+            l_late: Vec::new(),
+            s_visit: Vec::new(),
+            s_size: Vec::new(),
+            sites: Vec::new(),
+            partner_popularity: Vec::new(),
+            partner_latency: Vec::new(),
+            partner_latency_by_sym: HashMap::new(),
+        };
+
+        // Per-domain accumulation (keyed by symbol; sorted by name below).
+        let mut site_rows: HashMap<Symbol, SiteRow> = HashMap::new();
+        let mut partner_samples: HashMap<Symbol, Vec<f64>> = HashMap::new();
+
+        for v in &ds.visits {
+            if v.day == 0 {
+                ix.d0_rank.push(v.rank);
+                ix.d0_hb.push(v.hb_detected);
+                ix.d0_facet.push(v.facet);
+            }
+            if !v.hb_detected {
+                continue;
+            }
+            let vrow = ix.v_rank.len() as u32;
+            ix.v_rank.push(v.rank);
+            ix.v_day.push(v.day);
+            ix.v_facet.push(v.facet);
+            ix.v_latency.push(v.hb_latency_ms.unwrap_or(f64::NAN));
+            ix.v_slots_auctioned.push(v.slots_auctioned);
+            ix.v_n_bids.push(v.bids.len() as u32);
+            ix.v_n_late.push(v.late_bids() as u32);
+
+            let site = site_rows.entry(v.domain).or_insert_with(|| SiteRow {
+                domain: v.domain,
+                partners: Vec::new(),
+                latencies: Vec::new(),
+            });
+            for p in &v.partners {
+                if !site.partners.contains(p) {
+                    site.partners.push(*p);
+                }
+            }
+            if let Some(lat) = v.hb_latency_ms {
+                site.latencies.push(lat);
+            }
+
+            for b in &v.bids {
+                ix.b_visit.push(vrow);
+                ix.b_bidder.push(b.bidder_code);
+                ix.b_partner.push(b.partner_name);
+                ix.b_size.push(b.size);
+                ix.b_cpm.push(b.cpm);
+            }
+            for pl in &v.partner_latencies {
+                ix.l_partner.push(pl.partner_name);
+                ix.l_late.push(pl.late);
+                partner_samples
+                    .entry(pl.partner_name)
+                    .or_default()
+                    .push(pl.latency_ms);
+            }
+            for s in &v.slots {
+                ix.s_visit.push(vrow);
+                ix.s_size.push(s.size);
+            }
+        }
+
+        // Sites sorted by domain name; partner sets sorted by name.
+        let mut sites: Vec<SiteRow> = site_rows.into_values().collect();
+        for site in &mut sites {
+            site.partners
+                .sort_unstable_by(|a, b| ds.str(*a).cmp(ds.str(*b)));
+        }
+        sites.sort_unstable_by(|a, b| ds.str(a.domain).cmp(ds.str(b.domain)));
+        ix.sites = sites;
+
+        // Partner popularity: distinct sites per partner, from the sorted
+        // site table; ranked count desc, name asc.
+        let mut pop: HashMap<Symbol, usize> = HashMap::new();
+        for site in &ix.sites {
+            for p in &site.partners {
+                *pop.entry(*p).or_insert(0) += 1;
+            }
+        }
+        let mut popularity: Vec<(Symbol, usize)> = pop.into_iter().collect();
+        popularity.sort_unstable_by(|a, b| {
+            b.1.cmp(&a.1).then_with(|| ds.str(a.0).cmp(ds.str(b.0)))
+        });
+        ix.partner_popularity = popularity;
+
+        // Per-partner latency samples sorted by name, with a reverse map.
+        let mut partner_latency: Vec<(Symbol, Vec<f64>)> = partner_samples.into_iter().collect();
+        partner_latency.sort_unstable_by(|a, b| ds.str(a.0).cmp(ds.str(b.0)));
+        ix.partner_latency_by_sym = partner_latency
+            .iter()
+            .enumerate()
+            .map(|(i, (sym, _))| (*sym, i as u32))
+            .collect();
+        ix.partner_latency = partner_latency;
+
+        ix
+    }
+
+    /// Resolve a symbol against the dataset interner.
+    pub fn str(&self, sym: Symbol) -> &'a str {
+        self.ds.strings.resolve(sym)
+    }
+
+    /// Number of HB-visit rows.
+    pub fn n_hb_visits(&self) -> usize {
+        self.v_rank.len()
+    }
+
+    /// Number of distinct HB sites.
+    pub fn n_hb_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Latency samples for one partner, if any were observed.
+    pub fn latency_samples_of(&self, partner: Symbol) -> Option<&[f64]> {
+        self.partner_latency_by_sym
+            .get(&partner)
+            .map(|&i| &self.partner_latency[i as usize].1[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_fixtures::small_index;
+
+    #[test]
+    fn columns_are_consistent() {
+        let ix = small_index();
+        let n = ix.n_hb_visits();
+        assert!(n > 100);
+        assert_eq!(ix.v_latency.len(), n);
+        assert_eq!(ix.v_n_bids.len(), n);
+        assert_eq!(ix.b_visit.len(), ix.b_cpm.len());
+        assert_eq!(ix.l_partner.len(), ix.l_late.len());
+        assert_eq!(ix.s_visit.len(), ix.s_size.len());
+        // Bid rows point at valid visit rows.
+        assert!(ix.b_visit.iter().all(|&v| (v as usize) < n));
+        // Totals line up with the row-oriented accessors.
+        let total_bids: u32 = ix.v_n_bids.iter().sum();
+        assert_eq!(total_bids as usize, ix.b_visit.len());
+        assert_eq!(total_bids as u64, ix.ds.total_bids());
+    }
+
+    #[test]
+    fn sites_sorted_by_domain() {
+        let ix = small_index();
+        assert!(ix.n_hb_sites() > 10);
+        let domains: Vec<&str> = ix.sites.iter().map(|s| ix.str(s.domain)).collect();
+        let mut sorted = domains.clone();
+        sorted.sort_unstable();
+        assert_eq!(domains, sorted);
+        assert_eq!(ix.n_hb_sites(), ix.ds.hb_domains().len());
+    }
+
+    #[test]
+    fn popularity_ranked_desc() {
+        let ix = small_index();
+        for w in ix.partner_popularity.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+            if w[0].1 == w[1].1 {
+                assert!(ix.str(w[0].0) < ix.str(w[1].0));
+            }
+        }
+    }
+
+    #[test]
+    fn partner_latency_lookup_consistent() {
+        let ix = small_index();
+        assert!(!ix.partner_latency.is_empty());
+        for (sym, samples) in &ix.partner_latency {
+            assert_eq!(ix.latency_samples_of(*sym).unwrap(), &samples[..]);
+        }
+        let total: usize = ix.partner_latency.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, ix.l_partner.len());
+    }
+}

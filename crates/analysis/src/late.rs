@@ -1,20 +1,22 @@
 //! Late-bid analyses: the late-fraction ECDF (Fig. 17) and per-partner
 //! late rates (Fig. 18).
+//!
+//! Both builders read the columnar [`DatasetIndex`] visit/latency columns.
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
+use hb_core::Symbol;
 use hb_stats::{fmt_pct, Align, Ecdf, Table};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Fig. 17: ECDF of the fraction of bids that arrived late, over auctions
 /// that had at least one late bid.
-pub fn f17_late_ecdf(ds: &CrawlDataset) -> FigureReport {
+pub fn f17_late_ecdf(ix: &DatasetIndex) -> FigureReport {
     let mut fractions = Vec::new();
     let mut late_counts = Vec::new();
-    for v in ds.hb_visits() {
-        let late = v.late_bids();
+    for (row, &late) in ix.v_n_late.iter().enumerate() {
         if late > 0 {
-            fractions.push(late as f64 / v.bids.len() as f64);
+            fractions.push(late as f64 / ix.v_n_bids[row] as f64);
             late_counts.push(late as f64);
         }
     }
@@ -52,26 +54,28 @@ pub fn f17_late_ecdf(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 18: percentage of late bids per Demand Partner.
-pub fn f18_late_by_partner(ds: &CrawlDataset) -> FigureReport {
+pub fn f18_late_by_partner(ix: &DatasetIndex) -> FigureReport {
     // Use request-level latency observations (they exist for no-bid
     // responses too, matching the paper's "bids sent" framing).
-    let mut per_partner: BTreeMap<&str, (u32, u32)> = BTreeMap::new(); // (late, total)
-    for v in ds.hb_visits() {
-        for pl in &v.partner_latencies {
-            let e = per_partner.entry(pl.partner_name.as_str()).or_default();
-            e.1 += 1;
-            if pl.late {
-                e.0 += 1;
-            }
+    let mut per_partner: HashMap<Symbol, (u32, u32)> = HashMap::new(); // (late, total)
+    for (row, partner) in ix.l_partner.iter().enumerate() {
+        let e = per_partner.entry(*partner).or_default();
+        e.1 += 1;
+        if ix.l_late[row] {
+            e.0 += 1;
         }
     }
     let min_obs = 5;
     let mut rates: Vec<(&str, f64, u32)> = per_partner
         .into_iter()
         .filter(|(_, (_, total))| *total >= min_obs)
-        .map(|(p, (late, total))| (p, late as f64 / total as f64, total))
+        .map(|(p, (late, total))| (ix.str(p), late as f64 / total as f64, total))
         .collect();
-    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    rates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then_with(|| a.0.cmp(b.0))
+    });
 
     let mut table = Table::new(
         "Fig. 18 — % of late bids per Demand Partner (top 25)",
@@ -100,12 +104,12 @@ pub fn f18_late_by_partner(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn f17_fractions_are_valid() {
-        let ds = small_dataset();
-        let r = f17_late_ecdf(&ds);
+        let ix = small_index();
+        let r = f17_late_ecdf(ix);
         let median = r.metric("median_late_fraction").unwrap();
         assert!((0.0..=1.0).contains(&median));
         assert!(r.metric("auctions_with_late").unwrap() > 0.0);
@@ -116,8 +120,8 @@ mod tests {
 
     #[test]
     fn f17_misconfigured_sites_drive_high_fractions() {
-        let ds = small_dataset();
-        let r = f17_late_ecdf(&ds);
+        let ix = small_index();
+        let r = f17_late_ecdf(ix);
         // Misconfigured wrappers lose all their bids, so the upper tail
         // must be populated.
         let ge80 = r.metric("share_ge80pct_late").unwrap();
@@ -126,8 +130,8 @@ mod tests {
 
     #[test]
     fn f18_late_prone_partners_surface() {
-        let ds = small_dataset();
-        let r = f18_late_by_partner(&ds);
+        let ix = small_index();
+        let r = f18_late_by_partner(ix);
         assert!(r.metric("partners_measured").unwrap() > 5.0);
         assert!(
             r.metric("max_late_rate").unwrap() > 0.4,

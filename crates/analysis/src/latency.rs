@@ -1,21 +1,23 @@
 //! Latency analyses: total HB latency ECDF (Fig. 12), latency vs rank
 //! (Fig. 13), fastest/top/slowest partners (Fig. 14), latency vs number of
 //! partners (Fig. 15), latency variability vs partner popularity (Fig. 16).
+//!
+//! All builders read the columnar [`DatasetIndex`] (build once, read
+//! many) instead of re-scanning the row-oriented visit records.
 
-use crate::partners::visits_by_domain;
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
 use hb_stats::{fmt_ms, fmt_pct, Align, Ecdf, GroupedSamples, Samples, Table, Whisker};
 use std::collections::BTreeMap;
 
-/// All per-visit HB latencies (ms).
-fn visit_latencies(ds: &CrawlDataset) -> Vec<f64> {
-    ds.hb_visits().filter_map(|v| v.hb_latency_ms).collect()
+/// All per-visit HB latencies (ms), in visit order.
+fn visit_latencies(ix: &DatasetIndex) -> Vec<f64> {
+    ix.v_latency.iter().copied().filter(|l| !l.is_nan()).collect()
 }
 
 /// Fig. 12: ECDF of total HB latency per website.
-pub fn f12_latency_ecdf(ds: &CrawlDataset) -> FigureReport {
-    let lats = visit_latencies(ds);
+pub fn f12_latency_ecdf(ix: &DatasetIndex) -> FigureReport {
+    let lats = visit_latencies(ix);
     let ecdf = Ecdf::from_iter(lats.iter().copied());
     let s = Samples::from_iter(lats.iter().copied());
     let mut table = Table::new(
@@ -47,12 +49,12 @@ pub fn f12_latency_ecdf(ds: &CrawlDataset) -> FigureReport {
 
 /// Fig. 13: latency vs site rank, in rank bins scaled like the paper's
 /// bins of 500 (universe/70).
-pub fn f13_latency_vs_rank(ds: &CrawlDataset) -> FigureReport {
-    let bin_width = (ds.n_sites as u64 / 70).max(1);
+pub fn f13_latency_vs_rank(ix: &DatasetIndex) -> FigureReport {
+    let bin_width = (ix.ds.n_sites as u64 / 70).max(1);
     let mut grouped = GroupedSamples::new();
-    for v in ds.hb_visits() {
-        if let Some(lat) = v.hb_latency_ms {
-            grouped.add(v.rank as u64 - 1, lat);
+    for (i, &lat) in ix.v_latency.iter().enumerate() {
+        if !lat.is_nan() {
+            grouped.add(ix.v_rank[i] as u64 - 1, lat);
         }
     }
     let binned = grouped.rebinned(bin_width);
@@ -71,10 +73,12 @@ pub fn f13_latency_vs_rank(ds: &CrawlDataset) -> FigureReport {
         ]);
     }
     let head_median = binned.get(0).and_then(|s| s.median()).unwrap_or(0.0);
-    let rest: Vec<f64> = ds
-        .hb_visits()
-        .filter(|v| v.rank as u64 > bin_width)
-        .filter_map(|v| v.hb_latency_ms)
+    let rest: Vec<f64> = ix
+        .v_latency
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| ix.v_rank[*i] as u64 > bin_width && !l.is_nan())
+        .map(|(_, l)| *l)
         .collect();
     let rest_median = Samples::from_iter(rest).median().unwrap_or(0.0);
     FigureReport {
@@ -94,43 +98,16 @@ pub fn f13_latency_vs_rank(ds: &CrawlDataset) -> FigureReport {
     }
 }
 
-/// Per-partner latency samples across the dataset.
-fn partner_latency_samples(ds: &CrawlDataset) -> BTreeMap<String, Vec<f64>> {
-    let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        for pl in &v.partner_latencies {
-            map.entry(pl.partner_name.clone())
-                .or_default()
-                .push(pl.latency_ms);
-        }
-    }
-    map
-}
-
-/// Partner popularity ranking (by number of distinct sites present on).
-pub fn partner_popularity(ds: &CrawlDataset) -> Vec<(String, usize)> {
-    let mut sites: BTreeMap<&str, std::collections::BTreeSet<&str>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        for p in &v.partners {
-            sites.entry(p.as_str()).or_default().insert(v.domain.as_str());
-        }
-    }
-    let mut ranked: Vec<(String, usize)> = sites
-        .into_iter()
-        .map(|(p, s)| (p.to_string(), s.len()))
-        .collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    ranked
-}
-
 /// Fig. 14: fastest, top-market and slowest partners (whiskers).
-pub fn f14_partner_latency(ds: &CrawlDataset) -> FigureReport {
-    let samples = partner_latency_samples(ds);
+pub fn f14_partner_latency(ix: &DatasetIndex) -> FigureReport {
     let min_obs = 8;
-    let mut whiskers: Vec<(String, Whisker)> = samples
+    let mut whiskers: Vec<(&str, Whisker)> = ix
+        .partner_latency
         .iter()
         .filter(|(_, v)| v.len() >= min_obs)
-        .filter_map(|(p, v)| Whisker::from_iter(v.iter().copied()).map(|w| (p.clone(), w)))
+        .filter_map(|(p, v)| {
+            Whisker::from_iter(v.iter().copied()).map(|w| (ix.str(*p), w))
+        })
         .collect();
     whiskers.sort_by(|a, b| a.1.p50.partial_cmp(&b.1.p50).unwrap());
 
@@ -147,11 +124,11 @@ pub fn f14_partner_latency(ds: &CrawlDataset) -> FigureReport {
         Align::Right,
         Align::Right,
     ]);
-    let push_rows = |table: &mut Table, group: &str, items: &[(String, Whisker)]| {
+    let push_rows = |table: &mut Table, group: &str, items: &[(&str, Whisker)]| {
         for (p, w) in items {
             table.row(vec![
                 group.into(),
-                p.clone(),
+                p.to_string(),
                 fmt_ms(w.p5),
                 fmt_ms(w.p25),
                 fmt_ms(w.p50),
@@ -166,7 +143,7 @@ pub fn f14_partner_latency(ds: &CrawlDataset) -> FigureReport {
         "DFP", "AppNexus", "Rubicon", "Criteo", "Index", "Amazon", "Openx", "Pubmatic", "AOL",
         "Sovrn", "Smart",
     ];
-    let top: Vec<(String, Whisker)> = top_names
+    let top: Vec<(&str, Whisker)> = top_names
         .iter()
         .filter_map(|n| {
             whiskers
@@ -200,27 +177,18 @@ pub fn f14_partner_latency(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 15: latency and share of sites vs number of partners.
-pub fn f15_latency_vs_partners(ds: &CrawlDataset) -> FigureReport {
+pub fn f15_latency_vs_partners(ix: &DatasetIndex) -> FigureReport {
     // Partner count per site (union over visits), latency per visit.
-    let by_domain = visits_by_domain(ds);
     let mut grouped = GroupedSamples::new();
     let mut site_counts = GroupedSamples::new();
-    for (_, visits) in by_domain {
-        let mut partners: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
-        for v in &visits {
-            for p in &v.partners {
-                partners.insert(p);
-            }
-        }
-        let k = partners.len() as u64;
+    for site in &ix.sites {
+        let k = site.partners.len() as u64;
         if k == 0 {
             continue;
         }
         site_counts.add(k, 0.0);
-        for v in &visits {
-            if let Some(lat) = v.hb_latency_ms {
-                grouped.add(k, lat);
-            }
+        for &lat in &site.latencies {
+            grouped.add(k, lat);
         }
     }
     let shares: BTreeMap<u64, f64> = site_counts.shares().into_iter().collect();
@@ -264,12 +232,10 @@ pub fn f15_latency_vs_partners(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 16: latency distribution vs partner popularity rank (bins of 10).
-pub fn f16_latency_vs_popularity(ds: &CrawlDataset) -> FigureReport {
-    let popularity = partner_popularity(ds);
-    let samples = partner_latency_samples(ds);
+pub fn f16_latency_vs_popularity(ix: &DatasetIndex) -> FigureReport {
     let mut grouped = GroupedSamples::new();
-    for (rank0, (name, _)) in popularity.iter().enumerate() {
-        if let Some(lats) = samples.get(name) {
+    for (rank0, (name, _)) in ix.partner_popularity.iter().enumerate() {
+        if let Some(lats) = ix.latency_samples_of(*name) {
             for &l in lats {
                 grouped.add(rank0 as u64 / 10, l);
             }
@@ -322,12 +288,12 @@ pub fn f16_latency_vs_popularity(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn f12_median_in_paper_ballpark() {
-        let ds = small_dataset();
-        let r = f12_latency_ecdf(&ds);
+        let ix = small_index();
+        let r = f12_latency_ecdf(ix);
         let median = r.metric("median_ms").unwrap();
         assert!(median > 250.0 && median < 1_100.0, "median {median}");
         let over3 = r.metric("frac_over_3s").unwrap();
@@ -337,16 +303,16 @@ mod tests {
 
     #[test]
     fn f13_head_is_faster() {
-        let ds = small_dataset();
-        let r = f13_latency_vs_rank(&ds);
+        let ix = small_index();
+        let r = f13_latency_vs_rank(ix);
         let ratio = r.metric("head_to_rest_ratio").unwrap();
         assert!(ratio < 1.05, "head should not be slower: ratio {ratio}");
     }
 
     #[test]
     fn f14_slowest_exceed_fastest() {
-        let ds = small_dataset();
-        let r = f14_partner_latency(&ds);
+        let ix = small_index();
+        let r = f14_partner_latency(ix);
         let fast = r.metric("fastest10_median_max_ms").unwrap();
         let slow = r.metric("slowest10_median_min_ms").unwrap();
         assert!(slow > fast, "slow {slow} vs fast {fast}");
@@ -354,8 +320,8 @@ mod tests {
 
     #[test]
     fn f15_latency_grows_with_partners() {
-        let ds = small_dataset();
-        let r = f15_latency_vs_partners(&ds);
+        let ix = small_index();
+        let r = f15_latency_vs_partners(ix);
         let one = r.metric("median_1_partner_ms").unwrap();
         let three = r.metric("median_3_partners_ms").unwrap();
         assert!(one > 0.0);
@@ -366,8 +332,8 @@ mod tests {
 
     #[test]
     fn f16_spread_grows_with_unpopularity() {
-        let ds = small_dataset();
-        let r = f16_latency_vs_popularity(&ds);
+        let ix = small_index();
+        let r = f16_latency_vs_popularity(ix);
         let growth = r.metric("spread_growth").unwrap();
         assert!(growth > 1.0, "spread growth {growth}");
     }

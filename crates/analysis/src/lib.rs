@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod adoption;
+pub mod index;
 pub mod late;
 pub mod latency;
 pub mod partners;
@@ -26,5 +27,6 @@ pub mod waterfall_cmp;
 #[doc(hidden)]
 pub mod test_fixtures;
 
-pub use registry::{all_reports, dataset_reports, history_reports};
+pub use index::DatasetIndex;
+pub use registry::{all_reports, dataset_reports, history_reports, indexed_reports};
 pub use report::FigureReport;

@@ -1,33 +1,22 @@
 //! Demand partner analyses: popularity (Fig. 8), partners per site
 //! (Fig. 9), combinations (Fig. 10), and bid share per facet (Fig. 11).
+//!
+//! All builders read the columnar [`DatasetIndex`]'s precomputed site
+//! table (domain-sorted, partner sets name-sorted) instead of rebuilding
+//! per-site partner unions from the visit rows.
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
-use hb_core::VisitRecord;
 use hb_stats::{fmt_pct, Align, Counter, Ecdf, Table};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// The set of HB sites keyed by domain with their union of partners
-/// (request-level evidence, day-0 plus dailies).
-fn partners_per_site(ds: &CrawlDataset) -> BTreeMap<&str, BTreeSet<&str>> {
-    let mut map: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        let entry = map.entry(v.domain.as_str()).or_default();
-        for p in &v.partners {
-            entry.insert(p.as_str());
-        }
-    }
-    map
-}
+use std::collections::BTreeMap;
 
 /// Fig. 8: top Demand Partners by share of HB sites they appear on.
-pub fn f08_top_partners(ds: &CrawlDataset) -> FigureReport {
-    let sites = partners_per_site(ds);
-    let n_sites = sites.len().max(1);
+pub fn f08_top_partners(ix: &DatasetIndex) -> FigureReport {
+    let n_sites = ix.n_hb_sites().max(1);
     let mut counter = Counter::new();
-    for partners in sites.values() {
-        for p in partners {
-            counter.add(*p);
+    for site in &ix.sites {
+        for p in &site.partners {
+            counter.add(ix.str(*p));
         }
     }
     let ranked = counter.ranked();
@@ -44,18 +33,19 @@ pub fn f08_top_partners(ds: &CrawlDataset) -> FigureReport {
         ]);
     }
     // The paper's "Other" bucket: every partner outside the top 11.
-    let other_sites: BTreeSet<&str> = sites
+    let other_sites = ix
+        .sites
         .iter()
-        .filter(|(_, ps)| {
-            ps.iter()
-                .any(|p| !ranked.iter().take(11).any(|(n, _)| n == p))
+        .filter(|site| {
+            site.partners
+                .iter()
+                .any(|p| !ranked.iter().take(11).any(|(n, _)| n == ix.str(*p)))
         })
-        .map(|(d, _)| *d)
-        .collect();
+        .count();
     table.row(vec![
         "Other".into(),
-        other_sites.len().to_string(),
-        fmt_pct(other_sites.len() as f64 / n_sites as f64),
+        other_sites.to_string(),
+        fmt_pct(other_sites as f64 / n_sites as f64),
     ]);
 
     let dfp_share = counter.count("DFP") as f64 / n_sites as f64;
@@ -71,7 +61,7 @@ pub fn f08_top_partners(ds: &CrawlDataset) -> FigureReport {
             ("distinct_partners".into(), counter.distinct() as f64),
             (
                 "other_share".into(),
-                other_sites.len() as f64 / n_sites as f64,
+                other_sites as f64 / n_sites as f64,
             ),
         ],
         notes: vec![],
@@ -79,9 +69,8 @@ pub fn f08_top_partners(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 9: ECDF of Demand Partners per website.
-pub fn f09_partners_per_site(ds: &CrawlDataset) -> FigureReport {
-    let sites = partners_per_site(ds);
-    let counts: Vec<f64> = sites.values().map(|p| p.len() as f64).collect();
+pub fn f09_partners_per_site(ix: &DatasetIndex) -> FigureReport {
+    let counts: Vec<f64> = ix.sites.iter().map(|s| s.partners.len() as f64).collect();
     let ecdf = Ecdf::from_iter(counts.iter().copied());
     let mut table = Table::new(
         "Fig. 9 — Demand Partners per HB site (ECDF)",
@@ -114,14 +103,20 @@ pub fn f09_partners_per_site(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 10: most frequent Demand Partner combinations.
-pub fn f10_combinations(ds: &CrawlDataset) -> FigureReport {
-    let sites = partners_per_site(ds);
-    let n_sites = sites.len().max(1);
+pub fn f10_combinations(ix: &DatasetIndex) -> FigureReport {
+    let n_sites = ix.n_hb_sites().max(1);
     let mut combos = Counter::new();
-    for partners in sites.values() {
-        let mut names: Vec<&str> = partners.iter().copied().collect();
-        names.sort_unstable();
-        combos.add(names.join(", "));
+    let mut combo = String::new();
+    for site in &ix.sites {
+        // Partner sets are already name-sorted in the index.
+        combo.clear();
+        for (i, p) in site.partners.iter().enumerate() {
+            if i > 0 {
+                combo.push_str(", ");
+            }
+            combo.push_str(ix.str(*p));
+        }
+        combos.add(combo.as_str());
     }
     let mut table = Table::new(
         "Fig. 10 — top Demand Partner combinations",
@@ -164,14 +159,16 @@ pub fn f10_combinations(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 11: top partners by share of bids, per facet.
-pub fn f11_bids_by_facet(ds: &CrawlDataset) -> FigureReport {
+pub fn f11_bids_by_facet(ix: &DatasetIndex) -> FigureReport {
     let mut per_facet: BTreeMap<&str, Counter> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        let Some(facet) = v.facet else { continue };
-        let counter = per_facet.entry(facet.label()).or_default();
-        for b in &v.bids {
-            counter.add(b.bidder_code.clone());
-        }
+    for (row, bidder) in ix.b_bidder.iter().enumerate() {
+        let Some(facet) = ix.v_facet[ix.b_visit[row] as usize] else {
+            continue;
+        };
+        per_facet
+            .entry(facet.label())
+            .or_default()
+            .add(ix.str(*bidder));
     }
     let mut table = Table::new(
         "Fig. 11 — top bidders by share of bids, per facet",
@@ -206,29 +203,15 @@ pub fn f11_bids_by_facet(ds: &CrawlDataset) -> FigureReport {
     }
 }
 
-/// Helper shared by tests: number of distinct HB sites in a dataset.
-pub fn n_hb_sites(ds: &CrawlDataset) -> usize {
-    partners_per_site(ds).len()
-}
-
-/// Helper for the latency module: visits grouped per domain.
-pub fn visits_by_domain(ds: &CrawlDataset) -> BTreeMap<&str, Vec<&VisitRecord>> {
-    let mut map: BTreeMap<&str, Vec<&VisitRecord>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        map.entry(v.domain.as_str()).or_default().push(v);
-    }
-    map
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn f08_dfp_dominates() {
-        let ds = small_dataset();
-        let r = f08_top_partners(&ds);
+        let ix = small_index();
+        let r = f08_top_partners(ix);
         assert_eq!(r.metric("top_is_dfp"), Some(1.0));
         let share = r.metric("dfp_share").unwrap();
         assert!(share > 0.65, "DFP share {share}");
@@ -237,8 +220,8 @@ mod tests {
 
     #[test]
     fn f09_partner_counts() {
-        let ds = small_dataset();
-        let r = f09_partners_per_site(&ds);
+        let ix = small_index();
+        let r = f09_partners_per_site(ix);
         let one = r.metric("share_one_partner").unwrap();
         assert!(one > 0.35 && one < 0.70, "one-partner share {one}");
         assert!(r.metric("max_partners").unwrap() <= 20.0);
@@ -246,16 +229,16 @@ mod tests {
 
     #[test]
     fn f10_dfp_alone_is_top_combo() {
-        let ds = small_dataset();
-        let r = f10_combinations(&ds);
+        let ix = small_index();
+        let r = f10_combinations(ix);
         let alone = r.metric("dfp_alone_share").unwrap();
         assert!(alone > 0.30, "DFP-alone share {alone}");
     }
 
     #[test]
     fn f11_major_exchanges_lead() {
-        let ds = small_dataset();
-        let r = f11_bids_by_facet(&ds);
+        let ix = small_index();
+        let r = f11_bids_by_facet(ix);
         // At least two of the three facets led by a major exchange.
         let led: f64 = r
             .metrics

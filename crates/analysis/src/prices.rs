@@ -1,31 +1,33 @@
 //! Bid-price analyses: price ECDF per facet (Fig. 22), price per ad size
 //! (Fig. 23), price vs partner popularity (Fig. 24).
+//!
+//! All builders read the columnar [`DatasetIndex`] bid columns and its
+//! precomputed partner popularity ranking.
 
-use crate::latency::partner_popularity;
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
 use hb_adtech::AdSize;
-use hb_crawler::CrawlDataset;
+use hb_core::Symbol;
 use hb_stats::{fmt_f, Align, Ecdf, GroupedSamples, Samples, Table, Whisker};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// All bid prices (CPM) grouped by facet label.
-fn prices_by_facet(ds: &CrawlDataset) -> BTreeMap<&'static str, Vec<f64>> {
+fn prices_by_facet(ix: &DatasetIndex) -> BTreeMap<&'static str, Vec<f64>> {
     let mut map: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        let Some(f) = v.facet else { continue };
-        let bucket = map.entry(f.label()).or_default();
-        for b in &v.bids {
-            if b.cpm > 0.0 {
-                bucket.push(b.cpm);
-            }
+    for (row, &cpm) in ix.b_cpm.iter().enumerate() {
+        let Some(f) = ix.v_facet[ix.b_visit[row] as usize] else {
+            continue;
+        };
+        if cpm > 0.0 {
+            map.entry(f.label()).or_default().push(cpm);
         }
     }
     map
 }
 
 /// Fig. 22: ECDF of bid prices per facet.
-pub fn f22_price_ecdf(ds: &CrawlDataset) -> FigureReport {
-    let by_facet = prices_by_facet(ds);
+pub fn f22_price_ecdf(ix: &DatasetIndex) -> FigureReport {
+    let by_facet = prices_by_facet(ix);
     let mut table = Table::new(
         "Fig. 22 — bid prices per facet (CPM)",
         &["facet", "n", "p25", "median", "p75", "share > 0.5"],
@@ -70,22 +72,29 @@ pub fn f22_price_ecdf(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 23: bid prices per ad-slot size (x-axis sorted by area).
-pub fn f23_price_by_size(ds: &CrawlDataset) -> FigureReport {
-    let mut by_size: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        for b in &v.bids {
-            if b.cpm > 0.0 && !b.size.is_empty() {
-                by_size.entry(b.size.clone()).or_default().push(b.cpm);
-            }
+pub fn f23_price_by_size(ix: &DatasetIndex) -> FigureReport {
+    // Group on cheap symbols, then order by resolved size name to match
+    // the original BTreeMap<String, _> iteration.
+    let mut by_size: HashMap<Symbol, Vec<f64>> = HashMap::new();
+    for (row, &cpm) in ix.b_cpm.iter().enumerate() {
+        let size = ix.b_size[row];
+        if cpm > 0.0 && !size.is_empty() {
+            by_size.entry(size).or_default().push(cpm);
         }
     }
+    let mut sized: Vec<(&str, Vec<f64>)> = by_size
+        .into_iter()
+        .map(|(sym, prices)| (ix.str(sym), prices))
+        .collect();
+    sized.sort_unstable_by(|a, b| a.0.cmp(b.0));
+
     let min_obs = 5;
-    let mut rows: Vec<(String, u64, Whisker)> = by_size
+    let mut rows: Vec<(&str, u64, Whisker)> = sized
         .iter()
         .filter(|(_, v)| v.len() >= min_obs)
         .filter_map(|(size, prices)| {
             let area = AdSize::parse(size).map(|s| s.area()).unwrap_or(0);
-            Whisker::from_iter(prices.iter().copied()).map(|w| (size.clone(), area, w))
+            Whisker::from_iter(prices.iter().copied()).map(|w| (*size, area, w))
         })
         .collect();
     rows.sort_by_key(|(_, area, _)| *area);
@@ -103,7 +112,7 @@ pub fn f23_price_by_size(ds: &CrawlDataset) -> FigureReport {
     ]);
     for (size, _, w) in &rows {
         table.row(vec![
-            size.clone(),
+            size.to_string(),
             w.n.to_string(),
             fmt_f(w.p25),
             fmt_f(w.p50),
@@ -112,7 +121,7 @@ pub fn f23_price_by_size(ds: &CrawlDataset) -> FigureReport {
     }
     let median_of = |size: &str| {
         rows.iter()
-            .find(|(s, _, _)| s == size)
+            .find(|(s, _, _)| *s == size)
             .map(|(_, _, w)| w.p50)
             .unwrap_or(0.0)
     };
@@ -134,20 +143,18 @@ pub fn f23_price_by_size(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 24: bid prices vs partner popularity rank (bins of 10).
-pub fn f24_price_by_popularity(ds: &CrawlDataset) -> FigureReport {
-    let popularity = partner_popularity(ds);
-    let rank_of: BTreeMap<&str, usize> = popularity
+pub fn f24_price_by_popularity(ix: &DatasetIndex) -> FigureReport {
+    let rank_of: HashMap<Symbol, usize> = ix
+        .partner_popularity
         .iter()
         .enumerate()
-        .map(|(i, (n, _))| (n.as_str(), i))
+        .map(|(i, (n, _))| (*n, i))
         .collect();
     let mut grouped = GroupedSamples::new();
-    for v in ds.hb_visits() {
-        for b in &v.bids {
-            if b.cpm > 0.0 {
-                if let Some(&rank0) = rank_of.get(b.partner_name.as_str()) {
-                    grouped.add(rank0 as u64 / 10, b.cpm);
-                }
+    for (row, &cpm) in ix.b_cpm.iter().enumerate() {
+        if cpm > 0.0 {
+            if let Some(&rank0) = rank_of.get(&ix.b_partner[row]) {
+                grouped.add(rank0 as u64 / 10, cpm);
             }
         }
     }
@@ -201,12 +208,12 @@ pub fn f24_price_by_popularity(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn f22_client_side_prices_highest() {
-        let ds = small_dataset();
-        let r = f22_price_ecdf(&ds);
+        let ix = small_index();
+        let r = f22_price_ecdf(ix);
         let client = r.metric("median_client-side").unwrap_or(0.0);
         let server = r.metric("median_server-side").unwrap_or(0.0);
         assert!(client > 0.0 && server > 0.0);
@@ -218,8 +225,8 @@ mod tests {
 
     #[test]
     fn f23_size_ordering() {
-        let ds = small_dataset();
-        let r = f23_price_by_size(&ds);
+        let ix = small_index();
+        let r = f23_price_by_size(ix);
         let mid = r.metric("median_300x250").unwrap();
         assert!(mid > 0.0);
         // The full-scale ordering (300x250 > 320x50 > 300x50) is asserted
@@ -234,8 +241,8 @@ mod tests {
 
     #[test]
     fn f24_popular_bid_lower() {
-        let ds = small_dataset();
-        let r = f24_price_by_popularity(&ds);
+        let ix = small_index();
+        let r = f24_price_by_popularity(ix);
         let top = r.metric("top_bin_median").unwrap();
         let bottom = r.metric("bottom_bin_median").unwrap();
         if bottom > 0.0 {

@@ -1,33 +1,41 @@
 //! The experiment registry: every table/figure builder in one place.
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
 use hb_crawler::{AdoptionPoint, CrawlDataset, OverlapPoint};
 
-/// Build every dataset-driven report (T1 + A1/A2 + F8..F24 + X1).
-pub fn dataset_reports(ds: &CrawlDataset) -> Vec<FigureReport> {
+/// Build every dataset-driven report (T1 + A1/A2 + F8..F24 + X1) from a
+/// prebuilt index (build once, read many).
+pub fn indexed_reports(ix: &DatasetIndex) -> Vec<FigureReport> {
     vec![
-        crate::summary::t1_summary(ds),
-        crate::summary::adoption_bands(ds),
-        crate::summary::facet_breakdown(ds),
-        crate::partners::f08_top_partners(ds),
-        crate::partners::f09_partners_per_site(ds),
-        crate::partners::f10_combinations(ds),
-        crate::partners::f11_bids_by_facet(ds),
-        crate::latency::f12_latency_ecdf(ds),
-        crate::latency::f13_latency_vs_rank(ds),
-        crate::latency::f14_partner_latency(ds),
-        crate::latency::f15_latency_vs_partners(ds),
-        crate::latency::f16_latency_vs_popularity(ds),
-        crate::late::f17_late_ecdf(ds),
-        crate::late::f18_late_by_partner(ds),
-        crate::slots::f19_slots_ecdf(ds),
-        crate::slots::f20_latency_vs_slots(ds),
-        crate::slots::f21_sizes(ds),
-        crate::prices::f22_price_ecdf(ds),
-        crate::prices::f23_price_by_size(ds),
-        crate::prices::f24_price_by_popularity(ds),
-        crate::waterfall_cmp::x01_waterfall_compare(ds),
+        crate::summary::t1_summary(ix),
+        crate::summary::adoption_bands(ix),
+        crate::summary::facet_breakdown(ix),
+        crate::partners::f08_top_partners(ix),
+        crate::partners::f09_partners_per_site(ix),
+        crate::partners::f10_combinations(ix),
+        crate::partners::f11_bids_by_facet(ix),
+        crate::latency::f12_latency_ecdf(ix),
+        crate::latency::f13_latency_vs_rank(ix),
+        crate::latency::f14_partner_latency(ix),
+        crate::latency::f15_latency_vs_partners(ix),
+        crate::latency::f16_latency_vs_popularity(ix),
+        crate::late::f17_late_ecdf(ix),
+        crate::late::f18_late_by_partner(ix),
+        crate::slots::f19_slots_ecdf(ix),
+        crate::slots::f20_latency_vs_slots(ix),
+        crate::slots::f21_sizes(ix),
+        crate::prices::f22_price_ecdf(ix),
+        crate::prices::f23_price_by_size(ix),
+        crate::prices::f24_price_by_popularity(ix),
+        crate::waterfall_cmp::x01_waterfall_compare(ix.ds),
     ]
+}
+
+/// Build every dataset-driven report, indexing the dataset first.
+pub fn dataset_reports(ds: &CrawlDataset) -> Vec<FigureReport> {
+    let ix = DatasetIndex::build(ds);
+    indexed_reports(&ix)
 }
 
 /// Build the historical reports (F4 + F4b) from the Wayback study outputs.

@@ -1,20 +1,25 @@
 //! Ad-slot analyses: slots per site per facet (Fig. 19), latency vs slot
 //! count (Fig. 20), size popularity per facet (Fig. 21).
+//!
+//! All builders read the columnar [`DatasetIndex`] slot/visit columns.
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
 use hb_stats::{fmt_ms, fmt_pct, Align, Counter, GroupedSamples, Samples, Table};
 use std::collections::BTreeMap;
 
 /// Fig. 19: ECDF of auctioned ad-slots per website, per facet.
-pub fn f19_slots_ecdf(ds: &CrawlDataset) -> FigureReport {
+pub fn f19_slots_ecdf(ix: &DatasetIndex) -> FigureReport {
     let mut per_facet: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for v in ds.hb_visits().filter(|v| v.day == 0) {
-        if let Some(f) = v.facet {
+    for (row, &day) in ix.v_day.iter().enumerate() {
+        if day != 0 {
+            continue;
+        }
+        if let Some(f) = ix.v_facet[row] {
             per_facet
                 .entry(f.label())
                 .or_default()
-                .push(v.slots_auctioned as f64);
+                .push(ix.v_slots_auctioned[row] as f64);
         }
     }
     let mut table = Table::new(
@@ -61,13 +66,11 @@ pub fn f19_slots_ecdf(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 20: latency vs number of auctioned slots.
-pub fn f20_latency_vs_slots(ds: &CrawlDataset) -> FigureReport {
+pub fn f20_latency_vs_slots(ix: &DatasetIndex) -> FigureReport {
     let mut grouped = GroupedSamples::new();
-    for v in ds.hb_visits() {
-        if let Some(lat) = v.hb_latency_ms {
-            if v.slots_auctioned >= 1 {
-                grouped.add(v.slots_auctioned.min(15) as u64, lat);
-            }
+    for (row, &lat) in ix.v_latency.iter().enumerate() {
+        if !lat.is_nan() && ix.v_slots_auctioned[row] >= 1 {
+            grouped.add(ix.v_slots_auctioned[row].min(15) as u64, lat);
         }
     }
     let mut table = Table::new(
@@ -127,21 +130,23 @@ pub fn f20_latency_vs_slots(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// Fig. 21: most popular ad sizes per facet.
-pub fn f21_sizes(ds: &CrawlDataset) -> FigureReport {
+pub fn f21_sizes(ix: &DatasetIndex) -> FigureReport {
     let mut per_facet: BTreeMap<&str, Counter> = BTreeMap::new();
-    for v in ds.hb_visits() {
-        let Some(f) = v.facet else { continue };
-        let counter = per_facet.entry(f.label()).or_default();
-        // Slot decisions carry the authoritative sizes; bids add more.
-        for s in &v.slots {
-            if !s.size.is_empty() {
-                counter.add(s.size.clone());
-            }
+    // Slot decisions carry the authoritative sizes; bids add more.
+    for (row, size) in ix.s_size.iter().enumerate() {
+        let Some(f) = ix.v_facet[ix.s_visit[row] as usize] else {
+            continue;
+        };
+        if !size.is_empty() {
+            per_facet.entry(f.label()).or_default().add(ix.str(*size));
         }
-        for b in &v.bids {
-            if !b.size.is_empty() {
-                counter.add(b.size.clone());
-            }
+    }
+    for (row, size) in ix.b_size.iter().enumerate() {
+        let Some(f) = ix.v_facet[ix.b_visit[row] as usize] else {
+            continue;
+        };
+        if !size.is_empty() {
+            per_facet.entry(f.label()).or_default().add(ix.str(*size));
         }
     }
     let mut table = Table::new(
@@ -186,12 +191,12 @@ pub fn f21_sizes(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn f19_medians_in_range() {
-        let ds = small_dataset();
-        let r = f19_slots_ecdf(&ds);
+        let ix = small_index();
+        let r = f19_slots_ecdf(ix);
         for facet in ["client-side", "server-side", "hybrid"] {
             if let Some(m) = r.metric(&format!("median_{facet}")) {
                 assert!((1.0..=8.0).contains(&m), "{facet} median {m}");
@@ -201,8 +206,8 @@ mod tests {
 
     #[test]
     fn f20_latency_grows_with_slots() {
-        let ds = small_dataset();
-        let r = f20_latency_vs_slots(&ds);
+        let ix = small_index();
+        let r = f20_latency_vs_slots(ix);
         let m13 = r.metric("median_1to3_ms").unwrap();
         let m35 = r.metric("median_3to5_ms").unwrap();
         assert!(m13 > 0.0 && m35 > 0.0);
@@ -211,8 +216,8 @@ mod tests {
 
     #[test]
     fn f21_medium_rect_dominates() {
-        let ds = small_dataset();
-        let r = f21_sizes(&ds);
+        let ix = small_index();
+        let r = f21_sizes(ix);
         let dominant: f64 = r
             .metrics
             .iter()

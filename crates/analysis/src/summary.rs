@@ -1,16 +1,26 @@
 //! Dataset summary (Table 1), adoption by rank band (§4.1), and the facet
 //! breakdown (§4.6).
+//!
+//! All builders read the columnar [`DatasetIndex`].
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
 use hb_stats::{fmt_pct, Align, Table};
 
 /// Table 1: summary of collected data.
-pub fn t1_summary(ds: &CrawlDataset) -> FigureReport {
-    let n_hb_domains = ds.hb_domains().len();
-    let auctions = ds.total_auctions();
-    let bids = ds.total_bids();
-    let partners = ds.distinct_partners().len();
+pub fn t1_summary(ix: &DatasetIndex) -> FigureReport {
+    let ds = ix.ds;
+    let n_hb_domains = ix.n_hb_sites();
+    let auctions: u64 = ix.v_slots_auctioned.iter().map(|&s| s as u64).sum();
+    let bids: u64 = ix.v_n_bids.iter().map(|&b| b as u64).sum();
+    let partners = {
+        let mut set: std::collections::HashSet<hb_core::Symbol> =
+            ix.b_partner.iter().copied().collect();
+        for site in &ix.sites {
+            set.extend(site.partners.iter().copied());
+        }
+        set.len()
+    };
     let weeks = (ds.n_days as f64 / 7.0).ceil();
 
     let mut table = Table::new("Table 1 — summary of collected data", &["data", "volume"])
@@ -48,27 +58,28 @@ pub fn t1_summary(ds: &CrawlDataset) -> FigureReport {
 
 /// §4.1: adoption by rank band and overall (paper: 20–23% top 5k,
 /// 12–17% mid, 10–12% tail, 14.28% overall).
-pub fn adoption_bands(ds: &CrawlDataset) -> FigureReport {
-    let day0: Vec<_> = ds.visits.iter().filter(|v| v.day == 0).collect();
-    let n = ds.n_sites.max(1);
+pub fn adoption_bands(ix: &DatasetIndex) -> FigureReport {
+    let n = ix.ds.n_sites.max(1);
     let top_band = n / 7;
     let mid_band = 3 * n / 7;
     let mut counts = [(0u32, 0u32); 3]; // (hb, total) per band
-    for v in &day0 {
-        let band = if v.rank <= top_band.max(1) {
+    for (row, &rank) in ix.d0_rank.iter().enumerate() {
+        let band = if rank <= top_band.max(1) {
             0
-        } else if v.rank <= mid_band.max(2) {
+        } else if rank <= mid_band.max(2) {
             1
         } else {
             2
         };
         counts[band].1 += 1;
-        if v.hb_detected {
+        if ix.d0_hb[row] {
             counts[band].0 += 1;
         }
     }
     let rate = |i: usize| counts[i].0 as f64 / counts[i].1.max(1) as f64;
-    let overall = day0.iter().filter(|v| v.hb_detected).count() as f64 / day0.len().max(1) as f64;
+    let day0_total = ix.d0_rank.len();
+    let day0_hb = ix.d0_hb.iter().filter(|&&hb| hb).count();
+    let overall = day0_hb as f64 / day0_total.max(1) as f64;
 
     let mut table = Table::new("HB adoption by rank band", &["band", "sites", "hb", "rate"])
         .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
@@ -83,8 +94,8 @@ pub fn adoption_bands(ds: &CrawlDataset) -> FigureReport {
     }
     table.row(vec![
         "overall".into(),
-        day0.len().to_string(),
-        day0.iter().filter(|v| v.hb_detected).count().to_string(),
+        day0_total.to_string(),
+        day0_hb.to_string(),
         fmt_pct(overall),
     ]);
 
@@ -104,11 +115,14 @@ pub fn adoption_bands(ds: &CrawlDataset) -> FigureReport {
 }
 
 /// §4.6: facet breakdown (paper: server 48%, hybrid 34.7%, client 17.3%).
-pub fn facet_breakdown(ds: &CrawlDataset) -> FigureReport {
+pub fn facet_breakdown(ix: &DatasetIndex) -> FigureReport {
     let mut counts = std::collections::BTreeMap::new();
     // Classify each HB *site* by its day-0 facet.
-    for v in ds.visits.iter().filter(|v| v.day == 0 && v.hb_detected) {
-        if let Some(f) = v.facet {
+    for (row, &hb) in ix.d0_hb.iter().enumerate() {
+        if !hb {
+            continue;
+        }
+        if let Some(f) = ix.d0_facet[row] {
             *counts.entry(f.label()).or_insert(0u32) += 1;
         }
     }
@@ -144,22 +158,24 @@ pub fn facet_breakdown(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn t1_counts_match_dataset() {
-        let ds = small_dataset();
-        let r = t1_summary(&ds);
+        let ix = small_index();
+        let ds = ix.ds;
+        let r = t1_summary(ix);
         assert_eq!(r.metric("websites_crawled"), Some(ds.n_sites as f64));
         assert_eq!(r.metric("auctions"), Some(ds.total_auctions() as f64));
+        assert_eq!(r.metric("partners"), Some(ds.distinct_partners().len() as f64));
         assert!(r.metric("bids_per_auction").unwrap() < 1.5);
         assert!(r.render().contains("Table 1"));
     }
 
     #[test]
     fn adoption_bands_are_rank_ordered() {
-        let ds = small_dataset();
-        let r = adoption_bands(&ds);
+        let ix = small_index();
+        let r = adoption_bands(ix);
         let head = r.metric("rate_head").unwrap();
         let tail = r.metric("rate_tail").unwrap();
         assert!(head > tail, "head {head} tail {tail}");
@@ -169,8 +185,8 @@ mod tests {
 
     #[test]
     fn facet_shares_sum_to_one() {
-        let ds = small_dataset();
-        let r = facet_breakdown(&ds);
+        let ix = small_index();
+        let r = facet_breakdown(ix);
         let sum = r.metric("share_server").unwrap()
             + r.metric("share_hybrid").unwrap()
             + r.metric("share_client").unwrap();

@@ -1,5 +1,6 @@
 //! Shared test fixture: one tiny campaign, computed once per process.
 
+use crate::index::DatasetIndex;
 use hb_crawler::{run_campaign, CampaignConfig, CrawlDataset};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use std::sync::OnceLock;
@@ -11,4 +12,10 @@ pub fn small_dataset() -> &'static CrawlDataset {
         let eco = Ecosystem::generate(EcosystemConfig::test_scale());
         run_campaign(&eco, &CampaignConfig::default())
     })
+}
+
+/// The cached columnar index over [`small_dataset`].
+pub fn small_index() -> &'static DatasetIndex<'static> {
+    static IX: OnceLock<DatasetIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| DatasetIndex::build(small_dataset()))
 }

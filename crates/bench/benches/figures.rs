@@ -6,19 +6,27 @@
 //! a regression in any analysis path shows up under its figure id.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hb_bench::cached_test_dataset;
+use hb_bench::{cached_test_dataset, cached_test_index};
 use hb_crawler::{adoption_study, overlap_study};
 use std::hint::black_box;
 
 macro_rules! figure_bench {
     ($fn_name:ident, $id:literal, $builder:path) => {
         fn $fn_name(c: &mut Criterion) {
-            let ds = cached_test_dataset();
+            let ix = cached_test_index();
             c.bench_function(concat!("figure/", $id), |b| {
-                b.iter(|| black_box($builder(black_box(ds))))
+                b.iter(|| black_box($builder(black_box(ix))))
             });
         }
     };
+}
+
+/// The one-off cost the figure benches amortize: building the index.
+fn bench_index_build(c: &mut Criterion) {
+    let ds = cached_test_dataset();
+    c.bench_function("figure/INDEX_build", |b| {
+        b.iter(|| black_box(hb_analysis::DatasetIndex::build(black_box(ds))))
+    });
 }
 
 figure_bench!(bench_t1, "T1_summary", hb_analysis::summary::t1_summary);
@@ -41,7 +49,13 @@ figure_bench!(bench_f21, "F21_sizes", hb_analysis::slots::f21_sizes);
 figure_bench!(bench_f22, "F22_price_ecdf", hb_analysis::prices::f22_price_ecdf);
 figure_bench!(bench_f23, "F23_price_by_size", hb_analysis::prices::f23_price_by_size);
 figure_bench!(bench_f24, "F24_price_by_popularity", hb_analysis::prices::f24_price_by_popularity);
-figure_bench!(bench_x1, "X1_waterfall_compare", hb_analysis::waterfall_cmp::x01_waterfall_compare);
+/// X1 reads ground-truth rows, not the index.
+fn bench_x1(c: &mut Criterion) {
+    let ds = cached_test_dataset();
+    c.bench_function("figure/X1_waterfall_compare", |b| {
+        b.iter(|| black_box(hb_analysis::waterfall_cmp::x01_waterfall_compare(black_box(ds))))
+    });
+}
 
 /// Fig. 4 + overlap study (no crawl dataset needed).
 fn bench_f4(c: &mut Criterion) {
@@ -63,6 +77,7 @@ criterion_group!(
     name = figures;
     config = Criterion::default().sample_size(20);
     targets =
+        bench_index_build,
         bench_t1, bench_a1, bench_a2, bench_f4, bench_f8, bench_f9, bench_f10,
         bench_f11, bench_f12, bench_f13, bench_f14, bench_f15, bench_f16,
         bench_f17, bench_f18, bench_f19, bench_f20, bench_f21, bench_f22,

@@ -1,8 +1,9 @@
 //! Criterion benches for the measurement pipeline itself: single-visit
 //! simulation per protocol flow, detector hot paths, and a tiny campaign.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hb_adtech::HbFacet;
+use hb_core::Interner;
 use hb_crawler::{crawl_site, SessionConfig};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use hb_http::{Json, Request, RequestId, Url};
@@ -24,6 +25,7 @@ fn visit_bench(c: &mut Criterion) {
     ];
     let session = SessionConfig::default();
     for (label, site) in cases {
+        let mut strings = Interner::new();
         c.bench_function(&format!("visit/{label}"), |b| {
             b.iter(|| {
                 black_box(crawl_site(
@@ -33,6 +35,7 @@ fn visit_bench(c: &mut Criterion) {
                     eco.visit_rng(site.rank, 0),
                     0,
                     &session,
+                    &mut strings,
                 ))
             })
         });
@@ -83,6 +86,26 @@ fn campaign_bench(c: &mut Criterion) {
             ))
         })
     });
+    // Visits/sec throughput over a prebuilt tiny universe: the campaign
+    // re-crawls the same 200 sites each iteration, so Criterion reports
+    // elements/sec directly comparable to the crawl binary's output.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let visits = {
+        // One warm-up run to learn the visit count (sweep + dailies).
+        let ds = hb_crawler::run_campaign(&eco, &hb_crawler::CampaignConfig::default());
+        ds.visits.len() as u64
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(visits));
+    group.bench_function("throughput", |b| {
+        b.iter(|| {
+            black_box(hb_crawler::run_campaign(
+                &eco,
+                &hb_crawler::CampaignConfig::default(),
+            ))
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(

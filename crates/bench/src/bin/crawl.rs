@@ -32,12 +32,17 @@ fn main() {
     eprintln!("crawling at {scale:?} scale…");
     let started = std::time::Instant::now();
     let (eco, ds) = build_dataset(scale, true);
+    let elapsed = started.elapsed();
+    let visits_per_sec = ds.visits.len() as f64 / elapsed.as_secs_f64().max(1e-9);
     eprintln!(
-        "done: {} visits over {} sites in {:.1?}",
+        "done: {} visits over {} sites in {:.1?} ({visits_per_sec:.0} visits/sec)",
         ds.visits.len(),
         eco.sites.len(),
-        started.elapsed()
+        elapsed
     );
+    if let Some(kb) = peak_rss_kb() {
+        eprintln!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
     ds.save(&out).expect("write dataset");
     eprintln!(
         "dataset written to {} ({} HB domains, {} auctions, {} bids)",
@@ -46,4 +51,12 @@ fn main() {
         ds.total_auctions(),
         ds.total_bids()
     );
+}
+
+/// Peak resident set size in KiB, read from /proc (Linux) — `None` when
+/// the platform does not expose it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hb_analysis::DatasetIndex;
 use hb_crawler::{run_campaign, CampaignConfig, CrawlDataset};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use std::sync::OnceLock;
@@ -62,6 +63,13 @@ pub fn build_dataset(scale: Scale, progress: bool) -> (Ecosystem, CrawlDataset) 
 pub fn cached_test_dataset() -> &'static CrawlDataset {
     static DS: OnceLock<CrawlDataset> = OnceLock::new();
     DS.get_or_init(|| build_dataset(Scale::Test, false).1)
+}
+
+/// Cached columnar index over [`cached_test_dataset`] (built once, shared
+/// by every figure bench — the index's build-once/read-many contract).
+pub fn cached_test_index() -> &'static DatasetIndex<'static> {
+    static IX: OnceLock<DatasetIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| DatasetIndex::build(cached_test_dataset()))
 }
 
 #[cfg(test)]

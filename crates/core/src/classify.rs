@@ -6,8 +6,14 @@
 //! the paper's third detection method ("monitor the web requests of a page
 //! in real-time, and detect all the requests sent to and received from
 //! known HB Demand Partners").
+//!
+//! The classifier is the detector's per-request hot path, so it borrows
+//! everything: [`Classification`] holds a reference into the
+//! [`PartnerList`] rather than cloned strings, and the parameter scan
+//! walks the request in place. Classifying a request with a form or empty
+//! body performs **zero heap allocations**.
 
-use crate::list::PartnerList;
+use crate::list::{PartnerEntry, PartnerList};
 use hb_http::{Request, Response};
 
 /// The prefix the HB parameter dictionary shares.
@@ -41,49 +47,93 @@ pub fn is_hb_param(key: &str) -> bool {
 }
 
 /// Extract the HB parameters visible in a request (URL + body).
+///
+/// Allocating convenience for tests and tooling; the detector itself
+/// scans in place via [`Request::for_each_visible_param`].
 pub fn hb_params_of_request(req: &Request) -> Vec<(String, String)> {
-    req.visible_params()
-        .iter()
-        .filter(|(k, _)| is_hb_param(k))
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect()
+    let mut out = Vec::new();
+    req.for_each_visible_param(|k, v| {
+        if is_hb_param(k) {
+            out.push((k.to_string(), v.to_string()));
+        }
+    });
+    out
 }
 
 /// Extract the HB parameters visible in a response body.
 pub fn hb_params_of_response(rsp: &Response) -> Vec<(String, String)> {
-    rsp.visible_params()
-        .iter()
-        .filter(|(k, _)| is_hb_param(k))
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect()
+    let mut out = Vec::new();
+    rsp.for_each_visible_param(|k, v| {
+        if is_hb_param(k) {
+            out.push((k.to_string(), v.to_string()));
+        }
+    });
+    out
 }
 
-/// Classification result with the matched partner, if any.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Classification {
+/// Does the response body carry any HB dictionary key? (The detector's
+/// server-side signal — checked on every completed response, so it avoids
+/// materializing the parameter list.)
+pub fn response_has_hb_params(rsp: &Response) -> bool {
+    rsp.body.any_visible_param(&mut |k, _| is_hb_param(k))
+}
+
+/// Classification result, borrowing the matched partner from the list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Classification<'a> {
     /// The traffic class.
     pub kind: RequestKind,
-    /// Partner display name when the host matched the list.
-    pub partner_name: Option<String>,
-    /// Partner bidder code when the host matched the list.
-    pub partner_code: Option<String>,
-    /// Whether the matched partner is a known ad-server operator.
-    pub partner_is_ad_server: bool,
+    /// Index of the matched partner in the list, when the host matched.
+    pub partner_index: Option<u32>,
+    /// The matched partner entry, when the host matched.
+    pub partner: Option<&'a PartnerEntry>,
 }
 
-/// Classify one outgoing request.
-pub fn classify_request(list: &PartnerList, req: &Request) -> Classification {
-    let entry = list.match_host(&req.url.host);
-    let (partner_name, partner_code, partner_is_ad_server) = match entry {
-        Some(e) => (
-            Some(e.name.clone()),
-            Some(e.code.clone()),
-            e.is_ad_server,
-        ),
-        None => (None, None, false),
-    };
-    let hb_params = hb_params_of_request(req);
-    let has_hb = !hb_params.is_empty();
+impl<'a> Classification<'a> {
+    /// Partner display name when the host matched the list.
+    pub fn partner_name(&self) -> Option<&'a str> {
+        self.partner.map(|e| e.name.as_str())
+    }
+
+    /// Partner bidder code when the host matched the list.
+    pub fn partner_code(&self) -> Option<&'a str> {
+        self.partner.map(|e| e.code.as_str())
+    }
+
+    /// Whether the matched partner is a known ad-server operator.
+    pub fn partner_is_ad_server(&self) -> bool {
+        self.partner.is_some_and(|e| e.is_ad_server)
+    }
+}
+
+/// Classify one outgoing request. Zero-allocation for requests with form
+/// or empty bodies (the no-match fast path in particular).
+pub fn classify_request<'a>(list: &'a PartnerList, req: &Request) -> Classification<'a> {
+    let partner_index = list.match_host_index(&req.url.host);
+    let partner = partner_index.map(|i| list.entry(i));
+
+    // Single in-place scan over the visible parameters.
+    let mut has_hb = false;
+    let mut has_price = false;
+    let mut has_slot = false;
+    let mut has_account = false;
+    let mut first_source_is_s2s: Option<bool> = None;
+    req.for_each_visible_param(|k, v| {
+        if is_hb_param(k) {
+            has_hb = true;
+        }
+        match k {
+            "hb_price" => has_price = true,
+            "hb_slot" => has_slot = true,
+            "account" => has_account = true,
+            "hb_source" => {
+                if first_source_is_s2s.is_none() {
+                    first_source_is_s2s = Some(v == "s2s");
+                }
+            }
+            _ => {}
+        }
+    });
     let path = req.url.path.as_str();
 
     let kind = if path.ends_with(".js")
@@ -97,13 +147,11 @@ pub fn classify_request(list: &PartnerList, req: &Request) -> Classification {
         // win notifications carry a clearing price; decisioning calls carry
         // slot lists / source tags; everything else with hb_ keys to a
         // partner is a bid request.
-        let q = req.visible_params();
-        if q.contains("hb_price") {
+        if has_price {
             RequestKind::WinNotification
-        } else if q.contains("hb_slot") || q.get("hb_source") == Some("s2s") || q.contains("account")
-        {
+        } else if has_slot || first_source_is_s2s == Some(true) || has_account {
             RequestKind::AdServerCall
-        } else if entry.is_some() {
+        } else if partner.is_some() {
             RequestKind::BidRequest
         } else {
             // hb_ params to an unknown host: treat as the publisher's own
@@ -111,7 +159,7 @@ pub fn classify_request(list: &PartnerList, req: &Request) -> Classification {
             // above); otherwise it is unclassifiable bid-like traffic.
             RequestKind::AdServerCall
         }
-    } else if entry.is_some() {
+    } else if partner.is_some() {
         RequestKind::PartnerOther
     } else {
         RequestKind::Unrelated
@@ -119,9 +167,8 @@ pub fn classify_request(list: &PartnerList, req: &Request) -> Classification {
 
     Classification {
         kind,
-        partner_name,
-        partner_code,
-        partner_is_ad_server,
+        partner_index,
+        partner,
     }
 }
 
@@ -154,10 +201,11 @@ mod tests {
         let req = get(
             "https://appnexus-adnet.example/hb/bid?hb_auction=a1&hb_bidder=appnexus&hb_source=client",
         );
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::BidRequest);
-        assert_eq!(c.partner_name.as_deref(), Some("AppNexus"));
-        assert!(!c.partner_is_ad_server);
+        assert_eq!(c.partner_name(), Some("AppNexus"));
+        assert!(!c.partner_is_ad_server());
     }
 
     #[test]
@@ -165,10 +213,11 @@ mod tests {
         let req = get(
             "https://doubleclick-adnet.example/gampad/ads?account=pub-1&hb_auction=a1&hb_source=s2s&hb_slot=s1",
         );
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::AdServerCall);
-        assert!(c.partner_is_ad_server);
-        assert_eq!(c.partner_name.as_deref(), Some("DFP"));
+        assert!(c.partner_is_ad_server());
+        assert_eq!(c.partner_name(), Some("DFP"));
     }
 
     #[test]
@@ -176,9 +225,10 @@ mod tests {
         let req = get(
             "https://ads.pub77.example/gampad/ads?account=pub-77&hb_auction=a1&hb_slot=s1&hb_bidder=rubicon&hb_pb=0.50",
         );
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::AdServerCall);
-        assert!(c.partner_name.is_none(), "own ad server is not in the list");
+        assert!(c.partner_name().is_none(), "own ad server is not in the list");
     }
 
     #[test]
@@ -186,22 +236,25 @@ mod tests {
         let req = get(
             "https://rubicon-adnet.example/hb/win?hb_price=0.40&hb_adid=cr-1&hb_auction=a1",
         );
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::WinNotification);
-        assert_eq!(c.partner_code.as_deref(), Some("rubicon"));
+        assert_eq!(c.partner_code(), Some("rubicon"));
     }
 
     #[test]
     fn library_load_classified() {
         let req = get("https://cdn.example/prebid.js");
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::LibraryLoad);
     }
 
     #[test]
     fn partner_tracker_without_hb_params() {
         let req = get("https://rubicon-adnet.example/pixel?uid=123");
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::PartnerOther);
     }
 
@@ -209,16 +262,19 @@ mod tests {
     fn rtb_waterfall_traffic_is_partner_other_not_hb() {
         // Waterfall notification: DSP-specific param names, no hb_ keys.
         let req = get("https://rubicon-adnet.example/rtb/notify?wp=0.3021&cb=99");
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::PartnerOther);
     }
 
     #[test]
     fn unrelated_traffic() {
         let req = get("https://images.news.example/logo.png");
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::Unrelated);
-        assert!(c.partner_name.is_none());
+        assert!(c.partner_name().is_none());
+        assert!(c.partner_index.is_none());
     }
 
     #[test]
@@ -229,7 +285,8 @@ mod tests {
             Url::parse("https://appnexus-adnet.example/hb/bid").unwrap(),
             Body::Json(body),
         );
-        let c = classify_request(&list(), &req);
+        let list = list();
+        let c = classify_request(&list, &req);
         assert_eq!(c.kind, RequestKind::BidRequest);
         let params = hb_params_of_request(&req);
         assert!(params.iter().any(|(k, v)| k == "hb_auction" && v == "a9"));
@@ -248,5 +305,18 @@ mod tests {
         let params = hb_params_of_response(&rsp);
         assert_eq!(params.len(), 2);
         assert!(params.iter().all(|(k, _)| k.starts_with("hb_")));
+        assert!(response_has_hb_params(&rsp));
+        let empty = hb_http::Response::no_content(RequestId(4));
+        assert!(!response_has_hb_params(&empty));
+    }
+
+    #[test]
+    fn partner_index_resolves_to_entry() {
+        let list = list();
+        let req = get("https://fast.cdn.appnexus-adnet.example/hb/bid?hb_auction=a1");
+        let c = classify_request(&list, &req);
+        let idx = c.partner_index.unwrap();
+        assert_eq!(list.entry(idx).code, "appnexus");
+        assert_eq!(c.partner_code(), Some("appnexus"));
     }
 }

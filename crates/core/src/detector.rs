@@ -5,11 +5,16 @@
 //! navigation, records everything relevant during the visit, and
 //! [`HbDetector::finish`] reconstructs a [`VisitRecord`]: HB presence,
 //! facet, partners, bids, latencies, late bids, prices, sizes.
+//!
+//! The webRequest tap is allocation-conscious: each observed request
+//! stores its traffic class and a partner *index* into the list (not
+//! cloned strings), and response bodies are only parsed when they carry
+//! bid/winner payloads. All strings entering the [`VisitRecord`] are
+//! interned at reconstruction time.
 
-use crate::classify::{
-    classify_request, hb_params_of_response, Classification, RequestKind,
-};
+use crate::classify::{classify_request, response_has_hb_params, RequestKind};
 use crate::events::{CapturedEvent, HbEventKind};
+use crate::intern::Interner;
 use crate::list::PartnerList;
 use crate::record::{
     BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,
@@ -20,11 +25,14 @@ use hb_simnet::SimTime;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// One observed request with its lifecycle timing and extracted content.
 #[derive(Clone, Debug)]
 struct ObservedRequest {
-    classification: Classification,
+    kind: RequestKind,
+    /// Matched partner, as an index into the detector's list.
+    partner_index: Option<u32>,
     sent_at: SimTime,
     completed_at: Option<SimTime>,
     failed: bool,
@@ -32,8 +40,8 @@ struct ObservedRequest {
     response_bids: Vec<RawBid>,
     /// Parsed winner entries from an ad-server response.
     response_winners: Vec<RawWinner>,
-    /// HB params seen in the response body (server-side signal).
-    response_hb_params: Vec<(String, String)>,
+    /// Did the response body carry HB params (server-side signal)?
+    response_has_hb_params: bool,
 }
 
 /// A bid parsed from response JSON (before enrichment).
@@ -66,15 +74,21 @@ struct DetectorState {
 /// The HBDetector. Create with a partner list, [`attach`](Self::attach) to
 /// a browser, run the visit, then [`finish`](Self::finish).
 pub struct HbDetector {
-    list: Rc<PartnerList>,
+    list: Arc<PartnerList>,
     state: Rc<RefCell<DetectorState>>,
 }
 
 impl HbDetector {
     /// Create a detector with the given known-partner list.
     pub fn new(list: PartnerList) -> HbDetector {
+        HbDetector::with_list(Arc::new(list))
+    }
+
+    /// Create a detector sharing an already-built partner list (the
+    /// crawler path: one list per campaign, not one rebuild per visit).
+    pub fn with_list(list: Arc<PartnerList>) -> HbDetector {
         HbDetector {
-            list: Rc::new(list),
+            list,
             state: Rc::new(RefCell::new(DetectorState::default())),
         }
     }
@@ -104,20 +118,24 @@ impl HbDetector {
                     st.requests.insert(
                         request.id,
                         ObservedRequest {
-                            classification,
+                            kind: classification.kind,
+                            partner_index: classification.partner_index,
                             sent_at: *at,
                             completed_at: None,
                             failed: false,
                             response_bids: Vec::new(),
                             response_winners: Vec::new(),
-                            response_hb_params: Vec::new(),
+                            response_has_hb_params: false,
                         },
                     );
                 }
                 WebRequestEvent::Completed { request, response, at } => {
                     if let Some(obs) = st.requests.get_mut(&request.id) {
                         obs.completed_at = Some(*at);
-                        obs.response_hb_params = hb_params_of_response(response);
+                        obs.response_has_hb_params = response_has_hb_params(response);
+                        // Parse every JSON body, not just hb_-flagged ones:
+                        // bid/winner extraction must not depend on the
+                        // payload carrying an hb_ key alongside the lists.
                         if let Some(body) = response.body.as_json() {
                             parse_response_content(obs, &body);
                         }
@@ -138,17 +156,20 @@ impl HbDetector {
     }
 
     /// Reconstruct the visit record. `domain`, `rank` and `day` are crawl
-    /// metadata; `page_load_ms` comes from the page timing.
+    /// metadata; `page_load_ms` comes from the page timing. All strings
+    /// are interned into `strings` — resolve the record against it.
     pub fn finish(
         &self,
         domain: &str,
         rank: u32,
         day: u32,
         page_load_ms: Option<f64>,
+        strings: &mut Interner,
     ) -> VisitRecord {
         let st = self.state.borrow();
+        let entry = |idx: Option<u32>| idx.map(|i| self.list.entry(i));
         let mut rec = VisitRecord {
-            domain: domain.to_string(),
+            domain: strings.intern(domain),
             rank,
             day,
             page_load_ms,
@@ -164,20 +185,20 @@ impl HbDetector {
         let bid_requests: Vec<&ObservedRequest> = ordered
             .iter()
             .copied()
-            .filter(|r| r.classification.kind == RequestKind::BidRequest)
+            .filter(|r| r.kind == RequestKind::BidRequest)
             .collect();
         let adserver_calls: Vec<&ObservedRequest> = ordered
             .iter()
             .copied()
-            .filter(|r| r.classification.kind == RequestKind::AdServerCall)
+            .filter(|r| r.kind == RequestKind::AdServerCall)
             .collect();
 
         // --- HB present? ---------------------------------------------------
         let has_proof_event = st.events.iter().any(|e| e.kind.proves_hb());
         let has_hb_response_params = adserver_calls
             .iter()
-            .any(|r| !r.response_hb_params.is_empty())
-            || bid_requests.iter().any(|r| !r.response_hb_params.is_empty());
+            .any(|r| r.response_has_hb_params)
+            || bid_requests.iter().any(|r| r.response_has_hb_params);
         rec.hb_detected = has_proof_event || !bid_requests.is_empty() || has_hb_response_params;
         if !rec.hb_detected {
             return rec;
@@ -186,7 +207,7 @@ impl HbDetector {
         // --- Facet --------------------------------------------------------
         let adserver_call = adserver_calls.first().copied();
         let adserver_is_partner = adserver_call
-            .map(|c| c.classification.partner_name.is_some())
+            .map(|c| c.partner_index.is_some())
             .unwrap_or(false);
         rec.facet = Some(if bid_requests.is_empty() {
             DetectedFacet::Server
@@ -197,16 +218,16 @@ impl HbDetector {
         });
 
         // --- Partners (request-level evidence) ------------------------------
-        let mut partners: Vec<String> = Vec::new();
+        let mut partners: Vec<&str> = Vec::new();
         for r in bid_requests.iter().chain(adserver_call.iter()) {
-            if let Some(name) = &r.classification.partner_name {
-                if !partners.contains(name) {
-                    partners.push(name.clone());
+            if let Some(e) = entry(r.partner_index) {
+                if !partners.contains(&e.name.as_str()) {
+                    partners.push(&e.name);
                 }
             }
         }
-        partners.sort();
-        rec.partners = partners;
+        partners.sort_unstable();
+        rec.partners = partners.iter().map(|name| strings.intern(name)).collect();
 
         // --- Timing ---------------------------------------------------------
         let first_hb_request_at = bid_requests
@@ -230,31 +251,27 @@ impl HbDetector {
             let latency_ms = r
                 .completed_at
                 .map(|done| done.saturating_since(r.sent_at).as_millis_f64());
-            if let (Some(name), Some(code)) = (
-                r.classification.partner_name.clone(),
-                r.classification.partner_code.clone(),
-            ) {
+            if let Some(e) = entry(r.partner_index) {
                 if let Some(lat) = latency_ms {
                     rec.partner_latencies.push(PartnerLatency {
-                        partner_name: name.clone(),
-                        bidder_code: code,
+                        partner_name: strings.intern(&e.name),
+                        bidder_code: strings.intern(&e.code),
                         latency_ms: lat,
                         late,
                     });
                 }
             }
             for bid in &r.response_bids {
-                let partner_name = self
-                    .list
-                    .by_code(&bid.bidder)
-                    .map(|e| e.name.clone())
-                    .unwrap_or_else(|| bid.bidder.clone());
+                let partner_name = match self.list.by_code(&bid.bidder) {
+                    Some(e) => strings.intern(&e.name),
+                    None => strings.intern(&bid.bidder),
+                };
                 rec.bids.push(DetectedBid {
-                    bidder_code: bid.bidder.clone(),
+                    bidder_code: strings.intern(&bid.bidder),
                     partner_name,
-                    slot: bid.slot.clone(),
+                    slot: strings.intern(&bid.slot),
                     cpm: bid.cpm,
-                    size: bid.size.clone(),
+                    size: strings.intern(&bid.size),
                     late,
                     latency_ms,
                     source: BidSource::ClientVisible,
@@ -264,14 +281,10 @@ impl HbDetector {
         // Provider latency for the ad-server call itself (the paper's
         // partner-latency view includes the providers).
         if let Some(c) = adserver_call {
-            if let (Some(name), Some(code), Some(done)) = (
-                c.classification.partner_name.clone(),
-                c.classification.partner_code.clone(),
-                c.completed_at,
-            ) {
+            if let (Some(e), Some(done)) = (entry(c.partner_index), c.completed_at) {
                 rec.partner_latencies.push(PartnerLatency {
-                    partner_name: name,
-                    bidder_code: code,
+                    partner_name: strings.intern(&e.name),
+                    bidder_code: strings.intern(&e.code),
                     latency_ms: done.saturating_since(c.sent_at).as_millis_f64(),
                     late: false,
                 });
@@ -281,6 +294,9 @@ impl HbDetector {
         // --- Winners / slots -------------------------------------------------
         for c in &adserver_calls {
             for w in &c.response_winners {
+                let slot = strings.intern(&w.slot);
+                let size = strings.intern(&w.size);
+                let winner = strings.intern(&w.bidder);
                 if w.channel == "hb" && !w.bidder.is_empty() {
                     // Server-reported wins: visible bid evidence for
                     // Server-Side and Hybrid HB (the only price signal the
@@ -290,20 +306,19 @@ impl HbDetector {
                         .bids
                         .iter()
                         .any(|b| b.source == BidSource::ClientVisible
-                            && b.bidder_code == w.bidder
-                            && b.slot == w.slot);
+                            && b.bidder_code == winner
+                            && b.slot == slot);
                     if !already {
-                        let partner_name = self
-                            .list
-                            .by_code(&w.bidder)
-                            .map(|e| e.name.clone())
-                            .unwrap_or_else(|| w.bidder.clone());
+                        let partner_name = match self.list.by_code(&w.bidder) {
+                            Some(e) => strings.intern(&e.name),
+                            None => winner,
+                        };
                         rec.bids.push(DetectedBid {
-                            bidder_code: w.bidder.clone(),
+                            bidder_code: winner,
                             partner_name,
-                            slot: w.slot.clone(),
+                            slot,
                             cpm: w.pb,
-                            size: w.size.clone(),
+                            size,
                             late: false,
                             latency_ms: None,
                             source: BidSource::ServerReported,
@@ -311,11 +326,11 @@ impl HbDetector {
                     }
                 }
                 rec.slots.push(DetectedSlot {
-                    slot: w.slot.clone(),
-                    size: w.size.clone(),
-                    winner: w.bidder.clone(),
+                    slot,
+                    size,
+                    winner,
                     price: w.pb,
-                    channel: w.channel.clone(),
+                    channel: strings.intern(&w.channel),
                 });
             }
         }
@@ -323,12 +338,6 @@ impl HbDetector {
         // --- Slots auctioned --------------------------------------------------
         // Prefer the auctionInit adUnitCodes count; fall back to the
         // ad-server call's hb_slot parameters; then to rendered slots.
-        let from_events = st
-            .events
-            .iter()
-            .filter(|e| e.kind == HbEventKind::AuctionInit)
-            .count();
-        let _ = from_events;
         let init_units: Option<u32> = None; // adUnitCodes not stored per event; use slots
         rec.slots_auctioned = init_units.unwrap_or_else(|| {
             let from_slots = rec.slots.len() as u32;
@@ -337,23 +346,29 @@ impl HbDetector {
             } else {
                 rec.bids
                     .iter()
-                    .map(|b| b.slot.clone())
+                    .map(|b| b.slot)
                     .collect::<std::collections::BTreeSet<_>>()
                     .len() as u32
             }
         });
 
         // --- Event counters ----------------------------------------------------
-        let mut counts: HashMap<&'static str, u32> = HashMap::new();
+        // Fixed-size count array indexed by kind; emitted sorted by event
+        // name, skipping kinds that never fired.
+        let mut counts = [0u32; HbEventKind::ALL.len()];
         for e in &st.events {
-            *counts.entry(e.kind.event_name()).or_insert(0) += 1;
+            counts[e.kind as usize] += 1;
         }
-        let mut event_counts: Vec<(String, u32)> = counts
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
+        let mut names: Vec<(&'static str, u32)> = HbEventKind::ALL
+            .iter()
+            .map(|k| (k.event_name(), counts[*k as usize]))
+            .filter(|(_, n)| *n > 0)
             .collect();
-        event_counts.sort();
-        rec.event_counts = event_counts;
+        names.sort_unstable();
+        rec.event_counts = names
+            .into_iter()
+            .map(|(name, n)| (strings.intern(name), n))
+            .collect();
 
         rec
     }
@@ -430,6 +445,11 @@ mod tests {
         Browser::open(Url::parse("https://pub.example/").unwrap(), SimTime::ZERO)
     }
 
+    /// Resolve a symbol list to strings for assertions.
+    fn resolved(strings: &Interner, syms: &[crate::intern::Symbol]) -> Vec<String> {
+        syms.iter().map(|s| strings.resolve(*s).to_string()).collect()
+    }
+
     /// Drive a synthetic client-side HB visit directly against the browser
     /// notification API (no simulator needed at this level).
     fn synthetic_client_visit(b: &mut Browser) {
@@ -488,19 +508,21 @@ mod tests {
         let mut b = browser();
         det.attach(&mut b);
         synthetic_client_visit(&mut b);
-        let rec = det.finish("pub.example", 10, 0, Some(900.0));
+        let mut strings = Interner::new();
+        let rec = det.finish("pub.example", 10, 0, Some(900.0), &mut strings);
         assert!(rec.hb_detected);
+        assert_eq!(strings.resolve(rec.domain), "pub.example");
         assert_eq!(rec.facet, Some(DetectedFacet::Client));
-        assert_eq!(rec.partners, vec!["AppNexus".to_string()]);
+        assert_eq!(resolved(&strings, &rec.partners), vec!["AppNexus"]);
         assert_eq!(rec.bids.len(), 1);
-        assert_eq!(rec.bids[0].bidder_code, "appnexus");
+        assert_eq!(strings.resolve(rec.bids[0].bidder_code), "appnexus");
         assert!(!rec.bids[0].late);
         assert_eq!(rec.bids[0].latency_ms, Some(200.0));
         // 100 → 460 ms.
         assert_eq!(rec.hb_latency_ms, Some(360.0));
         assert_eq!(rec.slots_auctioned, 1);
         assert_eq!(rec.slots.len(), 1);
-        assert_eq!(rec.slots[0].channel, "hb");
+        assert_eq!(strings.resolve(rec.slots[0].channel), "hb");
         assert_eq!(rec.page_load_ms, Some(900.0));
         // Winner already counted as a client bid: no double count.
         assert_eq!(rec.bids.len(), 1);
@@ -535,15 +557,16 @@ mod tests {
             "slotRenderEnded",
             Json::obj([("hb_slot", Json::str("s1"))]),
         );
-        let rec = det.finish("pub2.example", 20, 3, None);
+        let mut strings = Interner::new();
+        let rec = det.finish("pub2.example", 20, 3, None, &mut strings);
         assert!(rec.hb_detected);
         assert_eq!(rec.facet, Some(DetectedFacet::Server));
-        assert_eq!(rec.partners, vec!["DFP".to_string()]);
+        assert_eq!(resolved(&strings, &rec.partners), vec!["DFP"]);
         assert_eq!(rec.hb_latency_ms, Some(270.0));
         // One server-reported bid (the winner), one fallback slot.
         assert_eq!(rec.bids.len(), 1);
         assert_eq!(rec.bids[0].source, BidSource::ServerReported);
-        assert_eq!(rec.bids[0].partner_name, "Rubicon");
+        assert_eq!(strings.resolve(rec.bids[0].partner_name), "Rubicon");
         assert_eq!(rec.slots.len(), 2);
         assert_eq!(rec.slots_auctioned, 2);
         assert_eq!(rec.day, 3);
@@ -575,10 +598,11 @@ mod tests {
         );
         b.note_request_out(&req2, SimTime::from_millis(200));
         b.note_response_in(&req2, &Response::no_content(id2), SimTime::from_millis(350));
-        let rec = det.finish("pub3.example", 30, 1, None);
+        let mut strings = Interner::new();
+        let rec = det.finish("pub3.example", 30, 1, None, &mut strings);
         assert!(rec.hb_detected);
         assert_eq!(rec.facet, Some(DetectedFacet::Hybrid));
-        let mut partners = rec.partners.clone();
+        let mut partners = resolved(&strings, &rec.partners);
         partners.sort();
         assert_eq!(partners, vec!["DFP".to_string(), "Rubicon".to_string()]);
         // No-bid from rubicon still yields a latency observation.
@@ -614,7 +638,8 @@ mod tests {
         )
         .unwrap();
         b.note_response_in(&req, &Response::json(id, body), SimTime::from_millis(500));
-        let rec = det.finish("pub4.example", 40, 0, None);
+        let mut strings = Interner::new();
+        let rec = det.finish("pub4.example", 40, 0, None, &mut strings);
         assert_eq!(rec.bids.len(), 1);
         assert!(rec.bids[0].late);
         assert_eq!(rec.late_fraction(), Some(1.0));
@@ -642,7 +667,8 @@ mod tests {
             Url::parse("https://rubicon-adnet.example/rtb/notify?wp=0.21&cb=9").unwrap(),
         );
         b.note_request_out(&req2, SimTime::from_millis(100));
-        let rec = det.finish("wf.example", 50, 0, None);
+        let mut strings = Interner::new();
+        let rec = det.finish("wf.example", 50, 0, None, &mut strings);
         assert!(!rec.hb_detected, "waterfall must not be flagged");
         assert!(rec.facet.is_none());
         assert!(rec.bids.is_empty());
@@ -653,7 +679,8 @@ mod tests {
         let det = HbDetector::new(PartnerList::demo());
         let mut b = browser();
         det.attach(&mut b);
-        let rec = det.finish("static.example", 60, 0, Some(120.0));
+        let mut strings = Interner::new();
+        let rec = det.finish("static.example", 60, 0, Some(120.0), &mut strings);
         assert!(!rec.hb_detected);
         assert_eq!(rec.partner_count(), 0);
         assert_eq!(det.events_captured(), 0);

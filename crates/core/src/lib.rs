@@ -26,13 +26,18 @@
 pub mod classify;
 pub mod detector;
 pub mod events;
+pub mod intern;
 pub mod list;
 pub mod record;
 pub mod static_analysis;
 
-pub use classify::{classify_request, is_hb_param, Classification, RequestKind};
+pub use classify::{
+    classify_request, hb_params_of_request, hb_params_of_response, is_hb_param,
+    response_has_hb_params, Classification, RequestKind,
+};
 pub use detector::HbDetector;
 pub use events::{CapturedEvent, HbEventKind};
+pub use intern::{Interner, Symbol};
 pub use list::{LibrarySignatures, PartnerEntry, PartnerList};
 pub use record::{
     BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,

@@ -27,7 +27,9 @@ pub struct PartnerEntry {
 #[derive(Clone, Debug, Default)]
 pub struct PartnerList {
     entries: Vec<PartnerEntry>,
-    by_domain: HashMap<String, usize>,
+    by_domain: HashMap<String, u32>,
+    by_code: HashMap<String, u32>,
+    by_name: HashMap<String, u32>,
 }
 
 impl PartnerList {
@@ -42,10 +44,18 @@ impl PartnerList {
 
     /// Append one entry.
     pub fn push(&mut self, entry: PartnerEntry) {
-        let idx = self.entries.len();
+        let idx = self.entries.len() as u32;
         for d in &entry.domains {
             self.by_domain.insert(d.to_ascii_lowercase(), idx);
         }
+        // entry() not insert(): keep the first entry on duplicate codes or
+        // names, matching the linear-scan semantics this map replaced.
+        self.by_code
+            .entry(entry.code.to_ascii_lowercase())
+            .or_insert(idx);
+        self.by_name
+            .entry(entry.name.to_ascii_lowercase())
+            .or_insert(idx);
         self.entries.push(entry);
     }
 
@@ -64,13 +74,30 @@ impl PartnerList {
         &self.entries
     }
 
-    /// Match a hostname against the list (exact or subdomain).
-    pub fn match_host(&self, host: &str) -> Option<&PartnerEntry> {
-        let host = host.to_ascii_lowercase();
-        let mut rest = host.as_str();
+    /// The entry at a [`match_host_index`](Self::match_host_index) result.
+    pub fn entry(&self, idx: u32) -> &PartnerEntry {
+        &self.entries[idx as usize]
+    }
+
+    /// Match a hostname against the list (exact or subdomain), returning
+    /// the entry index.
+    ///
+    /// Allocation-free for hosts that are already ASCII-lowercase (which
+    /// `hb_http::Url` guarantees for parsed URLs): the suffix walk reuses
+    /// slices of `host`. Mixed-case callers pay one lowercase copy.
+    pub fn match_host_index(&self, host: &str) -> Option<u32> {
+        if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            let lowered = host.to_ascii_lowercase();
+            return self.match_lowercase(&lowered);
+        }
+        self.match_lowercase(host)
+    }
+
+    fn match_lowercase(&self, host: &str) -> Option<u32> {
+        let mut rest = host;
         loop {
             if let Some(&idx) = self.by_domain.get(rest) {
-                return Some(&self.entries[idx]);
+                return Some(idx);
             }
             match rest.split_once('.') {
                 Some((_, suffix)) if !suffix.is_empty() => rest = suffix,
@@ -79,18 +106,33 @@ impl PartnerList {
         }
     }
 
-    /// Find an entry by bidder code.
-    pub fn by_code(&self, code: &str) -> Option<&PartnerEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.code.eq_ignore_ascii_case(code))
+    /// Match a hostname against the list (exact or subdomain).
+    pub fn match_host(&self, host: &str) -> Option<&PartnerEntry> {
+        self.match_host_index(host).map(|idx| self.entry(idx))
     }
 
-    /// Find an entry by display name (case-insensitive).
+    /// Find an entry by bidder code (case-insensitive, O(1)).
+    pub fn by_code(&self, code: &str) -> Option<&PartnerEntry> {
+        match self.by_code.get(code) {
+            Some(&idx) => Some(self.entry(idx)),
+            None if code.bytes().any(|b| b.is_ascii_uppercase()) => {
+                let idx = *self.by_code.get(&code.to_ascii_lowercase())?;
+                Some(self.entry(idx))
+            }
+            None => None,
+        }
+    }
+
+    /// Find an entry by display name (case-insensitive, O(1)).
     pub fn by_name(&self, name: &str) -> Option<&PartnerEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.name.eq_ignore_ascii_case(name))
+        match self.by_name.get(name) {
+            Some(&idx) => Some(self.entry(idx)),
+            None if name.bytes().any(|b| b.is_ascii_uppercase()) => {
+                let idx = *self.by_name.get(&name.to_ascii_lowercase())?;
+                Some(self.entry(idx))
+            }
+            None => None,
+        }
     }
 
     /// A tiny built-in list for tests and the quickstart example. The full

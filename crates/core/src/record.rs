@@ -1,5 +1,11 @@
 //! Detection records — the dataset rows the analysis layer consumes.
+//!
+//! All high-cardinality repeated strings (domains, partner names, bidder
+//! codes, slot codes, size strings, channel labels) are stored as interned
+//! [`Symbol`]s; resolve them against the interner the record was built
+//! with (per-visit: the detector's; per-campaign: the dataset's).
 
+use crate::intern::Symbol;
 use std::fmt;
 
 /// The detector's independent facet verdict (kept separate from the
@@ -42,19 +48,19 @@ pub enum BidSource {
 }
 
 /// One bid the detector extracted.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct DetectedBid {
     /// Bidder code (`appnexus`).
-    pub bidder_code: String,
+    pub bidder_code: Symbol,
     /// Display name resolved through the partner list (falls back to the
     /// code when unknown).
-    pub partner_name: String,
+    pub partner_name: Symbol,
     /// Slot the bid targeted.
-    pub slot: String,
+    pub slot: Symbol,
     /// Price in CPM (client bids: raw cpm; server-reported: price bucket).
     pub cpm: f64,
     /// Creative size string (`300x250`).
-    pub size: String,
+    pub size: Symbol,
     /// Did it arrive after the ad-server send (late)?
     pub late: bool,
     /// Partner response latency in milliseconds, when measurable.
@@ -64,12 +70,12 @@ pub struct DetectedBid {
 }
 
 /// One per-partner request latency observation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct PartnerLatency {
     /// Partner display name.
-    pub partner_name: String,
+    pub partner_name: Symbol,
     /// Bidder code.
-    pub bidder_code: String,
+    pub bidder_code: Symbol,
     /// Round-trip milliseconds (request out → response completed).
     pub latency_ms: f64,
     /// Was the response late relative to the ad-server send?
@@ -77,26 +83,27 @@ pub struct PartnerLatency {
 }
 
 /// A rendered/decisioned slot observation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct DetectedSlot {
     /// Slot code.
-    pub slot: String,
+    pub slot: Symbol,
     /// Size string.
-    pub size: String,
-    /// Winning bidder code, when an HB bid won (empty otherwise).
-    pub winner: String,
+    pub size: Symbol,
+    /// Winning bidder code, when an HB bid won ([`Symbol::EMPTY`]
+    /// otherwise).
+    pub winner: Symbol,
     /// Price bucket it cleared at (0 when not HB).
     pub price: f64,
     /// Channel label reported by the ad server (`hb`/`direct`/`fallback`/
     /// `unfilled`), when visible.
-    pub channel: String,
+    pub channel: Symbol,
 }
 
 /// Everything the detector learned from one page visit.
 #[derive(Clone, Debug, Default)]
 pub struct VisitRecord {
     /// Site hostname.
-    pub domain: String,
+    pub domain: Symbol,
     /// Site rank (1-based) — metadata supplied by the crawler.
     pub rank: u32,
     /// Crawl day (0-based) — metadata supplied by the crawler.
@@ -105,8 +112,9 @@ pub struct VisitRecord {
     pub hb_detected: bool,
     /// Facet classification, when HB was detected.
     pub facet: Option<DetectedFacet>,
-    /// Unique partner display names participating (request-level evidence).
-    pub partners: Vec<String>,
+    /// Unique partner display names participating (request-level
+    /// evidence), sorted by resolved name.
+    pub partners: Vec<Symbol>,
     /// Number of ad slots auctioned.
     pub slots_auctioned: u32,
     /// Total HB latency (first bid request → ad-server response), ms.
@@ -117,8 +125,8 @@ pub struct VisitRecord {
     pub partner_latencies: Vec<PartnerLatency>,
     /// Slot decisions observed.
     pub slots: Vec<DetectedSlot>,
-    /// Count of HB DOM events seen, per kind label.
-    pub event_counts: Vec<(String, u32)>,
+    /// Count of HB DOM events seen, per kind label (sorted by label).
+    pub event_counts: Vec<(Symbol, u32)>,
     /// Page load time in ms, when the page finished loading.
     pub page_load_ms: Option<f64>,
 }
@@ -147,19 +155,49 @@ impl VisitRecord {
     pub fn partner_count(&self) -> usize {
         self.partners.len()
     }
+
+    /// Rewrite every symbol in the record through `f`. Used by the
+    /// campaign collector to migrate records from a worker-local interner
+    /// into the campaign-wide one.
+    pub fn remap_symbols(&mut self, f: &mut impl FnMut(Symbol) -> Symbol) {
+        self.domain = f(self.domain);
+        for p in &mut self.partners {
+            *p = f(*p);
+        }
+        for b in &mut self.bids {
+            b.bidder_code = f(b.bidder_code);
+            b.partner_name = f(b.partner_name);
+            b.slot = f(b.slot);
+            b.size = f(b.size);
+        }
+        for pl in &mut self.partner_latencies {
+            pl.partner_name = f(pl.partner_name);
+            pl.bidder_code = f(pl.bidder_code);
+        }
+        for s in &mut self.slots {
+            s.slot = f(s.slot);
+            s.size = f(s.size);
+            s.winner = f(s.winner);
+            s.channel = f(s.channel);
+        }
+        for (label, _) in &mut self.event_counts {
+            *label = f(*label);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::Interner;
 
-    fn bid(late: bool) -> DetectedBid {
+    fn bid(strings: &mut Interner, late: bool) -> DetectedBid {
         DetectedBid {
-            bidder_code: "x".into(),
-            partner_name: "X".into(),
-            slot: "s".into(),
+            bidder_code: strings.intern("x"),
+            partner_name: strings.intern("X"),
+            slot: strings.intern("s"),
             cpm: 0.1,
-            size: "300x250".into(),
+            size: strings.intern("300x250"),
             late,
             latency_ms: Some(100.0),
             source: BidSource::ClientVisible,
@@ -168,9 +206,15 @@ mod tests {
 
     #[test]
     fn late_accounting() {
+        let mut strings = Interner::new();
         let mut r = VisitRecord::default();
         assert_eq!(r.late_fraction(), None);
-        r.bids = vec![bid(false), bid(true), bid(true), bid(false)];
+        r.bids = vec![
+            bid(&mut strings, false),
+            bid(&mut strings, true),
+            bid(&mut strings, true),
+            bid(&mut strings, false),
+        ];
         assert_eq!(r.on_time_bids(), 2);
         assert_eq!(r.late_bids(), 2);
         assert_eq!(r.late_fraction(), Some(0.5));
@@ -186,10 +230,46 @@ mod tests {
 
     #[test]
     fn partner_count_uses_list() {
+        let mut strings = Interner::new();
         let r = VisitRecord {
-            partners: vec!["DFP".into(), "Criteo".into()],
+            partners: vec![strings.intern("DFP"), strings.intern("Criteo")],
             ..VisitRecord::default()
         };
         assert_eq!(r.partner_count(), 2);
+    }
+
+    #[test]
+    fn remap_rewrites_every_symbol() {
+        let mut local = Interner::new();
+        let mut global = Interner::new();
+        global.intern("already-there");
+        let mut r = VisitRecord {
+            domain: local.intern("pub1.example"),
+            partners: vec![local.intern("DFP")],
+            bids: vec![bid(&mut local, false)],
+            partner_latencies: vec![PartnerLatency {
+                partner_name: local.intern("DFP"),
+                bidder_code: local.intern("dfp"),
+                latency_ms: 10.0,
+                late: false,
+            }],
+            slots: vec![DetectedSlot {
+                slot: local.intern("s1"),
+                size: local.intern("728x90"),
+                winner: Symbol::EMPTY,
+                price: 0.0,
+                channel: local.intern("hb"),
+            }],
+            event_counts: vec![(local.intern("auctionInit"), 2)],
+            ..VisitRecord::default()
+        };
+        r.remap_symbols(&mut |sym| global.intern(local.resolve(sym)));
+        assert_eq!(global.resolve(r.domain), "pub1.example");
+        assert_eq!(global.resolve(r.partners[0]), "DFP");
+        assert_eq!(global.resolve(r.bids[0].size), "300x250");
+        assert_eq!(global.resolve(r.partner_latencies[0].bidder_code), "dfp");
+        assert_eq!(global.resolve(r.slots[0].channel), "hb");
+        assert_eq!(global.resolve(r.event_counts[0].0), "auctionInit");
+        assert_eq!(r.slots[0].winner, Symbol::EMPTY, "EMPTY maps to EMPTY");
     }
 }

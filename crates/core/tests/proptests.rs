@@ -28,12 +28,19 @@ proptest! {
             if query.is_empty() { "" } else { "?" },
             query);
         let url = Url::parse(&raw).unwrap();
+        let url_host = url.host.clone();
         let req = Request::get(RequestId(1), url);
         let c = classify_request(&list, &req);
-        // Partner metadata is present iff the host matched.
-        prop_assert_eq!(c.partner_name.is_some(), c.partner_code.is_some());
+        // The borrowed classification agrees with an independent list
+        // lookup: same entry (by index), same name.
+        let expected = list.match_host(&url_host);
+        prop_assert_eq!(c.partner_name(), expected.map(|e| e.name.as_str()));
+        prop_assert_eq!(
+            c.partner_index.map(|i| list.entry(i).code.as_str()),
+            expected.map(|e| e.code.as_str())
+        );
         if c.kind == RequestKind::PartnerOther {
-            prop_assert!(c.partner_name.is_some());
+            prop_assert!(c.partner_name().is_some());
         }
     }
 
@@ -75,5 +82,65 @@ proptest! {
         let decoy_host = format!("{decoy}x-adnet.example");
         prop_assert!(list.match_host(&sub_host).is_some());
         prop_assert!(list.match_host(&decoy_host).is_none());
+    }
+}
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9._-]{0,12}").unwrap()
+}
+
+proptest! {
+    /// Interning then resolving always returns the original string, and
+    /// re-interning returns the same symbol (dedup invariant).
+    #[test]
+    fn intern_resolve_roundtrip(words in proptest::collection::vec(arb_token(), 0..40)) {
+        let mut interner = hb_core::Interner::new();
+        let symbols: Vec<hb_core::Symbol> = words.iter().map(|w| interner.intern(w)).collect();
+        for (word, sym) in words.iter().zip(&symbols) {
+            prop_assert_eq!(interner.resolve(*sym), word.as_str());
+            prop_assert_eq!(interner.intern(word), *sym);
+        }
+    }
+
+    /// The interner stores exactly one entry per distinct string: its size
+    /// equals the distinct word count plus the pre-interned "".
+    #[test]
+    fn intern_dedup_invariant(words in proptest::collection::vec(arb_token(), 0..40)) {
+        let mut interner = hb_core::Interner::new();
+        for w in &words {
+            interner.intern(w);
+        }
+        let distinct: std::collections::BTreeSet<&str> =
+            words.iter().map(|w| w.as_str()).collect();
+        let expected = distinct.len() + usize::from(!distinct.contains(""));
+        prop_assert_eq!(interner.len(), expected);
+        // Equal strings map to equal symbols; distinct strings to distinct.
+        let mut seen: std::collections::HashMap<&str, hb_core::Symbol> = Default::default();
+        for w in &words {
+            let sym = interner.intern(w);
+            match seen.get(w.as_str()) {
+                Some(prev) => prop_assert_eq!(*prev, sym),
+                None => {
+                    prop_assert!(!seen.values().any(|s| *s == sym));
+                    seen.insert(w, sym);
+                }
+            }
+        }
+    }
+
+    /// Interning order is stable: symbols are handed out densely in
+    /// first-sight order, and iteration replays it.
+    #[test]
+    fn intern_iteration_replays_first_sight_order(words in proptest::collection::vec(arb_token(), 0..24)) {
+        let mut interner = hb_core::Interner::new();
+        let mut first_sight: Vec<String> = vec![String::new()];
+        for w in &words {
+            if !first_sight.iter().any(|s| s == w) {
+                first_sight.push(w.clone());
+            }
+            interner.intern(w);
+        }
+        let replayed: Vec<String> = interner.iter().map(|(_, s)| s.to_string()).collect();
+        prop_assert_eq!(replayed, first_sight);
     }
 }

@@ -3,14 +3,17 @@
 //! The paper's methodology, mechanized: a day-0 sweep over the full
 //! toplist (detecting which sites run HB at all), followed by daily
 //! revisits of the detected HB sites for `crawl_days` days. Visits run in
-//! parallel on a crossbeam work queue; determinism is preserved because
-//! every `(site, day)` visit derives its own RNG stream from the master
-//! seed, independent of scheduling order.
+//! parallel over a shared atomic work cursor; determinism is preserved
+//! because every `(site, day)` visit derives its own RNG stream from the
+//! master seed, independent of scheduling order, and the collect step
+//! re-interns record strings in deterministic (day, site) order.
 
 use crate::dataset::{CrawlDataset, TruthRecord};
 use crate::session::{crawl_site, SessionConfig, SiteVisit};
+use hb_core::Interner;
 use hb_ecosystem::Ecosystem;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Campaign tuning.
 #[derive(Clone, Debug)]
@@ -41,7 +44,17 @@ struct Job {
 }
 
 /// Run a set of jobs in parallel, preserving determinism.
-fn run_jobs(eco: &Ecosystem, jobs: &[Job], cfg: &CampaignConfig) -> Vec<SiteVisit> {
+///
+/// Each worker interns record strings into a private [`Interner`]; the
+/// collect step re-interns every record into the campaign-wide `strings`
+/// in (day, site) order, so symbol numbering — not just resolved text —
+/// is identical for every parallelism setting.
+fn run_jobs(
+    eco: &Ecosystem,
+    jobs: &[Job],
+    cfg: &CampaignConfig,
+    strings: &mut Interner,
+) -> Vec<SiteVisit> {
     let workers = if cfg.parallelism == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -49,55 +62,75 @@ fn run_jobs(eco: &Ecosystem, jobs: &[Job], cfg: &CampaignConfig) -> Vec<SiteVisi
     } else {
         cfg.parallelism
     };
-    let (job_tx, job_rx) = crossbeam_channel::unbounded::<Job>();
-    let (out_tx, out_rx) = crossbeam_channel::unbounded::<(usize, u32, SiteVisit)>();
-    for job in jobs {
-        job_tx.send(*job).unwrap();
-    }
-    drop(job_tx);
-
+    // Work-stealing via a shared atomic cursor over the job list; each
+    // worker collects its own results, merged and re-ordered at the end.
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let out_tx = out_tx.clone();
-            scope.spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    let site = &eco.sites[job.site_idx];
-                    let visit = crawl_site(
-                        eco.net(),
-                        eco.runtime_for(site),
-                        eco.partner_list(),
-                        eco.visit_rng(site.rank, job.day),
-                        job.day,
-                        &cfg.session,
-                    );
-                    let _ = out_tx.send((job.site_idx, job.day, visit));
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Interner::new();
+                    let mut out: Vec<(usize, SiteVisit)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let job = jobs[i];
+                        let site = &eco.sites[job.site_idx];
+                        let visit = crawl_site(
+                            eco.net(),
+                            eco.runtime_for(site),
+                            eco.partner_list(),
+                            eco.visit_rng(site.rank, job.day),
+                            job.day,
+                            &cfg.session,
+                            &mut local,
+                        );
+                        out.push((i, visit));
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
+                            eprintln!("  crawled {n}/{} visits", jobs.len());
+                        }
+                    }
+                    (out, local)
+                })
+            })
+            .collect();
+        let mut locals: Vec<Interner> = Vec::with_capacity(workers);
+        let mut results: Vec<(usize, usize, SiteVisit)> = Vec::with_capacity(jobs.len());
+        for (widx, h) in handles.into_iter().enumerate() {
+            let (out, local) = h.join().expect("crawl worker panicked");
+            locals.push(local);
+            results.extend(out.into_iter().map(|(i, v)| (i, widx, v)));
         }
-        drop(out_tx);
-        let mut results: Vec<(usize, u32, SiteVisit)> = Vec::with_capacity(jobs.len());
-        let mut done = 0usize;
-        while let Ok(item) = out_rx.recv() {
-            done += 1;
-            if cfg.progress_every > 0 && done % cfg.progress_every == 0 {
-                eprintln!("  crawled {done}/{} visits", jobs.len());
-            }
-            results.push(item);
-        }
-        // Deterministic output order regardless of thread interleaving.
-        results.sort_by_key(|(idx, day, _)| (*day, *idx));
-        results.into_iter().map(|(_, _, v)| v).collect()
+        // Deterministic output order regardless of thread interleaving:
+        // the job list is already sorted by (day, site_idx).
+        results.sort_by_key(|(i, _, _)| *i);
+        // Merge worker-local interners: re-intern every record's symbols
+        // into the campaign interner in the deterministic order above.
+        results
+            .into_iter()
+            .map(|(_, widx, mut visit)| {
+                let local = &locals[widx];
+                visit
+                    .record
+                    .remap_symbols(&mut |sym| strings.intern(local.resolve(sym)));
+                visit
+            })
+            .collect()
     })
 }
 
 /// Run the full campaign: day-0 sweep + daily HB-site revisits.
 pub fn run_campaign(eco: &Ecosystem, cfg: &CampaignConfig) -> CrawlDataset {
+    let mut strings = Interner::new();
     // Day 0: the adoption sweep over the whole toplist.
     let sweep_jobs: Vec<Job> = (0..eco.sites.len())
         .map(|site_idx| Job { site_idx, day: 0 })
         .collect();
-    let sweep = run_jobs(eco, &sweep_jobs, cfg);
+    let sweep = run_jobs(eco, &sweep_jobs, cfg, &mut strings);
 
     // The sites the *detector* flagged (not ground truth) are revisited.
     let hb_detected: BTreeSet<usize> = sweep
@@ -121,7 +154,7 @@ pub fn run_campaign(eco: &Ecosystem, cfg: &CampaignConfig) -> CrawlDataset {
             daily_jobs.push(Job { site_idx, day });
         }
     }
-    let daily = run_jobs(eco, &daily_jobs, cfg);
+    let daily = run_jobs(eco, &daily_jobs, cfg, &mut strings);
     for (job, v) in daily_jobs.iter().zip(daily.into_iter()) {
         truths.push(TruthRecord::from_truth(
             eco.sites[job.site_idx].rank,
@@ -136,6 +169,7 @@ pub fn run_campaign(eco: &Ecosystem, cfg: &CampaignConfig) -> CrawlDataset {
         truths,
         n_sites: eco.config.n_sites,
         n_days: eco.config.crawl_days,
+        strings,
     }
 }
 
@@ -177,7 +211,7 @@ mod tests {
             .visits
             .iter()
             .filter(|v| v.day == 0 && v.hb_detected)
-            .map(|v| v.domain.as_str())
+            .map(|v| ds.str(v.domain))
             .collect();
         // 100% precision (paper §4.1): nothing detected that is not HB.
         for d in &detected {
@@ -208,7 +242,10 @@ mod tests {
         );
         assert_eq!(a.visits.len(), b.visits.len());
         for (x, y) in a.visits.iter().zip(b.visits.iter()) {
+            // Symbol *ids* match across parallelism settings (the merge
+            // renumbers in deterministic order), not just resolved text.
             assert_eq!(x.domain, y.domain);
+            assert_eq!(a.str(x.domain), b.str(y.domain));
             assert_eq!(x.day, y.day);
             assert_eq!(x.hb_latency_ms, y.hb_latency_ms);
             assert_eq!(x.bids.len(), y.bids.len());

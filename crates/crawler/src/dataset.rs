@@ -1,10 +1,22 @@
 //! The crawl dataset: flattened records plus CSV persistence.
 
 use hb_adtech::{FillChannel, VisitGroundTruth};
-use hb_core::VisitRecord;
+use hb_core::{Interner, Symbol, VisitRecord};
 use hb_stats::{csv_escape, parse_csv};
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// `partners` column helper: resolved names joined with `|`.
+fn joined_partners(ds: &CrawlDataset, v: &VisitRecord) -> String {
+    let mut out = String::new();
+    for (i, p) in v.partners.iter().enumerate() {
+        if i > 0 {
+            out.push('|');
+        }
+        out.push_str(ds.str(*p));
+    }
+    out
+}
 
 /// Flattened ground truth for one visit (thread-transferable, CSV-friendly).
 #[derive(Clone, Debug, Default)]
@@ -68,9 +80,16 @@ pub struct CrawlDataset {
     pub n_sites: u32,
     /// Number of crawl days (excluding the day-0 adoption sweep).
     pub n_days: u32,
+    /// The campaign-wide interner every record's symbols resolve against.
+    pub strings: Interner,
 }
 
 impl CrawlDataset {
+    /// Resolve a record symbol against the campaign interner.
+    pub fn str(&self, sym: Symbol) -> &str {
+        self.strings.resolve(sym)
+    }
+
     /// Visits with detected HB.
     pub fn hb_visits(&self) -> impl Iterator<Item = &VisitRecord> {
         self.visits.iter().filter(|v| v.hb_detected)
@@ -78,12 +97,10 @@ impl CrawlDataset {
 
     /// Distinct domains with detected HB.
     pub fn hb_domains(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self
-            .hb_visits()
-            .map(|r| r.domain.as_str())
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
+        // Dedup on cheap symbols first; resolve only the distinct set.
+        let distinct: std::collections::BTreeSet<Symbol> =
+            self.hb_visits().map(|r| r.domain).collect();
+        let mut v: Vec<&str> = distinct.into_iter().map(|s| self.str(s)).collect();
         v.sort_unstable();
         v
     }
@@ -98,18 +115,17 @@ impl CrawlDataset {
         self.hb_visits().map(|v| v.bids.len() as u64).sum()
     }
 
-    /// Distinct partner display names seen.
-    pub fn distinct_partners(&self) -> Vec<String> {
+    /// Distinct partner display names seen, sorted. Symbols make this a
+    /// cheap integer dedup — only the distinct set is resolved.
+    pub fn distinct_partners(&self) -> Vec<&str> {
         let mut set = std::collections::BTreeSet::new();
         for v in self.hb_visits() {
-            for p in &v.partners {
-                set.insert(p.clone());
-            }
-            for b in &v.bids {
-                set.insert(b.partner_name.clone());
-            }
+            set.extend(v.partners.iter().copied());
+            set.extend(v.bids.iter().map(|b| b.partner_name));
         }
-        set.into_iter().collect()
+        let mut out: Vec<&str> = set.into_iter().map(|s| self.str(s)).collect();
+        out.sort_unstable();
+        out
     }
 
     /// Serialize the visit table to CSV.
@@ -121,12 +137,12 @@ impl CrawlDataset {
             let _ = writeln!(
                 out,
                 "{},{},{},{},{},{},{},{},{},{},{}",
-                csv_escape(&v.domain),
+                csv_escape(self.str(v.domain)),
                 v.rank,
                 v.day,
                 v.hb_detected,
                 v.facet.map(|f| f.label()).unwrap_or("none"),
-                csv_escape(&v.partners.join("|")),
+                csv_escape(&joined_partners(self, v)),
                 v.slots_auctioned,
                 v.hb_latency_ms.map(|x| format!("{x:.3}")).unwrap_or_default(),
                 v.bids.len(),
@@ -147,15 +163,15 @@ impl CrawlDataset {
                 let _ = writeln!(
                     out,
                     "{},{},{},{},{},{},{},{:.6},{},{},{},{}",
-                    csv_escape(&v.domain),
+                    csv_escape(self.str(v.domain)),
                     v.rank,
                     v.day,
                     v.facet.map(|f| f.label()).unwrap_or("none"),
-                    csv_escape(&b.bidder_code),
-                    csv_escape(&b.partner_name),
-                    csv_escape(&b.slot),
+                    csv_escape(self.str(b.bidder_code)),
+                    csv_escape(self.str(b.partner_name)),
+                    csv_escape(self.str(b.slot)),
                     b.cpm,
-                    b.size,
+                    self.str(b.size),
                     b.late,
                     b.latency_ms.map(|x| format!("{x:.3}")).unwrap_or_default(),
                     match b.source {
@@ -231,22 +247,22 @@ mod tests {
     use super::*;
     use hb_core::{BidSource, DetectedBid, DetectedFacet};
 
-    fn mk_visit(domain: &str, rank: u32, detected: bool) -> VisitRecord {
+    fn mk_visit(strings: &mut Interner, domain: &str, rank: u32, detected: bool) -> VisitRecord {
         VisitRecord {
-            domain: domain.to_string(),
+            domain: strings.intern(domain),
             rank,
             day: 0,
             hb_detected: detected,
             facet: detected.then_some(DetectedFacet::Client),
-            partners: vec!["AppNexus".into()],
+            partners: vec![strings.intern("AppNexus")],
             slots_auctioned: 3,
             hb_latency_ms: Some(512.0),
             bids: vec![DetectedBid {
-                bidder_code: "appnexus".into(),
-                partner_name: "AppNexus".into(),
-                slot: "s1".into(),
+                bidder_code: strings.intern("appnexus"),
+                partner_name: strings.intern("AppNexus"),
+                slot: strings.intern("s1"),
                 cpm: 0.21,
-                size: "300x250".into(),
+                size: strings.intern("300x250"),
                 late: false,
                 latency_ms: Some(230.0),
                 source: BidSource::ClientVisible,
@@ -260,21 +276,23 @@ mod tests {
 
     #[test]
     fn aggregates() {
+        let mut strings = Interner::new();
         let ds = CrawlDataset {
             visits: vec![
-                mk_visit("a.example", 1, true),
-                mk_visit("b.example", 2, false),
-                mk_visit("a.example", 1, true),
+                mk_visit(&mut strings, "a.example", 1, true),
+                mk_visit(&mut strings, "b.example", 2, false),
+                mk_visit(&mut strings, "a.example", 1, true),
             ],
             truths: vec![],
             n_sites: 10,
             n_days: 1,
+            strings,
         };
         assert_eq!(ds.hb_visits().count(), 2);
         assert_eq!(ds.hb_domains(), vec!["a.example"]);
         assert_eq!(ds.total_auctions(), 6);
         assert_eq!(ds.total_bids(), 2);
-        assert_eq!(ds.distinct_partners(), vec!["AppNexus".to_string()]);
+        assert_eq!(ds.distinct_partners(), vec!["AppNexus"]);
     }
 
     #[test]
@@ -309,6 +327,7 @@ mod tests {
             ],
             n_sites: 10,
             n_days: 3,
+            strings: Interner::new(),
         };
         let csv = ds.truths_csv();
         let back = CrawlDataset::load_truths(&csv);
@@ -322,11 +341,13 @@ mod tests {
 
     #[test]
     fn visit_csv_has_header_and_rows() {
+        let mut strings = Interner::new();
         let ds = CrawlDataset {
-            visits: vec![mk_visit("a.example", 1, true)],
+            visits: vec![mk_visit(&mut strings, "a.example", 1, true)],
             truths: vec![],
             n_sites: 1,
             n_days: 1,
+            strings,
         };
         let csv = ds.visits_csv();
         let lines: Vec<&str> = csv.lines().collect();

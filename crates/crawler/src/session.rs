@@ -6,8 +6,9 @@
 //! extra 5-second settle window after load for pending responses.
 
 use hb_adtech::{begin_visit, Net, PageWorld, SiteRuntime, VisitGroundTruth};
-use hb_core::{HbDetector, PartnerList, VisitRecord};
+use hb_core::{HbDetector, Interner, PartnerList, VisitRecord};
 use hb_simnet::{Rng, SimDuration, Simulation, SimTime};
+use std::sync::Arc;
 
 /// Session policy knobs (paper defaults).
 #[derive(Clone, Debug)]
@@ -42,19 +43,22 @@ pub struct SiteVisit {
     pub page_completed: bool,
 }
 
-/// Crawl one site once.
+/// Crawl one site once. Strings in the resulting record are interned into
+/// `strings` — per campaign, each worker passes its own interner and the
+/// collector re-interns into the campaign-wide one.
 pub fn crawl_site(
     net: Net,
     runtime: SiteRuntime,
-    list: PartnerList,
+    list: Arc<PartnerList>,
     rng: Rng,
     day: u32,
     cfg: &SessionConfig,
+    strings: &mut Interner,
 ) -> SiteVisit {
     let rank = runtime.rank;
     let domain = runtime.page_url.host.clone();
     let mut world = PageWorld::new(runtime.page_url.clone(), net, rng);
-    let detector = HbDetector::new(list);
+    let detector = HbDetector::with_list(list);
     detector.attach(&mut world.browser);
 
     let mut sim = Simulation::new(world);
@@ -80,7 +84,7 @@ pub fn crawl_site(
         .page
         .page_load_time()
         .map(|d| d.as_millis_f64());
-    let record = detector.finish(&domain, rank, day, page_load_ms);
+    let record = detector.finish(&domain, rank, day, page_load_ms, strings);
     SiteVisit {
         record,
         truth: world.flow.truth.clone(),
@@ -100,6 +104,7 @@ mod tests {
     #[test]
     fn hb_site_detected_with_correct_facet() {
         let eco = eco();
+        let mut strings = Interner::new();
         let mut checked = 0;
         for site in eco.hb_sites().take(12) {
             let visit = crawl_site(
@@ -109,6 +114,7 @@ mod tests {
                 eco.visit_rng(site.rank, 0),
                 0,
                 &SessionConfig::default(),
+                &mut strings,
             );
             assert!(visit.record.hb_detected, "{} not detected", site.domain);
             let truth_label = site.facet.unwrap().label();
@@ -126,6 +132,7 @@ mod tests {
     #[test]
     fn waterfall_site_not_detected() {
         let eco = eco();
+        let mut strings = Interner::new();
         let site = eco.sites.iter().find(|s| s.facet.is_none()).unwrap();
         let visit = crawl_site(
             eco.net(),
@@ -134,6 +141,7 @@ mod tests {
             eco.visit_rng(site.rank, 0),
             0,
             &SessionConfig::default(),
+            &mut strings,
         );
         assert!(!visit.record.hb_detected);
         assert!(visit.truth.waterfall_latency.is_some());
@@ -152,6 +160,7 @@ mod tests {
                 eco.visit_rng(site.rank, 1),
                 1,
                 &SessionConfig::default(),
+                &mut Interner::new(),
             )
         };
         let a = run();
@@ -167,6 +176,7 @@ mod tests {
     #[test]
     fn different_days_differ() {
         let eco = eco();
+        let mut strings = Interner::new();
         // Latency samples differ day to day for at least one site.
         let mut any_diff = false;
         for site in eco.hb_sites().take(5) {
@@ -177,6 +187,7 @@ mod tests {
                 eco.visit_rng(site.rank, 0),
                 0,
                 &SessionConfig::default(),
+                &mut strings,
             );
             let b = crawl_site(
                 eco.net(),
@@ -185,6 +196,7 @@ mod tests {
                 eco.visit_rng(site.rank, 1),
                 1,
                 &SessionConfig::default(),
+                &mut strings,
             );
             if a.record.hb_latency_ms != b.record.hb_latency_ms {
                 any_diff = true;
@@ -196,6 +208,7 @@ mod tests {
     #[test]
     fn detector_latency_close_to_ground_truth() {
         let eco = eco();
+        let mut strings = Interner::new();
         for site in eco.hb_sites().take(8) {
             let visit = crawl_site(
                 eco.net(),
@@ -204,6 +217,7 @@ mod tests {
                 eco.visit_rng(site.rank, 2),
                 2,
                 &SessionConfig::default(),
+                &mut strings,
             );
             let (Some(det), Some(truth)) = (
                 visit.record.hb_latency_ms,

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container building this workspace has no crates.io access, so this
+//! crate implements the benchmarking API subset the workspace's benches
+//! use: `Criterion::bench_function`, benchmark groups with
+//! [`Throughput`], the `criterion_group!`/`criterion_main!` macros, and
+//! CLI handling for `--test` (run every bench once, as `cargo bench --
+//! --test` does) and name filters.
+//!
+//! Measurement model: warm up briefly, size a batch to the target time,
+//! then take `sample_size` timed samples and report min/median/mean.
+//! Results are printed in a criterion-like format and appended as JSON
+//! lines to `target/shim-criterion/<bench>.json` so successive runs can be
+//! compared.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, called `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Nanoseconds per iteration (median of samples).
+    pub median_ns: f64,
+    /// Nanoseconds per iteration (mean of samples).
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" | "-t" => test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Flags (with possible value) accepted for CLI
+                    // compatibility; the value, if any, is skipped below.
+                    if matches!(args[i].as_str(), "--profile-time" | "--save-baseline"
+                        | "--baseline" | "--measurement-time" | "--warm-up-time" | "--sample-size")
+                    {
+                        i += 1;
+                    }
+                }
+                word if !word.starts_with('-') => filter = Some(word.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1500),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            println!("testing {id} ... ok");
+            return;
+        }
+
+        // Warm-up + batch sizing: run once, then size the batch so one
+        // sample lasts roughly measurement_time / sample_size.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            _marker: std::marker::PhantomData,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64;
+        let iters = (per_sample / once.as_nanos().max(1) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let sample = Sample {
+            id: id.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            throughput,
+        };
+        report(&sample, iters);
+        persist(&sample);
+    }
+}
+
+/// A benchmark group (throughput-annotated sub-namespace).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{id}", self.name);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(s: &Sample, iters: u64) {
+    let mut line = format!(
+        "{:<40} time: [{} {} {}]",
+        s.id,
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.mean_ns)
+    );
+    if let Some(Throughput::Elements(n)) = s.throughput {
+        let per_sec = n as f64 / (s.median_ns / 1e9);
+        line.push_str(&format!("  thrpt: {per_sec:.1} elem/s"));
+    }
+    if let Some(Throughput::Bytes(n)) = s.throughput {
+        let per_sec = n as f64 / (s.median_ns / 1e9);
+        line.push_str(&format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0)));
+    }
+    line.push_str(&format!("  ({iters} iters/sample)"));
+    println!("{line}");
+}
+
+/// The workspace `target` dir: benches run with cwd = package root, so
+/// walk up to the outermost directory holding a `Cargo.toml` (the
+/// workspace root) and use its `target`, honoring `CARGO_TARGET_DIR`.
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut root = cwd.as_path();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").exists() {
+            root = dir;
+        }
+    }
+    root.join("target")
+}
+
+fn persist(s: &Sample) {
+    let dir = target_dir().join("shim-criterion");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let safe: String = s
+        .id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{safe}.json"));
+    let epoch_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"at_ms\":{epoch_ms}}}\n",
+        s.id, s.median_ns, s.mean_ns, s.min_ns
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Declare a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -52,6 +52,8 @@ pub struct Ecosystem {
     pub latency: Arc<HostDirectory>,
     /// Ambient fault injection.
     pub faults: Arc<FaultInjector>,
+    /// The detector's partner list, built once and shared by every visit.
+    pub detector_list: Arc<PartnerList>,
 }
 
 impl Ecosystem {
@@ -69,6 +71,7 @@ impl Ecosystem {
             })
             .collect();
         let world = world::build_world(&sites, &specs, &profiles);
+        let detector_list = Arc::new(catalog::partner_list(&specs));
         let faults = FaultInjector::none()
             .with_drop_chance(config.drop_chance)
             .with_slowdown(
@@ -83,6 +86,7 @@ impl Ecosystem {
             router: Arc::new(world.router),
             latency: Arc::new(world.latency),
             faults: Arc::new(faults),
+            detector_list,
         }
     }
 
@@ -95,9 +99,11 @@ impl Ecosystem {
         )
     }
 
-    /// The detector's partner list for this universe.
-    pub fn partner_list(&self) -> PartnerList {
-        catalog::partner_list(&self.specs)
+    /// The detector's partner list for this universe (shared, built once
+    /// at generation time — cloning the handle is two atomic ops, not an
+    /// 84-entry rebuild).
+    pub fn partner_list(&self) -> Arc<PartnerList> {
+        self.detector_list.clone()
     }
 
     /// Sites that actually run HB (ground truth).

@@ -119,6 +119,73 @@ impl Body {
     pub fn is_empty(&self) -> bool {
         matches!(self, Body::Empty)
     }
+
+    /// Visit the parameters this body exposes, in the same order
+    /// `visible_params` flattens them. Form and empty bodies visit
+    /// without heap allocation; JSON numbers/bools are formatted into one
+    /// reusable buffer.
+    pub fn for_each_visible_param<F: FnMut(&str, &str)>(&self, f: &mut F) {
+        self.any_visible_param(&mut |k, v| {
+            f(k, v);
+            false
+        });
+    }
+
+    /// Short-circuiting scan over this body's visible parameters: stops
+    /// at the first pair for which `pred` returns true, skipping the
+    /// value formatting and traversal of everything after it.
+    pub fn any_visible_param<F: FnMut(&str, &str) -> bool>(&self, pred: &mut F) -> bool {
+        match self {
+            Body::Form(q) => q.iter().any(|(k, v)| pred(k, v)),
+            Body::Json(j) => {
+                let mut buf = String::new();
+                probe_json_params(j, pred, &mut buf)
+            }
+            Body::Text(t) => {
+                if let Ok(j) = Json::parse(t) {
+                    let mut buf = String::new();
+                    probe_json_params(&j, pred, &mut buf)
+                } else {
+                    false
+                }
+            }
+            Body::Empty => false,
+        }
+    }
+}
+
+/// Borrowing, short-circuiting twin of `flatten_json_params`: same
+/// traversal and value formatting, but scalar strings are passed through
+/// without cloning and the walk stops once `pred` returns true.
+fn probe_json_params<F: FnMut(&str, &str) -> bool>(j: &Json, pred: &mut F, buf: &mut String) -> bool {
+    use std::fmt::Write as _;
+    match j {
+        Json::Obj(m) => {
+            for (k, v) in m {
+                let hit = match v {
+                    Json::Str(s) => pred(k, s),
+                    Json::Num(n) => {
+                        buf.clear();
+                        if n.fract() == 0.0 && n.abs() < 1e15 {
+                            let _ = write!(buf, "{}", *n as i64);
+                        } else {
+                            let _ = write!(buf, "{n}");
+                        }
+                        pred(k, buf)
+                    }
+                    Json::Bool(b) => pred(k, if *b { "true" } else { "false" }),
+                    Json::Arr(_) | Json::Obj(_) => probe_json_params(v, pred, buf),
+                    Json::Null => false,
+                };
+                if hit {
+                    return true;
+                }
+            }
+            false
+        }
+        Json::Arr(items) => items.iter().any(|item| probe_json_params(item, pred, buf)),
+        _ => false,
+    }
 }
 
 /// Monotonic id correlating a request with its response within one page load.
@@ -197,6 +264,18 @@ impl Request {
             Body::Empty => {}
         }
         out
+    }
+
+    /// Visit every parameter visible in this request (URL query, then
+    /// body), in [`visible_params`](Self::visible_params) order, without
+    /// building an owned map. Requests with form or empty bodies are
+    /// visited with zero heap allocation — this is the detector's
+    /// per-request hot path.
+    pub fn for_each_visible_param<F: FnMut(&str, &str)>(&self, mut f: F) {
+        for (k, v) in self.url.query.iter() {
+            f(k, v);
+        }
+        self.body.for_each_visible_param(&mut f);
     }
 }
 
@@ -297,6 +376,13 @@ impl Response {
             Body::Empty => {}
         }
         out
+    }
+
+    /// Visit every parameter visible in this response body without
+    /// building an owned map (the detector probes every completed
+    /// response for `hb_*` keys).
+    pub fn for_each_visible_param<F: FnMut(&str, &str)>(&self, mut f: F) {
+        self.body.for_each_visible_param(&mut f);
     }
 }
 

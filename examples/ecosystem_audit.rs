@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example ecosystem_audit`
 
-use hb_repro::analysis::{partners, summary};
+use hb_repro::analysis::{partners, summary, DatasetIndex};
 use hb_repro::prelude::*;
 
 fn main() {
@@ -22,25 +22,27 @@ fn main() {
         ds.hb_domains().len()
     );
 
+    // Build the columnar index once; every figure reads it.
+    let ix = DatasetIndex::build(&ds);
     for report in [
-        summary::t1_summary(&ds),
-        summary::adoption_bands(&ds),
-        summary::facet_breakdown(&ds),
-        partners::f08_top_partners(&ds),
-        partners::f09_partners_per_site(&ds),
-        partners::f10_combinations(&ds),
-        partners::f11_bids_by_facet(&ds),
+        summary::t1_summary(&ix),
+        summary::adoption_bands(&ix),
+        summary::facet_breakdown(&ix),
+        partners::f08_top_partners(&ix),
+        partners::f09_partners_per_site(&ix),
+        partners::f10_combinations(&ix),
+        partners::f11_bids_by_facet(&ix),
     ] {
         print!("{}", report.render());
     }
 
     // Headline checks against the paper's market-structure findings.
-    let f8 = partners::f08_top_partners(&ds);
+    let f8 = partners::f08_top_partners(&ix);
     println!(
         "\nDFP present on {:.1}% of HB sites (paper: >80%)",
         f8.metric("dfp_share").unwrap() * 100.0
     );
-    let f9 = partners::f09_partners_per_site(&ds);
+    let f9 = partners::f09_partners_per_site(&ix);
     println!(
         "{:.1}% of HB sites use a single Demand Partner (paper: >50%)",
         f9.metric("share_one_partner").unwrap() * 100.0

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example latency_study`
 
-use hb_repro::analysis::{late, latency, slots, waterfall_cmp};
+use hb_repro::analysis::{late, latency, slots, waterfall_cmp, DatasetIndex};
 use hb_repro::prelude::*;
 
 fn main() {
@@ -12,21 +12,23 @@ fn main() {
     println!("crawling {} sites for latency analysis…", eco.sites.len());
     let ds = run_campaign(&eco, &CampaignConfig::default());
 
+    // Build the columnar index once; every figure reads it.
+    let ix = DatasetIndex::build(&ds);
     for report in [
-        latency::f12_latency_ecdf(&ds),
-        latency::f13_latency_vs_rank(&ds),
-        latency::f14_partner_latency(&ds),
-        latency::f15_latency_vs_partners(&ds),
-        latency::f16_latency_vs_popularity(&ds),
-        late::f17_late_ecdf(&ds),
-        late::f18_late_by_partner(&ds),
-        slots::f20_latency_vs_slots(&ds),
+        latency::f12_latency_ecdf(&ix),
+        latency::f13_latency_vs_rank(&ix),
+        latency::f14_partner_latency(&ix),
+        latency::f15_latency_vs_partners(&ix),
+        latency::f16_latency_vs_popularity(&ix),
+        late::f17_late_ecdf(&ix),
+        late::f18_late_by_partner(&ix),
+        slots::f20_latency_vs_slots(&ix),
         waterfall_cmp::x01_waterfall_compare(&ds),
     ] {
         print!("{}", report.render());
     }
 
-    let f12 = latency::f12_latency_ecdf(&ds);
+    let f12 = latency::f12_latency_ecdf(&ix);
     let x1 = waterfall_cmp::x01_waterfall_compare(&ds);
     println!("\n=== headline numbers ===");
     println!(

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use hb_repro::core::Interner;
 use hb_repro::prelude::*;
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
         site.rank,
         site.facet.unwrap()
     );
+    let mut strings = Interner::new();
     let visit = crawl_site(
         eco.net(),
         eco.runtime_for(site),
@@ -30,16 +32,21 @@ fn main() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
 
     let r = &visit.record;
+    let s = |sym| strings.resolve(sym);
     println!("\n=== HBDetector findings ===");
     println!("hb detected:      {}", r.hb_detected);
     println!(
         "facet:            {}",
         r.facet.map(|f| f.label()).unwrap_or("-")
     );
-    println!("partners:         {}", r.partners.join(", "));
+    println!(
+        "partners:         {}",
+        r.partners.iter().map(|p| s(*p)).collect::<Vec<_>>().join(", ")
+    );
     println!("slots auctioned:  {}", r.slots_auctioned);
     println!(
         "total HB latency: {:.0} ms",
@@ -53,26 +60,26 @@ fn main() {
     for b in &r.bids {
         println!(
             "  - {} bid {:.4} CPM on {} ({}, {})",
-            b.bidder_code,
+            s(b.bidder_code),
             b.cpm,
-            b.slot,
-            b.size,
+            s(b.slot),
+            s(b.size),
             if b.late { "LATE" } else { "in time" }
         );
     }
     println!("\nDOM events observed:");
     for (name, count) in &r.event_counts {
-        println!("  {name:>18} x{count}");
+        println!("  {:>18} x{count}", s(*name));
     }
     println!("\nslot outcomes:");
-    for s in &r.slots {
+    for slot in &r.slots {
         println!(
             "  {} ({}) <- {} @ {:.2} via {}",
-            s.slot,
-            s.size,
-            if s.winner.is_empty() { "-" } else { &s.winner },
-            s.price,
-            s.channel
+            s(slot.slot),
+            s(slot.size),
+            if slot.winner.is_empty() { "-" } else { s(slot.winner) },
+            slot.price,
+            s(slot.channel)
         );
     }
 

@@ -6,6 +6,7 @@
 
 use hb_repro::adtech::HbFacet;
 use hb_repro::analysis::waterfall_cmp;
+use hb_repro::core::Interner;
 use hb_repro::prelude::*;
 
 fn main() {
@@ -29,6 +30,7 @@ fn main() {
         hb_runtime.ad_units.len()
     );
 
+    let mut strings = Interner::new();
     let hb = crawl_site(
         eco.net(),
         hb_runtime,
@@ -36,6 +38,7 @@ fn main() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
     let wf = crawl_site(
         eco.net(),
@@ -44,6 +47,7 @@ fn main() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
 
     println!("header bidding visit:");

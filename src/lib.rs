@@ -22,10 +22,11 @@
 //! ```
 //! use hb_repro::prelude::*;
 //!
-//! // A 200-site universe, crawled once.
+//! // A 200-site universe, crawled once, indexed once for the figures.
 //! let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
 //! let dataset = run_campaign(&eco, &CampaignConfig::default());
-//! let summary = hb_repro::analysis::summary::t1_summary(&dataset);
+//! let index = hb_repro::analysis::DatasetIndex::build(&dataset);
+//! let summary = hb_repro::analysis::summary::t1_summary(&index);
 //! assert!(summary.metric("websites_with_hb").unwrap() > 0.0);
 //! ```
 
@@ -42,8 +43,8 @@ pub use hb_stats as stats;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use hb_adtech::{AdSize, AdUnit, Cpm, HbFacet};
-    pub use hb_analysis::{all_reports, dataset_reports, FigureReport};
-    pub use hb_core::{HbDetector, PartnerList, VisitRecord};
+    pub use hb_analysis::{all_reports, dataset_reports, DatasetIndex, FigureReport};
+    pub use hb_core::{HbDetector, Interner, PartnerList, Symbol, VisitRecord};
     pub use hb_crawler::{
         adoption_study, crawl_site, overlap_study, run_campaign, CampaignConfig, CrawlDataset,
         SessionConfig,

@@ -1,0 +1,87 @@
+//! Allocation accounting for the detector hot path: classifying a request
+//! with a form/empty body must not touch the heap — neither on the
+//! no-match fast path (the overwhelming majority of page traffic) nor for
+//! a URL-parameterized bid request.
+
+use hb_repro::core::{classify_request, PartnerList, RequestKind};
+use hb_repro::http::{Request, RequestId, Url};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper counting this thread's allocations.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f` on this thread.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.with(|c| c.get());
+    let result = f();
+    let after = ALLOCS.with(|c| c.get());
+    (after - before, result)
+}
+
+#[test]
+fn classify_request_no_match_fast_path_is_allocation_free() {
+    let list = PartnerList::demo();
+    let unrelated = Request::get(
+        RequestId(1),
+        Url::parse("https://images.news.example/logo.png?v=12&cache=1").unwrap(),
+    );
+    // Warm up once (lazy statics, anything incidental).
+    let _ = classify_request(&list, &unrelated);
+    let (allocs, c) = allocations_during(|| classify_request(&list, &unrelated));
+    assert_eq!(c.kind, RequestKind::Unrelated);
+    assert_eq!(allocs, 0, "no-match classify must not allocate");
+}
+
+#[test]
+fn classify_bid_request_is_allocation_free() {
+    let list = PartnerList::demo();
+    let bid = Request::get(
+        RequestId(2),
+        Url::parse(
+            "https://appnexus-adnet.example/hb/bid?hb_auction=a1&hb_bidder=appnexus&hb_source=client&slots=4",
+        )
+        .unwrap(),
+    );
+    let _ = classify_request(&list, &bid);
+    let (allocs, c) = allocations_during(|| classify_request(&list, &bid));
+    assert_eq!(c.kind, RequestKind::BidRequest);
+    assert_eq!(c.partner_name(), Some("AppNexus"));
+    assert_eq!(allocs, 0, "bid-request classify must not allocate");
+}
+
+#[test]
+fn match_host_is_allocation_free_for_lowercase_hosts() {
+    let list = PartnerList::demo();
+    let _ = list.match_host("fast.cdn.appnexus-adnet.example");
+    let (allocs, hit) =
+        allocations_during(|| list.match_host("fast.cdn.appnexus-adnet.example").is_some());
+    assert!(hit);
+    assert_eq!(allocs, 0, "suffix walk must reuse host slices");
+    let (allocs, miss) = allocations_during(|| list.match_host("unknown.example").is_some());
+    assert!(!miss);
+    assert_eq!(allocs, 0);
+}

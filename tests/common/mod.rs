@@ -14,3 +14,11 @@ pub fn dataset() -> &'static CrawlDataset {
     static DS: OnceLock<CrawlDataset> = OnceLock::new();
     DS.get_or_init(|| run_campaign(ecosystem(), &CampaignConfig::default()))
 }
+
+/// The columnar index over [`dataset`], built once (the figure builders
+/// consume the index, not the raw dataset).
+#[allow(dead_code)]
+pub fn index() -> &'static hb_repro::analysis::DatasetIndex<'static> {
+    static IX: OnceLock<hb_repro::analysis::DatasetIndex<'static>> = OnceLock::new();
+    IX.get_or_init(|| hb_repro::analysis::DatasetIndex::build(dataset()))
+}

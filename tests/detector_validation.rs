@@ -4,6 +4,7 @@
 mod common;
 
 use common::{dataset, ecosystem};
+use hb_repro::core::Interner;
 use hb_repro::prelude::*;
 
 #[test]
@@ -17,7 +18,7 @@ fn facet_classification_is_accurate() {
     let mut checked = 0;
     let mut correct = 0;
     for v in ds.visits.iter().filter(|v| v.day == 0 && v.hb_detected) {
-        if let (Some(expected), Some(got)) = (truth.get(v.domain.as_str()), v.facet) {
+        if let (Some(expected), Some(got)) = (truth.get(ds.str(v.domain)), v.facet) {
             checked += 1;
             if got.label() == *expected {
                 correct += 1;
@@ -32,6 +33,7 @@ fn facet_classification_is_accurate() {
 #[test]
 fn latency_measurements_agree_with_truth() {
     let eco = ecosystem();
+    let mut strings = Interner::new();
     let mut diffs = Vec::new();
     for site in eco.hb_sites().take(40) {
         let visit = crawl_site(
@@ -41,6 +43,7 @@ fn latency_measurements_agree_with_truth() {
             eco.visit_rng(site.rank, 7),
             7,
             &SessionConfig::default(),
+            &mut strings,
         );
         if let (Some(det), Some(truth)) = (
             visit.record.hb_latency_ms,
@@ -59,6 +62,7 @@ fn latency_measurements_agree_with_truth() {
 #[test]
 fn bid_counts_match_truth_for_client_side() {
     let eco = ecosystem();
+    let mut strings = Interner::new();
     let mut compared = 0;
     for site in eco
         .hb_sites()
@@ -72,6 +76,7 @@ fn bid_counts_match_truth_for_client_side() {
             eco.visit_rng(site.rank, 3),
             3,
             &SessionConfig::default(),
+            &mut strings,
         );
         // Client-side: every client bid is visible to the detector.
         let client_bids = visit
@@ -93,6 +98,7 @@ fn bid_counts_match_truth_for_client_side() {
 #[test]
 fn late_bid_accounting_matches_truth() {
     let eco = ecosystem();
+    let mut strings = Interner::new();
     let mut total_det = 0usize;
     let mut total_truth = 0usize;
     for site in eco.hb_sites().take(60) {
@@ -103,6 +109,7 @@ fn late_bid_accounting_matches_truth() {
             eco.visit_rng(site.rank, 5),
             5,
             &SessionConfig::default(),
+            &mut strings,
         );
         total_det += visit.record.late_bids();
         total_truth += visit.truth.late_bids;
@@ -118,6 +125,7 @@ fn late_bid_accounting_matches_truth() {
 #[test]
 fn server_side_reveals_only_winners() {
     let eco = ecosystem();
+    let mut strings = Interner::new();
     for site in eco
         .hb_sites()
         .filter(|s| s.facet == Some(hb_repro::adtech::HbFacet::ServerSide))
@@ -130,6 +138,7 @@ fn server_side_reveals_only_winners() {
             eco.visit_rng(site.rank, 2),
             2,
             &SessionConfig::default(),
+            &mut strings,
         );
         // No client-visible bids on pure server-side sites.
         assert!(visit
@@ -145,6 +154,7 @@ fn server_side_reveals_only_winners() {
 #[test]
 fn event_counts_are_facet_consistent() {
     let eco = ecosystem();
+    let mut strings = Interner::new();
     for site in eco.hb_sites().take(30) {
         let visit = crawl_site(
             eco.net(),
@@ -153,13 +163,14 @@ fn event_counts_are_facet_consistent() {
             eco.visit_rng(site.rank, 1),
             1,
             &SessionConfig::default(),
+            &mut strings,
         );
         let count = |name: &str| {
             visit
                 .record
                 .event_counts
                 .iter()
-                .find(|(n, _)| n == name)
+                .find(|(n, _)| strings.resolve(*n) == name)
                 .map(|(_, c)| *c)
                 .unwrap_or(0)
         };

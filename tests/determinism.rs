@@ -45,10 +45,40 @@ fn parallelism_does_not_change_results() {
     );
     assert_eq!(serial.visits.len(), parallel.visits.len());
     for (a, b) in serial.visits.iter().zip(parallel.visits.iter()) {
+        // Interner merge renumbers symbols in (day, site) order, so the
+        // raw symbol ids — not just the resolved strings — must agree.
         assert_eq!(a.domain, b.domain);
+        assert_eq!(serial.str(a.domain), parallel.str(b.domain));
         assert_eq!(a.hb_latency_ms, b.hb_latency_ms);
         assert_eq!(a.slots_auctioned, b.slots_auctioned);
     }
+    // The campaign-wide interners are identical, entry for entry.
+    assert_eq!(serial.strings.len(), parallel.strings.len());
+    for ((sa, ta), (sb, tb)) in serial.strings.iter().zip(parallel.strings.iter()) {
+        assert_eq!(sa, sb);
+        assert_eq!(ta, tb);
+    }
+}
+
+#[test]
+fn figure_outputs_identical_across_parallelism() {
+    // End-to-end determinism of the interner merge: every rendered figure
+    // must be byte-identical between a serial and an 8-way campaign.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let render = |parallelism: usize| {
+        let ds = run_campaign(
+            &eco,
+            &CampaignConfig {
+                parallelism,
+                ..CampaignConfig::default()
+            },
+        );
+        hb_repro::analysis::dataset_reports(&ds)
+            .into_iter()
+            .map(|r| r.render())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(render(1), render(8));
 }
 
 #[test]

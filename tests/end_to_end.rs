@@ -3,14 +3,13 @@
 
 mod common;
 
-use common::{dataset, ecosystem};
+use common::{dataset, ecosystem, index};
 use hb_repro::analysis::{late, latency, partners, prices, slots, summary, waterfall_cmp};
-use hb_repro::prelude::*;
 
 #[test]
 fn t1_dataset_proportions_match_paper() {
-    let ds = dataset();
-    let r = summary::t1_summary(ds);
+    let ix = index();
+    let r = summary::t1_summary(ix);
     // Adoption ~14.28%.
     let hb = r.metric("websites_with_hb").unwrap();
     let crawled = r.metric("websites_crawled").unwrap();
@@ -32,7 +31,7 @@ fn t1_dataset_proportions_match_paper() {
 
 #[test]
 fn adoption_rate_banded_by_rank() {
-    let r = summary::adoption_bands(dataset());
+    let r = summary::adoption_bands(index());
     let head = r.metric("rate_head").unwrap();
     let mid = r.metric("rate_mid").unwrap();
     let tail = r.metric("rate_tail").unwrap();
@@ -43,7 +42,7 @@ fn adoption_rate_banded_by_rank() {
 
 #[test]
 fn facet_market_shares_match() {
-    let r = summary::facet_breakdown(dataset());
+    let r = summary::facet_breakdown(index());
     let server = r.metric("share_server").unwrap();
     let hybrid = r.metric("share_hybrid").unwrap();
     let client = r.metric("share_client").unwrap();
@@ -57,12 +56,12 @@ fn facet_market_shares_match() {
 
 #[test]
 fn dfp_dominates_market() {
-    let ds = dataset();
-    let f8 = partners::f08_top_partners(ds);
+    let ix = index();
+    let f8 = partners::f08_top_partners(ix);
     assert_eq!(f8.metric("top_is_dfp"), Some(1.0), "DFP is the #1 partner");
     let share = f8.metric("dfp_share").unwrap();
     assert!(share > 0.70 && share < 0.90, "DFP share {share} vs paper >80%");
-    let f10 = partners::f10_combinations(ds);
+    let f10 = partners::f10_combinations(ix);
     let alone = f10.metric("dfp_alone_share").unwrap();
     assert!((alone - 0.48).abs() < 0.08, "DFP-alone {alone} vs paper 48%");
     let groups = f10.metric("dfp_in_groups_share").unwrap();
@@ -71,7 +70,7 @@ fn dfp_dominates_market() {
 
 #[test]
 fn partner_counts_follow_fig9() {
-    let r = partners::f09_partners_per_site(dataset());
+    let r = partners::f09_partners_per_site(index());
     let one = r.metric("share_one_partner").unwrap();
     assert!(one > 0.45 && one < 0.62, "single-partner share {one} vs >50%");
     let ge5 = r.metric("share_ge5").unwrap();
@@ -83,8 +82,8 @@ fn partner_counts_follow_fig9() {
 
 #[test]
 fn latency_shapes_match_fig12_and_13() {
-    let ds = dataset();
-    let f12 = latency::f12_latency_ecdf(ds);
+    let ix = index();
+    let f12 = latency::f12_latency_ecdf(ix);
     let median = f12.metric("median_ms").unwrap();
     assert!(
         median > 280.0 && median < 800.0,
@@ -92,7 +91,7 @@ fn latency_shapes_match_fig12_and_13() {
     );
     let over3s = f12.metric("frac_over_3s").unwrap();
     assert!(over3s > 0.04 && over3s < 0.18, "frac>3s {over3s} vs paper ~10%");
-    let f13 = latency::f13_latency_vs_rank(ds);
+    let f13 = latency::f13_latency_vs_rank(ix);
     assert!(
         f13.metric("head_to_rest_ratio").unwrap() < 1.0,
         "top-ranked sites are faster"
@@ -101,8 +100,8 @@ fn latency_shapes_match_fig12_and_13() {
 
 #[test]
 fn partner_latency_hierarchy_fig14_16() {
-    let ds = dataset();
-    let f14 = latency::f14_partner_latency(ds);
+    let ix = index();
+    let f14 = latency::f14_partner_latency(ix);
     let fast = f14.metric("fastest10_median_max_ms").unwrap();
     let top = f14.metric("top_market_median_avg_ms").unwrap();
     let slow = f14.metric("slowest10_median_min_ms").unwrap();
@@ -112,7 +111,7 @@ fn partner_latency_hierarchy_fig14_16() {
     assert!(fast < 400.0, "fastest partners {fast} ms (paper 41-217)");
     assert!(slow > 500.0, "slowest partners {slow} ms (paper 646-1290)");
     assert!(top > fast * 0.8 && top < slow, "top market in between: {top}");
-    let f16 = latency::f16_latency_vs_popularity(ds);
+    let f16 = latency::f16_latency_vs_popularity(ix);
     assert!(
         f16.metric("spread_growth").unwrap() > 1.2,
         "variability grows with unpopularity"
@@ -121,15 +120,15 @@ fn partner_latency_hierarchy_fig14_16() {
 
 #[test]
 fn fan_out_increases_latency_fig15_20() {
-    let ds = dataset();
-    let f15 = latency::f15_latency_vs_partners(ds);
+    let ix = index();
+    let f15 = latency::f15_latency_vs_partners(ix);
     let one = f15.metric("median_1_partner_ms").unwrap();
     let three = f15.metric("median_3_partners_ms").unwrap();
     assert!((one - 268.0).abs() < 120.0, "1-partner median {one} vs paper 268 ms");
     assert!(three > one * 1.3, "3 partners {three} vs 1 partner {one}");
     let share1 = f15.metric("share_1_partner").unwrap();
     assert!(share1 > 0.45, "single-partner sites are the majority: {share1}");
-    let f20 = slots::f20_latency_vs_slots(ds);
+    let f20 = slots::f20_latency_vs_slots(ix);
     let m13 = f20.metric("median_1to3_ms").unwrap();
     let m35 = f20.metric("median_3to5_ms").unwrap();
     assert!(m35 > m13 * 0.9, "latency grows with slots: {m13} -> {m35}");
@@ -137,15 +136,15 @@ fn fan_out_increases_latency_fig15_20() {
 
 #[test]
 fn late_bids_match_fig17_18() {
-    let ds = dataset();
-    let f17 = late::f17_late_ecdf(ds);
+    let ix = index();
+    let f17 = late::f17_late_ecdf(ix);
     let median = f17.metric("median_late_fraction").unwrap();
     assert!(
         median > 0.30,
         "median late fraction {median} (paper ~50% among auctions with late bids)"
     );
     assert!(f17.metric("share_ge80pct_late").unwrap() > 0.03);
-    let f18 = late::f18_late_by_partner(ds);
+    let f18 = late::f18_late_by_partner(ix);
     let ge50 = f18.metric("partners_ge50pct_late").unwrap();
     assert!(ge50 >= 8.0, "partners ≥50% late: {ge50} (paper: 21)");
     assert!(f18.metric("max_late_rate").unwrap() > 0.6);
@@ -153,15 +152,15 @@ fn late_bids_match_fig17_18() {
 
 #[test]
 fn slots_and_sizes_match_fig19_21() {
-    let ds = dataset();
-    let f19 = slots::f19_slots_ecdf(ds);
+    let ix = index();
+    let f19 = slots::f19_slots_ecdf(ix);
     for facet in ["client-side", "server-side", "hybrid"] {
         let m = f19.metric(&format!("median_{facet}")).unwrap();
         assert!((2.0..=6.0).contains(&m), "{facet} slot median {m} (paper 2-6)");
     }
     let over20 = f19.metric("share_over_20").unwrap();
     assert!(over20 > 0.003 && over20 < 0.08, ">20 slots share {over20} vs ~3%");
-    let f21 = slots::f21_sizes(ds);
+    let f21 = slots::f21_sizes(ix);
     for facet in ["client-side", "server-side", "hybrid"] {
         assert_eq!(
             f21.metric(&format!("{facet}_top_is_300x250")),
@@ -173,17 +172,17 @@ fn slots_and_sizes_match_fig19_21() {
 
 #[test]
 fn prices_match_fig22_24() {
-    let ds = dataset();
-    let f22 = prices::f22_price_ecdf(ds);
+    let ix = index();
+    let f22 = prices::f22_price_ecdf(ix);
     let client = f22.metric("median_client-side").unwrap();
     let server = f22.metric("median_server-side").unwrap();
     assert!(client > server, "client prices dominate: {client} vs {server}");
     let over_half = f22.metric("share_over_half_all").unwrap();
     assert!(over_half > 0.05 && over_half < 0.45, "share>0.5CPM {over_half} vs >20%");
-    let f23 = prices::f23_price_by_size(ds);
+    let f23 = prices::f23_price_by_size(ix);
     let mid = f23.metric("median_300x250").unwrap();
     assert!(mid > 0.005 && mid < 0.15, "300x250 median {mid} vs paper 0.031");
-    let f24 = prices::f24_price_by_popularity(ds);
+    let f24 = prices::f24_price_by_popularity(ix);
     let top = f24.metric("top_bin_median").unwrap();
     let bottom = f24.metric("bottom_bin_median").unwrap();
     assert!(top < bottom, "popular partners bid lower: {top} vs {bottom}");
@@ -209,6 +208,7 @@ fn detector_precision_is_total() {
     let truth: std::collections::BTreeSet<&str> =
         eco.hb_sites().map(|s| s.domain.as_str()).collect();
     for v in ds.visits.iter().filter(|v| v.hb_detected) {
-        assert!(truth.contains(v.domain.as_str()), "false positive: {}", v.domain);
+        let domain = ds.str(v.domain);
+        assert!(truth.contains(domain), "false positive: {domain}");
     }
 }

@@ -2,6 +2,7 @@
 //! misbehaves — partner outages, heavy packet loss, dead pages.
 
 use hb_repro::adtech::{HbFacet, Net};
+use hb_repro::core::Interner;
 use hb_repro::prelude::*;
 use hb_repro::simnet::FaultInjector;
 use std::sync::Arc;
@@ -22,6 +23,7 @@ fn partner_outage_loses_bids_but_keeps_detection() {
     let down_host = eco.specs[site.client_partner_ids[0]].host();
     let mut faults = FaultInjector::none();
     faults.add_outage(down_host.clone());
+    let mut strings = Interner::new();
 
     let visit = crawl_site(
         net_with_faults(&eco, faults),
@@ -30,6 +32,7 @@ fn partner_outage_loses_bids_but_keeps_detection() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
     assert!(visit.record.hb_detected, "outage must not break detection");
     assert_eq!(
@@ -44,7 +47,7 @@ fn partner_outage_loses_bids_but_keeps_detection() {
             .record
             .partner_latencies
             .iter()
-            .any(|pl| pl.partner_name == *down_name),
+            .any(|pl| strings.resolve(pl.partner_name) == *down_name),
         "no latency sample from a dead partner"
     );
 }
@@ -55,6 +58,7 @@ fn dead_page_yields_clean_empty_record() {
     let site = eco.hb_sites().next().unwrap();
     let mut faults = FaultInjector::none();
     faults.add_outage(site.domain.clone());
+    let mut strings = Interner::new();
     let visit = crawl_site(
         net_with_faults(&eco, faults),
         eco.runtime_for(site),
@@ -62,6 +66,7 @@ fn dead_page_yields_clean_empty_record() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
     assert!(!visit.record.hb_detected, "nothing loads, nothing detected");
     assert!(!visit.page_completed);
@@ -73,6 +78,7 @@ fn dead_page_yields_clean_empty_record() {
 fn heavy_packet_loss_degrades_gracefully() {
     let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
     let faults = FaultInjector::none().with_drop_chance(0.30);
+    let mut strings = Interner::new();
     let mut detected = 0;
     let mut visited = 0;
     for site in eco.hb_sites().take(15) {
@@ -83,6 +89,7 @@ fn heavy_packet_loss_degrades_gracefully() {
             eco.visit_rng(site.rank, 0),
             0,
             &SessionConfig::default(),
+            &mut strings,
         );
         visited += 1;
         if visit.record.hb_detected {
@@ -108,6 +115,7 @@ fn adserver_outage_suppresses_latency_but_not_detection() {
         .unwrap();
     let mut faults = FaultInjector::none();
     faults.add_outage(site.own_ad_server_host());
+    let mut strings = Interner::new();
     let visit = crawl_site(
         net_with_faults(&eco, faults),
         eco.runtime_for(site),
@@ -115,6 +123,7 @@ fn adserver_outage_suppresses_latency_but_not_detection() {
         eco.visit_rng(site.rank, 0),
         0,
         &SessionConfig::default(),
+        &mut strings,
     );
     // Bid traffic still proves HB…
     assert!(visit.record.hb_detected);
@@ -138,13 +147,13 @@ fn ambient_fault_profile_keeps_campaign_sound() {
         assert!(v.slots_auctioned <= 60);
         for b in &v.bids {
             assert!(b.cpm >= 0.0);
-            assert!(!b.bidder_code.is_empty());
+            assert!(!ds.str(b.bidder_code).is_empty());
         }
     }
     // Precision is preserved even under faults.
     let truth: std::collections::BTreeSet<&str> =
         eco.hb_sites().map(|s| s.domain.as_str()).collect();
     for v in ds.visits.iter().filter(|v| v.hb_detected) {
-        assert!(truth.contains(v.domain.as_str()));
+        assert!(truth.contains(ds.str(v.domain)));
     }
 }
