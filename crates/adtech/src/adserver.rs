@@ -207,9 +207,16 @@ pub fn run_s2s_auction(
 ///   client bids — and Hybrid HB — both).
 pub struct AdServerEndpoint {
     accounts: HashMap<String, Arc<AdServerAccount>>,
+    /// On-demand account derivation for lazily generated universes: when
+    /// the static `accounts` map misses, the resolver gets a chance to
+    /// produce the account from the id alone (`None` = genuinely unknown).
+    resolver: Option<AccountResolver>,
     /// Base decision-engine latency (ms) added to every request.
     pub decision_overhead_ms: f64,
 }
+
+/// Callback deriving an [`AdServerAccount`] from its id on demand.
+pub type AccountResolver = Box<dyn Fn(&str) -> Option<Arc<AdServerAccount>> + Send + Sync>;
 
 impl AdServerEndpoint {
     /// Build with a set of accounts.
@@ -219,19 +226,42 @@ impl AdServerEndpoint {
                 .into_iter()
                 .map(|a| (a.account_id.clone(), Arc::new(a)))
                 .collect(),
+            resolver: None,
             decision_overhead_ms: 15.0,
         }
     }
 
-    /// Number of accounts registered.
+    /// Build with an on-demand account resolver instead of a materialized
+    /// account map. Decisioning is a pure function of `(account, request,
+    /// rng)`, so a resolver that derives the same account the eager map
+    /// would have held yields byte-identical replies.
+    pub fn with_resolver(
+        resolver: impl Fn(&str) -> Option<Arc<AdServerAccount>> + Send + Sync + 'static,
+    ) -> AdServerEndpoint {
+        AdServerEndpoint {
+            accounts: HashMap::new(),
+            resolver: Some(Box::new(resolver)),
+            decision_overhead_ms: 15.0,
+        }
+    }
+
+    /// Number of accounts registered (resolver-backed accounts excluded).
     pub fn account_count(&self) -> usize {
         self.accounts.len()
     }
 
+    /// Look up an account, falling back to the resolver.
+    fn account(&self, id: &str) -> Option<Arc<AdServerAccount>> {
+        if let Some(a) = self.accounts.get(id) {
+            return Some(a.clone());
+        }
+        self.resolver.as_ref().and_then(|r| r(id))
+    }
+
     fn handle_ads(&self, req: &Request, rng: &mut Rng) -> ServerReply {
         let account_id = req.url.query.get("account").unwrap_or("");
-        let account = match self.accounts.get(account_id) {
-            Some(a) => a.clone(),
+        let account = match self.account(account_id) {
+            Some(a) => a,
             None => {
                 return ServerReply::instant(Response::error(
                     req.id,
@@ -247,8 +277,8 @@ impl AdServerEndpoint {
             .to_string();
         // Client-presented bids, if any.
         let mut bids: Vec<PresentedBid> = Vec::new();
-        if let Some(body) = req.body.as_json() {
-            if let Some((_, parsed)) = protocol::parse_bid_response(&body) {
+        if let Some(body) = req.body.json() {
+            if let Some((_, parsed)) = protocol::parse_bid_response(body) {
                 for b in parsed {
                     bids.push(PresentedBid {
                         slot: b.slot,
@@ -449,7 +479,7 @@ mod tests {
         let mut rng = Rng::new(7);
         let reply = ep.handle(&req, &mut rng);
         let (auction, winners) =
-            protocol::parse_ad_server_response(&reply.response.body.as_json().unwrap()).unwrap();
+            protocol::parse_ad_server_response(reply.response.body.json().unwrap()).unwrap();
         assert_eq!(auction, "auc-7");
         assert_eq!(winners.len(), 2);
         let w1 = winners.iter().find(|w| w.slot == "s1").unwrap();
@@ -497,7 +527,7 @@ mod tests {
         let mut rng = Rng::new(10);
         let reply = ep.handle(&req, &mut rng);
         let (_, winners) =
-            protocol::parse_ad_server_response(&reply.response.body.as_json().unwrap()).unwrap();
+            protocol::parse_ad_server_response(reply.response.body.json().unwrap()).unwrap();
         assert_eq!(winners.len(), 1);
         assert_eq!(winners[0].slot, "s2");
     }

@@ -154,7 +154,7 @@ pub fn partner_endpoint(profile: PartnerProfile) -> impl Endpoint {
 }
 
 fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerReply {
-    let body = match req.body.as_json() {
+    let body = match req.body.json() {
         Some(b) => b,
         None => {
             return ServerReply::instant(Response::error(req.id, hb_http::Status::BAD_REQUEST))
@@ -249,8 +249,8 @@ mod tests {
         let mut rng = Rng::new(5);
         let reply = ep.handle(&bid_request(&p, 3), &mut rng);
         assert!(reply.response.status.is_success());
-        let body = reply.response.body.as_json().unwrap();
-        let (auction, bids) = protocol::parse_bid_response(&body).unwrap();
+        let body = reply.response.body.json().unwrap();
+        let (auction, bids) = protocol::parse_bid_response(body).unwrap();
         assert_eq!(auction, "auc-1");
         assert_eq!(bids.len(), 3);
         assert!(bids.iter().all(|b| b.cpm.is_positive()));

@@ -22,8 +22,15 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct HostDirectory {
     models: HashMap<String, LatencyModel>,
+    /// On-demand model derivation for lazily generated universes: consulted
+    /// with the *original* host after the static map (and its suffix walk)
+    /// misses, before the default applies.
+    dynamic: Option<LatencyResolver>,
     default: Option<LatencyModel>,
 }
+
+/// Callback deriving a host's latency model on demand.
+pub type LatencyResolver = Box<dyn Fn(&str) -> Option<LatencyModel> + Send + Sync>;
 
 impl HostDirectory {
     /// Empty directory (uses a 80 ms log-normal default).
@@ -41,7 +48,16 @@ impl HostDirectory {
         self.default = Some(model);
     }
 
-    /// Look up the model for `host` (suffix walk, then default).
+    /// Set the dynamic resolver consulted when the static map misses.
+    pub fn set_dynamic(
+        &mut self,
+        resolver: impl Fn(&str) -> Option<LatencyModel> + Send + Sync + 'static,
+    ) {
+        self.dynamic = Some(Box::new(resolver));
+    }
+
+    /// Look up the model for `host` (suffix walk, then dynamic resolver,
+    /// then default).
     pub fn lookup(&self, host: &str) -> LatencyModel {
         let mut rest = host;
         loop {
@@ -52,6 +68,9 @@ impl HostDirectory {
                 Some((_, suffix)) if !suffix.is_empty() => rest = suffix,
                 _ => break,
             }
+        }
+        if let Some(m) = self.dynamic.as_ref().and_then(|d| d(host)) {
+            return m;
         }
         self.default
             .clone()

@@ -135,7 +135,7 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
             let filled_price = match out {
                 NetOutcome::Response(rsp) if rsp.status == hb_http::Status::OK => rsp
                     .body
-                    .as_json()
+                    .json()
                     .and_then(|b| b.get("price").and_then(|p| p.as_f64()))
                     .map(Cpm),
                 _ => None,

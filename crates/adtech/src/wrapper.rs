@@ -22,6 +22,7 @@ use crate::session::{send_request, NetOutcome, PageWorld};
 use crate::types::{AdUnit, HbFacet};
 use hb_http::{Body, Json, Request, Url};
 use hb_simnet::{Scheduler, SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Reference to a partner as the publisher configures it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -132,8 +133,10 @@ impl VisitGroundTruth {
 /// Mutable per-visit flow state living inside [`PageWorld`].
 #[derive(Default)]
 pub struct FlowState {
-    /// The site being visited.
-    pub site: Option<SiteRuntime>,
+    /// The site being visited (shared: flow steps take cheap `Arc`
+    /// handles instead of deep-cloning ad units and partner lists on
+    /// every continuation).
+    pub site: Option<Arc<SiteRuntime>>,
     /// Auction correlation id.
     pub auction_id: String,
     /// Client-collected bids.
@@ -149,14 +152,17 @@ pub struct FlowState {
 }
 
 impl FlowState {
-    fn site(&self) -> &SiteRuntime {
-        self.site.as_ref().expect("flow started without a site")
+    /// Shared handle to the site runtime (two atomic ops, not a deep
+    /// clone of ad units / partner refs / waterfall tiers).
+    fn site_handle(&self) -> Arc<SiteRuntime> {
+        self.site.clone().expect("flow started without a site")
     }
 }
 
 /// Entry point: start a visit for `site`. Schedules the page fetch and the
 /// facet-appropriate flow. Run the simulation to completion afterwards.
 pub fn begin_visit(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, site: SiteRuntime) {
+    let site = Arc::new(site);
     let auction_id = format!("auc-{}-{}", site.rank, w.rng.below(1_000_000_000));
     w.rtt_scale = site.net_quality;
     w.flow.site = Some(site.clone());
@@ -181,7 +187,7 @@ pub fn begin_visit(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, site: SiteRu
 
 /// 2. Fetch wrapper + ad-manager libraries from the CDN, then start the flow.
 fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
-    let site = w.flow.site().clone();
+    let site = w.flow.site_handle();
     let cdn = site.cdn_host.clone();
     // The ad-manager tag is fetched in parallel; we only gate on the
     // wrapper library (it is what issues the bid requests).
@@ -210,7 +216,7 @@ fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
 
 /// 3a. Client-side / hybrid: fan out to the configured partners.
 fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
-    let site = w.flow.site().clone();
+    let site = w.flow.site_handle();
     let auction_id = w.flow.auction_id.clone();
     let now = s.now();
     w.flow.truth.facet = site.facet;
@@ -301,8 +307,8 @@ fn handle_bid_outcome(
     let arrived_late = w.flow.sent_to_adserver;
     if let NetOutcome::Response(rsp) = out {
         if rsp.status.is_success() {
-            if let Some(body) = rsp.body.as_json() {
-                if let Some((_, bids)) = protocol::parse_bid_response(&body) {
+            if let Some(body) = rsp.body.json() {
+                if let Some((_, bids)) = protocol::parse_bid_response(body) {
                     for bid in bids {
                         w.flow.truth.client_bids += 1;
                         if arrived_late {
@@ -342,7 +348,7 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.flow.sent_to_adserver = true;
     let now = s.now();
     w.flow.truth.adserver_sent_at = Some(now);
-    let site = w.flow.site().clone();
+    let site = w.flow.site_handle();
     let auction_id = w.flow.auction_id.clone();
 
     w.browser.fire_event(
@@ -405,7 +411,7 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
 
 /// 3b. Server-Side HB: one request to the provider; it runs the auction.
 fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
-    let site = w.flow.site().clone();
+    let site = w.flow.site_handle();
     let now = s.now();
     w.flow.truth.facet = site.facet;
     w.flow.truth.slots_auctioned = site.ad_units.len();
@@ -434,11 +440,11 @@ fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
 fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out: NetOutcome) {
     let now = s.now();
     w.flow.truth.adserver_response_at = Some(now);
-    let site = w.flow.site().clone();
+    let site = w.flow.site_handle();
     let winners = match out {
         NetOutcome::Response(rsp) if rsp.status.is_success() => rsp
             .body
-            .as_json()
+            .into_json()
             .and_then(|b| protocol::parse_ad_server_response(&b))
             .map(|(_, ws)| ws)
             .unwrap_or_default(),

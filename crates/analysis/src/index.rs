@@ -1,5 +1,5 @@
-//! The columnar analysis index: build once per dataset, read by every
-//! figure.
+//! The columnar analysis index: build once per dataset (or incrementally
+//! from streamed shard chunks), read by every figure.
 //!
 //! ## Why
 //!
@@ -12,19 +12,29 @@
 //! arrays (struct-of-arrays) plus the shared derived tables, so figure
 //! builders become tight scans over contiguous memory.
 //!
+//! ## Two ways to build
+//!
+//! * [`DatasetIndex::build`] performs **one** pass over a materialized
+//!   dataset; symbols already live in the campaign interner, which the
+//!   index shares by `Arc` — no strings are copied.
+//! * [`DatasetIndexBuilder`] consumes streamed [`VisitChunk`]s as the
+//!   sharded campaign produces them, re-interning chunk-local symbols
+//!   into its own table. Figures built this way never need the full row
+//!   dataset resident — chunks are folded and dropped one at a time.
+//!   Feed chunks in `(day, shard, seq)` order (what
+//!   [`run_campaign_streamed`](hb_crawler::run_campaign_streamed) emits)
+//!   and the resulting figures are byte-identical to the
+//!   dataset-then-index path.
+//!
 //! ## Contract: build once, read many
 //!
-//! * [`DatasetIndex::build`] performs **one** pass over the dataset (plus
-//!   sorts for the derived tables) and borrows the dataset immutably; it
-//!   never mutates or copies record strings — symbols are resolved
-//!   against `ds.strings` on demand.
+//! * The index is immutable after build; share it freely (`Sync`, fully
+//!   owned — no borrow of the dataset remains).
 //! * Figure builders take `&DatasetIndex` and must not re-scan
 //!   `ds.visits`; everything order-sensitive (site tables sorted by
 //!   domain, partner tables sorted by name, popularity sorted by count
 //!   desc / name asc) is precomputed here so ported figures stay
 //!   byte-identical to their row-scan ancestors.
-//! * The index is immutable after build; share it freely (`&` across
-//!   threads is fine — it is `Sync` like the dataset).
 //!
 //! Every column below is consumed by at least one figure builder — when a
 //! figure stops needing a column, delete it here too; `DatasetIndex::build`
@@ -39,10 +49,12 @@
 //! | bids | `b_*` | detected bid in an HB visit |
 //! | latency observations | `l_*` | partner latency sample |
 //! | slot decisions | `s_*` | slot decision in an HB visit |
+//! | ground truth | `t_*` | truth record with a measured latency |
 
-use hb_core::{DetectedFacet, Symbol};
-use hb_crawler::CrawlDataset;
+use hb_core::{DetectedFacet, Interner, Symbol, VisitView};
+use hb_crawler::{CrawlDataset, TruthRecord, VisitChunk};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One HB site (distinct domain) with its cross-visit aggregates.
 #[derive(Clone, Debug)]
@@ -55,11 +67,15 @@ pub struct SiteRow {
     pub latencies: Vec<f64>,
 }
 
-/// Columnar view over one [`CrawlDataset`]. See the module docs for the
+/// Columnar view over one campaign. See the module docs for the
 /// build-once/read-many contract.
-pub struct DatasetIndex<'a> {
-    /// The indexed dataset (strings resolve against `ds.strings`).
-    pub ds: &'a CrawlDataset,
+pub struct DatasetIndex {
+    /// The interner every symbol column resolves against.
+    pub strings: Arc<Interner>,
+    /// Number of sites in the crawled universe.
+    pub n_sites: u32,
+    /// Number of crawl days (excluding the day-0 sweep).
+    pub n_days: u32,
 
     // --- HB-visit columns (one row per hb_detected visit) -----------------
     /// Site rank.
@@ -109,6 +125,14 @@ pub struct DatasetIndex<'a> {
     /// Size string.
     pub s_size: Vec<Symbol>,
 
+    // --- ground-truth latency columns (waterfall baseline, X1) ------------
+    /// Measured HB latency of every truth record with an HB facet, in
+    /// truth order.
+    pub t_hb_latency: Vec<f64>,
+    /// Measured waterfall fill latency of every facet-less truth record,
+    /// in truth order.
+    pub t_wf_latency: Vec<f64>,
+
     // --- derived tables ---------------------------------------------------
     /// Distinct HB sites sorted by domain name.
     pub sites: Vec<SiteRow>,
@@ -121,132 +145,193 @@ pub struct DatasetIndex<'a> {
     pub partner_latency_by_sym: HashMap<Symbol, u32>,
 }
 
-impl<'a> DatasetIndex<'a> {
-    /// Build the index in one pass over `ds` (plus derived-table sorts).
-    pub fn build(ds: &'a CrawlDataset) -> DatasetIndex<'a> {
-        let mut ix = DatasetIndex {
-            ds,
-            v_rank: Vec::new(),
-            v_day: Vec::new(),
-            v_facet: Vec::new(),
-            v_latency: Vec::new(),
-            v_slots_auctioned: Vec::new(),
-            v_n_bids: Vec::new(),
-            v_n_late: Vec::new(),
-            d0_rank: Vec::new(),
-            d0_hb: Vec::new(),
-            d0_facet: Vec::new(),
-            b_visit: Vec::new(),
-            b_bidder: Vec::new(),
-            b_partner: Vec::new(),
-            b_size: Vec::new(),
-            b_cpm: Vec::new(),
-            l_partner: Vec::new(),
-            l_late: Vec::new(),
-            s_visit: Vec::new(),
-            s_size: Vec::new(),
-            sites: Vec::new(),
-            partner_popularity: Vec::new(),
-            partner_latency: Vec::new(),
-            partner_latency_by_sym: HashMap::new(),
-        };
+/// Symbol-space-agnostic accumulation state shared by the one-shot and
+/// incremental builders.
+#[derive(Default)]
+struct IndexAccum {
+    v_rank: Vec<u32>,
+    v_day: Vec<u32>,
+    v_facet: Vec<Option<DetectedFacet>>,
+    v_latency: Vec<f64>,
+    v_slots_auctioned: Vec<u32>,
+    v_n_bids: Vec<u32>,
+    v_n_late: Vec<u32>,
+    d0_rank: Vec<u32>,
+    d0_hb: Vec<bool>,
+    d0_facet: Vec<Option<DetectedFacet>>,
+    b_visit: Vec<u32>,
+    b_bidder: Vec<Symbol>,
+    b_partner: Vec<Symbol>,
+    b_size: Vec<Symbol>,
+    b_cpm: Vec<f64>,
+    l_partner: Vec<Symbol>,
+    l_late: Vec<bool>,
+    s_visit: Vec<u32>,
+    s_size: Vec<Symbol>,
+    t_hb_latency: Vec<f64>,
+    t_wf_latency: Vec<f64>,
+    site_rows: HashMap<Symbol, SiteRow>,
+    partner_samples: HashMap<Symbol, Vec<f64>>,
+}
 
-        // Per-domain accumulation (keyed by symbol; sorted by name below).
-        let mut site_rows: HashMap<Symbol, SiteRow> = HashMap::new();
-        let mut partner_samples: HashMap<Symbol, Vec<f64>> = HashMap::new();
+impl IndexAccum {
+    /// Fold one visit; `map` migrates symbols into the index's symbol
+    /// space (identity when the interner is shared).
+    fn push_visit(&mut self, v: VisitView<'_>, map: &mut dyn FnMut(Symbol) -> Symbol) {
+        if v.day == 0 {
+            self.d0_rank.push(v.rank);
+            self.d0_hb.push(v.hb_detected);
+            self.d0_facet.push(v.facet);
+        }
+        if !v.hb_detected {
+            return;
+        }
+        let vrow = self.v_rank.len() as u32;
+        self.v_rank.push(v.rank);
+        self.v_day.push(v.day);
+        self.v_facet.push(v.facet);
+        self.v_latency.push(v.hb_latency_ms.unwrap_or(f64::NAN));
+        self.v_slots_auctioned.push(v.slots_auctioned);
+        self.v_n_bids.push(v.bids.len() as u32);
+        self.v_n_late.push(v.late_bids() as u32);
 
-        for v in &ds.visits {
-            if v.day == 0 {
-                ix.d0_rank.push(v.rank);
-                ix.d0_hb.push(v.hb_detected);
-                ix.d0_facet.push(v.facet);
-            }
-            if !v.hb_detected {
-                continue;
-            }
-            let vrow = ix.v_rank.len() as u32;
-            ix.v_rank.push(v.rank);
-            ix.v_day.push(v.day);
-            ix.v_facet.push(v.facet);
-            ix.v_latency.push(v.hb_latency_ms.unwrap_or(f64::NAN));
-            ix.v_slots_auctioned.push(v.slots_auctioned);
-            ix.v_n_bids.push(v.bids.len() as u32);
-            ix.v_n_late.push(v.late_bids() as u32);
-
-            let site = site_rows.entry(v.domain).or_insert_with(|| SiteRow {
-                domain: v.domain,
-                partners: Vec::new(),
-                latencies: Vec::new(),
-            });
-            for p in &v.partners {
-                if !site.partners.contains(p) {
-                    site.partners.push(*p);
-                }
-            }
-            if let Some(lat) = v.hb_latency_ms {
-                site.latencies.push(lat);
-            }
-
-            for b in &v.bids {
-                ix.b_visit.push(vrow);
-                ix.b_bidder.push(b.bidder_code);
-                ix.b_partner.push(b.partner_name);
-                ix.b_size.push(b.size);
-                ix.b_cpm.push(b.cpm);
-            }
-            for pl in &v.partner_latencies {
-                ix.l_partner.push(pl.partner_name);
-                ix.l_late.push(pl.late);
-                partner_samples
-                    .entry(pl.partner_name)
-                    .or_default()
-                    .push(pl.latency_ms);
-            }
-            for s in &v.slots {
-                ix.s_visit.push(vrow);
-                ix.s_size.push(s.size);
+        let domain = map(v.domain);
+        let site = self.site_rows.entry(domain).or_insert_with(|| SiteRow {
+            domain,
+            partners: Vec::new(),
+            latencies: Vec::new(),
+        });
+        for p in v.partners {
+            let p = map(*p);
+            if !site.partners.contains(&p) {
+                site.partners.push(p);
             }
         }
+        if let Some(lat) = v.hb_latency_ms {
+            site.latencies.push(lat);
+        }
 
+        for b in v.bids {
+            self.b_visit.push(vrow);
+            self.b_bidder.push(map(b.bidder_code));
+            self.b_partner.push(map(b.partner_name));
+            self.b_size.push(map(b.size));
+            self.b_cpm.push(b.cpm);
+        }
+        for pl in v.partner_latencies {
+            let partner = map(pl.partner_name);
+            self.l_partner.push(partner);
+            self.l_late.push(pl.late);
+            self.partner_samples
+                .entry(partner)
+                .or_default()
+                .push(pl.latency_ms);
+        }
+        for s in v.slots {
+            self.s_visit.push(vrow);
+            self.s_size.push(map(s.size));
+        }
+    }
+
+    /// Fold one ground-truth record (only its latency columns are kept).
+    fn push_truth(&mut self, t: &TruthRecord) {
+        if t.facet != "none" {
+            if let Some(ms) = t.hb_latency_ms {
+                self.t_hb_latency.push(ms);
+            }
+        } else if let Some(ms) = t.waterfall_latency_ms {
+            self.t_wf_latency.push(ms);
+        }
+    }
+
+    /// Sort the derived tables and assemble the immutable index.
+    fn finish(self, strings: Arc<Interner>, n_sites: u32, n_days: u32) -> DatasetIndex {
         // Sites sorted by domain name; partner sets sorted by name.
-        let mut sites: Vec<SiteRow> = site_rows.into_values().collect();
+        let mut sites: Vec<SiteRow> = self.site_rows.into_values().collect();
         for site in &mut sites {
             site.partners
-                .sort_unstable_by(|a, b| ds.str(*a).cmp(ds.str(*b)));
+                .sort_unstable_by(|a, b| strings.resolve(*a).cmp(strings.resolve(*b)));
         }
-        sites.sort_unstable_by(|a, b| ds.str(a.domain).cmp(ds.str(b.domain)));
-        ix.sites = sites;
+        sites.sort_unstable_by(|a, b| {
+            strings.resolve(a.domain).cmp(strings.resolve(b.domain))
+        });
 
         // Partner popularity: distinct sites per partner, from the sorted
         // site table; ranked count desc, name asc.
         let mut pop: HashMap<Symbol, usize> = HashMap::new();
-        for site in &ix.sites {
+        for site in &sites {
             for p in &site.partners {
                 *pop.entry(*p).or_insert(0) += 1;
             }
         }
-        let mut popularity: Vec<(Symbol, usize)> = pop.into_iter().collect();
-        popularity.sort_unstable_by(|a, b| {
-            b.1.cmp(&a.1).then_with(|| ds.str(a.0).cmp(ds.str(b.0)))
+        let mut partner_popularity: Vec<(Symbol, usize)> = pop.into_iter().collect();
+        partner_popularity.sort_unstable_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| strings.resolve(a.0).cmp(strings.resolve(b.0)))
         });
-        ix.partner_popularity = popularity;
 
         // Per-partner latency samples sorted by name, with a reverse map.
-        let mut partner_latency: Vec<(Symbol, Vec<f64>)> = partner_samples.into_iter().collect();
-        partner_latency.sort_unstable_by(|a, b| ds.str(a.0).cmp(ds.str(b.0)));
-        ix.partner_latency_by_sym = partner_latency
+        let mut partner_latency: Vec<(Symbol, Vec<f64>)> =
+            self.partner_samples.into_iter().collect();
+        partner_latency
+            .sort_unstable_by(|a, b| strings.resolve(a.0).cmp(strings.resolve(b.0)));
+        let partner_latency_by_sym = partner_latency
             .iter()
             .enumerate()
             .map(|(i, (sym, _))| (*sym, i as u32))
             .collect();
-        ix.partner_latency = partner_latency;
 
-        ix
+        DatasetIndex {
+            strings,
+            n_sites,
+            n_days,
+            v_rank: self.v_rank,
+            v_day: self.v_day,
+            v_facet: self.v_facet,
+            v_latency: self.v_latency,
+            v_slots_auctioned: self.v_slots_auctioned,
+            v_n_bids: self.v_n_bids,
+            v_n_late: self.v_n_late,
+            d0_rank: self.d0_rank,
+            d0_hb: self.d0_hb,
+            d0_facet: self.d0_facet,
+            b_visit: self.b_visit,
+            b_bidder: self.b_bidder,
+            b_partner: self.b_partner,
+            b_size: self.b_size,
+            b_cpm: self.b_cpm,
+            l_partner: self.l_partner,
+            l_late: self.l_late,
+            s_visit: self.s_visit,
+            s_size: self.s_size,
+            t_hb_latency: self.t_hb_latency,
+            t_wf_latency: self.t_wf_latency,
+            sites,
+            partner_popularity,
+            partner_latency,
+            partner_latency_by_sym,
+        }
+    }
+}
+
+impl DatasetIndex {
+    /// Build the index in one pass over `ds` (plus derived-table sorts).
+    /// The campaign interner is shared, not copied.
+    pub fn build(ds: &CrawlDataset) -> DatasetIndex {
+        let mut accum = IndexAccum::default();
+        let mut identity = |sym: Symbol| sym;
+        for v in &ds.visits {
+            accum.push_visit(VisitView::from(v), &mut identity);
+        }
+        for t in &ds.truths {
+            accum.push_truth(t);
+        }
+        accum.finish(ds.strings.clone(), ds.n_sites, ds.n_days)
     }
 
-    /// Resolve a symbol against the dataset interner.
-    pub fn str(&self, sym: Symbol) -> &'a str {
-        self.ds.strings.resolve(sym)
+    /// Resolve a symbol against the index interner.
+    pub fn str(&self, sym: Symbol) -> &str {
+        self.strings.resolve(sym)
     }
 
     /// Number of HB-visit rows.
@@ -267,9 +352,60 @@ impl<'a> DatasetIndex<'a> {
     }
 }
 
+/// Incremental index construction from streamed shard chunks.
+///
+/// Chunks are folded in arrival order and can be dropped immediately —
+/// the builder keeps only the columnar state, never the row records, so
+/// peak memory for a figures run is the index itself plus one in-flight
+/// chunk.
+pub struct DatasetIndexBuilder {
+    strings: Interner,
+    n_sites: u32,
+    n_days: u32,
+    accum: IndexAccum,
+}
+
+impl DatasetIndexBuilder {
+    /// Start a builder for a campaign over `n_sites` × `n_days`.
+    pub fn new(n_sites: u32, n_days: u32) -> DatasetIndexBuilder {
+        DatasetIndexBuilder {
+            strings: Interner::new(),
+            n_sites,
+            n_days,
+            accum: IndexAccum::default(),
+        }
+    }
+
+    /// Fold one chunk: visits are appended in chunk order with their
+    /// symbols re-interned from the chunk-local table into the builder's.
+    pub fn push_chunk(&mut self, chunk: &VisitChunk) {
+        let strings = &mut self.strings;
+        let local = &chunk.strings;
+        let mut map = |sym: Symbol| strings.intern(local.resolve(sym));
+        for v in chunk.visits.iter() {
+            self.accum.push_visit(v, &mut map);
+        }
+        for t in &chunk.truths {
+            self.accum.push_truth(t);
+        }
+    }
+
+    /// Number of visits folded so far (HB visits only appear in `v_*`
+    /// columns, but day-0 rows count every sweep visit).
+    pub fn n_hb_visits(&self) -> usize {
+        self.accum.v_rank.len()
+    }
+
+    /// Seal the index.
+    pub fn finish(self) -> DatasetIndex {
+        self.accum
+            .finish(Arc::new(self.strings), self.n_sites, self.n_days)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::test_fixtures::small_index;
+    use crate::test_fixtures::{small_dataset, small_index};
 
     #[test]
     fn columns_are_consistent() {
@@ -284,9 +420,12 @@ mod tests {
         // Bid rows point at valid visit rows.
         assert!(ix.b_visit.iter().all(|&v| (v as usize) < n));
         // Totals line up with the row-oriented accessors.
+        let ds = small_dataset();
         let total_bids: u32 = ix.v_n_bids.iter().sum();
         assert_eq!(total_bids as usize, ix.b_visit.len());
-        assert_eq!(total_bids as u64, ix.ds.total_bids());
+        assert_eq!(total_bids as u64, ds.total_bids());
+        assert_eq!(ix.n_sites, ds.n_sites);
+        assert_eq!(ix.n_days, ds.n_days);
     }
 
     #[test]
@@ -297,7 +436,7 @@ mod tests {
         let mut sorted = domains.clone();
         sorted.sort_unstable();
         assert_eq!(domains, sorted);
-        assert_eq!(ix.n_hb_sites(), ix.ds.hb_domains().len());
+        assert_eq!(ix.n_hb_sites(), small_dataset().hb_domains().len());
     }
 
     #[test]
@@ -320,5 +459,25 @@ mod tests {
         }
         let total: usize = ix.partner_latency.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, ix.l_partner.len());
+    }
+
+    #[test]
+    fn truth_latency_columns_match_dataset() {
+        let ix = small_index();
+        let ds = small_dataset();
+        let hb: Vec<f64> = ds
+            .truths
+            .iter()
+            .filter(|t| t.facet != "none")
+            .filter_map(|t| t.hb_latency_ms)
+            .collect();
+        let wf: Vec<f64> = ds
+            .truths
+            .iter()
+            .filter(|t| t.facet == "none")
+            .filter_map(|t| t.waterfall_latency_ms)
+            .collect();
+        assert_eq!(ix.t_hb_latency, hb);
+        assert_eq!(ix.t_wf_latency, wf);
     }
 }

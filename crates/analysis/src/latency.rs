@@ -50,7 +50,7 @@ pub fn f12_latency_ecdf(ix: &DatasetIndex) -> FigureReport {
 /// Fig. 13: latency vs site rank, in rank bins scaled like the paper's
 /// bins of 500 (universe/70).
 pub fn f13_latency_vs_rank(ix: &DatasetIndex) -> FigureReport {
-    let bin_width = (ix.ds.n_sites as u64 / 70).max(1);
+    let bin_width = (ix.n_sites as u64 / 70).max(1);
     let mut grouped = GroupedSamples::new();
     for (i, &lat) in ix.v_latency.iter().enumerate() {
         if !lat.is_nan() {

@@ -27,6 +27,6 @@ pub mod waterfall_cmp;
 #[doc(hidden)]
 pub mod test_fixtures;
 
-pub use index::DatasetIndex;
+pub use index::{DatasetIndex, DatasetIndexBuilder};
 pub use registry::{all_reports, dataset_reports, history_reports, indexed_reports};
 pub use report::FigureReport;

@@ -28,7 +28,7 @@ pub fn indexed_reports(ix: &DatasetIndex) -> Vec<FigureReport> {
         crate::prices::f22_price_ecdf(ix),
         crate::prices::f23_price_by_size(ix),
         crate::prices::f24_price_by_popularity(ix),
-        crate::waterfall_cmp::x01_waterfall_compare(ix.ds),
+        crate::waterfall_cmp::x01_waterfall_compare(ix),
     ]
 }
 

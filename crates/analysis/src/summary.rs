@@ -9,7 +9,6 @@ use hb_stats::{fmt_pct, Align, Table};
 
 /// Table 1: summary of collected data.
 pub fn t1_summary(ix: &DatasetIndex) -> FigureReport {
-    let ds = ix.ds;
     let n_hb_domains = ix.n_hb_sites();
     let auctions: u64 = ix.v_slots_auctioned.iter().map(|&s| s as u64).sum();
     let bids: u64 = ix.v_n_bids.iter().map(|&b| b as u64).sum();
@@ -21,11 +20,11 @@ pub fn t1_summary(ix: &DatasetIndex) -> FigureReport {
         }
         set.len()
     };
-    let weeks = (ds.n_days as f64 / 7.0).ceil();
+    let weeks = (ix.n_days as f64 / 7.0).ceil();
 
     let mut table = Table::new("Table 1 — summary of collected data", &["data", "volume"])
         .with_aligns(&[Align::Left, Align::Right]);
-    table.row(vec!["# of websites crawled".into(), ds.n_sites.to_string()]);
+    table.row(vec!["# of websites crawled".into(), ix.n_sites.to_string()]);
     table.row(vec!["# of websites with HB".into(), n_hb_domains.to_string()]);
     table.row(vec!["# of auctions detected".into(), auctions.to_string()]);
     table.row(vec!["# of bids detected".into(), bids.to_string()]);
@@ -43,7 +42,7 @@ pub fn t1_summary(ix: &DatasetIndex) -> FigureReport {
                 .into(),
         table,
         metrics: vec![
-            ("websites_crawled".into(), ds.n_sites as f64),
+            ("websites_crawled".into(), ix.n_sites as f64),
             ("websites_with_hb".into(), n_hb_domains as f64),
             ("auctions".into(), auctions as f64),
             ("bids".into(), bids as f64),
@@ -59,7 +58,7 @@ pub fn t1_summary(ix: &DatasetIndex) -> FigureReport {
 /// §4.1: adoption by rank band and overall (paper: 20–23% top 5k,
 /// 12–17% mid, 10–12% tail, 14.28% overall).
 pub fn adoption_bands(ix: &DatasetIndex) -> FigureReport {
-    let n = ix.ds.n_sites.max(1);
+    let n = ix.n_sites.max(1);
     let top_band = n / 7;
     let mid_band = 3 * n / 7;
     let mut counts = [(0u32, 0u32); 3]; // (hb, total) per band
@@ -163,7 +162,7 @@ mod tests {
     #[test]
     fn t1_counts_match_dataset() {
         let ix = small_index();
-        let ds = ix.ds;
+        let ds = crate::test_fixtures::small_dataset();
         let r = t1_summary(ix);
         assert_eq!(r.metric("websites_crawled"), Some(ds.n_sites as f64));
         assert_eq!(r.metric("auctions"), Some(ds.total_auctions() as f64));

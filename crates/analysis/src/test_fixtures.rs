@@ -15,7 +15,7 @@ pub fn small_dataset() -> &'static CrawlDataset {
 }
 
 /// The cached columnar index over [`small_dataset`].
-pub fn small_index() -> &'static DatasetIndex<'static> {
-    static IX: OnceLock<DatasetIndex<'static>> = OnceLock::new();
+pub fn small_index() -> &'static DatasetIndex {
+    static IX: OnceLock<DatasetIndex> = OnceLock::new();
     IX.get_or_init(|| DatasetIndex::build(small_dataset()))
 }

@@ -6,26 +6,16 @@
 //! §3.1 limitations), so the baseline side comes from the harness's
 //! ground-truth records of waterfall sites crawled in the day-0 sweep.
 
+use crate::index::DatasetIndex;
 use crate::report::FigureReport;
-use hb_crawler::CrawlDataset;
 use hb_stats::{fmt_f, fmt_ms, Align, Samples, Table};
 
-/// X1: HB vs waterfall latency quantile comparison.
-pub fn x01_waterfall_compare(ds: &CrawlDataset) -> FigureReport {
-    let hb: Vec<f64> = ds
-        .truths
-        .iter()
-        .filter(|t| t.facet != "none")
-        .filter_map(|t| t.hb_latency_ms)
-        .collect();
-    let wf: Vec<f64> = ds
-        .truths
-        .iter()
-        .filter(|t| t.facet == "none")
-        .filter_map(|t| t.waterfall_latency_ms)
-        .collect();
-    let hb_s = Samples::from_iter(hb.iter().copied());
-    let wf_s = Samples::from_iter(wf.iter().copied());
+/// X1: HB vs waterfall latency quantile comparison. Reads the index's
+/// ground-truth latency columns (`t_*`), so it works for streamed indexes
+/// that never materialized the row dataset.
+pub fn x01_waterfall_compare(ix: &DatasetIndex) -> FigureReport {
+    let hb_s = Samples::from_iter(ix.t_hb_latency.iter().copied());
+    let wf_s = Samples::from_iter(ix.t_wf_latency.iter().copied());
 
     let mut table = Table::new(
         "X1 — HB vs waterfall latency",
@@ -78,12 +68,11 @@ pub fn x01_waterfall_compare(ds: &CrawlDataset) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::small_dataset;
+    use crate::test_fixtures::small_index;
 
     #[test]
     fn hb_slower_than_waterfall_at_median() {
-        let ds = small_dataset();
-        let r = x01_waterfall_compare(&ds);
+        let r = x01_waterfall_compare(small_index());
         let ratio = r.metric("median_ratio").unwrap();
         assert!(ratio > 1.2, "HB/waterfall median ratio {ratio}");
         assert!(ratio < 8.0, "ratio blew past plausibility: {ratio}");
@@ -93,8 +82,7 @@ mod tests {
 
     #[test]
     fn tail_ratio_exceeds_median_ratio() {
-        let ds = small_dataset();
-        let r = x01_waterfall_compare(&ds);
+        let r = x01_waterfall_compare(small_index());
         let med = r.metric("median_ratio").unwrap();
         let p90 = r.metric("p90_ratio").unwrap();
         assert!(p90 > med, "p90 {p90} should exceed median {med}");

@@ -49,13 +49,7 @@ figure_bench!(bench_f21, "F21_sizes", hb_analysis::slots::f21_sizes);
 figure_bench!(bench_f22, "F22_price_ecdf", hb_analysis::prices::f22_price_ecdf);
 figure_bench!(bench_f23, "F23_price_by_size", hb_analysis::prices::f23_price_by_size);
 figure_bench!(bench_f24, "F24_price_by_popularity", hb_analysis::prices::f24_price_by_popularity);
-/// X1 reads ground-truth rows, not the index.
-fn bench_x1(c: &mut Criterion) {
-    let ds = cached_test_dataset();
-    c.bench_function("figure/X1_waterfall_compare", |b| {
-        b.iter(|| black_box(hb_analysis::waterfall_cmp::x01_waterfall_compare(black_box(ds))))
-    });
-}
+figure_bench!(bench_x1, "X1_waterfall_compare", hb_analysis::waterfall_cmp::x01_waterfall_compare);
 
 /// Fig. 4 + overlap study (no crawl dataset needed).
 fn bench_f4(c: &mut Criterion) {

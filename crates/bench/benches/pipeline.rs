@@ -12,7 +12,7 @@ use std::hint::black_box;
 fn visit_bench(c: &mut Criterion) {
     let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
     let pick = |facet: Option<HbFacet>| {
-        eco.sites
+        eco.sites()
             .iter()
             .find(|s| s.facet == facet)
             .expect("facet present in tiny universe")
@@ -108,9 +108,30 @@ fn campaign_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// A 2,000-site × 1-day campaign over the lazy factory — the scale where
+/// eager universe construction used to dominate. Reported as visits/sec
+/// (`Throughput::Elements`), directly comparable to the crawl binary.
+fn campaign_small_bench(c: &mut Criterion) {
+    let factory =
+        hb_ecosystem::SiteFactory::new(EcosystemConfig::paper_scale().with_sites(2_000).with_days(1));
+    let cfg = hb_crawler::CampaignConfig::default();
+    let visits = {
+        // One warm-up run to learn the visit count (sweep + dailies).
+        let ds = hb_crawler::run_factory_campaign(&factory, &cfg);
+        ds.visits.len() as u64
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(visits));
+    group.bench_function("small_2k_sites", |b| {
+        b.iter(|| black_box(hb_crawler::run_factory_campaign(&factory, &cfg)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = pipeline;
     config = Criterion::default().sample_size(10);
-    targets = visit_bench, detector_hot_paths, campaign_bench
+    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_small_bench
 );
 criterion_main!(pipeline);

@@ -8,7 +8,7 @@
 #![warn(missing_docs)]
 
 use hb_analysis::DatasetIndex;
-use hb_crawler::{run_campaign, CampaignConfig, CrawlDataset};
+use hb_crawler::{run_campaign, CampaignConfig, CampaignProgress, CrawlDataset, ProgressFn};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use std::sync::OnceLock;
 
@@ -48,11 +48,23 @@ impl Scale {
     }
 }
 
+/// A progress callback printing to stderr — the old hardwired behaviour of
+/// the crawl library, now opt-in at the harness layer.
+pub fn stderr_progress() -> ProgressFn {
+    Box::new(|p: CampaignProgress| {
+        eprintln!(
+            "  [shard {}] day {}: crawled {}/{} visits",
+            p.shard, p.day, p.done, p.total
+        )
+    })
+}
+
 /// Generate the ecosystem and run the full campaign at the given scale.
 pub fn build_dataset(scale: Scale, progress: bool) -> (Ecosystem, CrawlDataset) {
     let eco = Ecosystem::generate(scale.config());
     let cfg = CampaignConfig {
         progress_every: if progress { 5_000 } else { 0 },
+        progress: progress.then(stderr_progress),
         ..CampaignConfig::default()
     };
     let ds = run_campaign(&eco, &cfg);
@@ -67,8 +79,8 @@ pub fn cached_test_dataset() -> &'static CrawlDataset {
 
 /// Cached columnar index over [`cached_test_dataset`] (built once, shared
 /// by every figure bench — the index's build-once/read-many contract).
-pub fn cached_test_index() -> &'static DatasetIndex<'static> {
-    static IX: OnceLock<DatasetIndex<'static>> = OnceLock::new();
+pub fn cached_test_index() -> &'static DatasetIndex {
+    static IX: OnceLock<DatasetIndex> = OnceLock::new();
     IX.get_or_init(|| DatasetIndex::build(cached_test_dataset()))
 }
 
@@ -86,7 +98,7 @@ mod tests {
     #[test]
     fn tiny_dataset_builds() {
         let (eco, ds) = build_dataset(Scale::Tiny, false);
-        assert_eq!(eco.sites.len(), 200);
+        assert_eq!(eco.sites().len(), 200);
         assert!(ds.total_auctions() > 0);
     }
 }

@@ -1,0 +1,368 @@
+//! Columnar storage for finished visit records.
+//!
+//! A [`VisitRecord`] is a row: scalar fields plus five nested vectors, so
+//! holding a campaign's worth of them means six heap allocations per visit
+//! and pointer-chasing scans. [`VisitColumns`] stores the same data
+//! struct-of-arrays: scalars in parallel columns, child rows (partners,
+//! bids, latency observations, slot decisions, event counts) flattened
+//! into shared arrays indexed by per-visit offset ranges. The crawl
+//! pipeline streams finished visits into per-shard columnar chunks built
+//! on this type, and the analysis layer's incremental index builder reads
+//! the columns directly — rows are only re-materialized when a
+//! [`CrawlDataset`-style] row view is explicitly requested.
+
+use crate::intern::Symbol;
+use crate::record::{DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord};
+
+/// Struct-of-arrays storage for visit records. Append-only; offsets keep
+/// child rows in visit order.
+#[derive(Clone, Debug, Default)]
+pub struct VisitColumns {
+    domain: Vec<Symbol>,
+    rank: Vec<u32>,
+    day: Vec<u32>,
+    hb_detected: Vec<bool>,
+    facet: Vec<Option<DetectedFacet>>,
+    slots_auctioned: Vec<u32>,
+    hb_latency_ms: Vec<Option<f64>>,
+    page_load_ms: Vec<Option<f64>>,
+    partners: Vec<Symbol>,
+    partners_off: Vec<u32>,
+    bids: Vec<DetectedBid>,
+    bids_off: Vec<u32>,
+    partner_latencies: Vec<PartnerLatency>,
+    latencies_off: Vec<u32>,
+    slots: Vec<DetectedSlot>,
+    slots_off: Vec<u32>,
+    event_counts: Vec<(Symbol, u32)>,
+    events_off: Vec<u32>,
+}
+
+/// Borrowed view of one visit row inside a [`VisitColumns`].
+#[derive(Clone, Copy, Debug)]
+pub struct VisitView<'a> {
+    /// Site hostname.
+    pub domain: Symbol,
+    /// Site rank (1-based).
+    pub rank: u32,
+    /// Crawl day (0-based).
+    pub day: u32,
+    /// Did the visit exhibit HB activity?
+    pub hb_detected: bool,
+    /// Facet classification, when HB was detected.
+    pub facet: Option<DetectedFacet>,
+    /// Number of ad slots auctioned.
+    pub slots_auctioned: u32,
+    /// Total HB latency, ms.
+    pub hb_latency_ms: Option<f64>,
+    /// Page load time, ms.
+    pub page_load_ms: Option<f64>,
+    /// Unique partner display names participating.
+    pub partners: &'a [Symbol],
+    /// All bids observed.
+    pub bids: &'a [DetectedBid],
+    /// Per-partner latency observations.
+    pub partner_latencies: &'a [PartnerLatency],
+    /// Slot decisions observed.
+    pub slots: &'a [DetectedSlot],
+    /// HB DOM event counts per kind label.
+    pub event_counts: &'a [(Symbol, u32)],
+}
+
+impl VisitView<'_> {
+    /// Bids that arrived late.
+    pub fn late_bids(&self) -> usize {
+        self.bids.iter().filter(|b| b.late).count()
+    }
+
+    /// Re-materialize this view as an owned row.
+    pub fn to_record(&self) -> VisitRecord {
+        VisitRecord {
+            domain: self.domain,
+            rank: self.rank,
+            day: self.day,
+            hb_detected: self.hb_detected,
+            facet: self.facet,
+            partners: self.partners.to_vec(),
+            slots_auctioned: self.slots_auctioned,
+            hb_latency_ms: self.hb_latency_ms,
+            bids: self.bids.to_vec(),
+            partner_latencies: self.partner_latencies.to_vec(),
+            slots: self.slots.to_vec(),
+            event_counts: self.event_counts.to_vec(),
+            page_load_ms: self.page_load_ms,
+        }
+    }
+}
+
+/// Range helper: the `i`-th window of an offsets column.
+fn window(off: &[u32], i: usize) -> std::ops::Range<usize> {
+    off[i] as usize..off[i + 1] as usize
+}
+
+impl VisitColumns {
+    /// Empty column set.
+    pub fn new() -> VisitColumns {
+        VisitColumns::default()
+    }
+
+    /// Empty column set with scalar capacity for `n` visits.
+    pub fn with_capacity(n: usize) -> VisitColumns {
+        VisitColumns {
+            domain: Vec::with_capacity(n),
+            rank: Vec::with_capacity(n),
+            day: Vec::with_capacity(n),
+            hb_detected: Vec::with_capacity(n),
+            facet: Vec::with_capacity(n),
+            slots_auctioned: Vec::with_capacity(n),
+            hb_latency_ms: Vec::with_capacity(n),
+            page_load_ms: Vec::with_capacity(n),
+            ..VisitColumns::default()
+        }
+    }
+
+    /// Number of visit rows.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// True when no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Append one finished visit, consuming the row (child vectors are
+    /// drained into the flattened arrays).
+    pub fn push(&mut self, v: VisitRecord) {
+        if self.partners_off.is_empty() {
+            self.partners_off.push(0);
+            self.bids_off.push(0);
+            self.latencies_off.push(0);
+            self.slots_off.push(0);
+            self.events_off.push(0);
+        }
+        self.domain.push(v.domain);
+        self.rank.push(v.rank);
+        self.day.push(v.day);
+        self.hb_detected.push(v.hb_detected);
+        self.facet.push(v.facet);
+        self.slots_auctioned.push(v.slots_auctioned);
+        self.hb_latency_ms.push(v.hb_latency_ms);
+        self.page_load_ms.push(v.page_load_ms);
+        self.partners.extend(v.partners);
+        self.partners_off.push(self.partners.len() as u32);
+        self.bids.extend(v.bids);
+        self.bids_off.push(self.bids.len() as u32);
+        self.partner_latencies.extend(v.partner_latencies);
+        self.latencies_off.push(self.partner_latencies.len() as u32);
+        self.slots.extend(v.slots);
+        self.slots_off.push(self.slots.len() as u32);
+        self.event_counts.extend(v.event_counts);
+        self.events_off.push(self.event_counts.len() as u32);
+    }
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> VisitView<'_> {
+        VisitView {
+            domain: self.domain[i],
+            rank: self.rank[i],
+            day: self.day[i],
+            hb_detected: self.hb_detected[i],
+            facet: self.facet[i],
+            slots_auctioned: self.slots_auctioned[i],
+            hb_latency_ms: self.hb_latency_ms[i],
+            page_load_ms: self.page_load_ms[i],
+            partners: &self.partners[window(&self.partners_off, i)],
+            bids: &self.bids[window(&self.bids_off, i)],
+            partner_latencies: &self.partner_latencies[window(&self.latencies_off, i)],
+            slots: &self.slots[window(&self.slots_off, i)],
+            event_counts: &self.event_counts[window(&self.events_off, i)],
+        }
+    }
+
+    /// Iterate borrowed row views in push order.
+    pub fn iter(&self) -> impl Iterator<Item = VisitView<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Rewrite every symbol in every column through `f` (the chunk-merge
+    /// step migrating from a chunk-local interner into the campaign-wide
+    /// one).
+    pub fn remap_symbols(&mut self, f: &mut impl FnMut(Symbol) -> Symbol) {
+        for d in &mut self.domain {
+            *d = f(*d);
+        }
+        for p in &mut self.partners {
+            *p = f(*p);
+        }
+        for b in &mut self.bids {
+            b.bidder_code = f(b.bidder_code);
+            b.partner_name = f(b.partner_name);
+            b.slot = f(b.slot);
+            b.size = f(b.size);
+        }
+        for pl in &mut self.partner_latencies {
+            pl.partner_name = f(pl.partner_name);
+            pl.bidder_code = f(pl.bidder_code);
+        }
+        for s in &mut self.slots {
+            s.slot = f(s.slot);
+            s.size = f(s.size);
+            s.winner = f(s.winner);
+            s.channel = f(s.channel);
+        }
+        for (label, _) in &mut self.event_counts {
+            *label = f(*label);
+        }
+    }
+}
+
+impl<'a> From<&'a VisitRecord> for VisitView<'a> {
+    fn from(v: &'a VisitRecord) -> VisitView<'a> {
+        VisitView {
+            domain: v.domain,
+            rank: v.rank,
+            day: v.day,
+            hb_detected: v.hb_detected,
+            facet: v.facet,
+            slots_auctioned: v.slots_auctioned,
+            hb_latency_ms: v.hb_latency_ms,
+            page_load_ms: v.page_load_ms,
+            partners: &v.partners,
+            bids: &v.bids,
+            partner_latencies: &v.partner_latencies,
+            slots: &v.slots,
+            event_counts: &v.event_counts,
+        }
+    }
+}
+
+impl FromIterator<VisitRecord> for VisitColumns {
+    fn from_iter<T: IntoIterator<Item = VisitRecord>>(iter: T) -> VisitColumns {
+        let mut c = VisitColumns::new();
+        for v in iter {
+            c.push(v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Interner;
+    use crate::record::BidSource;
+
+    fn sample(strings: &mut Interner, rank: u32, n_bids: usize) -> VisitRecord {
+        VisitRecord {
+            domain: strings.intern(&format!("pub{rank}.example")),
+            rank,
+            day: 1,
+            hb_detected: n_bids > 0,
+            facet: (n_bids > 0).then_some(DetectedFacet::Client),
+            partners: vec![strings.intern("AppNexus")],
+            slots_auctioned: 2,
+            hb_latency_ms: Some(320.0),
+            bids: (0..n_bids)
+                .map(|i| DetectedBid {
+                    bidder_code: strings.intern("appnexus"),
+                    partner_name: strings.intern("AppNexus"),
+                    slot: strings.intern(&format!("s{i}")),
+                    cpm: 0.1 * (i + 1) as f64,
+                    size: strings.intern("300x250"),
+                    late: i % 2 == 1,
+                    latency_ms: Some(100.0 + i as f64),
+                    source: BidSource::ClientVisible,
+                })
+                .collect(),
+            partner_latencies: vec![PartnerLatency {
+                partner_name: strings.intern("AppNexus"),
+                bidder_code: strings.intern("appnexus"),
+                latency_ms: 210.0,
+                late: false,
+            }],
+            slots: vec![],
+            event_counts: vec![(strings.intern("auctionInit"), 1)],
+            page_load_ms: Some(900.0),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let mut strings = Interner::new();
+        let rows: Vec<VisitRecord> = (1..=5).map(|r| sample(&mut strings, r, r as usize % 3)).collect();
+        let cols: VisitColumns = rows.iter().cloned().collect();
+        assert_eq!(cols.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let back = cols.get(i).to_record();
+            assert_eq!(back.domain, row.domain);
+            assert_eq!(back.rank, row.rank);
+            assert_eq!(back.hb_detected, row.hb_detected);
+            assert_eq!(back.bids.len(), row.bids.len());
+            assert_eq!(back.partners, row.partners);
+            assert_eq!(back.event_counts, row.event_counts);
+            assert_eq!(back.hb_latency_ms, row.hb_latency_ms);
+        }
+    }
+
+    #[test]
+    fn views_window_child_tables() {
+        let mut strings = Interner::new();
+        let cols: VisitColumns = vec![
+            sample(&mut strings, 1, 3),
+            sample(&mut strings, 2, 0),
+            sample(&mut strings, 3, 2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(cols.get(0).bids.len(), 3);
+        assert_eq!(cols.get(1).bids.len(), 0);
+        assert_eq!(cols.get(2).bids.len(), 2);
+        assert_eq!(cols.get(0).late_bids(), 1);
+        let total: usize = cols.iter().map(|v| v.bids.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn remap_rewrites_every_column() {
+        // Column-order remap visits symbols in a different sequence than
+        // the per-record remap, so ids may differ — the *resolved text*
+        // of every field must agree.
+        let mut local = Interner::new();
+        let rows: Vec<VisitRecord> = (1..=3).map(|r| sample(&mut local, r, 2)).collect();
+        let mut cols: VisitColumns = rows.iter().cloned().collect();
+
+        let mut global_a = Interner::new();
+        let mut global_b = Interner::new();
+        cols.remap_symbols(&mut |sym| global_a.intern(local.resolve(sym)));
+        for (i, mut row) in rows.into_iter().enumerate() {
+            row.remap_symbols(&mut |sym| global_b.intern(local.resolve(sym)));
+            let view = cols.get(i);
+            assert_eq!(global_a.resolve(view.domain), global_b.resolve(row.domain));
+            assert_eq!(
+                global_a.resolve(view.bids[0].slot),
+                global_b.resolve(row.bids[0].slot)
+            );
+            assert_eq!(
+                global_a.resolve(view.partner_latencies[0].bidder_code),
+                global_b.resolve(row.partner_latencies[0].bidder_code)
+            );
+            assert_eq!(
+                global_a.resolve(view.event_counts[0].0),
+                global_b.resolve(row.event_counts[0].0)
+            );
+        }
+        // Same distinct strings end up interned either way.
+        assert_eq!(global_a.len(), global_b.len());
+    }
+
+    #[test]
+    fn empty_columns() {
+        let cols = VisitColumns::new();
+        assert!(cols.is_empty());
+        assert_eq!(cols.iter().count(), 0);
+    }
+}

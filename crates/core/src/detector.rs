@@ -136,9 +136,9 @@ impl HbDetector {
                         // Parse every JSON body, not just hb_-flagged ones:
                         // bid/winner extraction must not depend on the
                         // payload carrying an hb_ key alongside the lists.
-                        if let Some(body) = response.body.as_json() {
-                            parse_response_content(obs, &body);
-                        }
+                        // Structured bodies are borrowed (no tree clone);
+                        // text bodies are still parsed opportunistically.
+                        response.body.with_json(|body| parse_response_content(obs, body));
                     }
                 }
                 WebRequestEvent::Failed { request, .. } => {

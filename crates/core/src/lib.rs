@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod columns;
 pub mod detector;
 pub mod events;
 pub mod intern;
@@ -35,6 +36,7 @@ pub use classify::{
     classify_request, hb_params_of_request, hb_params_of_response, is_hb_param,
     response_has_hb_params, Classification, RequestKind,
 };
+pub use columns::{VisitColumns, VisitView};
 pub use detector::HbDetector;
 pub use events::{CapturedEvent, HbEventKind};
 pub use intern::{Interner, Symbol};

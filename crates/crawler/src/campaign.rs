@@ -1,29 +1,75 @@
-//! Multi-day crawl campaigns over the ecosystem.
+//! Multi-day crawl campaigns over the ecosystem — sharded and streaming.
 //!
 //! The paper's methodology, mechanized: a day-0 sweep over the full
 //! toplist (detecting which sites run HB at all), followed by daily
-//! revisits of the detected HB sites for `crawl_days` days. Visits run in
-//! parallel over a shared atomic work cursor; determinism is preserved
-//! because every `(site, day)` visit derives its own RNG stream from the
-//! master seed, independent of scheduling order, and the collect step
-//! re-interns record strings in deterministic (day, site) order.
+//! revisits of the detected HB sites for `crawl_days` days.
+//!
+//! ## Architecture
+//!
+//! The toplist is split into `shards` contiguous rank slices. Each shard
+//! crawls its slice with a pool of workers that claim fixed-size *blocks*
+//! of ranks: a worker derives each site lazily from the
+//! [`SiteFactory`], crawls it, flattens the ground truth immediately, and
+//! interns strings into a block-local interner — sealing the block as a
+//! self-contained columnar [`VisitChunk`] keyed `(day, shard, seq)`.
+//! Chunks stream to the caller in deterministic key order the moment they
+//! are sealed (a small reorder window smooths over scheduling).
+//!
+//! Determinism: every `(site, day)` visit derives its own RNG stream from
+//! the master seed, block boundaries are a pure function of the job list,
+//! and the merge re-interns records in `(day, shard, seq, rank)` order —
+//! which, because shard slices are contiguous, is exactly the global
+//! `(day, rank)` order. Symbol numbering and figure bytes are therefore
+//! identical for every `parallelism` *and* every `shards` setting.
 
+use crate::chunk::VisitChunk;
 use crate::dataset::{CrawlDataset, TruthRecord};
-use crate::session::{crawl_site, SessionConfig, SiteVisit};
-use hb_core::Interner;
-use hb_ecosystem::Ecosystem;
-use std::collections::BTreeSet;
+use crate::session::{crawl_site, SessionConfig};
+use hb_core::{Interner, VisitColumns};
+use hb_ecosystem::{Ecosystem, SiteFactory};
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// A progress observation delivered to [`CampaignConfig::progress`].
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignProgress {
+    /// Shard reporting progress.
+    pub shard: u32,
+    /// Day of the batch being crawled (0 = adoption sweep).
+    pub day: u32,
+    /// Visits finished in the current batch.
+    pub done: usize,
+    /// Total visits in the current batch.
+    pub total: usize,
+}
+
+/// Progress callback: called from crawl worker threads, so it must be
+/// `Send + Sync`. Library users decide what to do with it — nothing is
+/// ever printed by the library itself.
+pub type ProgressFn = Box<dyn Fn(CampaignProgress) + Send + Sync>;
 
 /// Campaign tuning.
-#[derive(Clone, Debug)]
 pub struct CampaignConfig {
-    /// Worker threads (0 = available parallelism).
+    /// Worker threads per shard batch (0 = available parallelism).
     pub parallelism: usize,
     /// Session policy.
     pub session: SessionConfig,
-    /// Progress callback interval (visits); 0 disables progress output.
+    /// Number of contiguous toplist shards (1 = unsharded).
+    pub shards: u32,
+    /// Crawl only this shard (multi-machine operation); `None` runs every
+    /// shard locally, interleaved day-major so chunks stream in merge
+    /// order.
+    pub shard_id: Option<u32>,
+    /// Visits per sealed chunk (block size of the worker scheduler).
+    pub chunk_visits: usize,
+    /// Progress callback interval in visits; 0 disables progress entirely.
     pub progress_every: usize,
+    /// Progress callback (replaces the stderr printing of earlier
+    /// versions; `None` = silent).
+    pub progress: Option<ProgressFn>,
 }
 
 impl Default for CampaignConfig {
@@ -31,152 +77,323 @@ impl Default for CampaignConfig {
         CampaignConfig {
             parallelism: 0,
             session: SessionConfig::default(),
+            shards: 1,
+            shard_id: None,
+            chunk_visits: 256,
             progress_every: 0,
+            progress: None,
         }
     }
 }
 
-/// One unit of crawl work.
-#[derive(Clone, Copy, Debug)]
-struct Job {
-    site_idx: usize,
-    day: u32,
+impl fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("parallelism", &self.parallelism)
+            .field("session", &self.session)
+            .field("shards", &self.shards)
+            .field("shard_id", &self.shard_id)
+            .field("chunk_visits", &self.chunk_visits)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
-/// Run a set of jobs in parallel, preserving determinism.
-///
-/// Each worker interns record strings into a private [`Interner`]; the
-/// collect step re-interns every record into the campaign-wide `strings`
-/// in (day, site) order, so symbol numbering — not just resolved text —
-/// is identical for every parallelism setting.
-fn run_jobs(
-    eco: &Ecosystem,
-    jobs: &[Job],
-    cfg: &CampaignConfig,
-    strings: &mut Interner,
-) -> Vec<SiteVisit> {
-    let workers = if cfg.parallelism == 0 {
+/// One shard of a campaign: which contiguous slice of the toplist it owns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Total shard count.
+    pub shards: u32,
+    /// This shard's index (`0..shards`).
+    pub shard_id: u32,
+}
+
+impl ShardSpec {
+    /// Build a spec; panics when `shard_id >= shards` or `shards == 0`.
+    pub fn new(shards: u32, shard_id: u32) -> ShardSpec {
+        assert!(shards > 0, "shards must be positive");
+        assert!(shard_id < shards, "shard_id {shard_id} out of range 0..{shards}");
+        ShardSpec { shards, shard_id }
+    }
+
+    /// The contiguous half-open range of 1-based ranks this shard crawls.
+    /// Slices are contiguous so that `(day, shard, rank)` order equals the
+    /// global `(day, rank)` order — the merge invariant.
+    pub fn rank_range(&self, n_sites: u32) -> std::ops::Range<u32> {
+        let base = n_sites / self.shards;
+        let rem = n_sites % self.shards;
+        let lo = 1 + self.shard_id * base + self.shard_id.min(rem);
+        let len = base + u32::from(self.shard_id < rem);
+        lo..lo + len
+    }
+}
+
+fn worker_count(cfg: &CampaignConfig) -> usize {
+    if cfg.parallelism == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
         cfg.parallelism
-    };
-    // Work-stealing via a shared atomic cursor over the job list; each
-    // worker collects its own results, merged and re-ordered at the end.
+    }
+}
+
+/// Crawl one `(day, rank-set)` batch, streaming sealed chunks to `sink`
+/// in `seq` order.
+///
+/// Workers claim fixed-size blocks of the rank list via an atomic cursor;
+/// each block is crawled in rank order into its own columnar chunk with a
+/// block-local interner, so no symbol state is shared between threads.
+/// Ground truth is flattened to [`TruthRecord`]s as visits finish — the
+/// heavyweight simulation state never outlives the visit.
+fn run_batch(
+    factory: &SiteFactory,
+    ranks: &[u32],
+    day: u32,
+    shard_id: u32,
+    cfg: &CampaignConfig,
+    sink: &mut dyn FnMut(VisitChunk),
+) {
+    if ranks.is_empty() {
+        return;
+    }
+    let workers = worker_count(cfg);
+    let chunk_size = cfg.chunk_visits.max(1);
+    let n_blocks = ranks.len().div_ceil(chunk_size);
+    let total = ranks.len();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<VisitChunk>();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Interner::new();
-                    let mut out: Vec<(usize, SiteVisit)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let job = jobs[i];
-                        let site = &eco.sites[job.site_idx];
+        let next = &next;
+        let done = &done;
+        for _ in 0..workers.min(n_blocks) {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let net = factory.net();
+                let list = factory.partner_list();
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_blocks {
+                        break;
+                    }
+                    let lo = b * chunk_size;
+                    let hi = (lo + chunk_size).min(total);
+                    let mut strings = Interner::new();
+                    let mut visits = VisitColumns::with_capacity(hi - lo);
+                    let mut truths = Vec::with_capacity(hi - lo);
+                    for &rank in &ranks[lo..hi] {
+                        let site = factory.site_shared(rank);
                         let visit = crawl_site(
-                            eco.net(),
-                            eco.runtime_for(site),
-                            eco.partner_list(),
-                            eco.visit_rng(site.rank, job.day),
-                            job.day,
+                            net.clone(),
+                            factory.runtime_for(&site),
+                            list.clone(),
+                            factory.visit_rng(rank, day),
+                            day,
                             &cfg.session,
-                            &mut local,
+                            &mut strings,
                         );
-                        out.push((i, visit));
+                        truths.push(TruthRecord::from_truth(rank, day, &visit.truth));
+                        visits.push(visit.record);
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
-                            eprintln!("  crawled {n}/{} visits", jobs.len());
+                            if let Some(cb) = &cfg.progress {
+                                cb(CampaignProgress {
+                                    shard: shard_id,
+                                    day,
+                                    done: n,
+                                    total,
+                                });
+                            }
                         }
                     }
-                    (out, local)
-                })
-            })
-            .collect();
-        let mut locals: Vec<Interner> = Vec::with_capacity(workers);
-        let mut results: Vec<(usize, usize, SiteVisit)> = Vec::with_capacity(jobs.len());
-        for (widx, h) in handles.into_iter().enumerate() {
-            let (out, local) = h.join().expect("crawl worker panicked");
-            locals.push(local);
-            results.extend(out.into_iter().map(|(i, v)| (i, widx, v)));
+                    let chunk = VisitChunk {
+                        day,
+                        shard: shard_id,
+                        seq: b as u32,
+                        visits,
+                        truths,
+                        strings,
+                    };
+                    if tx.send(chunk).is_err() {
+                        break;
+                    }
+                }
+            });
         }
-        // Deterministic output order regardless of thread interleaving:
-        // the job list is already sorted by (day, site_idx).
-        results.sort_by_key(|(i, _, _)| *i);
-        // Merge worker-local interners: re-intern every record's symbols
-        // into the campaign interner in the deterministic order above.
-        results
-            .into_iter()
-            .map(|(_, widx, mut visit)| {
-                let local = &locals[widx];
-                visit
-                    .record
-                    .remap_symbols(&mut |sym| strings.intern(local.resolve(sym)));
-                visit
-            })
-            .collect()
-    })
+        drop(tx);
+        // Hand chunks to the sink in seq order: a small reorder window
+        // absorbs scheduling jitter, so the consumer sees a deterministic
+        // stream without waiting for the whole batch.
+        let mut pending: BTreeMap<u32, VisitChunk> = BTreeMap::new();
+        let mut next_seq = 0u32;
+        for chunk in rx {
+            pending.insert(chunk.seq, chunk);
+            while let Some(c) = pending.remove(&next_seq) {
+                sink(c);
+                next_seq += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "chunk seq gap");
+    });
+}
+
+/// Crawl one shard end to end (day-0 sweep over its slice, then daily
+/// revisits of its detected HB sites), streaming chunks in `(day, seq)`
+/// order. The shard layout comes from `cfg.shards`, so the chunk keys
+/// always agree with the configuration. This is the unit of multi-machine
+/// distribution: ship the returned chunks anywhere and [`merge_chunks`]
+/// reassembles the global dataset.
+///
+/// # Panics
+/// Panics when `shard_id >= cfg.shards.max(1)`.
+pub fn crawl_shard_streamed(
+    factory: &SiteFactory,
+    cfg: &CampaignConfig,
+    shard_id: u32,
+    sink: &mut dyn FnMut(VisitChunk),
+) {
+    let shard = ShardSpec::new(cfg.shards.max(1), shard_id);
+    let config = factory.config();
+    let ranks: Vec<u32> = shard.rank_range(config.n_sites).collect();
+    let mut detected: Vec<u32> = Vec::new();
+    run_batch(factory, &ranks, 0, shard.shard_id, cfg, &mut |chunk| {
+        detected.extend(
+            chunk
+                .visits
+                .iter()
+                .filter(|v| v.hb_detected)
+                .map(|v| v.rank),
+        );
+        sink(chunk);
+    });
+    for day in 1..=config.crawl_days {
+        run_batch(factory, &detected, day, shard.shard_id, cfg, sink);
+    }
+}
+
+/// [`crawl_shard_streamed`], collected.
+pub fn crawl_shard(
+    factory: &SiteFactory,
+    cfg: &CampaignConfig,
+    shard_id: u32,
+) -> Vec<VisitChunk> {
+    let mut chunks = Vec::new();
+    crawl_shard_streamed(factory, cfg, shard_id, &mut |c| chunks.push(c));
+    chunks
+}
+
+/// Run every shard locally, streaming chunks to `sink` in global merge
+/// order (`(day, shard, seq)` — day-major across shards). Consumers like
+/// the analysis layer's incremental index builder can fold chunks as they
+/// arrive and drop them, so the full row dataset is never resident.
+pub fn run_campaign_streamed(
+    factory: &SiteFactory,
+    cfg: &CampaignConfig,
+    sink: &mut dyn FnMut(VisitChunk),
+) {
+    let shards = cfg.shards.max(1);
+    let config = factory.config();
+    let specs: Vec<ShardSpec> = (0..shards).map(|i| ShardSpec::new(shards, i)).collect();
+    let mut detected: Vec<Vec<u32>> = vec![Vec::new(); shards as usize];
+    // Day 0: the adoption sweep, shard by shard.
+    for spec in &specs {
+        let ranks: Vec<u32> = spec.rank_range(config.n_sites).collect();
+        let det = &mut detected[spec.shard_id as usize];
+        run_batch(factory, &ranks, 0, spec.shard_id, cfg, &mut |chunk| {
+            det.extend(
+                chunk
+                    .visits
+                    .iter()
+                    .filter(|v| v.hb_detected)
+                    .map(|v| v.rank),
+            );
+            sink(chunk);
+        });
+    }
+    // Days 1..=crawl_days: daily revisits of each shard's detected sites.
+    for day in 1..=config.crawl_days {
+        for spec in &specs {
+            run_batch(
+                factory,
+                &detected[spec.shard_id as usize],
+                day,
+                spec.shard_id,
+                cfg,
+                sink,
+            );
+        }
+    }
+}
+
+/// Merge any collection of chunks into the row-oriented dataset.
+///
+/// Chunks are ordered by their `(day, shard, seq)` key and every record is
+/// re-interned into the campaign-wide interner in that order — with
+/// contiguous shard slices this is the global `(day, rank)` visit order,
+/// so symbol numbering (not just resolved text) is identical for every
+/// parallelism and shard-count setting.
+pub fn merge_chunks(mut chunks: Vec<VisitChunk>, n_sites: u32, n_days: u32) -> CrawlDataset {
+    chunks.sort_by_key(VisitChunk::key);
+    let total: usize = chunks.iter().map(VisitChunk::len).sum();
+    let mut strings = Interner::new();
+    let mut visits = Vec::with_capacity(total);
+    let mut truths = Vec::with_capacity(total);
+    for chunk in chunks {
+        let VisitChunk {
+            visits: cols,
+            truths: t,
+            strings: local,
+            ..
+        } = chunk;
+        for i in 0..cols.len() {
+            let mut rec = cols.get(i).to_record();
+            rec.remap_symbols(&mut |sym| strings.intern(local.resolve(sym)));
+            visits.push(rec);
+        }
+        truths.extend(t);
+    }
+    CrawlDataset {
+        visits,
+        truths,
+        n_sites,
+        n_days,
+        strings: Arc::new(strings),
+    }
+}
+
+/// Run the full campaign over a lazy factory: day-0 sweep + daily HB-site
+/// revisits, merged into a row dataset.
+///
+/// With `cfg.shard_id = Some(i)` only that shard's slice is crawled; the
+/// result is a **partial** dataset still stamped with the *global*
+/// `n_sites`/`n_days` (it describes the universe, not the visit count).
+/// Partial datasets are meant to be shipped as chunks and combined with
+/// the other shards via [`merge_chunks`] before figure generation —
+/// universe-denominated figures (adoption rates, Table 1 site counts)
+/// over a single shard's dataset will otherwise understate by roughly the
+/// shard count.
+pub fn run_factory_campaign(factory: &SiteFactory, cfg: &CampaignConfig) -> CrawlDataset {
+    let config = factory.config();
+    let mut chunks = Vec::new();
+    match cfg.shard_id {
+        Some(id) => crawl_shard_streamed(factory, cfg, id, &mut |c| chunks.push(c)),
+        None => run_campaign_streamed(factory, cfg, &mut |c| chunks.push(c)),
+    }
+    merge_chunks(chunks, config.n_sites, config.crawl_days)
 }
 
 /// Run the full campaign: day-0 sweep + daily HB-site revisits.
 pub fn run_campaign(eco: &Ecosystem, cfg: &CampaignConfig) -> CrawlDataset {
-    let mut strings = Interner::new();
-    // Day 0: the adoption sweep over the whole toplist.
-    let sweep_jobs: Vec<Job> = (0..eco.sites.len())
-        .map(|site_idx| Job { site_idx, day: 0 })
-        .collect();
-    let sweep = run_jobs(eco, &sweep_jobs, cfg, &mut strings);
-
-    // The sites the *detector* flagged (not ground truth) are revisited.
-    let hb_detected: BTreeSet<usize> = sweep
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.record.hb_detected)
-        .map(|(i, _)| i)
-        .collect();
-
-    let mut visits = Vec::with_capacity(sweep.len() + hb_detected.len() * eco.config.crawl_days as usize);
-    let mut truths = Vec::with_capacity(visits.capacity());
-    for (i, v) in sweep.into_iter().enumerate() {
-        truths.push(TruthRecord::from_truth(eco.sites[i].rank, 0, &v.truth));
-        visits.push(v.record);
-    }
-
-    // Days 1..=crawl_days: daily revisits of detected HB sites.
-    let mut daily_jobs = Vec::new();
-    for day in 1..=eco.config.crawl_days {
-        for &site_idx in &hb_detected {
-            daily_jobs.push(Job { site_idx, day });
-        }
-    }
-    let daily = run_jobs(eco, &daily_jobs, cfg, &mut strings);
-    for (job, v) in daily_jobs.iter().zip(daily.into_iter()) {
-        truths.push(TruthRecord::from_truth(
-            eco.sites[job.site_idx].rank,
-            job.day,
-            &v.truth,
-        ));
-        visits.push(v.record);
-    }
-
-    CrawlDataset {
-        visits,
-        truths,
-        n_sites: eco.config.n_sites,
-        n_days: eco.config.crawl_days,
-        strings,
-    }
+    run_factory_campaign(eco.factory(), cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hb_ecosystem::EcosystemConfig;
+    use std::collections::BTreeSet;
 
     fn tiny_campaign() -> CrawlDataset {
         let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
@@ -194,7 +411,7 @@ mod tests {
             .count();
         assert_eq!(
             ds.visits.len(),
-            eco.sites.len() + hb_day0 * eco.config.crawl_days as usize
+            eco.sites().len() + hb_day0 * eco.config.crawl_days as usize
         );
         assert_eq!(ds.truths.len(), ds.visits.len());
     }
@@ -250,6 +467,96 @@ mod tests {
             assert_eq!(x.hb_latency_ms, y.hb_latency_ms);
             assert_eq!(x.bids.len(), y.bids.len());
         }
+    }
+
+    #[test]
+    fn sharding_does_not_change_results() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let one = run_campaign(&eco, &CampaignConfig::default());
+        let four = run_campaign(
+            &eco,
+            &CampaignConfig {
+                shards: 4,
+                chunk_visits: 17, // odd block size to stress the reorder
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(one.visits.len(), four.visits.len());
+        for (x, y) in one.visits.iter().zip(four.visits.iter()) {
+            assert_eq!(x.domain, y.domain, "visit order differs under sharding");
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.hb_latency_ms, y.hb_latency_ms);
+            assert_eq!(x.bids.len(), y.bids.len());
+        }
+        assert_eq!(one.strings.len(), four.strings.len());
+        for ((sa, ta), (sb, tb)) in one.strings.iter().zip(four.strings.iter()) {
+            assert_eq!(sa, sb);
+            assert_eq!(ta, tb);
+        }
+        for (x, y) in one.truths.iter().zip(four.truths.iter()) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.revenue_cpm, y.revenue_cpm);
+        }
+    }
+
+    #[test]
+    fn single_shard_crawl_matches_its_slice_of_the_campaign() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        // Crawl shard 1 of 4 in isolation (the multi-machine path)…
+        let ds_shard = run_factory_campaign(
+            eco.factory(),
+            &CampaignConfig {
+                shards: 4,
+                shard_id: Some(1),
+                ..CampaignConfig::default()
+            },
+        );
+        // …and compare with the same slice of the full campaign.
+        let full = run_campaign(&eco, &CampaignConfig::default());
+        let range = ShardSpec::new(4, 1).rank_range(eco.config.n_sites);
+        let expect: Vec<_> = full
+            .visits
+            .iter()
+            .filter(|v| range.contains(&v.rank))
+            .collect();
+        assert_eq!(ds_shard.visits.len(), expect.len());
+        for (got, want) in ds_shard.visits.iter().zip(expect) {
+            assert_eq!(got.rank, want.rank);
+            assert_eq!(got.day, want.day);
+            assert_eq!(got.hb_latency_ms, want.hb_latency_ms);
+            assert_eq!(got.bids.len(), want.bids.len());
+        }
+    }
+
+    #[test]
+    fn shard_slices_partition_the_toplist() {
+        for (n, shards) in [(200u32, 4u32), (7u32, 3), (5, 8), (1, 1)] {
+            let mut seen = Vec::new();
+            for id in 0..shards {
+                seen.extend(ShardSpec::new(shards, id).rank_range(n));
+            }
+            let want: Vec<u32> = (1..=n).collect();
+            assert_eq!(seen, want, "n={n} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn progress_callback_fires_off_stderr() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let cfg = CampaignConfig {
+            progress_every: 10,
+            progress: Some(Box::new(move |p: CampaignProgress| {
+                assert!(p.done <= p.total);
+                h.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..CampaignConfig::default()
+        };
+        let _ = run_campaign(&eco, &cfg);
+        assert!(hits.load(Ordering::Relaxed) > 0, "callback never fired");
     }
 
     #[test]

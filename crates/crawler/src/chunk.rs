@@ -1,0 +1,48 @@
+//! Per-shard columnar chunks: the streaming unit between the crawl
+//! workers and everything downstream.
+//!
+//! A chunk holds a contiguous run of finished visits of one `(day, shard)`
+//! batch, stored columnar ([`VisitColumns`]) with the ground truth already
+//! flattened to [`TruthRecord`]s and strings interned into a chunk-local
+//! [`Interner`]. Chunks are self-contained — they can cross thread (or,
+//! serialized, machine) boundaries without referencing any campaign-wide
+//! state — and carry a deterministic `(day, shard, seq)` key so any
+//! collection of chunks merges into the same dataset regardless of the
+//! order it was produced in.
+
+use crate::dataset::TruthRecord;
+use hb_core::{Interner, VisitColumns};
+
+/// One sealed batch of finished visits from a crawl shard.
+#[derive(Clone, Debug)]
+pub struct VisitChunk {
+    /// Crawl day the visits belong to (0 = adoption sweep).
+    pub day: u32,
+    /// Shard that produced the chunk.
+    pub shard: u32,
+    /// Position of this chunk within its `(day, shard)` batch.
+    pub seq: u32,
+    /// Columnar visit records (symbols resolve against `strings`).
+    pub visits: VisitColumns,
+    /// Flattened ground truth, parallel to `visits`.
+    pub truths: Vec<TruthRecord>,
+    /// Chunk-local interner the visit symbols resolve against.
+    pub strings: Interner,
+}
+
+impl VisitChunk {
+    /// The deterministic merge key.
+    pub fn key(&self) -> (u32, u32, u32) {
+        (self.day, self.shard, self.seq)
+    }
+
+    /// Number of visits in the chunk.
+    pub fn len(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// True when the chunk holds no visits.
+    pub fn is_empty(&self) -> bool {
+        self.visits.is_empty()
+    }
+}

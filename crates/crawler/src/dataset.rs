@@ -5,6 +5,7 @@ use hb_core::{Interner, Symbol, VisitRecord};
 use hb_stats::{csv_escape, parse_csv};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// `partners` column helper: resolved names joined with `|`.
 fn joined_partners(ds: &CrawlDataset, v: &VisitRecord) -> String {
@@ -81,7 +82,9 @@ pub struct CrawlDataset {
     /// Number of crawl days (excluding the day-0 adoption sweep).
     pub n_days: u32,
     /// The campaign-wide interner every record's symbols resolve against.
-    pub strings: Interner,
+    /// Shared (`Arc`) so analysis indexes can outlive a borrowed dataset
+    /// view without cloning the string table.
+    pub strings: Arc<Interner>,
 }
 
 impl CrawlDataset {
@@ -286,7 +289,7 @@ mod tests {
             truths: vec![],
             n_sites: 10,
             n_days: 1,
-            strings,
+            strings: Arc::new(strings),
         };
         assert_eq!(ds.hb_visits().count(), 2);
         assert_eq!(ds.hb_domains(), vec!["a.example"]);
@@ -327,7 +330,7 @@ mod tests {
             ],
             n_sites: 10,
             n_days: 3,
-            strings: Interner::new(),
+            strings: Arc::new(Interner::new()),
         };
         let csv = ds.truths_csv();
         let back = CrawlDataset::load_truths(&csv);
@@ -347,7 +350,7 @@ mod tests {
             truths: vec![],
             n_sites: 1,
             n_days: 1,
-            strings,
+            strings: Arc::new(strings),
         };
         let csv = ds.visits_csv();
         let lines: Vec<&str> = csv.lines().collect();

@@ -1,9 +1,10 @@
 //! # hb-crawler
 //!
 //! The crawl harness: clean-slate per-site sessions with the detector
-//! attached ([`session`]), parallel multi-day campaigns over the ecosystem
-//! ([`campaign`]), dataset assembly with CSV persistence ([`dataset`]),
-//! and the historical Wayback adoption crawl ([`wayback_crawl`]).
+//! attached ([`session`]), sharded streaming multi-day campaigns over the
+//! lazy ecosystem ([`campaign`]), per-shard columnar chunks ([`chunk`]),
+//! dataset assembly with CSV persistence ([`dataset`]), and the historical
+//! Wayback adoption crawl ([`wayback_crawl`]).
 //!
 //! Methodology mirrors the paper's §3.2: stateless browser instances, a
 //! 60 s page timeout, a 5 s settle window, a day-0 sweep over the full
@@ -13,11 +14,16 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chunk;
 pub mod dataset;
 pub mod session;
 pub mod wayback_crawl;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{
+    crawl_shard, crawl_shard_streamed, merge_chunks, run_campaign, run_campaign_streamed,
+    run_factory_campaign, CampaignConfig, CampaignProgress, ProgressFn, ShardSpec,
+};
+pub use chunk::VisitChunk;
 pub use dataset::{CrawlDataset, TruthRecord};
 pub use session::{crawl_site, SessionConfig, SiteVisit};
 pub use wayback_crawl::{adoption_study, overlap_study, AdoptionPoint, OverlapPoint};

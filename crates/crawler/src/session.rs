@@ -133,7 +133,7 @@ mod tests {
     fn waterfall_site_not_detected() {
         let eco = eco();
         let mut strings = Interner::new();
-        let site = eco.sites.iter().find(|s| s.facet.is_none()).unwrap();
+        let site = eco.sites().iter().find(|s| s.facet.is_none()).unwrap();
         let visit = crawl_site(
             eco.net(),
             eco.runtime_for(site),

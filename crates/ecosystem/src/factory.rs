@@ -1,0 +1,325 @@
+//! Lazy universe generation: any site profile derived purely from
+//! `(seed, rank)`.
+//!
+//! [`Ecosystem::generate`](crate::Ecosystem::generate) used to materialize
+//! every [`SiteProfile`], every publisher page, and every per-site endpoint
+//! up front — O(toplist) work and memory before the first visit. The
+//! factory inverts that: [`SiteGen`] is the pure derivation core (a site's
+//! RNG stream hangs off `root.derive(rank)`, so any rank is reachable in
+//! O(1)), and [`SiteFactory`] wires it into a *lazy world* whose router
+//! and latency directory synthesize publisher endpoints on demand from the
+//! hostname alone. Total cost becomes O(sites actually visited), which is
+//! what lets a shard of a million-rank toplist crawl its slice without
+//! paying for the other 999 shards.
+//!
+//! Determinism: every endpoint is a pure function of `(request, rng)`, and
+//! the lazily derived profiles/accounts/latency models are byte-identical
+//! to what the eager [`build_world`](crate::world::build_world) would have
+//! registered, so visits simulate identically on either world.
+
+use crate::catalog::{self, PartnerSpec};
+use crate::config::EcosystemConfig;
+use crate::publisher::{self, SiteProfile};
+use crate::world;
+use hb_adtech::{AdServerAccount, HostDirectory, Net, PartnerProfile};
+use hb_core::PartnerList;
+use hb_http::Router;
+use hb_simnet::{FaultInjector, Rng};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Distinguishes derivation cores so thread-local memos never serve a
+/// profile from another universe (tests routinely hold several).
+static NEXT_UNIVERSE_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// One-entry per-thread memo of the last derived profile. A visit is
+    /// simulated synchronously on one thread and every lazy lookup it
+    /// triggers (page endpoint, latency model, ad-server account) targets
+    /// the same rank, so a single slot turns O(lookups) derivations per
+    /// visit into one — with O(1) memory and no locks, preserving the
+    /// O(sites visited) cost bound of the lazy universe.
+    static SITE_MEMO: RefCell<Option<(u64, u32, Arc<SiteProfile>)>> = const { RefCell::new(None) };
+    /// Same idea for the derived ad-server account (spares the per-request
+    /// s2s partner-profile clones).
+    static ACCOUNT_MEMO: RefCell<Option<(u64, u32, Arc<AdServerAccount>)>> =
+        const { RefCell::new(None) };
+}
+
+/// The pure site-derivation core: everything needed to compute the profile
+/// of any rank, with no per-site state.
+pub struct SiteGen {
+    /// Generation knobs (seed, toplist size, adoption bands, …).
+    pub config: EcosystemConfig,
+    /// Partner calibration specs (index = partner id).
+    pub specs: Vec<PartnerSpec>,
+    /// Partner runtime profiles (index = partner id).
+    pub profiles: Vec<PartnerProfile>,
+    providers: Vec<(usize, f64)>,
+    s2s_pool: Vec<usize>,
+    root: Rng,
+    universe_id: u64,
+}
+
+impl SiteGen {
+    /// Build the derivation core for a configuration.
+    pub fn new(config: EcosystemConfig) -> SiteGen {
+        let specs = catalog::catalog();
+        let profiles = catalog::profiles(&specs);
+        let providers = catalog::providers(&specs);
+        let s2s_pool = catalog::s2s_pool(&specs);
+        let root = Rng::new(config.seed).derive_str("site-profiles");
+        SiteGen {
+            config,
+            specs,
+            profiles,
+            providers,
+            s2s_pool,
+            root,
+            universe_id: NEXT_UNIVERSE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// [`SiteGen::site`] through the per-thread single-entry memo: repeated
+    /// lookups of the same rank on one thread (the in-visit pattern) cost
+    /// one derivation.
+    pub fn site_shared(&self, rank: u32) -> Arc<SiteProfile> {
+        SITE_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some((uid, r, site)) = m.as_ref() {
+                if *uid == self.universe_id && *r == rank {
+                    return site.clone();
+                }
+            }
+            let site = Arc::new(self.site(rank));
+            *m = Some((self.universe_id, rank, site.clone()));
+            site
+        })
+    }
+
+    /// The site's ad-server account, through the per-thread memo.
+    pub fn account_shared(&self, rank: u32) -> Arc<AdServerAccount> {
+        ACCOUNT_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some((uid, r, account)) = m.as_ref() {
+                if *uid == self.universe_id && *r == rank {
+                    return account.clone();
+                }
+            }
+            let account = Arc::new(world::account_for(&self.site_shared(rank), &self.profiles));
+            *m = Some((self.universe_id, rank, account.clone()));
+            account
+        })
+    }
+
+    /// Derive the profile of the site at 1-based `rank`. O(1) in the
+    /// toplist size; identical to what the eager generator produces for
+    /// the same `(seed, rank)`.
+    pub fn site(&self, rank: u32) -> SiteProfile {
+        let mut rng = self.root.derive(rank as u64);
+        publisher::generate_site(
+            &self.config,
+            &self.specs,
+            &self.providers,
+            &self.s2s_pool,
+            rank,
+            &mut rng,
+        )
+    }
+
+    /// Parse a publisher page host (`pub{rank}.example`) back to its rank;
+    /// `None` for hosts outside the configured toplist.
+    pub fn rank_of_page_host(&self, host: &str) -> Option<u32> {
+        let digits = host.strip_prefix("pub")?.strip_suffix(".example")?;
+        if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) {
+            return None;
+        }
+        let rank: u32 = digits.parse().ok()?;
+        (rank >= 1 && rank <= self.config.n_sites).then_some(rank)
+    }
+
+    /// Parse an ad-server account id (`pub-{rank}`) back to its rank.
+    pub fn rank_of_account(&self, account_id: &str) -> Option<u32> {
+        let digits = account_id.strip_prefix("pub-")?;
+        if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) {
+            return None;
+        }
+        let rank: u32 = digits.parse().ok()?;
+        (rank >= 1 && rank <= self.config.n_sites).then_some(rank)
+    }
+}
+
+/// On-demand universe: the derivation core plus the lazy simulated
+/// Internet. Everything a crawl shard needs, at O(1) construction cost in
+/// the toplist size.
+pub struct SiteFactory {
+    gen: Arc<SiteGen>,
+    router: Arc<Router>,
+    latency: Arc<HostDirectory>,
+    faults: Arc<FaultInjector>,
+    detector_list: Arc<PartnerList>,
+}
+
+impl SiteFactory {
+    /// Build the factory (registers the 84 partner endpoints, providers
+    /// and CDN eagerly — O(catalog), not O(toplist)).
+    pub fn new(config: EcosystemConfig) -> SiteFactory {
+        let gen = Arc::new(SiteGen::new(config));
+        let world = world::build_lazy_world(&gen);
+        let detector_list = Arc::new(catalog::partner_list(&gen.specs));
+        let faults = FaultInjector::none()
+            .with_drop_chance(gen.config.drop_chance)
+            .with_slowdown(
+                gen.config.slow_chance,
+                hb_simnet::Dist::log_normal_median(350.0, 0.7).clamped(50.0, 12_000.0),
+            );
+        SiteFactory {
+            gen,
+            router: Arc::new(world.router),
+            latency: Arc::new(world.latency),
+            faults: Arc::new(faults),
+            detector_list,
+        }
+    }
+
+    /// The configuration this universe derives from.
+    pub fn config(&self) -> &EcosystemConfig {
+        &self.gen.config
+    }
+
+    /// Partner calibration specs.
+    pub fn specs(&self) -> &[PartnerSpec] {
+        &self.gen.specs
+    }
+
+    /// Partner runtime profiles.
+    pub fn profiles(&self) -> &[PartnerProfile] {
+        &self.gen.profiles
+    }
+
+    /// The shared derivation core.
+    pub fn gen(&self) -> &Arc<SiteGen> {
+        &self.gen
+    }
+
+    /// Derive the profile of the site at 1-based `rank` (O(1)).
+    pub fn site(&self, rank: u32) -> SiteProfile {
+        self.gen.site(rank)
+    }
+
+    /// Derive (or reuse, via the per-thread memo) the shared profile of
+    /// the site at 1-based `rank`. Prefer this on crawl paths: the lazy
+    /// world's endpoint and latency lookups for the same rank then hit
+    /// the memo instead of re-deriving.
+    pub fn site_shared(&self, rank: u32) -> Arc<SiteProfile> {
+        self.gen.site_shared(rank)
+    }
+
+    /// The network handle visits connect through.
+    pub fn net(&self) -> Net {
+        Net::new(
+            self.router.clone(),
+            self.latency.clone(),
+            self.faults.clone(),
+        )
+    }
+
+    /// Shared router handle (lazy publisher resolution).
+    pub fn router(&self) -> Arc<Router> {
+        self.router.clone()
+    }
+
+    /// Shared latency directory handle.
+    pub fn latency(&self) -> Arc<HostDirectory> {
+        self.latency.clone()
+    }
+
+    /// Shared fault injector handle.
+    pub fn faults(&self) -> Arc<FaultInjector> {
+        self.faults.clone()
+    }
+
+    /// The detector's partner list (built once, cloning is two atomic ops).
+    pub fn partner_list(&self) -> Arc<PartnerList> {
+        self.detector_list.clone()
+    }
+
+    /// The per-visit runtime for a site profile.
+    pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
+        world::site_runtime(site, &self.gen.specs)
+    }
+
+    /// Derive the deterministic RNG stream for a `(site, day)` visit.
+    pub fn visit_rng(&self, rank: u32, day: u32) -> Rng {
+        Rng::new(self.gen.config.seed)
+            .derive_str("visits")
+            .derive(rank as u64)
+            .derive(day as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_factory() -> SiteFactory {
+        SiteFactory::new(EcosystemConfig::tiny_scale())
+    }
+
+    #[test]
+    fn any_rank_derivable_in_isolation() {
+        let f = tiny_factory();
+        let s = f.site(137);
+        assert_eq!(s.rank, 137);
+        assert_eq!(s.domain, "pub137.example");
+    }
+
+    #[test]
+    fn derivation_is_order_independent() {
+        let f = tiny_factory();
+        let late_first = (f.site(200), f.site(1));
+        let g = tiny_factory();
+        let early_first = (g.site(1), g.site(200));
+        assert_eq!(late_first.0.domain, early_first.1.domain);
+        assert_eq!(late_first.0.facet, early_first.1.facet);
+        assert_eq!(late_first.1.client_partner_ids, early_first.0.client_partner_ids);
+    }
+
+    #[test]
+    fn million_rank_toplist_is_o1_per_site() {
+        // The point of laziness: a huge toplist costs nothing until a
+        // rank is actually requested.
+        let f = SiteFactory::new(EcosystemConfig::paper_scale().with_sites(1_000_000));
+        let s = f.site(999_999);
+        assert_eq!(s.rank, 999_999);
+        assert!(f.net().router.resolve("pub999999.example").is_some());
+    }
+
+    #[test]
+    fn host_and_account_parsing() {
+        let f = tiny_factory();
+        let g = f.gen();
+        assert_eq!(g.rank_of_page_host("pub7.example"), Some(7));
+        assert_eq!(g.rank_of_page_host("pub0.example"), None);
+        assert_eq!(g.rank_of_page_host("pub201.example"), None, "beyond toplist");
+        assert_eq!(g.rank_of_page_host("pub07.example"), None, "leading zero");
+        assert_eq!(g.rank_of_page_host("pub7x.example"), None);
+        assert_eq!(g.rank_of_page_host("ads.pub7.example"), None);
+        assert_eq!(g.rank_of_account("pub-7"), Some(7));
+        assert_eq!(g.rank_of_account("pub-"), None);
+        assert_eq!(g.rank_of_account("ghost"), None);
+    }
+
+    #[test]
+    fn lazy_net_serves_publisher_hosts_on_demand() {
+        let f = tiny_factory();
+        let net = f.net();
+        assert!(net.router.resolve("pub1.example").is_some());
+        assert!(net.router.resolve("appnexus-adnet.example").is_some());
+        assert!(net.router.resolve(crate::world::CDN_HOST).is_some());
+        let mut rng = Rng::new(3);
+        let sample = net.latency.lookup("pub1.example").sample(&mut rng);
+        assert!(sample.as_micros() > 0);
+    }
+}

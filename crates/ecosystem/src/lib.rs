@@ -17,6 +17,7 @@
 
 pub mod catalog;
 pub mod config;
+pub mod factory;
 pub mod publisher;
 pub mod sizes;
 pub mod toplist;
@@ -25,18 +26,25 @@ pub mod world;
 
 pub use catalog::PartnerSpec;
 pub use config::EcosystemConfig;
+pub use factory::{SiteFactory, SiteGen};
 pub use publisher::SiteProfile;
 pub use toplist::{site_domain, TopList, YEARLY_OVERLAPS};
 pub use wayback::{snapshot, yearly_archive, Snapshot, YEARLY_ADOPTION};
-pub use world::{ad_server_host_for, build_world, page_html, site_runtime, CDN_HOST};
+pub use world::{ad_server_host_for, build_lazy_world, build_world, page_html, site_runtime, CDN_HOST};
 
 use hb_adtech::{HostDirectory, Net, PartnerProfile};
 use hb_core::PartnerList;
 use hb_http::Router;
 use hb_simnet::{FaultInjector, Rng};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// The fully generated universe.
+/// The universe facade: a thin memoizing wrapper over [`SiteFactory`].
+///
+/// Generation no longer materializes anything per-site: the router and
+/// latency directory synthesize publisher endpoints on demand, and the
+/// full profile table is derived lazily on first call to
+/// [`Ecosystem::sites`] (then cached). Code that only crawls never pays
+/// for ranks it does not visit.
 pub struct Ecosystem {
     /// The configuration it was generated from.
     pub config: EcosystemConfig,
@@ -44,50 +52,51 @@ pub struct Ecosystem {
     pub specs: Vec<PartnerSpec>,
     /// Partner runtime profiles (index = partner id).
     pub profiles: Vec<PartnerProfile>,
-    /// Every site in the toplist, rank order.
-    pub sites: Vec<SiteProfile>,
-    /// The simulated Internet.
+    /// The simulated Internet (lazy publisher resolution).
     pub router: Arc<Router>,
-    /// Per-host latency models.
+    /// Per-host latency models (lazy per-site derivation).
     pub latency: Arc<HostDirectory>,
     /// Ambient fault injection.
     pub faults: Arc<FaultInjector>,
     /// The detector's partner list, built once and shared by every visit.
     pub detector_list: Arc<PartnerList>,
+    factory: SiteFactory,
+    sites: OnceLock<Vec<SiteProfile>>,
 }
 
 impl Ecosystem {
-    /// Generate the universe. Deterministic in `config.seed`.
+    /// Generate the universe. Deterministic in `config.seed`; O(catalog)
+    /// work — per-site state is derived on demand.
     pub fn generate(config: EcosystemConfig) -> Ecosystem {
-        let specs = catalog::catalog();
-        let profiles = catalog::profiles(&specs);
-        let providers = catalog::providers(&specs);
-        let pool = catalog::s2s_pool(&specs);
-        let root = Rng::new(config.seed).derive_str("site-profiles");
-        let sites: Vec<SiteProfile> = (1..=config.n_sites)
-            .map(|rank| {
-                let mut rng = root.derive(rank as u64);
-                publisher::generate_site(&config, &specs, &providers, &pool, rank, &mut rng)
-            })
-            .collect();
-        let world = world::build_world(&sites, &specs, &profiles);
-        let detector_list = Arc::new(catalog::partner_list(&specs));
-        let faults = FaultInjector::none()
-            .with_drop_chance(config.drop_chance)
-            .with_slowdown(
-                config.slow_chance,
-                hb_simnet::Dist::log_normal_median(350.0, 0.7).clamped(50.0, 12_000.0),
-            );
+        let factory = SiteFactory::new(config.clone());
+        let specs = factory.specs().to_vec();
+        let profiles = factory.profiles().to_vec();
         Ecosystem {
             config,
             specs,
             profiles,
-            sites,
-            router: Arc::new(world.router),
-            latency: Arc::new(world.latency),
-            faults: Arc::new(faults),
-            detector_list,
+            router: factory.router(),
+            latency: factory.latency(),
+            faults: factory.faults(),
+            detector_list: factory.partner_list(),
+            factory,
+            sites: OnceLock::new(),
         }
+    }
+
+    /// The lazy factory backing this universe (what crawl shards consume).
+    pub fn factory(&self) -> &SiteFactory {
+        &self.factory
+    }
+
+    /// Every site in the toplist, rank order. Derived on first call and
+    /// memoized — crawling through [`Ecosystem::factory`] never needs it.
+    pub fn sites(&self) -> &[SiteProfile] {
+        self.sites.get_or_init(|| {
+            (1..=self.config.n_sites)
+                .map(|rank| self.factory.site(rank))
+                .collect()
+        })
     }
 
     /// The network handle visits connect through.
@@ -108,7 +117,7 @@ impl Ecosystem {
 
     /// Sites that actually run HB (ground truth).
     pub fn hb_sites(&self) -> impl Iterator<Item = &SiteProfile> {
-        self.sites.iter().filter(|s| s.facet.is_some())
+        self.sites().iter().filter(|s| s.facet.is_some())
     }
 
     /// The per-visit runtime for a site.
@@ -132,7 +141,7 @@ mod tests {
     #[test]
     fn generate_tiny_universe() {
         let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
-        assert_eq!(eco.sites.len(), 200);
+        assert_eq!(eco.sites().len(), 200);
         assert_eq!(eco.specs.len(), 84);
         assert_eq!(eco.partner_list().len(), 84);
         let hb = eco.hb_sites().count();
@@ -143,7 +152,7 @@ mod tests {
     fn generation_is_deterministic() {
         let a = Ecosystem::generate(EcosystemConfig::tiny_scale());
         let b = Ecosystem::generate(EcosystemConfig::tiny_scale());
-        for (sa, sb) in a.sites.iter().zip(b.sites.iter()) {
+        for (sa, sb) in a.sites().iter().zip(b.sites().iter()) {
             assert_eq!(sa.domain, sb.domain);
             assert_eq!(sa.facet, sb.facet);
             assert_eq!(sa.client_partner_ids, sb.client_partner_ids);
@@ -151,11 +160,25 @@ mod tests {
     }
 
     #[test]
+    fn factory_sites_match_memoized_table() {
+        // The memoizing wrapper and the lazy factory are the same universe.
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        for site in eco.sites() {
+            let lazy = eco.factory().site(site.rank);
+            assert_eq!(lazy.domain, site.domain);
+            assert_eq!(lazy.facet, site.facet);
+            assert_eq!(lazy.client_partner_ids, site.client_partner_ids);
+            assert_eq!(lazy.waterfall_tier_ids, site.waterfall_tier_ids);
+            assert_eq!(lazy.page_latency_ms, site.page_latency_ms);
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let a = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(1));
         let b = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(2));
-        let facets_a: Vec<_> = a.sites.iter().map(|s| s.facet).collect();
-        let facets_b: Vec<_> = b.sites.iter().map(|s| s.facet).collect();
+        let facets_a: Vec<_> = a.sites().iter().map(|s| s.facet).collect();
+        let facets_b: Vec<_> = b.sites().iter().map(|s| s.facet).collect();
         assert_ne!(facets_a, facets_b);
     }
 

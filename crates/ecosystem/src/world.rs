@@ -8,6 +8,7 @@
 //! threads.
 
 use crate::catalog::PartnerSpec;
+use crate::factory::SiteGen;
 use crate::publisher::{partner_refs, SiteProfile};
 use hb_adtech::{
     partner_endpoint, waterfall_endpoint, AdServerAccount, AdServerEndpoint, DirectOrder,
@@ -15,6 +16,7 @@ use hb_adtech::{
 };
 use hb_http::{Endpoint, Request, Response, Router, ServerReply};
 use hb_simnet::{LatencyModel, Rng};
+use std::sync::Arc;
 
 /// The shared CDN host serving wrapper/ad-manager libraries.
 pub const CDN_HOST: &str = "cdn.hbrepro.example";
@@ -89,14 +91,27 @@ pub struct World {
     pub latency: HostDirectory,
 }
 
-/// Build the world for a set of sites.
-pub fn build_world(
-    sites: &[SiteProfile],
+/// Latency model of a publisher page origin.
+fn page_latency_model(site: &SiteProfile) -> LatencyModel {
+    LatencyModel::log_normal(site.page_latency_ms, 0.3).with_floor(8.0)
+}
+
+/// Latency model of a publisher's self-hosted ad server. Markedly slower
+/// than Google-grade infrastructure (part of why Client-Side HB is the
+/// slow facet).
+fn own_ads_latency_model(site: &SiteProfile) -> LatencyModel {
+    LatencyModel::log_normal(150.0 + site.page_latency_ms, 0.45).with_floor(20.0)
+}
+
+/// Register the toplist-independent backbone: the CDN and every partner's
+/// HB + waterfall endpoints. O(catalog), shared by the eager and lazy
+/// world builders.
+fn register_backbone(
+    router: &mut Router,
+    latency: &mut HostDirectory,
     specs: &[PartnerSpec],
     profiles: &[PartnerProfile],
-) -> World {
-    let mut router = Router::new();
-    let mut latency = HostDirectory::new();
+) {
     latency.set_default(LatencyModel::log_normal(90.0, 0.4));
 
     // CDN.
@@ -140,6 +155,17 @@ pub fn build_world(
         });
         latency.insert(rtb_host, LatencyModel::log_normal(82.0, 0.35).with_floor(15.0));
     }
+}
+
+/// Build the world for a set of sites.
+pub fn build_world(
+    sites: &[SiteProfile],
+    specs: &[PartnerSpec],
+    profiles: &[PartnerProfile],
+) -> World {
+    let mut router = Router::new();
+    let mut latency = HostDirectory::new();
+    register_backbone(&mut router, &mut latency, specs, profiles);
 
     // Provider ad servers (one endpoint per provider host, holding the
     // accounts of every site that chose it).
@@ -168,25 +194,122 @@ pub fn build_world(
         router.register(site.domain.clone(), move |r: &Request, _: &mut Rng| {
             ServerReply::instant(Response::text(r.id, html.clone()))
         });
-        latency.insert(
-            site.domain.clone(),
-            LatencyModel::log_normal(site.page_latency_ms, 0.3).with_floor(8.0),
-        );
+        latency.insert(site.domain.clone(), page_latency_model(site));
         if site.facet == Some(hb_adtech::HbFacet::ClientSide) {
             let host = site.own_ad_server_host();
             router.register(
                 host.clone(),
                 AdServerEndpoint::new([account_for(site, profiles)]),
             );
-            // Publisher-operated ad servers are self-hosted and markedly
-            // slower than Google-grade infrastructure (part of why
-            // Client-Side HB is the slow facet).
-            latency.insert(
-                host,
-                LatencyModel::log_normal(150.0 + site.page_latency_ms, 0.45).with_floor(20.0),
-            );
+            latency.insert(host, own_ads_latency_model(site));
         }
     }
+
+    World { router, latency }
+}
+
+/// Endpoint synthesizing publisher pages and publisher-owned ad servers on
+/// demand from the hostname (`pub{rank}.example` / `ads.pub{rank}.example`).
+/// Derivation is pure in `(seed, rank)`, so replies are byte-identical to
+/// the eager per-site registrations.
+struct PublisherEndpoint {
+    gen: Arc<SiteGen>,
+    /// Shared resolver-backed ad server for every client-side site's own
+    /// `ads.pub{rank}.example` host.
+    own_ads: AdServerEndpoint,
+}
+
+impl PublisherEndpoint {
+    fn new(gen: &Arc<SiteGen>) -> PublisherEndpoint {
+        let g = gen.clone();
+        let own_ads = AdServerEndpoint::with_resolver(move |account_id| {
+            let rank = g.rank_of_account(account_id)?;
+            let site = g.site_shared(rank);
+            // Mirror the eager world: only client-side sites operate an
+            // ad server of their own.
+            (site.facet == Some(hb_adtech::HbFacet::ClientSide))
+                .then(|| g.account_shared(rank))
+        });
+        PublisherEndpoint {
+            gen: gen.clone(),
+            own_ads,
+        }
+    }
+}
+
+impl Endpoint for PublisherEndpoint {
+    fn handle(&self, req: &Request, rng: &mut Rng) -> ServerReply {
+        let host = &req.url.host;
+        if let Some(rank) = self.gen.rank_of_page_host(host) {
+            let site = self.gen.site_shared(rank);
+            return ServerReply::instant(Response::text(
+                req.id,
+                page_html(&site, &self.gen.specs),
+            ));
+        }
+        if let Some(rest) = host.strip_prefix("ads.") {
+            if self.gen.rank_of_page_host(rest).is_some() {
+                return self.own_ads.handle(req, rng);
+            }
+        }
+        ServerReply::instant(Response::error(req.id, hb_http::Status::NOT_FOUND))
+    }
+}
+
+/// Build the lazy world over a derivation core: the partner/CDN backbone
+/// and provider ad servers are registered eagerly (O(catalog)); publisher
+/// pages, publisher-owned ad servers, provider *accounts* and per-site
+/// latency models are synthesized on demand. Construction cost is
+/// independent of `config.n_sites`.
+pub fn build_lazy_world(gen: &Arc<SiteGen>) -> World {
+    let mut router = Router::new();
+    let mut latency = HostDirectory::new();
+    register_backbone(&mut router, &mut latency, &gen.specs, &gen.profiles);
+
+    // Provider ad servers: the hosts are known up front (the catalog's
+    // ad-server partners); the per-site accounts are derived on demand.
+    for (pid, _) in crate::catalog::providers(&gen.specs) {
+        let host = gen.specs[pid].host();
+        let ads_host = format!("ads.{host}");
+        let g = gen.clone();
+        router.register(
+            ads_host.clone(),
+            AdServerEndpoint::with_resolver(move |account_id| {
+                let rank = g.rank_of_account(account_id)?;
+                let site = g.site_shared(rank);
+                // An account exists at this provider only if the site
+                // actually chose it (mirrors the eager registration).
+                (site.provider_id == Some(pid)).then(|| g.account_shared(rank))
+            }),
+        );
+        latency.insert(ads_host, gen.specs[pid].to_profile(0).latency.clone());
+    }
+
+    // Catch-all for the publisher namespace: every `pub{rank}.example`
+    // page (and its `ads.` subdomain) resolves through one endpoint.
+    // Exact registrations (partners, CDN, providers) take precedence.
+    router.register_domain("example", PublisherEndpoint::new(gen));
+
+    // Per-site latency models, derived from the profile on demand. The
+    // eager world resolves `ads.pub{rank}.example` for non-client sites
+    // through the suffix walk to the page host's model; mirror that.
+    let g = gen.clone();
+    latency.set_dynamic(move |host| {
+        if let Some(rank) = g.rank_of_page_host(host) {
+            return Some(page_latency_model(&g.site_shared(rank)));
+        }
+        if let Some(rest) = host.strip_prefix("ads.") {
+            if let Some(rank) = g.rank_of_page_host(rest) {
+                let site = g.site_shared(rank);
+                return Some(if site.facet == Some(hb_adtech::HbFacet::ClientSide) {
+                    own_ads_latency_model(&site)
+                } else {
+                    page_latency_model(&site)
+                });
+            }
+        }
+        None
+    });
 
     World { router, latency }
 }
@@ -313,6 +436,68 @@ mod tests {
         let plain = sites.iter().find(|s| s.facet.is_none()).unwrap();
         let html2 = page_html(plain, &specs);
         assert!(!html2.contains("prebid.js"));
+    }
+
+    #[test]
+    fn lazy_world_matches_eager_world() {
+        // The lazy world's claim is byte-parity with the eager one:
+        // identical page bodies, identical latency models, identical
+        // ad-server decisions for the same (request, rng). Exercise every
+        // site of the tiny universe against both worlds.
+        use hb_http::{Request, RequestId};
+
+        let cfg = EcosystemConfig::tiny_scale();
+        let gen = std::sync::Arc::new(crate::factory::SiteGen::new(cfg.clone()));
+        let sites: Vec<SiteProfile> = (1..=cfg.n_sites).map(|r| gen.site(r)).collect();
+        let eager = build_world(&sites, &gen.specs, &gen.profiles);
+        let lazy = crate::world::build_lazy_world(&gen);
+
+        let body_of = |world: &World, req: &Request, seed: u64| {
+            let mut rng = Rng::new(seed);
+            world
+                .router
+                .dispatch(req, &mut rng)
+                .map(|r| (r.response.status.0, r.response.body.as_text()))
+        };
+        for site in &sites {
+            // Page endpoint parity.
+            let page = Request::get(
+                RequestId(1),
+                hb_http::Url::parse(&site.url_string()).unwrap(),
+            );
+            assert_eq!(
+                body_of(&eager, &page, site.rank as u64),
+                body_of(&lazy, &page, site.rank as u64),
+                "page body differs for {}",
+                site.domain
+            );
+            // Latency-model parity for the page host and its ads host
+            // (the lazy side resolves both dynamically).
+            for host in [site.domain.clone(), format!("ads.{}", site.domain)] {
+                let mut a = Rng::new(site.rank as u64);
+                let mut b = Rng::new(site.rank as u64);
+                assert_eq!(
+                    eager.latency.lookup(&host).sample(&mut a),
+                    lazy.latency.lookup(&host).sample(&mut b),
+                    "latency model differs for {host}"
+                );
+            }
+            // Ad-server parity: same decisioning reply from the host the
+            // wrapper would actually contact (resolver-derived accounts
+            // must equal the eager registrations).
+            if site.facet.is_some() {
+                let ads_host = ad_server_host_for(site, &gen.specs);
+                let req = Request::get(
+                    RequestId(2),
+                    hb_http::Url::https(&ads_host, hb_adtech::protocol::paths::AD_SERVER)
+                        .with_param("account", site.account_id()),
+                );
+                let a = body_of(&eager, &req, 1000 + site.rank as u64);
+                let b = body_of(&lazy, &req, 1000 + site.rank as u64);
+                assert!(a.is_some(), "eager world drops {ads_host}");
+                assert_eq!(a, b, "ad-server reply differs for {}", site.domain);
+            }
+        }
     }
 
     #[test]

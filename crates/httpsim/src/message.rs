@@ -86,11 +86,36 @@ pub enum Body {
 }
 
 impl Body {
-    /// Body as JSON, parsing text bodies opportunistically.
-    pub fn as_json(&self) -> Option<Json> {
+    /// Borrow the structured JSON body, without parsing or cloning.
+    ///
+    /// Returns `None` for text bodies even when they contain JSON — use
+    /// [`Body::with_json`] (borrowing) or [`Body::into_json`] (owning)
+    /// when opportunistic text parsing is wanted.
+    pub fn json(&self) -> Option<&Json> {
         match self {
-            Body::Json(j) => Some(j.clone()),
-            Body::Text(t) => Json::parse(t).ok(),
+            Body::Json(j) => Some(j),
+            _ => None,
+        }
+    }
+
+    /// Consume the body into JSON, parsing text bodies opportunistically.
+    /// The common `Body::Json` case moves the tree out without cloning.
+    pub fn into_json(self) -> Option<Json> {
+        match self {
+            Body::Json(j) => Some(j),
+            Body::Text(t) => Json::parse(&t).ok(),
+            _ => None,
+        }
+    }
+
+    /// Run `f` against this body's JSON view: structured bodies are
+    /// borrowed directly (no clone), text bodies are parsed
+    /// opportunistically into a temporary. `None` when the body has no
+    /// JSON interpretation.
+    pub fn with_json<R>(&self, f: impl FnOnce(&Json) -> R) -> Option<R> {
+        match self {
+            Body::Json(j) => Some(f(j)),
+            Body::Text(t) => Json::parse(t).ok().map(|j| f(&j)),
             _ => None,
         }
     }
@@ -389,34 +414,21 @@ impl Response {
 /// Flatten scalar JSON fields (recursively, dotted-key-free) into params.
 /// Arrays are recursed; nested object keys are emitted at their own name,
 /// matching how ad servers echo `hb_*` targeting maps.
+///
+/// Implemented on top of the borrowing probe so numbers and booleans are
+/// formatted through one reusable buffer instead of a fresh `String` per
+/// key — the only allocations left are the owned copies `QueryParams`
+/// itself stores.
 fn flatten_json_params(j: &Json, out: &mut QueryParams) {
-    match j {
-        Json::Obj(m) => {
-            for (k, v) in m {
-                match v {
-                    Json::Str(s) => out.append(k.clone(), s.clone()),
-                    Json::Num(n) => out.append(k.clone(), format_num(*n)),
-                    Json::Bool(b) => out.append(k.clone(), b.to_string()),
-                    Json::Arr(_) | Json::Obj(_) => flatten_json_params(v, out),
-                    Json::Null => {}
-                }
-            }
-        }
-        Json::Arr(items) => {
-            for item in items {
-                flatten_json_params(item, out);
-            }
-        }
-        _ => {}
-    }
-}
-
-fn format_num(n: f64) -> String {
-    if n.fract() == 0.0 && n.abs() < 1e15 {
-        format!("{}", n as i64)
-    } else {
-        format!("{n}")
-    }
+    let mut buf = String::new();
+    probe_json_params(
+        j,
+        &mut |k, v| {
+            out.append(k, v);
+            false
+        },
+        &mut buf,
+    );
 }
 
 #[cfg(test)]
@@ -512,9 +524,34 @@ mod tests {
     }
 
     #[test]
-    fn body_as_json_parses_text() {
+    fn body_json_borrows_without_parsing_text() {
+        let j = Body::Json(Json::obj([("k", Json::Bool(true))]));
+        assert_eq!(j.json().unwrap().get("k").unwrap().as_bool(), Some(true));
+        // Borrowing accessor never parses text opportunistically.
+        assert!(Body::Text(r#"{"k":true}"#.into()).json().is_none());
+        assert!(Body::Empty.json().is_none());
+    }
+
+    #[test]
+    fn body_into_json_parses_text() {
         let b = Body::Text(r#"{"k":true}"#.into());
-        assert_eq!(b.as_json().unwrap().get("k").unwrap().as_bool(), Some(true));
-        assert!(Body::Empty.as_json().is_none());
+        assert_eq!(
+            b.into_json().unwrap().get("k").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(Body::Empty.into_json().is_none());
+        let owned = Body::Json(Json::obj([("n", Json::num(4.0))]));
+        assert_eq!(owned.into_json().unwrap().get("n").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn body_with_json_covers_both_encodings() {
+        let structured = Body::Json(Json::obj([("k", Json::str("v"))]));
+        let text = Body::Text(r#"{"k":"v"}"#.into());
+        let read = |b: &Body| b.with_json(|j| j.get("k").unwrap().as_str().map(str::to_string));
+        assert_eq!(read(&structured).flatten().as_deref(), Some("v"));
+        assert_eq!(read(&text).flatten().as_deref(), Some("v"));
+        assert!(Body::Empty.with_json(|_| ()).is_none());
+        assert!(Body::Text("not json".into()).with_json(|_| ()).is_none());
     }
 }

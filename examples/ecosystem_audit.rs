@@ -11,7 +11,7 @@ fn main() {
     let eco = Ecosystem::generate(EcosystemConfig::test_scale());
     println!(
         "generated universe: {} sites / {} partners; crawling {} days…",
-        eco.sites.len(),
+        eco.sites().len(),
         eco.partner_list().len(),
         eco.config.crawl_days
     );

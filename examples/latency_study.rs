@@ -9,7 +9,7 @@ use hb_repro::prelude::*;
 
 fn main() {
     let eco = Ecosystem::generate(EcosystemConfig::test_scale());
-    println!("crawling {} sites for latency analysis…", eco.sites.len());
+    println!("crawling {} sites for latency analysis…", eco.sites().len());
     let ds = run_campaign(&eco, &CampaignConfig::default());
 
     // Build the columnar index once; every figure reads it.
@@ -23,13 +23,13 @@ fn main() {
         late::f17_late_ecdf(&ix),
         late::f18_late_by_partner(&ix),
         slots::f20_latency_vs_slots(&ix),
-        waterfall_cmp::x01_waterfall_compare(&ds),
+        waterfall_cmp::x01_waterfall_compare(&ix),
     ] {
         print!("{}", report.render());
     }
 
     let f12 = latency::f12_latency_ecdf(&ix);
-    let x1 = waterfall_cmp::x01_waterfall_compare(&ds);
+    let x1 = waterfall_cmp::x01_waterfall_compare(&ix);
     println!("\n=== headline numbers ===");
     println!(
         "median HB latency: {:.0} ms; {:.1}% of visits exceed 3 s",

@@ -11,7 +11,7 @@ fn main() {
     let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
     println!(
         "universe: {} sites, {} run header bidding, {} demand partners",
-        eco.sites.len(),
+        eco.sites().len(),
         eco.hb_sites().count(),
         eco.partner_list().len()
     );

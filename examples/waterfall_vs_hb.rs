@@ -81,5 +81,6 @@ fn main() {
     // Population-level comparison over a full campaign.
     println!("\nrunning the full campaign for the population comparison…");
     let ds = run_campaign(&eco, &CampaignConfig::default());
-    print!("{}", waterfall_cmp::x01_waterfall_compare(&ds).render());
+    let ix = hb_repro::analysis::DatasetIndex::build(&ds);
+    print!("{}", waterfall_cmp::x01_waterfall_compare(&ix).render());
 }

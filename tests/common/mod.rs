@@ -18,7 +18,7 @@ pub fn dataset() -> &'static CrawlDataset {
 /// The columnar index over [`dataset`], built once (the figure builders
 /// consume the index, not the raw dataset).
 #[allow(dead_code)]
-pub fn index() -> &'static hb_repro::analysis::DatasetIndex<'static> {
-    static IX: OnceLock<hb_repro::analysis::DatasetIndex<'static>> = OnceLock::new();
+pub fn index() -> &'static hb_repro::analysis::DatasetIndex {
+    static IX: OnceLock<hb_repro::analysis::DatasetIndex> = OnceLock::new();
     IX.get_or_init(|| hb_repro::analysis::DatasetIndex::build(dataset()))
 }

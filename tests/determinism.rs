@@ -95,6 +95,67 @@ fn reports_are_deterministic() {
 }
 
 #[test]
+fn figure_outputs_identical_across_shard_counts() {
+    // Sharding restructures scheduling, interning and chunk boundaries —
+    // none of it may leak into results: every rendered figure must be
+    // byte-identical between an unsharded and a 4-shard campaign.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let render = |shards: u32, chunk_visits: usize| {
+        let ds = run_campaign(
+            &eco,
+            &CampaignConfig {
+                shards,
+                chunk_visits,
+                ..CampaignConfig::default()
+            },
+        );
+        hb_repro::analysis::dataset_reports(&ds)
+            .into_iter()
+            .map(|r| r.render())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(render(1, 256), render(4, 23));
+}
+
+#[test]
+fn streamed_index_matches_dataset_index() {
+    // The incremental builder consuming chunks as the campaign streams
+    // them must yield byte-identical figures to indexing the merged
+    // dataset — without ever holding the row dataset.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = CampaignConfig {
+        shards: 3,
+        ..CampaignConfig::default()
+    };
+    let mut builder = hb_repro::analysis::DatasetIndexBuilder::new(
+        eco.config.n_sites,
+        eco.config.crawl_days,
+    );
+    hb_repro::crawler::run_campaign_streamed(eco.factory(), &cfg, &mut |chunk| {
+        builder.push_chunk(&chunk);
+        drop(chunk); // rows are gone; only columns remain
+    });
+    let streamed = builder.finish();
+    let ds = run_campaign(
+        &eco,
+        &CampaignConfig {
+            shards: 3,
+            ..CampaignConfig::default()
+        },
+    );
+    let built = hb_repro::analysis::DatasetIndex::build(&ds);
+    let a: Vec<String> = hb_repro::analysis::indexed_reports(&streamed)
+        .into_iter()
+        .map(|r| r.render())
+        .collect();
+    let b: Vec<String> = hb_repro::analysis::indexed_reports(&built)
+        .into_iter()
+        .map(|r| r.render())
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
 fn different_seeds_give_different_worlds() {
     let a = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(100));
     let b = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(200));

@@ -190,7 +190,7 @@ fn prices_match_fig22_24() {
 
 #[test]
 fn waterfall_headline_claim() {
-    let r = waterfall_cmp::x01_waterfall_compare(dataset());
+    let r = waterfall_cmp::x01_waterfall_compare(index());
     let median_ratio = r.metric("median_ratio").unwrap();
     assert!(
         median_ratio > 1.8 && median_ratio < 4.5,
