@@ -11,7 +11,7 @@ use crate::partner::PartnerProfile;
 use crate::protocol::{self, params, FillChannel, WinnerPayload};
 use crate::rtb::first_price_winner;
 use crate::types::{AdSize, AdUnit, Cpm};
-use hb_http::{Endpoint, Request, Response, ServerReply};
+use hb_http::{Endpoint, HStr, Request, Response, ServerReply};
 use hb_simnet::{Rng, SimDuration};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,7 +64,7 @@ impl AdServerAccount {
 /// A candidate in slot decisioning.
 #[derive(Clone, Debug)]
 enum Candidate {
-    Hb { bidder: String, ad_id: String, size: AdSize },
+    Hb { bidder: HStr, ad_id: HStr, size: AdSize },
     Direct,
 }
 
@@ -72,32 +72,32 @@ enum Candidate {
 #[derive(Clone, Debug, PartialEq)]
 pub struct SlotDecision {
     /// Slot code.
-    pub slot: String,
+    pub slot: HStr,
     /// Filled channel.
     pub channel: FillChannel,
     /// Winning bidder (HB only).
-    pub bidder: String,
+    pub bidder: HStr,
     /// Clearing price bucket.
     pub price: Cpm,
     /// Size served.
     pub size: AdSize,
     /// Creative id.
-    pub ad_id: String,
+    pub ad_id: HStr,
 }
 
 /// One header bid presented to the decisioner.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PresentedBid {
     /// Slot code the bid targets.
-    pub slot: String,
+    pub slot: HStr,
     /// Bidder code.
-    pub bidder: String,
+    pub bidder: HStr,
     /// Price (already bucketed by the wrapper).
     pub cpm: Cpm,
     /// Creative size.
     pub size: AdSize,
     /// Creative id.
-    pub ad_id: String,
+    pub ad_id: HStr,
 }
 
 /// Core decisioning: pick the best channel per slot.
@@ -142,27 +142,27 @@ pub fn decide_slot(
         Some((Candidate::Direct, price)) => SlotDecision {
             slot: unit.code.clone(),
             channel: FillChannel::DirectOrder,
-            bidder: String::new(),
+            bidder: HStr::EMPTY,
             price,
             size: unit.primary_size(),
-            ad_id: String::new(),
+            ad_id: HStr::EMPTY,
         },
         None => match account.fallback_cpm {
             Some(cpm) => SlotDecision {
                 slot: unit.code.clone(),
                 channel: FillChannel::Fallback,
-                bidder: String::new(),
+                bidder: HStr::EMPTY,
                 price: cpm,
                 size: unit.primary_size(),
-                ad_id: String::new(),
+                ad_id: HStr::EMPTY,
             },
             None => SlotDecision {
                 slot: unit.code.clone(),
                 channel: FillChannel::Unfilled,
-                bidder: String::new(),
+                bidder: HStr::EMPTY,
                 price: Cpm::ZERO,
                 size: unit.primary_size(),
-                ad_id: String::new(),
+                ad_id: HStr::EMPTY,
             },
         },
     }
@@ -189,7 +189,11 @@ pub fn run_s2s_auction(
                     bidder: partner.bidder_code.clone(),
                     cpm,
                     size: unit.primary_size(),
-                    ad_id: format!("s2s-{}-{}", partner.bidder_code, rng.below(1_000_000)),
+                    ad_id: HStr::from_display(format_args!(
+                        "s2s-{}-{}",
+                        partner.bidder_code,
+                        rng.below(1_000_000)
+                    )),
                 });
             }
         }
@@ -269,12 +273,7 @@ impl AdServerEndpoint {
                 ))
             }
         };
-        let auction_id = req
-            .url
-            .query
-            .get(params::HB_AUCTION)
-            .unwrap_or("")
-            .to_string();
+        let auction_id = HStr::new(req.url.query.get(params::HB_AUCTION).unwrap_or(""));
         // Client-presented bids, if any.
         let mut bids: Vec<PresentedBid> = Vec::new();
         if let Some(body) = req.body.json() {
@@ -291,19 +290,14 @@ impl AdServerEndpoint {
             }
         }
         // Which units to decision: the request may restrict slots.
-        let requested: Vec<String> = req
-            .url
-            .query
-            .get_all(params::HB_SLOT)
-            .map(str::to_string)
-            .collect();
+        let requested: Vec<&str> = req.url.query.get_all(params::HB_SLOT).collect();
         let units: Vec<AdUnit> = if requested.is_empty() {
             account.ad_units.clone()
         } else {
             account
                 .ad_units
                 .iter()
-                .filter(|u| requested.contains(&u.code))
+                .filter(|u| requested.iter().any(|r| u.code == *r))
                 .cloned()
                 .collect()
         };
@@ -360,7 +354,7 @@ mod tests {
             bidder: bidder.into(),
             cpm: Cpm(cpm),
             size: AdSize::MEDIUM_RECT,
-            ad_id: format!("cr-{bidder}"),
+            ad_id: HStr::from(format!("cr-{bidder}")),
         }
     }
 

@@ -9,7 +9,7 @@
 use crate::rtb::InternalAuction;
 use crate::types::{AdSize, Cpm};
 use crate::protocol::{self, params, BidPayload};
-use hb_http::{Endpoint, Json, Request, Response, ServerReply};
+use hb_http::{Endpoint, HStr, Json, Request, Response, ServerReply};
 use hb_simnet::{Dist, LatencyModel, Rng, SimDuration};
 
 /// Stable partner identifier.
@@ -37,9 +37,9 @@ pub struct PartnerProfile {
     /// Display name as used in the paper's figures (e.g. `AppNexus`).
     pub display_name: String,
     /// Adapter/bidder code (e.g. `appnexus`).
-    pub bidder_code: String,
+    pub bidder_code: HStr,
     /// Hostname in the simulated namespace.
-    pub host: String,
+    pub host: HStr,
     /// Role.
     pub kind: PartnerKind,
     /// Client-facing round-trip latency.
@@ -64,8 +64,8 @@ impl PartnerProfile {
         PartnerProfile {
             id: PartnerId(id),
             display_name: code.to_string(),
-            bidder_code: code.to_string(),
-            host: format!("{code}.adnet.example"),
+            bidder_code: HStr::new(code),
+            host: HStr::from(format!("{code}.adnet.example")),
             kind: PartnerKind::Exchange,
             latency: LatencyModel::log_normal(250.0, 0.45),
             s2s_latency: LatencyModel::log_normal(40.0, 0.3),
@@ -160,12 +160,7 @@ fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerR
             return ServerReply::instant(Response::error(req.id, hb_http::Status::BAD_REQUEST))
         }
     };
-    let auction_id = req
-        .url
-        .query
-        .get(params::HB_AUCTION)
-        .unwrap_or("")
-        .to_string();
+    let auction_id = HStr::new(req.url.query.get(params::HB_AUCTION).unwrap_or(""));
     let source_factor = match req.url.query.get(params::HB_SOURCE) {
         Some("s2s") => 0.6,
         _ => 1.0,
@@ -177,11 +172,7 @@ fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerR
         .unwrap_or(&empty);
     let mut bids = Vec::new();
     for slot in slots {
-        let code = slot
-            .get("code")
-            .and_then(|c| c.as_str())
-            .unwrap_or("")
-            .to_string();
+        let code = HStr::new(slot.get("code").and_then(|c| c.as_str()).unwrap_or(""));
         let size = slot
             .get("size")
             .and_then(|s| s.as_str())
@@ -193,8 +184,12 @@ fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerR
                 slot: code,
                 cpm,
                 size,
-                ad_id: format!("cr-{}-{}", profile.bidder_code, rng.below(1_000_000)),
-                currency: "USD".to_string(),
+                ad_id: HStr::from_display(format_args!(
+                    "cr-{}-{}",
+                    profile.bidder_code,
+                    rng.below(1_000_000)
+                )),
+                currency: HStr::from_static("USD"),
             });
         }
     }
@@ -208,7 +203,7 @@ fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerR
 }
 
 /// Build the JSON body of a bid request for the given slots.
-pub fn bid_request_body(slots: &[(String, AdSize)]) -> Json {
+pub fn bid_request_body(slots: &[(HStr, AdSize)]) -> Json {
     Json::obj([(
         "slots",
         Json::Arr(
@@ -217,7 +212,7 @@ pub fn bid_request_body(slots: &[(String, AdSize)]) -> Json {
                 .map(|(code, size)| {
                     Json::obj([
                         ("code", Json::str(code.clone())),
-                        ("size", Json::str(size.to_string())),
+                        ("size", Json::str(HStr::from_display(*size))),
                     ])
                 })
                 .collect(),
@@ -231,8 +226,8 @@ mod tests {
     use hb_http::{Body, RequestId, Url};
 
     fn bid_request(profile: &PartnerProfile, n_slots: usize) -> Request {
-        let slots: Vec<(String, AdSize)> = (0..n_slots)
-            .map(|i| (format!("ad-slot-{i}"), AdSize::MEDIUM_RECT))
+        let slots: Vec<(HStr, AdSize)> = (0..n_slots)
+            .map(|i| (HStr::from(format!("ad-slot-{i}")), AdSize::MEDIUM_RECT))
             .collect();
         let url = Url::https(&profile.host, protocol::paths::BID)
             .with_param(params::HB_AUCTION, "auc-1")

@@ -8,7 +8,7 @@
 //! payload builders/parsers used by wrapper, partners and ad server.
 
 use crate::types::{AdSize, Cpm};
-use hb_http::{Json, QueryParams};
+use hb_http::{HStr, Json, QueryParams};
 
 /// DOM events fired by the wrapper / ad-manager tag (paper §3.1).
 pub mod events {
@@ -87,17 +87,17 @@ pub const DEFAULT_PB_GRANULARITY: f64 = 0.01;
 #[derive(Clone, Debug, PartialEq)]
 pub struct BidPayload {
     /// Bidder code (e.g. `appnexus`).
-    pub bidder: String,
+    pub bidder: HStr,
     /// Ad unit code the bid targets.
-    pub slot: String,
+    pub slot: HStr,
     /// Bid price.
     pub cpm: Cpm,
     /// Creative size.
     pub size: AdSize,
     /// Creative id.
-    pub ad_id: String,
+    pub ad_id: HStr,
     /// Currency (always USD in the baseline crawl).
-    pub currency: String,
+    pub currency: HStr,
 }
 
 impl BidPayload {
@@ -107,7 +107,7 @@ impl BidPayload {
             (params::BIDDER, Json::str(self.bidder.clone())),
             (params::HB_SLOT, Json::str(self.slot.clone())),
             (params::CPM, Json::num(self.cpm.0)),
-            (params::HB_SIZE, Json::str(self.size.to_string())),
+            (params::HB_SIZE, Json::str(HStr::from_display(self.size))),
             (params::HB_ADID, Json::str(self.ad_id.clone())),
             (params::HB_CURRENCY, Json::str(self.currency.clone())),
         ])
@@ -116,16 +116,16 @@ impl BidPayload {
     /// Decode from a bid-response JSON object.
     pub fn from_json(j: &Json) -> Option<BidPayload> {
         Some(BidPayload {
-            bidder: j.get(params::BIDDER)?.as_str()?.to_string(),
-            slot: j.get(params::HB_SLOT)?.as_str()?.to_string(),
+            bidder: HStr::new(j.get(params::BIDDER)?.as_str()?),
+            slot: HStr::new(j.get(params::HB_SLOT)?.as_str()?),
             cpm: Cpm(j.get(params::CPM)?.as_f64()?),
             size: AdSize::parse(j.get(params::HB_SIZE)?.as_str()?)?,
-            ad_id: j.get(params::HB_ADID)?.as_str()?.to_string(),
-            currency: j
-                .get(params::HB_CURRENCY)
-                .and_then(|c| c.as_str())
-                .unwrap_or("USD")
-                .to_string(),
+            ad_id: HStr::new(j.get(params::HB_ADID)?.as_str()?),
+            currency: HStr::new(
+                j.get(params::HB_CURRENCY)
+                    .and_then(|c| c.as_str())
+                    .unwrap_or("USD"),
+            ),
         })
     }
 }
@@ -142,8 +142,8 @@ pub fn bid_response_body(auction_id: &str, bids: &[BidPayload]) -> Json {
 }
 
 /// Parse a bid-response body back into payloads.
-pub fn parse_bid_response(body: &Json) -> Option<(String, Vec<BidPayload>)> {
-    let auction = body.get(params::HB_AUCTION)?.as_str()?.to_string();
+pub fn parse_bid_response(body: &Json) -> Option<(HStr, Vec<BidPayload>)> {
+    let auction = HStr::new(body.get(params::HB_AUCTION)?.as_str()?);
     let bids = body
         .get("bids")?
         .as_arr()?
@@ -157,15 +157,15 @@ pub fn parse_bid_response(body: &Json) -> Option<(String, Vec<BidPayload>)> {
 #[derive(Clone, Debug, PartialEq)]
 pub struct WinnerPayload {
     /// Slot the winner fills.
-    pub slot: String,
+    pub slot: HStr,
     /// Winning bidder code (empty when a non-HB line item won).
-    pub bidder: String,
+    pub bidder: HStr,
     /// Price bucket the win cleared at.
     pub pb: Cpm,
     /// Creative size.
     pub size: AdSize,
     /// Creative id.
-    pub ad_id: String,
+    pub ad_id: HStr,
     /// Which channel filled the slot.
     pub channel: FillChannel,
 }
@@ -213,7 +213,7 @@ impl WinnerPayload {
         let mut j = Json::obj([
             (params::HB_SLOT, Json::str(self.slot.clone())),
             ("channel", Json::str(self.channel.label())),
-            (params::HB_SIZE, Json::str(self.size.to_string())),
+            (params::HB_SIZE, Json::str(HStr::from_display(self.size))),
         ]);
         if self.channel == FillChannel::HeaderBid {
             j.insert(params::HB_BIDDER, Json::str(self.bidder.clone()));
@@ -227,23 +227,19 @@ impl WinnerPayload {
     pub fn from_json(j: &Json) -> Option<WinnerPayload> {
         let channel = FillChannel::parse(j.get("channel")?.as_str()?)?;
         Some(WinnerPayload {
-            slot: j.get(params::HB_SLOT)?.as_str()?.to_string(),
-            bidder: j
-                .get(params::HB_BIDDER)
-                .and_then(|b| b.as_str())
-                .unwrap_or("")
-                .to_string(),
+            slot: HStr::new(j.get(params::HB_SLOT)?.as_str()?),
+            bidder: HStr::new(
+                j.get(params::HB_BIDDER).and_then(|b| b.as_str()).unwrap_or(""),
+            ),
             pb: j
                 .get(params::HB_PB)
                 .and_then(|p| p.as_str())
                 .and_then(Cpm::parse)
                 .unwrap_or(Cpm::ZERO),
             size: AdSize::parse(j.get(params::HB_SIZE)?.as_str()?)?,
-            ad_id: j
-                .get(params::HB_ADID)
-                .and_then(|a| a.as_str())
-                .unwrap_or("")
-                .to_string(),
+            ad_id: HStr::new(
+                j.get(params::HB_ADID).and_then(|a| a.as_str()).unwrap_or(""),
+            ),
             channel,
         })
     }
@@ -261,8 +257,8 @@ pub fn ad_server_response_body(auction_id: &str, winners: &[WinnerPayload]) -> J
 }
 
 /// Parse an ad-server response body.
-pub fn parse_ad_server_response(body: &Json) -> Option<(String, Vec<WinnerPayload>)> {
-    let auction = body.get(params::HB_AUCTION)?.as_str()?.to_string();
+pub fn parse_ad_server_response(body: &Json) -> Option<(HStr, Vec<WinnerPayload>)> {
+    let auction = HStr::new(body.get(params::HB_AUCTION)?.as_str()?);
     let winners = body
         .get("winners")?
         .as_arr()?
@@ -278,7 +274,7 @@ pub fn bid_request_params(auction_id: &str, bidder: &str, n_slots: usize) -> Que
     q.append(params::HB_AUCTION, auction_id);
     q.append(params::HB_BIDDER, bidder);
     q.append(params::HB_SOURCE, "client");
-    q.append("slots", n_slots.to_string());
+    q.append("slots", HStr::from_display(n_slots));
     q
 }
 
@@ -336,10 +332,10 @@ mod tests {
     fn non_hb_winner_hides_hb_params() {
         let w = WinnerPayload {
             slot: "ad-slot-1".into(),
-            bidder: String::new(),
+            bidder: HStr::EMPTY,
             pb: Cpm::ZERO,
             size: AdSize::MEDIUM_RECT,
-            ad_id: String::new(),
+            ad_id: HStr::EMPTY,
             channel: FillChannel::DirectOrder,
         };
         let j = w.to_json();
@@ -363,10 +359,10 @@ mod tests {
             },
             WinnerPayload {
                 slot: "s2".into(),
-                bidder: String::new(),
+                bidder: HStr::EMPTY,
                 pb: Cpm::ZERO,
                 size: AdSize::LEADERBOARD,
-                ad_id: String::new(),
+                ad_id: HStr::EMPTY,
                 channel: FillChannel::Unfilled,
             },
         ];

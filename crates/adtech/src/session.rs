@@ -11,7 +11,7 @@
 //! the caller's continuation.
 
 use hb_dom::{Browser, FailureReason};
-use hb_http::{Request, Response, Router, Url};
+use hb_http::{Request, Response, Router, Url, MsgScratch};
 use hb_simnet::{
     Dist, FaultDecision, FaultInjector, LatencyModel, Rng, Scheduler, SimDuration, SimTime,
 };
@@ -138,19 +138,36 @@ pub struct PageWorld {
     pub rtt_scale: f64,
     /// Auction bookkeeping shared by the flows (wrapper state machine).
     pub flow: crate::wrapper::FlowState,
+    /// Per-worker buffer pool: query/header storage recycled between
+    /// messages and across visits (see [`MsgScratch`]).
+    pub scratch: MsgScratch,
 }
 
 impl PageWorld {
     /// Create a world for one visit.
     pub fn new(url: Url, net: Net, rng: Rng) -> PageWorld {
+        PageWorld::from_parts(
+            Browser::open_untraced(url, SimTime::ZERO),
+            net,
+            rng,
+            MsgScratch::new(),
+        )
+    }
+
+    /// Create a world around a reused browser and buffer pool — the
+    /// pooled crawl path: the worker keeps one browser (with the detector
+    /// attached) and one scratch alive across visits and threads them
+    /// through here each time.
+    pub fn from_parts(browser: Browser, net: Net, rng: Rng, scratch: MsgScratch) -> PageWorld {
         PageWorld {
-            browser: Browser::open_untraced(url, SimTime::ZERO),
+            browser,
             net,
             rng,
             handler_service_ms: Dist::Uniform { lo: 1.0, hi: 6.0 },
             in_flight: 0,
             rtt_scale: 1.0,
             flow: crate::wrapper::FlowState::default(),
+            scratch,
         }
     }
 
@@ -190,6 +207,7 @@ pub fn send_request(
             w.in_flight -= 1;
             w.browser
                 .note_request_failed(&req, FailureReason::NoSuchHost, s.now());
+            w.scratch.recycle_request(req);
             on_done(w, s, NetOutcome::Failed(FailureReason::NoSuchHost));
         });
         return;
@@ -203,6 +221,7 @@ pub fn send_request(
                 w.in_flight -= 1;
                 w.browser
                     .note_request_failed(&req, FailureReason::NetworkDropped, s.now());
+                w.scratch.recycle_request(req);
                 on_done(w, s, NetOutcome::Failed(FailureReason::NetworkDropped));
             });
             return;
@@ -227,6 +246,8 @@ pub fn send_request(
         let arrived = s.now();
         w.in_flight -= 1;
         w.browser.note_response_in(&req, &response, arrived);
+        // The request's buffers die here; return them to the worker pool.
+        w.scratch.recycle_request(req);
         // Serialize the handler through the JS thread.
         let service = w.handler_service_ms.sample_ms(&mut w.rng);
         let slot = w.browser.js.run_task(arrived, service);

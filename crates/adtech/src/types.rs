@@ -1,5 +1,6 @@
 //! Shared ad-tech domain types: ad sizes, CPM prices, facets, ad units.
 
+use hb_http::HStr;
 use std::fmt;
 
 /// An ad creative size in pixels.
@@ -76,9 +77,10 @@ impl Cpm {
         Cpm((self.0 / granularity + 1e-9).floor() * granularity)
     }
 
-    /// Render as the ad-server string form (2 decimals).
-    pub fn to_param(&self) -> String {
-        format!("{:.2}", self.0)
+    /// Render as the ad-server string form (2 decimals). Stays on the
+    /// stack: the rendered form is at most a few bytes.
+    pub fn to_param(&self) -> HStr {
+        HStr::from_display(format_args!("{:.2}", self.0))
     }
 
     /// Parse from a parameter string.
@@ -135,7 +137,7 @@ impl fmt::Display for HbFacet {
 #[derive(Clone, Debug, PartialEq)]
 pub struct AdUnit {
     /// Slot code (matches the page's `div` id).
-    pub code: String,
+    pub code: HStr,
     /// Accepted creative sizes (first is primary).
     pub sizes: Vec<AdSize>,
     /// Floor price agreed with the publisher.
@@ -144,7 +146,7 @@ pub struct AdUnit {
 
 impl AdUnit {
     /// Construct an ad unit with one size.
-    pub fn new(code: impl Into<String>, size: AdSize, floor: Cpm) -> AdUnit {
+    pub fn new(code: impl Into<HStr>, size: AdSize, floor: Cpm) -> AdUnit {
         AdUnit {
             code: code.into(),
             sizes: vec![size],

@@ -17,7 +17,7 @@ use crate::rtb::InternalAuction;
 use crate::session::{send_request, NetOutcome, PageWorld};
 use crate::types::{AdSize, Cpm};
 use crate::wrapper::PartnerRef;
-use hb_http::{Endpoint, Json, Request, Response, ServerReply, Url};
+use hb_http::{Endpoint, HStr, Json, Request, Response, ServerReply, Url};
 use hb_simnet::{Dist, Rng, Scheduler, SimDuration};
 
 /// One tier of the waterfall chain.
@@ -71,8 +71,8 @@ pub fn waterfall_endpoint(
                     Some(clearing) if clearing.0 >= floor.0 => {
                         let body = Json::obj([
                             ("price", Json::num(clearing.0)),
-                            ("size", Json::str(size.to_string())),
-                            ("adm", Json::str("<creative/>")),
+                            ("size", Json::str(HStr::from_display(size))),
+                            ("adm", Json::str(HStr::from_static("<creative/>"))),
                         ]);
                         ServerReply::after(Response::json(req.id, body), processing)
                     }
@@ -121,10 +121,15 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
         .first()
         .map(|u| u.primary_size())
         .unwrap_or(AdSize::MEDIUM_RECT);
-    let url = Url::https(&format!("rtb.{}", tier.partner.host), protocol::paths::RTB_AD)
-        .with_param("floor", tier.floor.to_param())
-        .with_param("size", size.to_string())
-        .with_param("cb", w.rng.below(1_000_000_000).to_string());
+    let mut q = w.scratch.take_params();
+    q.append("floor", tier.floor.to_param());
+    q.append("size", HStr::from_display(size));
+    q.append("cb", HStr::from_display(w.rng.below(1_000_000_000)));
+    let url = Url::https_pooled(
+        HStr::from_display(format_args!("rtb.{}", tier.partner.host)),
+        HStr::from_static(protocol::paths::RTB_AD),
+        q,
+    );
     let id = w.browser.next_request_id();
     let req = Request::get(id, url).from_initiator("adserver-tag");
     send_request(
@@ -148,9 +153,17 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
                     w.flow.truth.waterfall_fill_tier = Some(idx);
                     // DSP-specific win notification (no hb_* keys).
                     let pparam = rtb_price_param(&tier.partner.code);
-                    let url = Url::https(&format!("rtb.{}", tier.partner.host), protocol::paths::RTB_NOTIFY)
-                        .with_param(pparam, format!("{:.4}", price.0))
-                        .with_param("cb", w.rng.below(1_000_000_000).to_string());
+                    let mut q = w.scratch.take_params();
+                    q.append(
+                        HStr::from_static(pparam),
+                        HStr::from_display(format_args!("{:.4}", price.0)),
+                    );
+                    q.append("cb", HStr::from_display(w.rng.below(1_000_000_000)));
+                    let url = Url::https_pooled(
+                        HStr::from_display(format_args!("rtb.{}", tier.partner.host)),
+                        HStr::from_static(protocol::paths::RTB_NOTIFY),
+                        q,
+                    );
                     let id = w.browser.next_request_id();
                     let req = Request::get(id, url).from_initiator("adserver-tag");
                     send_request(w, s, req, Box::new(|_, _, _| {}));
@@ -183,10 +196,10 @@ fn finish_waterfall(
     for unit in &site.ad_units {
         w.flow.truth.winners.push(WinnerPayload {
             slot: unit.code.clone(),
-            bidder: String::new(),
+            bidder: HStr::EMPTY,
             pb: price,
             size: unit.primary_size(),
-            ad_id: String::new(),
+            ad_id: HStr::EMPTY,
             channel,
         });
         w.browser.page.mark_ad_rendered(now);
@@ -210,7 +223,7 @@ mod tests {
         WaterfallTier {
             partner: PartnerRef {
                 code: code.into(),
-                name: code.to_uppercase(),
+                name: code.to_uppercase().into(),
                 host: host.into(),
             },
             floor: Cpm(floor),

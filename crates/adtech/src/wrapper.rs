@@ -20,7 +20,7 @@ use crate::partner::bid_request_body;
 use crate::protocol::{self, events, params, BidPayload, FillChannel, WinnerPayload};
 use crate::session::{send_request, NetOutcome, PageWorld};
 use crate::types::{AdUnit, HbFacet};
-use hb_http::{Body, Json, Request, Url};
+use hb_http::{Body, HStr, Json, Request, Url};
 use hb_simnet::{Scheduler, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -28,11 +28,11 @@ use std::sync::Arc;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartnerRef {
     /// Bidder code (`appnexus`).
-    pub code: String,
+    pub code: HStr,
     /// Display name (`AppNexus`).
-    pub name: String,
+    pub name: HStr,
     /// Hostname of the partner's endpoint.
-    pub host: String,
+    pub host: HStr,
 }
 
 /// Publisher-tunable wrapper configuration.
@@ -75,15 +75,15 @@ pub struct SiteRuntime {
     /// Client-side partners (client and hybrid facets).
     pub client_partners: Vec<PartnerRef>,
     /// The ad server / server-side provider host.
-    pub ad_server_host: String,
+    pub ad_server_host: HStr,
     /// Account id at the ad server.
-    pub account_id: String,
+    pub account_id: HStr,
     /// Wrapper tuning.
     pub wrapper: WrapperConfig,
     /// Waterfall tiers (baseline comparison).
     pub waterfall_tiers: Vec<crate::waterfall::WaterfallTier>,
     /// CDN host serving wrapper/ad-manager libraries.
-    pub cdn_host: String,
+    pub cdn_host: HStr,
     /// Probability an ad render fails after winning.
     pub render_fail_rate: f64,
     /// Per-site network quality multiplier applied to every RTT of the
@@ -138,7 +138,7 @@ pub struct FlowState {
     /// every continuation).
     pub site: Option<Arc<SiteRuntime>>,
     /// Auction correlation id.
-    pub auction_id: String,
+    pub auction_id: HStr,
     /// Client-collected bids.
     pub bids: Vec<BidPayload>,
     /// Partners that have not answered yet.
@@ -161,9 +161,18 @@ impl FlowState {
 
 /// Entry point: start a visit for `site`. Schedules the page fetch and the
 /// facet-appropriate flow. Run the simulation to completion afterwards.
-pub fn begin_visit(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, site: SiteRuntime) {
-    let site = Arc::new(site);
-    let auction_id = format!("auc-{}-{}", site.rank, w.rng.below(1_000_000_000));
+/// Accepts the runtime owned or pre-shared — the pooled crawl path passes
+/// an `Arc<SiteRuntime>` straight from the factory's memo, so starting a
+/// visit never deep-copies ad units or partner lists.
+pub fn begin_visit(
+    w: &mut PageWorld,
+    s: &mut Scheduler<PageWorld>,
+    site: impl Into<Arc<SiteRuntime>>,
+) {
+    let site = site.into();
+    w.scratch.begin_visit();
+    let auction_id =
+        HStr::from_display(format_args!("auc-{}-{}", site.rank, w.rng.below(1_000_000_000)));
     w.rtt_scale = site.net_quality;
     w.flow.site = Some(site.clone());
     w.flow.auction_id = auction_id;
@@ -192,13 +201,27 @@ fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     // The ad-manager tag is fetched in parallel; we only gate on the
     // wrapper library (it is what issues the bid requests).
     let gpt_id = w.browser.next_request_id();
-    let gpt_req = Request::get(gpt_id, Url::https(&cdn, protocol::paths::GPT_JS))
-        .from_initiator("document");
+    let gpt_req = Request::get(
+        gpt_id,
+        Url::https_pooled(
+            cdn.clone(),
+            HStr::from_static(protocol::paths::GPT_JS),
+            w.scratch.take_params(),
+        ),
+    )
+    .from_initiator("document");
     send_request(w, s, gpt_req, Box::new(|_, _, _| {}));
 
     let lib_id = w.browser.next_request_id();
-    let lib_req = Request::get(lib_id, Url::https(&cdn, protocol::paths::WRAPPER_JS))
-        .from_initiator("document");
+    let lib_req = Request::get(
+        lib_id,
+        Url::https_pooled(
+            cdn,
+            HStr::from_static(protocol::paths::WRAPPER_JS),
+            w.scratch.take_params(),
+        ),
+    )
+    .from_initiator("document");
     send_request(
         w,
         s,
@@ -230,7 +253,7 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.browser.fire_event(
         now,
         events::AUCTION_INIT,
-        Json::obj([
+        &Json::obj([
             (params::HB_AUCTION, Json::str(auction_id.clone())),
             ("adUnitCodes", Json::Arr(unit_codes)),
             ("timestamp", Json::num(now.as_millis_f64())),
@@ -239,10 +262,10 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.browser.fire_event(
         now,
         events::REQUEST_BIDS,
-        Json::obj([(params::HB_AUCTION, Json::str(auction_id.clone()))]),
+        &Json::obj([(params::HB_AUCTION, Json::str(auction_id.clone()))]),
     );
 
-    let slots: Vec<(String, crate::types::AdSize)> = site
+    let slots: Vec<(HStr, crate::types::AdSize)> = site
         .ad_units
         .iter()
         .map(|u| (u.code.clone(), u.primary_size()))
@@ -251,18 +274,23 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
 
     for partner in &site.client_partners {
         let code = partner.code.clone();
-        let url = Url::https(&partner.host, protocol::paths::BID)
-            .with_param(params::HB_AUCTION, auction_id.clone())
-            .with_param(params::HB_BIDDER, code.clone())
-            .with_param(params::HB_SOURCE, "client")
-            .with_param("slots", slots.len().to_string());
+        let mut q = w.scratch.take_params();
+        q.append(params::HB_AUCTION, auction_id.clone());
+        q.append(params::HB_BIDDER, code.clone());
+        q.append(params::HB_SOURCE, "client");
+        q.append("slots", HStr::from_display(slots.len()));
+        let url = Url::https_pooled(
+            partner.host.clone(),
+            HStr::from_static(protocol::paths::BID),
+            q,
+        );
         let id = w.browser.next_request_id();
         let req = Request::post(id, url, Body::Json(bid_request_body(&slots)))
             .from_initiator("prebid.js");
         w.browser.fire_event(
             s.now(),
             events::BID_REQUESTED,
-            Json::obj([
+            &Json::obj([
                 (params::HB_BIDDER, Json::str(code.clone())),
                 (params::HB_AUCTION, Json::str(auction_id.clone())),
             ]),
@@ -317,12 +345,12 @@ fn handle_bid_outcome(
                         w.browser.fire_event(
                             s.now(),
                             events::BID_RESPONSE,
-                            Json::obj([
+                            &Json::obj([
                                 (params::BIDDER, Json::str(bid.bidder.clone())),
                                 (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
                                 (params::HB_SLOT, Json::str(bid.slot.clone())),
                                 (params::CPM, Json::num(bid.cpm.0)),
-                                (params::HB_SIZE, Json::str(bid.size.to_string())),
+                                (params::HB_SIZE, Json::str(HStr::from_display(bid.size))),
                                 (params::HB_CURRENCY, Json::str(bid.currency.clone())),
                             ]),
                         );
@@ -354,7 +382,7 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.browser.fire_event(
         now,
         events::AUCTION_END,
-        Json::obj([
+        &Json::obj([
             (params::HB_AUCTION, Json::str(auction_id.clone())),
             ("bidsReceived", Json::num(w.flow.bids.len() as f64)),
             ("timestamp", Json::num(now.as_millis_f64())),
@@ -372,12 +400,12 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         })
         .collect();
 
-    let mut url = Url::https(&site.ad_server_host, protocol::paths::AD_SERVER)
-        .with_param("account", site.account_id.clone())
-        .with_param(params::HB_AUCTION, auction_id)
-        .with_param(params::HB_SOURCE, "client");
+    let mut q = w.scratch.take_params();
+    q.append("account", site.account_id.clone());
+    q.append(params::HB_AUCTION, auction_id);
+    q.append(params::HB_SOURCE, "client");
     for unit in &site.ad_units {
-        url.query.append(params::HB_SLOT, unit.code.clone());
+        q.append(params::HB_SLOT, unit.code.clone());
     }
     // Echo the best bid per slot as hb_* targeting key-values (what DFP
     // line items key on, and what the detector sees in the URL).
@@ -387,12 +415,17 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
             .filter(|b| b.slot == unit.code)
             .max_by(|a, b| a.cpm.partial_cmp(&b.cpm).unwrap())
         {
-            url.query.append(params::HB_BIDDER, best.bidder.clone());
-            url.query.append(params::HB_PB, best.cpm.to_param());
-            url.query.append(params::HB_SIZE, best.size.to_string());
-            url.query.append(params::HB_ADID, best.ad_id.clone());
+            q.append(params::HB_BIDDER, best.bidder.clone());
+            q.append(params::HB_PB, best.cpm.to_param());
+            q.append(params::HB_SIZE, HStr::from_display(best.size));
+            q.append(params::HB_ADID, best.ad_id.clone());
         }
     }
+    let url = Url::https_pooled(
+        site.ad_server_host.clone(),
+        HStr::from_static(protocol::paths::AD_SERVER),
+        q,
+    );
     let id = w.browser.next_request_id();
     let body = protocol::bid_response_body(&w.flow.auction_id, &bucketed);
     let req = Request::post(id, url, Body::Json(body)).from_initiator("prebid.js");
@@ -419,13 +452,18 @@ fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.flow.truth.adserver_sent_at = Some(now);
     w.flow.sent_to_adserver = true;
 
-    let mut url = Url::https(&site.ad_server_host, protocol::paths::AD_SERVER)
-        .with_param("account", site.account_id.clone())
-        .with_param(params::HB_AUCTION, w.flow.auction_id.clone())
-        .with_param(params::HB_SOURCE, "s2s");
+    let mut q = w.scratch.take_params();
+    q.append("account", site.account_id.clone());
+    q.append(params::HB_AUCTION, w.flow.auction_id.clone());
+    q.append(params::HB_SOURCE, "s2s");
     for unit in &site.ad_units {
-        url.query.append(params::HB_SLOT, unit.code.clone());
+        q.append(params::HB_SLOT, unit.code.clone());
     }
+    let url = Url::https_pooled(
+        site.ad_server_host.clone(),
+        HStr::from_static(protocol::paths::AD_SERVER),
+        q,
+    );
     let id = w.browser.next_request_id();
     let req = Request::get(id, url).from_initiator("hb-provider-tag");
     send_request(
@@ -461,12 +499,12 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
             w.browser.fire_event(
                 now,
                 events::BID_WON,
-                Json::obj([
+                &Json::obj([
                     (params::HB_BIDDER, Json::str(winner.bidder.clone())),
                     (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
                     (params::HB_SLOT, Json::str(winner.slot.clone())),
                     (params::HB_PB, Json::str(winner.pb.to_param())),
-                    (params::HB_SIZE, Json::str(winner.size.to_string())),
+                    (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
                 ]),
             );
         }
@@ -477,10 +515,15 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
                 .iter()
                 .find(|p| p.code == winner.bidder)
             {
-                let url = Url::https(&partner.host, protocol::paths::WIN)
-                    .with_param(params::HB_PRICE, winner.pb.to_param())
-                    .with_param(params::HB_ADID, winner.ad_id.clone())
-                    .with_param(params::HB_AUCTION, w.flow.auction_id.clone());
+                let mut q = w.scratch.take_params();
+                q.append(params::HB_PRICE, winner.pb.to_param());
+                q.append(params::HB_ADID, winner.ad_id.clone());
+                q.append(params::HB_AUCTION, w.flow.auction_id.clone());
+                let url = Url::https_pooled(
+                    partner.host.clone(),
+                    HStr::from_static(protocol::paths::WIN),
+                    q,
+                );
                 let id = w.browser.next_request_id();
                 let req = Request::get(id, url).from_initiator("prebid.js");
                 send_request(w, s, req, Box::new(|_, _, _| {}));
@@ -501,21 +544,21 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
                 w.browser.fire_event(
                     now,
                     events::AD_RENDER_FAILED,
-                    Json::obj([(params::HB_SLOT, Json::str(winner.slot.clone()))]),
+                    &Json::obj([(params::HB_SLOT, Json::str(winner.slot.clone()))]),
                 );
                 w.browser.page.mark_ad_failed();
             } else {
                 w.browser.fire_event(
                     now,
                     events::SLOT_RENDER_ENDED,
-                    Json::obj([
+                    &Json::obj([
                         (params::HB_SLOT, Json::str(winner.slot.clone())),
-                        (params::HB_SIZE, Json::str(winner.size.to_string())),
+                        (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
                         (
                             "isEmpty",
                             Json::Bool(winner.channel == FillChannel::Unfilled),
                         ),
-                        ("channel", Json::str(winner.channel.label())),
+                        ("channel", Json::str(HStr::from_static(winner.channel.label()))),
                     ]),
                 );
                 w.browser.page.mark_ad_rendered(now);

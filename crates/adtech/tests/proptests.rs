@@ -22,8 +22,8 @@ fn arb_code() -> impl Strategy<Value = String> {
 fn arb_bid() -> impl Strategy<Value = BidPayload> {
     (arb_code(), arb_code(), arb_cpm(), arb_size()).prop_map(|(bidder, slot, cpm, size)| {
         BidPayload {
-            bidder,
-            slot,
+            bidder: bidder.into(),
+            slot: slot.into(),
             cpm,
             size,
             ad_id: "cr-1".into(),
@@ -85,10 +85,10 @@ proptest! {
         ][channel_idx];
         let w = WinnerPayload {
             slot: "s1".into(),
-            bidder: if channel == FillChannel::HeaderBid { bidder } else { String::new() },
+            bidder: if channel == FillChannel::HeaderBid { bidder.into() } else { hb_http::HStr::EMPTY },
             pb: if channel == FillChannel::HeaderBid { Cpm((pb.0 * 100.0).round() / 100.0) } else { Cpm::ZERO },
             size,
-            ad_id: if channel == FillChannel::HeaderBid { "a".into() } else { String::new() },
+            ad_id: if channel == FillChannel::HeaderBid { "a".into() } else { hb_http::HStr::EMPTY },
             channel,
         };
         let back = WinnerPayload::from_json(&w.to_json()).unwrap();

@@ -4,11 +4,15 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hb_adtech::HbFacet;
 use hb_core::Interner;
-use hb_crawler::{crawl_site, SessionConfig};
+use hb_crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use hb_http::{Json, Request, RequestId, Url};
 use std::hint::black_box;
 
+/// One steady-state visit per flow type, through the pooled per-worker
+/// path the campaign actually runs: the scratch (browser, detector
+/// buffers, message pools) and the shared runtime survive across
+/// iterations, exactly as they survive across a worker's visits.
 fn visit_bench(c: &mut Criterion) {
     let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
     let pick = |facet: Option<HbFacet>| {
@@ -26,16 +30,17 @@ fn visit_bench(c: &mut Criterion) {
     let session = SessionConfig::default();
     for (label, site) in cases {
         let mut strings = Interner::new();
+        let mut scratch = VisitScratch::new(eco.partner_list());
         c.bench_function(&format!("visit/{label}"), |b| {
             b.iter(|| {
-                black_box(crawl_site(
+                black_box(crawl_site_pooled(
                     eco.net(),
-                    eco.runtime_for(site),
-                    eco.partner_list(),
+                    eco.runtime_shared(site.rank),
                     eco.visit_rng(site.rank, 0),
                     0,
                     &session,
                     &mut strings,
+                    &mut scratch,
                 ))
             })
         });
@@ -122,6 +127,10 @@ fn campaign_small_bench(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("campaign");
     group.sample_size(10);
+    // One campaign run takes tens of milliseconds; stretch the sample
+    // window so every criterion sample completes several iterations and
+    // the median is an actual median, not a single observation.
+    group.measurement_time(std::time::Duration::from_secs(3));
     group.throughput(Throughput::Elements(visits));
     group.bench_function("small_2k_sites", |b| {
         b.iter(|| black_box(hb_crawler::run_factory_campaign(&factory, &cfg)))

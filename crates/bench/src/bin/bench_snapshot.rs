@@ -1,0 +1,118 @@
+//! Collect the latest criterion-shim results into an in-repo snapshot.
+//!
+//! The criterion shim appends one JSON line per bench run to
+//! `target/shim-criterion/<bench>.json`. This binary folds the latest
+//! line of every bench into a single `benches/BENCH_<n>.json` snapshot —
+//! median ns/op per bench plus derived visits/sec for throughput benches —
+//! so the perf trajectory is tracked in-repo across PRs.
+//!
+//! Usage (after `cargo bench -p hb-bench`):
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin bench_snapshot -- 3
+//! # → writes benches/BENCH_3.json at the workspace root
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A minimal field extractor for the shim's flat JSON lines (keys and
+/// numeric/string scalars only — exactly what the shim emits).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split(|c: char| c == ',' || c == '}').next()
+    }
+    .map(str::trim)
+}
+
+fn workspace_root() -> PathBuf {
+    // Resolved at compile time: this crate lives at <root>/crates/bench,
+    // so the workspace root is exactly two levels up — no filesystem walk
+    // that a stray Cargo.toml above the checkout could derail.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let n: String = std::env::args().nth(1).unwrap_or_else(|| "0".into());
+    let root = workspace_root();
+    let shim_dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| root.join("target"))
+        .join("shim-criterion");
+    let mut latest: BTreeMap<String, (f64, Option<u64>, u64)> = BTreeMap::new();
+    let entries = match std::fs::read_dir(&shim_dir) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!(
+                "no shim results under {} ({err}); run `cargo bench -p hb-bench` first",
+                shim_dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    for entry in entries.flatten() {
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        for line in text.lines() {
+            let (Some(id), Some(median)) = (field(line, "id"), field(line, "median_ns")) else {
+                continue;
+            };
+            let Ok(median_ns) = median.parse::<f64>() else {
+                continue;
+            };
+            let elems = field(line, "elems").and_then(|e| e.parse::<u64>().ok());
+            let at_ms = field(line, "at_ms")
+                .and_then(|a| a.parse::<u64>().ok())
+                .unwrap_or(0);
+            // Keep the most recent observation per bench id.
+            let keep = latest
+                .get(id)
+                .map(|(_, _, prev_at)| at_ms >= *prev_at)
+                .unwrap_or(true);
+            if keep {
+                latest.insert(id.to_string(), (median_ns, elems, at_ms));
+            }
+        }
+    }
+    if latest.is_empty() {
+        eprintln!("no bench samples found under {}", shim_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut out = String::from("{\n  \"benches\": {\n");
+    let count = latest.len();
+    for (i, (id, (median_ns, elems, _))) in latest.iter().enumerate() {
+        out.push_str(&format!("    \"{id}\": {{\"median_ns\": {median_ns:.1}"));
+        if let Some(n) = elems {
+            let per_sec = *n as f64 / (median_ns / 1e9);
+            out.push_str(&format!(", \"elems\": {n}, \"elems_per_sec\": {per_sec:.1}"));
+        }
+        out.push_str("}");
+        out.push_str(if i + 1 == count { "\n" } else { ",\n" });
+    }
+    out.push_str("  }\n}\n");
+
+    let dir = root.join("benches");
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("BENCH_{n}.json"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {} ({count} benches)", path.display()),
+        Err(err) => {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

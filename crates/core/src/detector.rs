@@ -20,7 +20,7 @@ use crate::record::{
     BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,
 };
 use hb_dom::{Browser, WebRequestEvent};
-use hb_http::{Json, RequestId};
+use hb_http::{HStr, Json, RequestId};
 use hb_simnet::SimTime;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -47,20 +47,20 @@ struct ObservedRequest {
 /// A bid parsed from response JSON (before enrichment).
 #[derive(Clone, Debug)]
 struct RawBid {
-    bidder: String,
-    slot: String,
+    bidder: HStr,
+    slot: HStr,
     cpm: f64,
-    size: String,
+    size: HStr,
 }
 
 /// A winner parsed from an ad-server response.
 #[derive(Clone, Debug)]
 struct RawWinner {
-    slot: String,
-    bidder: String,
+    slot: HStr,
+    bidder: HStr,
     pb: f64,
-    size: String,
-    channel: String,
+    size: HStr,
+    channel: HStr,
 }
 
 /// Accumulated observation state (shared with the browser taps).
@@ -153,6 +153,17 @@ impl HbDetector {
     /// Number of HB events captured so far (diagnostics).
     pub fn events_captured(&self) -> usize {
         self.state.borrow().events.len()
+    }
+
+    /// Clear all accumulated observation state for a fresh visit while
+    /// keeping the allocated capacity (vectors, request map). The pooled
+    /// crawl path attaches the detector to a reused browser once per
+    /// worker and calls `reset` between visits.
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        st.events.clear();
+        st.requests.clear();
+        st.order.clear();
     }
 
     /// Reconstruct the visit record. `domain`, `rank` and `day` are crawl
@@ -378,58 +389,30 @@ impl HbDetector {
 fn parse_response_content(obs: &mut ObservedRequest, body: &Json) {
     if let Some(bids) = body.get("bids").and_then(|b| b.as_arr()) {
         for b in bids {
-            let bidder = b
-                .get("bidder")
-                .and_then(|v| v.as_str())
-                .unwrap_or("")
-                .to_string();
+            let bidder = b.get("bidder").and_then(|v| v.as_str()).unwrap_or("");
             if bidder.is_empty() {
                 continue;
             }
             obs.response_bids.push(RawBid {
-                bidder,
-                slot: b
-                    .get("hb_slot")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
+                bidder: HStr::new(bidder),
+                slot: HStr::new(b.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
                 cpm: b.get("cpm").and_then(|v| v.as_f64()).unwrap_or(0.0),
-                size: b
-                    .get("hb_size")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
+                size: HStr::new(b.get("hb_size").and_then(|v| v.as_str()).unwrap_or("")),
             });
         }
     }
     if let Some(winners) = body.get("winners").and_then(|w| w.as_arr()) {
         for w in winners {
             obs.response_winners.push(RawWinner {
-                slot: w
-                    .get("hb_slot")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
-                bidder: w
-                    .get("hb_bidder")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
+                slot: HStr::new(w.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
+                bidder: HStr::new(w.get("hb_bidder").and_then(|v| v.as_str()).unwrap_or("")),
                 pb: w
                     .get("hb_pb")
                     .and_then(|v| v.as_str())
                     .and_then(|s| s.parse::<f64>().ok())
                     .unwrap_or(0.0),
-                size: w
-                    .get("hb_size")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
-                channel: w
-                    .get("channel")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("")
-                    .to_string(),
+                size: HStr::new(w.get("hb_size").and_then(|v| v.as_str()).unwrap_or("")),
+                channel: HStr::new(w.get("channel").and_then(|v| v.as_str()).unwrap_or("")),
             });
         }
     }
@@ -457,7 +440,7 @@ mod tests {
         b.fire_event(
             SimTime::from_millis(100),
             "auctionInit",
-            Json::obj([("hb_auction", Json::str("a1"))]),
+            &Json::obj([("hb_auction", Json::str("a1"))]),
         );
         // bid request to AppNexus at t=100, response at t=300 with one bid.
         let id = b.next_request_id();
@@ -477,10 +460,13 @@ mod tests {
         b.fire_event(
             SimTime::from_millis(300),
             "bidResponse",
-            Json::obj([("bidder", Json::str("appnexus")), ("cpm", Json::num(0.4))]),
+            &Json::obj([("bidder", Json::str("appnexus")), ("cpm", Json::num(0.4))]),
         );
         // auctionEnd + ad server call to the publisher's own server.
-        b.fire_event(SimTime::from_millis(400), "auctionEnd", Json::obj([]));
+        b.fire_event(
+            SimTime::from_millis(400),
+            "auctionEnd",
+            &Json::obj([]));
         let id2 = b.next_request_id();
         let req2 = Request::get(
             id2,
@@ -498,7 +484,7 @@ mod tests {
         b.fire_event(
             SimTime::from_millis(470),
             "bidWon",
-            Json::obj([("hb_bidder", Json::str("appnexus"))]),
+            &Json::obj([("hb_bidder", Json::str("appnexus"))]),
         );
     }
 
@@ -555,7 +541,7 @@ mod tests {
         b.fire_event(
             SimTime::from_millis(340),
             "slotRenderEnded",
-            Json::obj([("hb_slot", Json::str("s1"))]),
+            &Json::obj([("hb_slot", Json::str("s1"))]),
         );
         let mut strings = Interner::new();
         let rec = det.finish("pub2.example", 20, 3, None, &mut strings);

@@ -6,6 +6,7 @@
 //! is independent from the libraries it observes.
 
 use hb_dom::DomEvent;
+use hb_http::HStr;
 use std::fmt;
 
 /// The HB events the detector recognizes (paper §3.1).
@@ -86,23 +87,23 @@ pub struct CapturedEvent {
     /// When it fired (simulated time, ms).
     pub at_ms: f64,
     /// Auction id, when the payload carried one.
-    pub auction_id: Option<String>,
+    pub auction_id: Option<HStr>,
     /// Bidder code, when the payload carried one.
-    pub bidder: Option<String>,
+    pub bidder: Option<HStr>,
     /// Slot code, when the payload carried one.
-    pub slot: Option<String>,
+    pub slot: Option<HStr>,
     /// CPM, when the payload carried one.
     pub cpm: Option<f64>,
     /// Size string, when the payload carried one.
-    pub size: Option<String>,
+    pub size: Option<HStr>,
 }
 
 impl CapturedEvent {
     /// Try to capture a DOM event as an HB event.
     pub fn from_dom(ev: &DomEvent) -> Option<CapturedEvent> {
-        let kind = HbEventKind::parse(&ev.name)?;
-        let p = &ev.payload;
-        let get_str = |key: &str| p.get(key).and_then(|v| v.as_str()).map(str::to_string);
+        let kind = HbEventKind::parse(ev.name)?;
+        let p = ev.payload;
+        let get_str = |key: &str| p.get(key).and_then(|v| v.as_str()).map(HStr::new);
         Some(CapturedEvent {
             kind,
             at_ms: ev.at.as_millis_f64(),
@@ -121,9 +122,9 @@ mod tests {
     use hb_http::Json;
     use hb_simnet::SimTime;
 
-    fn dom(name: &str, payload: Json) -> DomEvent {
+    fn dom<'a>(name: &'a str, payload: &'a Json) -> DomEvent<'a> {
         DomEvent {
-            name: name.to_string(),
+            name,
             payload,
             at: SimTime::from_millis(250),
         }
@@ -149,16 +150,14 @@ mod tests {
 
     #[test]
     fn capture_extracts_payload_fields() {
-        let ev = dom(
-            "bidResponse",
-            Json::obj([
+        let payload = Json::obj([
                 ("bidder", Json::str("rubicon")),
                 ("hb_auction", Json::str("auc-1")),
                 ("hb_slot", Json::str("ad-slot-2")),
                 ("cpm", Json::num(0.37)),
                 ("hb_size", Json::str("300x250")),
-            ]),
-        );
+            ]);
+        let ev = dom("bidResponse", &payload);
         let c = CapturedEvent::from_dom(&ev).unwrap();
         assert_eq!(c.kind, HbEventKind::BidResponse);
         assert_eq!(c.at_ms, 250.0);
@@ -171,23 +170,22 @@ mod tests {
 
     #[test]
     fn non_hb_events_ignored() {
-        let ev = dom("scroll", Json::Null);
+        let ev = dom("scroll", &Json::Null);
         assert!(CapturedEvent::from_dom(&ev).is_none());
     }
 
     #[test]
     fn hb_bidder_fallback_key() {
-        let ev = dom(
-            "bidWon",
-            Json::obj([("hb_bidder", Json::str("appnexus"))]),
-        );
+        let payload = Json::obj([("hb_bidder", Json::str("appnexus"))]);
+        let ev = dom("bidWon", &payload);
         let c = CapturedEvent::from_dom(&ev).unwrap();
         assert_eq!(c.bidder.as_deref(), Some("appnexus"));
     }
 
     #[test]
     fn missing_fields_are_none() {
-        let ev = dom("auctionEnd", Json::obj([]));
+        let payload = Json::obj([]);
+        let ev = dom("auctionEnd", &payload);
         let c = CapturedEvent::from_dom(&ev).unwrap();
         assert!(c.auction_id.is_none());
         assert!(c.bidder.is_none());

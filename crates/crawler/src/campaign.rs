@@ -24,7 +24,7 @@
 
 use crate::chunk::VisitChunk;
 use crate::dataset::{CrawlDataset, TruthRecord};
-use crate::session::{crawl_site, SessionConfig};
+use crate::session::{crawl_site_pooled, SessionConfig, VisitScratch};
 use hb_core::{Interner, VisitColumns};
 use hb_ecosystem::{Ecosystem, SiteFactory};
 use std::collections::BTreeMap;
@@ -172,7 +172,9 @@ fn run_batch(
             let tx = tx.clone();
             scope.spawn(move || {
                 let net = factory.net();
-                let list = factory.partner_list();
+                // Per-worker scratch: browser, detector buffers and message
+                // pools live for the whole batch, not one visit.
+                let mut scratch = VisitScratch::new(factory.partner_list());
                 loop {
                     let b = next.fetch_add(1, Ordering::Relaxed);
                     if b >= n_blocks {
@@ -184,15 +186,14 @@ fn run_batch(
                     let mut visits = VisitColumns::with_capacity(hi - lo);
                     let mut truths = Vec::with_capacity(hi - lo);
                     for &rank in &ranks[lo..hi] {
-                        let site = factory.site_shared(rank);
-                        let visit = crawl_site(
+                        let visit = crawl_site_pooled(
                             net.clone(),
-                            factory.runtime_for(&site),
-                            list.clone(),
+                            factory.runtime_shared(rank),
                             factory.visit_rng(rank, day),
                             day,
                             &cfg.session,
                             &mut strings,
+                            &mut scratch,
                         );
                         truths.push(TruthRecord::from_truth(rank, day, &visit.truth));
                         visits.push(visit.record);

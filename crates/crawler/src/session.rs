@@ -7,6 +7,8 @@
 
 use hb_adtech::{begin_visit, Net, PageWorld, SiteRuntime, VisitGroundTruth};
 use hb_core::{HbDetector, Interner, PartnerList, VisitRecord};
+use hb_dom::Browser;
+use hb_http::MsgScratch;
 use hb_simnet::{Rng, SimDuration, Simulation, SimTime};
 use std::sync::Arc;
 
@@ -43,9 +45,36 @@ pub struct SiteVisit {
     pub page_completed: bool,
 }
 
+/// Per-worker visit execution state, reused across visits: the browser
+/// (with the detector's taps attached once), the detector's accumulation
+/// buffers, and the HTTP-layer buffer pool. One `VisitScratch` per crawl
+/// worker turns the per-visit setup — browser construction, tap
+/// registration, request-map allocation, query-buffer churn — into
+/// amortized one-time cost.
+pub struct VisitScratch {
+    browser: Option<Browser>,
+    detector: HbDetector,
+    msg: MsgScratch,
+}
+
+impl VisitScratch {
+    /// Build a worker's scratch around the campaign's shared partner list.
+    pub fn new(list: Arc<PartnerList>) -> VisitScratch {
+        VisitScratch {
+            browser: None,
+            detector: HbDetector::with_list(list),
+            msg: MsgScratch::new(),
+        }
+    }
+}
+
 /// Crawl one site once. Strings in the resulting record are interned into
 /// `strings` — per campaign, each worker passes its own interner and the
 /// collector re-interns into the campaign-wide one.
+///
+/// Convenience wrapper over [`crawl_site_pooled`] that builds (and drops)
+/// a fresh [`VisitScratch`]; tests and examples use this, the campaign
+/// keeps one scratch per worker.
 pub fn crawl_site(
     net: Net,
     runtime: SiteRuntime,
@@ -55,11 +84,39 @@ pub fn crawl_site(
     cfg: &SessionConfig,
     strings: &mut Interner,
 ) -> SiteVisit {
+    let mut scratch = VisitScratch::new(list);
+    crawl_site_pooled(net, Arc::new(runtime), rng, day, cfg, strings, &mut scratch)
+}
+
+/// [`crawl_site`] over a worker-owned [`VisitScratch`]: the browser,
+/// detector state and message buffers are reused from the previous visit
+/// on this worker, so a steady-state visit performs near-zero transient
+/// allocation outside the payloads that escape into the returned
+/// [`SiteVisit`].
+pub fn crawl_site_pooled(
+    net: Net,
+    runtime: Arc<SiteRuntime>,
+    rng: Rng,
+    day: u32,
+    cfg: &SessionConfig,
+    strings: &mut Interner,
+    scratch: &mut VisitScratch,
+) -> SiteVisit {
     let rank = runtime.rank;
     let domain = runtime.page_url.host.clone();
-    let mut world = PageWorld::new(runtime.page_url.clone(), net, rng);
-    let detector = HbDetector::with_list(list);
-    detector.attach(&mut world.browser);
+    let browser = match scratch.browser.take() {
+        Some(mut b) => {
+            b.reset_for_visit(runtime.page_url.clone(), SimTime::ZERO);
+            scratch.detector.reset();
+            b
+        }
+        None => {
+            let mut b = Browser::open_untraced(runtime.page_url.clone(), SimTime::ZERO);
+            scratch.detector.attach(&mut b);
+            b
+        }
+    };
+    let world = PageWorld::from_parts(browser, net, rng, std::mem::take(&mut scratch.msg));
 
     let mut sim = Simulation::new(world);
     {
@@ -77,17 +134,20 @@ pub fn crawl_site(
     let settle_deadline = (loaded_at + cfg.settle).max(sim.now());
     sim.run_until(settle_deadline.min(SimTime::ZERO + cfg.page_timeout + cfg.settle), cfg.max_events);
 
-    let world = sim.world();
+    let world = sim.into_world();
     let page_completed = world.browser.page.loaded.is_some();
     let page_load_ms = world
         .browser
         .page
         .page_load_time()
         .map(|d| d.as_millis_f64());
-    let record = detector.finish(&domain, rank, day, page_load_ms, strings);
+    let record = scratch.detector.finish(&domain, rank, day, page_load_ms, strings);
+    // Hand the reusable parts back to the worker for the next visit.
+    scratch.browser = Some(world.browser);
+    scratch.msg = world.scratch;
     SiteVisit {
         record,
-        truth: world.flow.truth.clone(),
+        truth: world.flow.truth,
         page_completed,
     }
 }
@@ -146,6 +206,69 @@ mod tests {
         assert!(!visit.record.hb_detected);
         assert!(visit.truth.waterfall_latency.is_some());
         assert!(visit.page_completed);
+    }
+
+    #[test]
+    fn pooled_visits_match_one_shot_visits() {
+        // The invariant behind the campaign's pooled path: a worker's
+        // Nth reused-scratch visit must simulate identically to a fresh
+        // one-shot crawl of the same (site, day). Catches any state a
+        // future Browser/HbDetector field leaks across reset_for_visit /
+        // reset.
+        let eco = eco();
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let sites: Vec<_> = eco
+            .hb_sites()
+            .take(3)
+            .chain(eco.sites().iter().filter(|s| s.facet.is_none()).take(2))
+            .collect();
+        for (day, site) in sites.into_iter().enumerate() {
+            let day = day as u32;
+            let mut pooled_strings = Interner::new();
+            let pooled = crawl_site_pooled(
+                eco.net(),
+                eco.runtime_shared(site.rank),
+                eco.visit_rng(site.rank, day),
+                day,
+                &SessionConfig::default(),
+                &mut pooled_strings,
+                &mut scratch,
+            );
+            let mut fresh_strings = Interner::new();
+            let fresh = crawl_site(
+                eco.net(),
+                eco.runtime_for(site),
+                eco.partner_list(),
+                eco.visit_rng(site.rank, day),
+                day,
+                &SessionConfig::default(),
+                &mut fresh_strings,
+            );
+            assert_eq!(pooled.record.hb_detected, fresh.record.hb_detected);
+            assert_eq!(pooled.record.facet, fresh.record.facet);
+            assert_eq!(pooled.record.hb_latency_ms, fresh.record.hb_latency_ms);
+            assert_eq!(pooled.record.page_load_ms, fresh.record.page_load_ms);
+            assert_eq!(pooled.record.bids.len(), fresh.record.bids.len());
+            assert_eq!(pooled.record.slots.len(), fresh.record.slots.len());
+            assert_eq!(pooled.page_completed, fresh.page_completed);
+            assert_eq!(pooled.truth.client_bids, fresh.truth.client_bids);
+            assert_eq!(pooled.truth.late_bids, fresh.truth.late_bids);
+            assert_eq!(pooled.truth.winners, fresh.truth.winners);
+            assert_eq!(
+                pooled.truth.adserver_response_at,
+                fresh.truth.adserver_response_at
+            );
+            assert_eq!(
+                pooled.truth.waterfall_latency,
+                fresh.truth.waterfall_latency
+            );
+            // Symbol numbering matches because both sides interned the
+            // same strings into fresh interners in the same order.
+            assert_eq!(pooled.record.partners.len(), fresh.record.partners.len());
+            for (a, b) in pooled.record.partners.iter().zip(&fresh.record.partners) {
+                assert_eq!(pooled_strings.resolve(*a), fresh_strings.resolve(*b));
+            }
+        }
     }
 
     #[test]

@@ -213,6 +213,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Set the target total measurement time for this group (heavy benches
+    /// raise it so each sample still runs several iterations and the
+    /// reported median is trustworthy).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
     /// Run one benchmark inside the group.
     pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
@@ -292,8 +300,13 @@ fn persist(s: &Sample) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis())
         .unwrap_or(0);
+    let elems = match s.throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elems\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        None => String::new(),
+    };
     let line = format!(
-        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"at_ms\":{epoch_ms}}}\n",
+        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"at_ms\":{epoch_ms}{elems}}}\n",
         s.id, s.median_ns, s.mean_ns, s.min_ns
     );
     use std::io::Write as _;

@@ -53,6 +53,21 @@ impl Browser {
         b
     }
 
+    /// Re-arm this browser for a fresh clean-slate visit, keeping the
+    /// registered taps (detector observers) and all bus storage. The
+    /// pooled crawl path calls this instead of building a new browser per
+    /// visit; semantics are identical to a fresh [`Browser::open_untraced`]
+    /// apart from the retained registrations.
+    pub fn reset_for_visit(&mut self, url: Url, now: SimTime) {
+        self.page = Page::navigate(url, now);
+        self.events.reset_counters();
+        self.webrequest.reset_counter();
+        self.js = JsThread::new();
+        self.cookies = CookieJar::new();
+        self.trace.clear();
+        self.next_request_id = 1;
+    }
+
     /// Allocate the next request id.
     pub fn next_request_id(&mut self) -> RequestId {
         let id = RequestId(self.next_request_id);
@@ -60,18 +75,19 @@ impl Browser {
         id
     }
 
-    /// Record an outgoing request (notifies webRequest observers).
+    /// Record an outgoing request (notifies webRequest observers). The
+    /// trace detail is only rendered when tracing is enabled — campaigns
+    /// run untraced and skip the formatting entirely.
     pub fn note_request_out(&mut self, req: &Request, now: SimTime) {
-        self.trace.push(
-            now,
-            TraceKind::RequestOut,
-            format!("{} {}", req.method, req.url),
-        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                now,
+                TraceKind::RequestOut,
+                format!("{} {}", req.method, req.url),
+            );
+        }
         self.webrequest
-            .notify(&crate::webrequest::WebRequestEvent::Before {
-                request: req.clone(),
-                at: now,
-            });
+            .notify(&crate::webrequest::WebRequestEvent::Before { request: req, at: now });
     }
 
     /// Record a completed response (notifies webRequest observers).
@@ -81,15 +97,17 @@ impl Browser {
         rsp: &hb_http::Response,
         now: SimTime,
     ) {
-        self.trace.push(
-            now,
-            TraceKind::ResponseIn,
-            format!("{} {} <- {}", rsp.status.0, req.url.host, req.url.path),
-        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                now,
+                TraceKind::ResponseIn,
+                format!("{} {} <- {}", rsp.status.0, req.url.host, req.url.path),
+            );
+        }
         self.webrequest
             .notify(&crate::webrequest::WebRequestEvent::Completed {
-                request: req.clone(),
-                response: rsp.clone(),
+                request: req,
+                response: rsp,
                 at: now,
             });
     }
@@ -101,22 +119,26 @@ impl Browser {
         reason: crate::webrequest::FailureReason,
         now: SimTime,
     ) {
-        self.trace.push(
-            now,
-            TraceKind::Dropped,
-            format!("{} {} ({reason:?})", req.method, req.url.host),
-        );
+        if self.trace.is_enabled() {
+            self.trace.push(
+                now,
+                TraceKind::Dropped,
+                format!("{} {} ({reason:?})", req.method, req.url.host),
+            );
+        }
         self.webrequest
             .notify(&crate::webrequest::WebRequestEvent::Failed {
-                request: req.clone(),
+                request: req,
                 reason,
                 at: now,
             });
     }
 
     /// Fire a DOM event (notifies DOM listeners).
-    pub fn fire_event(&mut self, now: SimTime, name: &str, payload: hb_http::Json) {
-        self.trace.push(now, TraceKind::DomEvent, name.to_string());
+    pub fn fire_event(&mut self, now: SimTime, name: &str, payload: &hb_http::Json) {
+        if self.trace.is_enabled() {
+            self.trace.push(now, TraceKind::DomEvent, name);
+        }
         self.events.emit(now, name, payload);
     }
 }
@@ -161,8 +183,8 @@ mod tests {
         let mut b = browser();
         let seen = Rc::new(RefCell::new(Vec::new()));
         let s2 = seen.clone();
-        b.events.tap(move |e| s2.borrow_mut().push(e.name.clone()));
-        b.fire_event(SimTime::from_millis(2), "auctionInit", Json::Null);
+        b.events.tap(move |e| s2.borrow_mut().push(e.name.to_string()));
+        b.fire_event(SimTime::from_millis(2), "auctionInit", &Json::Null);
         assert_eq!(&*seen.borrow(), &["auctionInit".to_string()]);
         assert!(b.trace.dump().contains("auctionInit"));
     }
@@ -173,7 +195,7 @@ mod tests {
             Url::parse("https://pub.example/").unwrap(),
             SimTime::ZERO,
         );
-        b.fire_event(SimTime::ZERO, "x", Json::Null);
+        b.fire_event(SimTime::ZERO, "x", &Json::Null);
         assert!(b.trace.is_empty());
     }
 

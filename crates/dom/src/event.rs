@@ -13,19 +13,23 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// A DOM event as seen by a listener.
-#[derive(Clone, Debug, PartialEq)]
-pub struct DomEvent {
+///
+/// Borrows the name and payload from the emitter: listeners copy what they
+/// need (the detector extracts a handful of fields), and firing an event
+/// costs no allocation beyond the payload the library built anyway.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DomEvent<'a> {
     /// Event name (e.g. `auctionEnd`).
-    pub name: String,
+    pub name: &'a str,
     /// Structured payload attached by the emitting library.
-    pub payload: Json,
+    pub payload: &'a Json,
     /// When the event fired.
     pub at: SimTime,
 }
 
 /// A listener callback. Wrapped in `Rc<RefCell<…>>` so external tools (the
 /// detector) can keep a handle to their own accumulated state.
-pub type Listener = Rc<RefCell<dyn FnMut(&DomEvent)>>;
+pub type Listener = Rc<RefCell<dyn FnMut(&DomEvent<'_>)>>;
 
 /// The DOM event target for a page.
 #[derive(Default)]
@@ -55,17 +59,19 @@ impl EventBus {
     }
 
     /// Convenience: register a closure as a wildcard listener.
-    pub fn tap<F: FnMut(&DomEvent) + 'static>(&mut self, f: F) {
+    pub fn tap<F: FnMut(&DomEvent<'_>) + 'static>(&mut self, f: F) {
         self.add_wildcard_listener(Rc::new(RefCell::new(f)));
     }
 
+    /// Clear the per-visit emission counters (listeners stay registered —
+    /// the pooled-visit path reuses the bus).
+    pub fn reset_counters(&mut self) {
+        self.emitted.clear();
+    }
+
     /// Fire an event to all matching listeners.
-    pub fn emit(&mut self, at: SimTime, name: &str, payload: Json) {
-        let ev = DomEvent {
-            name: name.to_string(),
-            payload,
-            at,
-        };
+    pub fn emit(&mut self, at: SimTime, name: &str, payload: &Json) {
+        let ev = DomEvent { name, payload, at };
         match self.emitted.iter_mut().find(|(n, _)| n == name) {
             Some((_, c)) => *c += 1,
             None => self.emitted.push((name.to_string(), 1)),
@@ -112,11 +118,11 @@ mod tests {
         bus.add_listener(
             "auctionEnd",
             Rc::new(RefCell::new(move |e: &DomEvent| {
-                seen2.borrow_mut().push(e.name.clone());
+                seen2.borrow_mut().push(e.name.to_string());
             })),
         );
-        bus.emit(SimTime::ZERO, "auctionInit", Json::Null);
-        bus.emit(SimTime::ZERO, "auctionEnd", Json::Null);
+        bus.emit(SimTime::ZERO, "auctionInit", &Json::Null);
+        bus.emit(SimTime::ZERO, "auctionEnd", &Json::Null);
         assert_eq!(&*seen.borrow(), &["auctionEnd".to_string()]);
     }
 
@@ -126,9 +132,9 @@ mod tests {
         let count = Rc::new(RefCell::new(0u32));
         let c2 = count.clone();
         bus.tap(move |_| *c2.borrow_mut() += 1);
-        bus.emit(SimTime::ZERO, "a", Json::Null);
-        bus.emit(SimTime::ZERO, "b", Json::Null);
-        bus.emit(SimTime::ZERO, "c", Json::Null);
+        bus.emit(SimTime::ZERO, "a", &Json::Null);
+        bus.emit(SimTime::ZERO, "b", &Json::Null);
+        bus.emit(SimTime::ZERO, "c", &Json::Null);
         assert_eq!(*count.borrow(), 3);
         assert_eq!(bus.total_emitted(), 3);
     }
@@ -136,23 +142,25 @@ mod tests {
     #[test]
     fn payload_and_time_delivered() {
         let mut bus = EventBus::new();
-        let got: Rc<RefCell<Option<DomEvent>>> = Rc::new(RefCell::new(None));
+        let got: Rc<RefCell<Option<(String, Json, SimTime)>>> = Rc::new(RefCell::new(None));
         let g2 = got.clone();
-        bus.tap(move |e| *g2.borrow_mut() = Some(e.clone()));
+        bus.tap(move |e| {
+            *g2.borrow_mut() = Some((e.name.to_string(), e.payload.clone(), e.at))
+        });
         let payload = Json::obj([("cpm", Json::num(0.4))]);
-        bus.emit(SimTime::from_millis(33), "bidResponse", payload.clone());
-        let ev = got.borrow().clone().unwrap();
-        assert_eq!(ev.at, SimTime::from_millis(33));
-        assert_eq!(ev.payload, payload);
-        assert_eq!(ev.name, "bidResponse");
+        bus.emit(SimTime::from_millis(33), "bidResponse", &payload);
+        let (name, got_payload, at) = got.borrow().clone().unwrap();
+        assert_eq!(at, SimTime::from_millis(33));
+        assert_eq!(got_payload, payload);
+        assert_eq!(name, "bidResponse");
     }
 
     #[test]
     fn emitted_counters() {
         let mut bus = EventBus::new();
-        bus.emit(SimTime::ZERO, "x", Json::Null);
-        bus.emit(SimTime::ZERO, "x", Json::Null);
-        bus.emit(SimTime::ZERO, "y", Json::Null);
+        bus.emit(SimTime::ZERO, "x", &Json::Null);
+        bus.emit(SimTime::ZERO, "x", &Json::Null);
+        bus.emit(SimTime::ZERO, "y", &Json::Null);
         assert_eq!(bus.emitted_count("x"), 2);
         assert_eq!(bus.emitted_count("y"), 1);
         assert_eq!(bus.emitted_count("z"), 0);
@@ -163,7 +171,7 @@ mod tests {
         let mut bus = EventBus::new();
         assert_eq!(bus.listener_count(), 0);
         bus.tap(|_| {});
-        bus.add_listener("e", Rc::new(RefCell::new(|_: &DomEvent| {})));
+        bus.add_listener("e", Rc::new(RefCell::new(|_: &DomEvent<'_>| {})));
         assert_eq!(bus.listener_count(), 2);
     }
 }

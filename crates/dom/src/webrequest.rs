@@ -24,28 +24,33 @@ pub enum FailureReason {
 }
 
 /// A webRequest lifecycle notification.
+///
+/// Borrows the in-flight message instead of cloning it: observers get the
+/// same read-only vantage point, and the browser no longer deep-copies
+/// every request/response (URL, query multimap, JSON body) just to
+/// announce it — that copy used to dominate the per-request cost.
 #[derive(Clone, Debug, PartialEq)]
-pub enum WebRequestEvent {
+pub enum WebRequestEvent<'a> {
     /// A request is about to leave the browser.
     Before {
         /// The outgoing request.
-        request: Request,
+        request: &'a Request,
         /// When it left.
         at: SimTime,
     },
     /// A response arrived.
     Completed {
         /// The original request.
-        request: Request,
+        request: &'a Request,
         /// The response.
-        response: Response,
+        response: &'a Response,
         /// When it arrived.
         at: SimTime,
     },
     /// The request will never complete.
     Failed {
         /// The original request.
-        request: Request,
+        request: &'a Request,
         /// Why it failed.
         reason: FailureReason,
         /// When the failure was determined.
@@ -53,7 +58,7 @@ pub enum WebRequestEvent {
     },
 }
 
-impl WebRequestEvent {
+impl WebRequestEvent<'_> {
     /// The request id this notification concerns.
     pub fn request_id(&self) -> RequestId {
         match self {
@@ -74,7 +79,7 @@ impl WebRequestEvent {
 }
 
 /// An observer callback.
-pub type WebRequestObserver = Rc<RefCell<dyn FnMut(&WebRequestEvent)>>;
+pub type WebRequestObserver = Rc<RefCell<dyn FnMut(&WebRequestEvent<'_>)>>;
 
 /// Read-only network observation bus.
 #[derive(Default)]
@@ -95,12 +100,18 @@ impl WebRequestBus {
     }
 
     /// Convenience: register a closure observer.
-    pub fn tap<F: FnMut(&WebRequestEvent) + 'static>(&mut self, f: F) {
+    pub fn tap<F: FnMut(&WebRequestEvent<'_>) + 'static>(&mut self, f: F) {
         self.observe(Rc::new(RefCell::new(f)));
     }
 
+    /// Reset the notification counter for a new visit (observers stay
+    /// registered — the pooled-visit path reuses the bus).
+    pub fn reset_counter(&mut self) {
+        self.notified = 0;
+    }
+
     /// Notify all observers.
-    pub fn notify(&mut self, ev: &WebRequestEvent) {
+    pub fn notify(&mut self, ev: &WebRequestEvent<'_>) {
         self.notified += 1;
         for o in &self.observers {
             (o.borrow_mut())(ev);
@@ -142,16 +153,17 @@ mod tests {
         });
         let req = mk_request(7);
         bus.notify(&WebRequestEvent::Before {
-            request: req.clone(),
+            request: &req,
             at: SimTime::ZERO,
         });
+        let rsp = Response::no_content(req.id);
         bus.notify(&WebRequestEvent::Completed {
-            request: req.clone(),
-            response: Response::no_content(req.id),
+            request: &req,
+            response: &rsp,
             at: SimTime::from_millis(10),
         });
         bus.notify(&WebRequestEvent::Failed {
-            request: req,
+            request: &req,
             reason: FailureReason::NetworkDropped,
             at: SimTime::from_millis(20),
         });
@@ -167,7 +179,7 @@ mod tests {
         let req = mk_request(3);
         assert_eq!(req.method, Method::Get);
         let ev = WebRequestEvent::Before {
-            request: req,
+            request: &req,
             at: SimTime::from_millis(4),
         };
         assert_eq!(ev.request_id(), RequestId(3));
@@ -183,8 +195,9 @@ mod tests {
         bus.tap(move |_| *a2.borrow_mut() += 1);
         bus.tap(move |_| *b2.borrow_mut() += 1);
         assert_eq!(bus.observer_count(), 2);
+        let req = mk_request(1);
         bus.notify(&WebRequestEvent::Before {
-            request: mk_request(1),
+            request: &req,
             at: SimTime::ZERO,
         });
         assert_eq!(*a.borrow(), 1);

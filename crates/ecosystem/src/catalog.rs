@@ -76,8 +76,8 @@ impl PartnerSpec {
         PartnerProfile {
             id: PartnerId(id),
             display_name: self.name.to_string(),
-            bidder_code: self.code.to_string(),
-            host: self.host(),
+            bidder_code: hb_http::HStr::from_static(self.code),
+            host: self.host().into(),
             kind: self.kind,
             latency: LatencyModel::log_normal(self.latency_median_ms, self.latency_sigma)
                 .with_tail(self.tail_chance, 2_800.0, 1.5)

@@ -33,18 +33,64 @@ use std::sync::Arc;
 /// profile from another universe (tests routinely hold several).
 static NEXT_UNIVERSE_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Capacity of the per-thread derivation memos. Sized for the access
+/// pattern of a crawl worker: all lookups of one visit hit the same rank,
+/// but daily revisits and interleaved-rank benches bounce between a small
+/// working set of ranks — a handful of extra slots turns those bounces
+/// from re-derivations into list hits. Lookup is a linear scan with
+/// move-to-front, so the capacity must stay small enough that a scan is
+/// cheaper than a re-derivation by orders of magnitude.
+const MEMO_CAP: usize = 16;
+
+/// A tiny per-thread LRU: move-to-front vector keyed `(universe, rank)`.
+struct Lru<T> {
+    entries: Vec<(u64, u32, T)>,
+}
+
+impl<T: Clone> Lru<T> {
+    const fn new() -> Lru<T> {
+        Lru { entries: Vec::new() }
+    }
+
+    /// Fetch `(uid, rank)`, deriving and inserting on miss. The hit is
+    /// moved to the front; the coldest entry falls off the end.
+    fn get_or_insert_with(&mut self, uid: u64, rank: u32, derive: impl FnOnce() -> T) -> T {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(u, r, _)| *u == uid && *r == rank)
+        {
+            let hit = self.entries.remove(pos);
+            let value = hit.2.clone();
+            self.entries.insert(0, hit);
+            return value;
+        }
+        let value = derive();
+        if self.entries.len() == MEMO_CAP {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (uid, rank, value.clone()));
+        value
+    }
+}
+
 thread_local! {
-    /// One-entry per-thread memo of the last derived profile. A visit is
-    /// simulated synchronously on one thread and every lazy lookup it
-    /// triggers (page endpoint, latency model, ad-server account) targets
-    /// the same rank, so a single slot turns O(lookups) derivations per
-    /// visit into one — with O(1) memory and no locks, preserving the
-    /// O(sites visited) cost bound of the lazy universe.
-    static SITE_MEMO: RefCell<Option<(u64, u32, Arc<SiteProfile>)>> = const { RefCell::new(None) };
+    /// Per-thread LRU of derived site profiles. A visit is simulated
+    /// synchronously on one thread and every lazy lookup it triggers
+    /// (page endpoint, latency model, ad-server account) targets the same
+    /// rank, so the front slot absorbs the in-visit pattern; the deeper
+    /// slots keep interleaved-rank days (and benches that revisit a site)
+    /// from re-deriving profiles. O(MEMO_CAP) memory, no locks — the
+    /// O(sites visited) cost bound of the lazy universe is preserved.
+    static SITE_MEMO: RefCell<Lru<Arc<SiteProfile>>> = const { RefCell::new(Lru::new()) };
     /// Same idea for the derived ad-server account (spares the per-request
     /// s2s partner-profile clones).
-    static ACCOUNT_MEMO: RefCell<Option<(u64, u32, Arc<AdServerAccount>)>> =
-        const { RefCell::new(None) };
+    static ACCOUNT_MEMO: RefCell<Lru<Arc<AdServerAccount>>> = const { RefCell::new(Lru::new()) };
+    /// And for the per-visit runtime: the crawler starts every visit from
+    /// the shared runtime handle, so revisits (daily recrawls, benches)
+    /// skip the ad-unit/partner-list assembly entirely.
+    static RUNTIME_MEMO: RefCell<Lru<Arc<hb_adtech::SiteRuntime>>> =
+        const { RefCell::new(Lru::new()) };
 }
 
 /// The pure site-derivation core: everything needed to compute the profile
@@ -81,35 +127,33 @@ impl SiteGen {
         }
     }
 
-    /// [`SiteGen::site`] through the per-thread single-entry memo: repeated
-    /// lookups of the same rank on one thread (the in-visit pattern) cost
-    /// one derivation.
+    /// [`SiteGen::site`] through the per-thread LRU memo: repeated lookups
+    /// of the same rank on one thread (the in-visit pattern, daily
+    /// revisits) cost one derivation.
     pub fn site_shared(&self, rank: u32) -> Arc<SiteProfile> {
         SITE_MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            if let Some((uid, r, site)) = m.as_ref() {
-                if *uid == self.universe_id && *r == rank {
-                    return site.clone();
-                }
-            }
-            let site = Arc::new(self.site(rank));
-            *m = Some((self.universe_id, rank, site.clone()));
-            site
+            m.borrow_mut()
+                .get_or_insert_with(self.universe_id, rank, || Arc::new(self.site(rank)))
         })
     }
 
     /// The site's ad-server account, through the per-thread memo.
     pub fn account_shared(&self, rank: u32) -> Arc<AdServerAccount> {
         ACCOUNT_MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            if let Some((uid, r, account)) = m.as_ref() {
-                if *uid == self.universe_id && *r == rank {
-                    return account.clone();
-                }
-            }
-            let account = Arc::new(world::account_for(&self.site_shared(rank), &self.profiles));
-            *m = Some((self.universe_id, rank, account.clone()));
-            account
+            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
+                Arc::new(world::account_for(&self.site_shared(rank), &self.profiles))
+            })
+        })
+    }
+
+    /// The shared per-visit runtime for `rank`, through the per-thread
+    /// memo. Flows hold this by `Arc`, so starting a visit never rebuilds
+    /// ad units, partner refs or waterfall tiers for a memoized rank.
+    pub fn runtime_shared(&self, rank: u32) -> Arc<hb_adtech::SiteRuntime> {
+        RUNTIME_MEMO.with(|m| {
+            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
+                Arc::new(world::site_runtime(&self.site_shared(rank), &self.specs))
+            })
         })
     }
 
@@ -248,6 +292,13 @@ impl SiteFactory {
     /// The per-visit runtime for a site profile.
     pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
         world::site_runtime(site, &self.gen.specs)
+    }
+
+    /// The shared per-visit runtime for `rank` through the per-thread LRU
+    /// memo — the crawl path's entry point (never rebuilds a memoized
+    /// rank's runtime).
+    pub fn runtime_shared(&self, rank: u32) -> Arc<hb_adtech::SiteRuntime> {
+        self.gen.runtime_shared(rank)
     }
 
     /// Derive the deterministic RNG stream for a `(site, day)` visit.

@@ -125,6 +125,12 @@ impl Ecosystem {
         world::site_runtime(site, &self.specs)
     }
 
+    /// The shared per-visit runtime for `rank` through the factory's
+    /// per-thread LRU memo (crawl/bench hot path).
+    pub fn runtime_shared(&self, rank: u32) -> std::sync::Arc<hb_adtech::SiteRuntime> {
+        self.factory.runtime_shared(rank)
+    }
+
     /// Derive the deterministic RNG stream for a `(site, day)` visit.
     pub fn visit_rng(&self, rank: u32, day: u32) -> Rng {
         Rng::new(self.config.seed)

@@ -330,9 +330,9 @@ pub fn generate_site(
 pub fn partner_refs(specs: &[PartnerSpec], ids: &[usize]) -> Vec<PartnerRef> {
     ids.iter()
         .map(|&i| PartnerRef {
-            code: specs[i].code.to_string(),
-            name: specs[i].name.to_string(),
-            host: specs[i].host(),
+            code: hb_http::HStr::from_static(specs[i].code),
+            name: hb_http::HStr::from_static(specs[i].name),
+            host: specs[i].host().into(),
         })
         .collect()
 }

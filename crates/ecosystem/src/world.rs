@@ -334,8 +334,8 @@ pub fn site_runtime(
         facet: site.facet,
         ad_units: site.ad_units.clone(),
         client_partners: partner_refs(specs, &site.client_partner_ids),
-        ad_server_host: ad_server_host_for(site, specs),
-        account_id: site.account_id(),
+        ad_server_host: ad_server_host_for(site, specs).into(),
+        account_id: site.account_id().into(),
         wrapper: site.wrapper.clone(),
         waterfall_tiers: site
             .waterfall_tier_ids
@@ -345,7 +345,7 @@ pub fn site_runtime(
                 floor: hb_adtech::Cpm(site.floor),
             })
             .collect(),
-        cdn_host: CDN_HOST.to_string(),
+        cdn_host: hb_http::HStr::from_static(CDN_HOST),
         render_fail_rate: 0.015,
         net_quality: site.net_quality,
     }

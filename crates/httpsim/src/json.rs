@@ -6,6 +6,7 @@
 //! measurement boundary. Supports the full JSON grammar except for
 //! `\u` surrogate pairs being passed through unpaired.
 
+use crate::hstr::HStr;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -18,12 +19,12 @@ pub enum Json {
     Bool(bool),
     /// Any JSON number (stored as `f64`).
     Num(f64),
-    /// A string.
-    Str(String),
+    /// A string (compact storage: static, inline, or shared).
+    Str(HStr),
     /// An array.
     Arr(Vec<Json>),
     /// An object (sorted keys for deterministic serialization).
-    Obj(BTreeMap<String, Json>),
+    Obj(BTreeMap<HStr, Json>),
 }
 
 /// Error from [`Json::parse`].
@@ -49,13 +50,13 @@ impl Json {
         Json::Obj(
             pairs
                 .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
+                .map(|(k, v)| (HStr::from_static(k), v))
                 .collect(),
         )
     }
 
     /// Shorthand: a string value.
-    pub fn str(s: impl Into<String>) -> Json {
+    pub fn str(s: impl Into<HStr>) -> Json {
         Json::Str(s.into())
     }
 
@@ -81,7 +82,7 @@ impl Json {
     }
 
     /// Insert into an object; no-op (returning false) on non-objects.
-    pub fn insert(&mut self, key: impl Into<String>, value: Json) -> bool {
+    pub fn insert(&mut self, key: impl Into<HStr>, value: Json) -> bool {
         match self {
             Json::Obj(m) => {
                 m.insert(key.into(), value);
@@ -124,7 +125,7 @@ impl Json {
     }
 
     /// Object content, if this is an object.
-    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+    pub fn as_obj(&self) -> Option<&BTreeMap<HStr, Json>> {
         match self {
             Json::Obj(m) => Some(m),
             _ => None,
@@ -173,10 +174,11 @@ impl Json {
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
+                use fmt::Write as _;
                 if n.fract() == 0.0 && n.abs() < 1e15 {
-                    out.push_str(&format!("{}", *n as i64));
+                    let _ = write!(out, "{}", *n as i64);
                 } else {
-                    out.push_str(&format!("{n}"));
+                    let _ = write!(out, "{n}");
                 }
             }
             Json::Str(s) => write_escaped(s, out),
@@ -221,7 +223,10 @@ fn write_escaped(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -340,15 +345,32 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, JsonError> {
+    fn string(&mut self) -> Result<HStr, JsonError> {
         self.expect(b'"')?;
+        // Fast path: no escape before the closing quote — borrow the slice
+        // directly (short strings are then stored inline, unescaped text
+        // never round-trips through a temporary `String`).
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'"' => {
+                    let text = std::str::from_utf8(&self.bytes[start..i])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    self.pos = i + 1;
+                    return Ok(HStr::new(text));
+                }
+                b'\\' => break,
+                _ => i += 1,
+            }
+        }
         let mut out = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(HStr::from(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;

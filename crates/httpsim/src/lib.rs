@@ -12,17 +12,25 @@
 //! Everything is implemented in-repo (no external parsers) so the
 //! measurement pipeline is fully auditable end to end.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the single audited exception is
+// `hstr::HStr::as_str`, which skips per-access UTF-8 re-validation of the
+// inline small-string buffer (see the invariant documented there). All
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cookies;
 pub mod endpoint;
+pub mod hstr;
 pub mod json;
 pub mod message;
+pub mod scratch;
 pub mod url;
 
 pub use cookies::{Cookie, CookieJar};
 pub use endpoint::{Endpoint, Router, ServerReply};
+pub use hstr::HStr;
 pub use json::{Json, JsonError};
 pub use message::{Body, Headers, Method, Request, RequestId, Response, Status};
-pub use url::{percent_decode, percent_encode, QueryParams, Url, UrlError};
+pub use scratch::MsgScratch;
+pub use url::{percent_decode, percent_encode, percent_encode_into, QueryParams, Url, UrlError};

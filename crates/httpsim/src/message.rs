@@ -5,6 +5,7 @@
 //! detector inspects them exactly the way a browser extension inspects
 //! `webRequest` details (method, URL, headers, body).
 
+use crate::hstr::{lower_ascii, HStr};
 use crate::json::Json;
 use crate::url::{QueryParams, Url};
 use std::fmt;
@@ -30,7 +31,7 @@ impl fmt::Display for Method {
 /// Case-insensitive header map (names stored lower-cased).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Headers {
-    entries: Vec<(String, String)>,
+    entries: Vec<(HStr, HStr)>,
 }
 
 impl Headers {
@@ -39,16 +40,22 @@ impl Headers {
         Headers::default()
     }
 
+    /// Take the entry storage back for recycling (see
+    /// [`MsgScratch`](crate::MsgScratch)).
+    pub fn into_storage(self) -> Vec<(HStr, HStr)> {
+        self.entries
+    }
+
     /// Set a header, replacing existing values.
-    pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        let lname = name.to_ascii_lowercase();
+    pub fn set(&mut self, name: &str, value: impl Into<HStr>) {
+        let lname = lower_ascii(name);
         self.entries.retain(|(n, _)| *n != lname);
         self.entries.push((lname, value.into()));
     }
 
     /// Get a header value.
     pub fn get(&self, name: &str) -> Option<&str> {
-        let lname = name.to_ascii_lowercase();
+        let lname = lower_ascii(name);
         self.entries
             .iter()
             .find(|(n, _)| *n == lname)
@@ -232,7 +239,7 @@ pub struct Request {
     pub body: Body,
     /// Who initiated it (document, script name, extension) — mirrors the
     /// `initiator` field of the Chrome webRequest API.
-    pub initiator: String,
+    pub initiator: HStr,
 }
 
 impl Request {
@@ -244,7 +251,7 @@ impl Request {
             url,
             headers: Headers::new(),
             body: Body::Empty,
-            initiator: String::new(),
+            initiator: HStr::EMPTY,
         }
     }
 
@@ -256,12 +263,12 @@ impl Request {
             url,
             headers: Headers::new(),
             body,
-            initiator: String::new(),
+            initiator: HStr::EMPTY,
         }
     }
 
     /// Builder-style initiator tag.
-    pub fn from_initiator(mut self, initiator: impl Into<String>) -> Request {
+    pub fn from_initiator(mut self, initiator: impl Into<HStr>) -> Request {
         self.initiator = initiator.into();
         self
     }

@@ -4,7 +4,15 @@
 //! scheme, host, optional port, path, and a query-string multimap with
 //! percent-encoding. Implemented in-repo so the detector's parameter
 //! extraction is fully auditable.
+//!
+//! Hot-path notes: every component is an [`HStr`], so building a URL for a
+//! bid request allocates nothing when the host, path and parameters are
+//! short or static (the overwhelmingly common case). The query multimap's
+//! entry storage can be loaned from a
+//! [`MsgScratch`](crate::MsgScratch) pool and recycled between visits.
 
+use crate::hstr::{lower_ascii, HStr};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -37,13 +45,25 @@ impl std::error::Error for UrlError {}
 /// `hb_*` key ordering in logs) while allowing repeated keys.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryParams {
-    entries: Vec<(String, String)>,
+    entries: Vec<(HStr, HStr)>,
 }
 
 impl QueryParams {
     /// Empty parameter list.
     pub fn new() -> Self {
         QueryParams::default()
+    }
+
+    /// Build over recycled entry storage (see
+    /// [`MsgScratch`](crate::MsgScratch)); the vector is cleared.
+    pub fn with_storage(mut storage: Vec<(HStr, HStr)>) -> Self {
+        storage.clear();
+        QueryParams { entries: storage }
+    }
+
+    /// Take the entry storage back for recycling.
+    pub fn into_storage(self) -> Vec<(HStr, HStr)> {
+        self.entries
     }
 
     /// Parse from a raw query string (no leading `?`).
@@ -58,21 +78,21 @@ impl QueryParams {
             }
             match pair.split_once('=') {
                 Some((k, v)) => q.append(percent_decode(k), percent_decode(v)),
-                None => q.append(percent_decode(pair), String::new()),
+                None => q.append(percent_decode(pair), HStr::EMPTY),
             }
         }
         q
     }
 
     /// Append a key/value pair (repeated keys allowed).
-    pub fn append(&mut self, key: impl Into<String>, value: impl Into<String>) {
+    pub fn append(&mut self, key: impl Into<HStr>, value: impl Into<HStr>) {
         self.entries.push((key.into(), value.into()));
     }
 
     /// Set a key to a single value, removing previous occurrences.
-    pub fn set(&mut self, key: &str, value: impl Into<String>) {
+    pub fn set(&mut self, key: &str, value: impl Into<HStr>) {
         self.entries.retain(|(k, _)| k != key);
-        self.entries.push((key.to_string(), value.into()));
+        self.entries.push((HStr::new(key), value.into()));
     }
 
     /// First value for `key`, if present.
@@ -132,9 +152,9 @@ impl QueryParams {
             if i > 0 {
                 out.push('&');
             }
-            out.push_str(&percent_encode(k));
+            percent_encode_into(k, &mut out);
             out.push('=');
-            out.push_str(&percent_encode(v));
+            percent_encode_into(v, &mut out);
         }
         out
     }
@@ -145,24 +165,39 @@ fn is_unreserved(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
 }
 
-/// Percent-encode a string.
-pub fn percent_encode(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Uppercase hex digits, indexed by nibble.
+const HEX_UPPER: &[u8; 16] = b"0123456789ABCDEF";
+
+/// Percent-encode `s`, appending to `out` (no per-byte formatting
+/// machinery: hex digits come from a lookup table).
+pub fn percent_encode_into(s: &str, out: &mut String) {
     for &b in s.as_bytes() {
         if is_unreserved(b) {
             out.push(b as char);
         } else {
             out.push('%');
-            out.push_str(&format!("{b:02X}"));
+            out.push(HEX_UPPER[(b >> 4) as usize] as char);
+            out.push(HEX_UPPER[(b & 0x0F) as usize] as char);
         }
     }
+}
+
+/// Percent-encode a string.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    percent_encode_into(s, &mut out);
     out
 }
 
 /// Percent-decode a string; invalid escapes are passed through literally.
-/// `+` is decoded as a space (form encoding convention).
-pub fn percent_decode(s: &str) -> String {
+/// `+` is decoded as a space (form encoding convention). Borrows the input
+/// unchanged when it contains neither `%` nor `+` — the common case for
+/// the simulator's already-clean query strings.
+pub fn percent_decode(s: &str) -> Cow<'_, str> {
     let bytes = s.as_bytes();
+    if !bytes.iter().any(|&b| b == b'%' || b == b'+') {
+        return Cow::Borrowed(s);
+    }
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
@@ -187,20 +222,20 @@ pub fn percent_decode(s: &str) -> String {
             }
         }
     }
-    String::from_utf8_lossy(&out).into_owned()
+    Cow::Owned(String::from_utf8_lossy(&out).into_owned())
 }
 
 /// A parsed URL.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Url {
     /// Scheme, e.g. `https`.
-    pub scheme: String,
+    pub scheme: HStr,
     /// Hostname, lower-cased.
-    pub host: String,
+    pub host: HStr,
     /// Optional explicit port.
     pub port: Option<u16>,
     /// Path beginning with `/` (defaults to `/`).
-    pub path: String,
+    pub path: HStr,
     /// Query parameters.
     pub query: QueryParams,
 }
@@ -227,12 +262,12 @@ impl Url {
             return Err(UrlError::EmptyHost);
         }
         let (path, query) = match path_query.split_once('?') {
-            Some((p, q)) => (p.to_string(), QueryParams::parse(q)),
-            None => (path_query.to_string(), QueryParams::new()),
+            Some((p, q)) => (HStr::new(p), QueryParams::parse(q)),
+            None => (HStr::new(path_query), QueryParams::new()),
         };
         Ok(Url {
-            scheme: scheme.to_ascii_lowercase(),
-            host: host.to_ascii_lowercase(),
+            scheme: lower_ascii(scheme),
+            host: lower_ascii(host),
             port,
             path,
             query,
@@ -242,25 +277,55 @@ impl Url {
     /// Build a URL programmatically.
     pub fn build(scheme: &str, host: &str, path: &str) -> Url {
         Url {
-            scheme: scheme.to_ascii_lowercase(),
-            host: host.to_ascii_lowercase(),
+            scheme: lower_ascii(scheme),
+            host: lower_ascii(host),
             port: None,
             path: if path.starts_with('/') {
-                path.to_string()
+                HStr::new(path)
             } else {
-                format!("/{path}")
+                HStr::from(format!("/{path}"))
             },
             query: QueryParams::new(),
         }
     }
 
-    /// `https://host/path` convenience constructor.
+    /// `https://host/path` convenience constructor. Short hosts and paths
+    /// are stored inline; neither touches the heap in the common case.
     pub fn https(host: &str, path: &str) -> Url {
-        Url::build("https", host, path)
+        Url {
+            scheme: HStr::from_static("https"),
+            host: lower_ascii(host),
+            port: None,
+            path: if path.starts_with('/') {
+                HStr::new(path)
+            } else {
+                HStr::from(format!("/{path}"))
+            },
+            query: QueryParams::new(),
+        }
+    }
+
+    /// [`Url::https`] with pre-built components and recycled query storage
+    /// — the zero-allocation constructor the visit hot path uses. The
+    /// lower-case-host invariant is preserved: an already-lowercase host
+    /// (the only thing the hot path passes) moves through untouched.
+    pub fn https_pooled(host: HStr, path: HStr, query: QueryParams) -> Url {
+        let host = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            HStr::from(host.to_ascii_lowercase())
+        } else {
+            host
+        };
+        Url {
+            scheme: HStr::from_static("https"),
+            host,
+            port: None,
+            path,
+            query,
+        }
     }
 
     /// Add a query parameter (builder style).
-    pub fn with_param(mut self, key: &str, value: impl Into<String>) -> Url {
+    pub fn with_param(mut self, key: impl Into<HStr>, value: impl Into<HStr>) -> Url {
         self.query.append(key, value);
         self
     }
@@ -281,7 +346,8 @@ impl Url {
     pub fn to_string_full(&self) -> String {
         let mut out = format!("{}://{}", self.scheme, self.host);
         if let Some(p) = self.port {
-            out.push_str(&format!(":{p}"));
+            use fmt::Write as _;
+            let _ = write!(out, ":{p}");
         }
         out.push_str(&self.path);
         if !self.query.is_empty() {
@@ -392,6 +458,35 @@ mod tests {
     }
 
     #[test]
+    fn percent_decode_borrows_clean_input() {
+        assert!(matches!(percent_decode("clean-input_1.2~x"), Cow::Borrowed(_)));
+        assert!(matches!(percent_decode("has%20escape"), Cow::Owned(_)));
+        assert!(matches!(percent_decode("plus+plus"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn encode_hex_table_matches_format() {
+        // Every byte the table encodes must render exactly like {:02X}.
+        for b in 0u8..=255 {
+            if is_unreserved(b) {
+                continue;
+            }
+            let s = String::from_utf8_lossy(&[b]).into_owned();
+            // Multi-byte lossy replacement still goes byte-by-byte through
+            // the encoder; compare against the reference rendering.
+            let enc = percent_encode(&s);
+            for chunk in enc.split('%').skip(1) {
+                assert_eq!(chunk.len(), 2);
+                assert!(chunk.bytes().all(|c| c.is_ascii_hexdigit()));
+                assert_eq!(chunk, chunk.to_ascii_uppercase());
+            }
+        }
+        assert_eq!(percent_encode(" "), "%20");
+        assert_eq!(percent_encode("/"), "%2F");
+        assert_eq!(percent_encode("\u{7f}"), "%7F");
+    }
+
+    #[test]
     fn base_domain_and_matching() {
         let u = Url::parse("https://fast.cdn.prebid.org/lib.js").unwrap();
         assert_eq!(u.base_domain(), "prebid.org");
@@ -417,5 +512,16 @@ mod tests {
         let m = q.to_map();
         assert_eq!(m.get("k").map(String::as_str), Some("1"));
         assert_eq!(m.get("a").map(String::as_str), Some("9"));
+    }
+
+    #[test]
+    fn pooled_storage_roundtrip() {
+        let mut q = QueryParams::with_storage(vec![(HStr::new("old"), HStr::new("gone"))]);
+        assert!(q.is_empty(), "storage is cleared on loan");
+        q.append("k", "v");
+        let storage = q.into_storage();
+        assert_eq!(storage.len(), 1);
+        let q2 = QueryParams::with_storage(storage);
+        assert!(q2.is_empty());
     }
 }

@@ -1,6 +1,6 @@
 //! Property tests for the HTTP substrate: URL and JSON round-trips.
 
-use hb_http::{percent_decode, percent_encode, Json, QueryParams, Url};
+use hb_http::{percent_decode, percent_encode, HStr, Json, QueryParams, Url};
 use proptest::prelude::*;
 
 /// Strategy for URL-safe-ish arbitrary strings (anything printable).
@@ -18,7 +18,7 @@ fn json_leaf() -> impl Strategy<Value = Json> {
         any::<bool>().prop_map(Json::Bool),
         // Finite, roundtrip-safe numbers.
         (-1.0e12f64..1.0e12).prop_map(|n| Json::Num((n * 1000.0).round() / 1000.0)),
-        any_text().prop_map(Json::Str),
+        any_text().prop_map(|s| Json::Str(HStr::from(s))),
     ]
 }
 
@@ -31,7 +31,7 @@ fn json_value() -> impl Strategy<Value = Json> {
                 inner,
                 0..4
             )
-            .prop_map(Json::Obj),
+            .prop_map(|m| Json::Obj(m.into_iter().map(|(k, v)| (HStr::from(k), v)).collect())),
         ]
     })
 }
@@ -40,7 +40,8 @@ proptest! {
     /// Percent-encoding always decodes back to the original string.
     #[test]
     fn percent_roundtrip(s in "\\PC*") {
-        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+        let encoded = percent_encode(&s);
+        prop_assert_eq!(percent_decode(&encoded), s);
     }
 
     /// Query strings round-trip through encode/parse.

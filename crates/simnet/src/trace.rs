@@ -95,6 +95,13 @@ impl Trace {
         });
     }
 
+    /// Drop every retained record (capacity and enabled state are kept) —
+    /// the pooled-browser path clears the ring between visits.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
     /// All retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter()

@@ -1,9 +1,19 @@
-//! Allocation accounting for the detector hot path: classifying a request
-//! with a form/empty body must not touch the heap — neither on the
-//! no-match fast path (the overwhelming majority of page traffic) nor for
-//! a URL-parameterized bid request.
+//! Allocation accounting for the visit hot paths.
+//!
+//! Two layers of budget are enforced with a counting allocator:
+//!
+//! * the detector's per-request classify path performs **zero** heap
+//!   allocations for form/empty bodies (PR 1 invariant);
+//! * a full steady-state visit through the pooled per-worker
+//!   [`VisitScratch`] stays under a fixed per-flow allocation budget
+//!   (PR 3 invariant) — after warm-up, the only allocator traffic left is
+//!   the scheduler's boxed continuations, the JSON payload trees the
+//!   endpoints build, and whatever escapes into the returned `SiteVisit`.
 
-use hb_repro::core::{classify_request, PartnerList, RequestKind};
+use hb_repro::adtech::HbFacet;
+use hb_repro::core::{classify_request, Interner, PartnerList, RequestKind};
+use hb_repro::crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
+use hb_repro::ecosystem::{Ecosystem, EcosystemConfig};
 use hb_repro::http::{Request, RequestId, Url};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -71,6 +81,62 @@ fn classify_bid_request_is_allocation_free() {
     assert_eq!(c.kind, RequestKind::BidRequest);
     assert_eq!(c.partner_name(), Some("AppNexus"));
     assert_eq!(allocs, 0, "bid-request classify must not allocate");
+}
+
+/// Per-flow steady-state allocation budgets for one pooled visit at tiny
+/// scale. Measured steady states on the reference container are ~161
+/// (client), ~74 (server), ~143 (hybrid) and ~53 (waterfall); the budgets
+/// leave ~35% headroom for allocator/platform drift while still failing
+/// loudly if per-visit churn regresses (the cold first visit alone costs
+/// 1.6–2x the steady state).
+const VISIT_BUDGETS: [(&str, Option<HbFacet>, u64); 4] = [
+    ("client_side", Some(HbFacet::ClientSide), 220),
+    ("server_side", Some(HbFacet::ServerSide), 100),
+    ("hybrid", Some(HbFacet::Hybrid), 195),
+    ("waterfall", None, 75),
+];
+
+#[test]
+fn steady_state_visit_stays_within_allocation_budget() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = SessionConfig::default();
+    for (label, facet, budget) in VISIT_BUDGETS {
+        let site = eco
+            .sites()
+            .iter()
+            .find(|s| s.facet == facet)
+            .unwrap_or_else(|| panic!("{label} site in tiny universe"));
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut strings = Interner::new();
+        let mut visit = |strings: &mut Interner, scratch: &mut VisitScratch| {
+            crawl_site_pooled(
+                eco.net(),
+                eco.runtime_shared(site.rank),
+                eco.visit_rng(site.rank, 0),
+                0,
+                &cfg,
+                strings,
+                scratch,
+            )
+        };
+        // Warm-up: first visits pay one-time costs (browser, detector maps,
+        // buffer pools, interner entries, factory memos).
+        let (cold, _) = allocations_during(|| visit(&mut strings, &mut scratch));
+        for _ in 0..2 {
+            let _ = visit(&mut strings, &mut scratch);
+        }
+        // Steady state: the Nth visit of the same flow must fit the budget.
+        let (steady, v) = allocations_during(|| visit(&mut strings, &mut scratch));
+        assert!(v.page_completed, "{label}: visit must complete");
+        assert!(
+            steady <= budget,
+            "{label}: steady-state visit allocated {steady} (> budget {budget})"
+        );
+        assert!(
+            steady < cold,
+            "{label}: pooling must beat the cold visit ({steady} vs {cold})"
+        );
+    }
 }
 
 #[test]
