@@ -13,7 +13,7 @@ use crate::rtb::first_price_winner;
 use crate::types::{AdSize, AdUnit, Cpm};
 use hb_http::{Endpoint, HStr, Request, Response, ServerReply};
 use hb_simnet::{Rng, SimDuration};
-use std::collections::HashMap;
+use hb_simnet::FxHashMap;
 use std::sync::Arc;
 
 /// A direct-order (sponsorship) line item.
@@ -171,18 +171,28 @@ pub fn decide_slot(
 /// Run the ad server's own server-to-server auction for the account's
 /// slots. Returns the s2s bids and the simulated wall-clock the fan-out
 /// took (max over parallel partner calls, as a real gateway would see).
-pub fn run_s2s_auction(
+///
+/// Takes the units as a re-iterable borrow (slice, `&Vec`, or a filtered
+/// iterator) so the endpoint can fan out over a slot-restricted view
+/// without materializing a cloned `Vec<AdUnit>` per request.
+pub fn run_s2s_auction<'a, I>(
     account: &AdServerAccount,
-    units: &[AdUnit],
+    units: I,
     rng: &mut Rng,
-) -> (Vec<PresentedBid>, SimDuration) {
+) -> (Vec<PresentedBid>, SimDuration)
+where
+    I: IntoIterator<Item = &'a AdUnit>,
+    I::IntoIter: Clone,
+{
+    let units = units.into_iter();
+    let n_units = units.clone().count();
     let mut bids = Vec::new();
     let mut slowest = SimDuration::ZERO;
     for partner in &account.s2s_partners {
         // Parallel fan-out: total time is the max over partners.
-        let rtt = partner.s2s_latency.sample(rng) + partner.processing_time(units.len());
+        let rtt = partner.s2s_latency.sample(rng) + partner.processing_time(n_units);
         slowest = slowest.max(rtt);
-        for unit in units {
+        for unit in units.clone() {
             if let Some(cpm) = partner.draw_bid(unit.primary_size(), 0.6, rng) {
                 bids.push(PresentedBid {
                     slot: unit.code.clone(),
@@ -210,7 +220,7 @@ pub fn run_s2s_auction(
 ///   (this is what makes the same endpoint serve pure Server-Side HB — no
 ///   client bids — and Hybrid HB — both).
 pub struct AdServerEndpoint {
-    accounts: HashMap<String, Arc<AdServerAccount>>,
+    accounts: FxHashMap<String, Arc<AdServerAccount>>,
     /// On-demand account derivation for lazily generated universes: when
     /// the static `accounts` map misses, the resolver gets a chance to
     /// produce the account from the id alone (`None` = genuinely unknown).
@@ -243,7 +253,7 @@ impl AdServerEndpoint {
         resolver: impl Fn(&str) -> Option<Arc<AdServerAccount>> + Send + Sync + 'static,
     ) -> AdServerEndpoint {
         AdServerEndpoint {
-            accounts: HashMap::new(),
+            accounts: FxHashMap::default(),
             resolver: Some(Box::new(resolver)),
             decision_overhead_ms: 15.0,
         }
@@ -289,30 +299,45 @@ impl AdServerEndpoint {
                 }
             }
         }
-        // Which units to decision: the request may restrict slots.
-        let requested: Vec<&str> = req.url.query.get_all(params::HB_SLOT).collect();
-        let units: Vec<AdUnit> = if requested.is_empty() {
-            account.ad_units.clone()
-        } else {
-            account
-                .ad_units
+        // Which units to decision: the request may restrict slots. The
+        // query is scanned once per unit to fill a selection bitmask; the
+        // restricted view stays a borrowed filter over the account's
+        // units (no cloned Vec<AdUnit> per request). Iteration order is
+        // the account order either way, so the RNG draw sequence — and
+        // with it every figure byte — is unchanged. (u128 covers any
+        // realistic slot count; a >128-unit account would simply treat
+        // the overflow units as selected, matching the unrestricted
+        // common case.)
+        let restricted = req.url.query.get_all(params::HB_SLOT).next().is_some();
+        let mut mask: u128 = !0;
+        if restricted {
+            debug_assert!(account.ad_units.len() <= 128, "selection mask overflow");
+            mask = 0;
+            for (i, u) in account.ad_units.iter().enumerate().take(128) {
+                if req.url.query.get_all(params::HB_SLOT).any(|r| u.code == r) {
+                    mask |= 1 << i;
+                }
+            }
+        }
+        let all_units = &account.ad_units;
+        let selected = move || {
+            all_units
                 .iter()
-                .filter(|u| requested.iter().any(|r| u.code == *r))
-                .cloned()
-                .collect()
+                .enumerate()
+                .filter(move |(i, _)| *i >= 128 || mask >> *i & 1 == 1)
+                .map(|(_, u)| u)
         };
         // Server-side augmentation. Decisioning cost grows with the number
         // of slots to fill (drives Fig. 20's latency-vs-slots slope).
         let mut processing = SimDuration::from_millis_f64(
-            self.decision_overhead_ms + 9.0 * units.len() as f64,
+            self.decision_overhead_ms + 9.0 * selected().count() as f64,
         );
         if !account.s2s_partners.is_empty() {
-            let (s2s_bids, fanout_time) = run_s2s_auction(&account, &units, rng);
+            let (s2s_bids, fanout_time) = run_s2s_auction(&account, selected(), rng);
             bids.extend(s2s_bids);
             processing += fanout_time;
         }
-        let winners: Vec<WinnerPayload> = units
-            .iter()
+        let winners: Vec<WinnerPayload> = selected()
             .map(|unit| {
                 let d = decide_slot(&account, unit, &bids, rng);
                 WinnerPayload {

@@ -202,21 +202,17 @@ fn handle_bid(profile: &PartnerProfile, req: &Request, rng: &mut Rng) -> ServerR
     }
 }
 
-/// Build the JSON body of a bid request for the given slots.
+/// Build the JSON body of a bid request for the given slots (pooled
+/// spines throughout; the tree is recycled when the request dies).
 pub fn bid_request_body(slots: &[(HStr, AdSize)]) -> Json {
     Json::obj([(
         "slots",
-        Json::Arr(
-            slots
-                .iter()
-                .map(|(code, size)| {
-                    Json::obj([
-                        ("code", Json::str(code.clone())),
-                        ("size", Json::str(HStr::from_display(*size))),
-                    ])
-                })
-                .collect(),
-        ),
+        Json::arr(slots.iter().map(|(code, size)| {
+            Json::obj([
+                ("code", Json::str(code.clone())),
+                ("size", Json::str(HStr::from_display(*size))),
+            ])
+        })),
     )])
 }
 

@@ -134,10 +134,7 @@ impl BidPayload {
 pub fn bid_response_body(auction_id: &str, bids: &[BidPayload]) -> Json {
     Json::obj([
         (params::HB_AUCTION, Json::str(auction_id)),
-        (
-            "bids",
-            Json::Arr(bids.iter().map(BidPayload::to_json).collect()),
-        ),
+        ("bids", Json::arr(bids.iter().map(BidPayload::to_json))),
     ])
 }
 
@@ -249,10 +246,7 @@ impl WinnerPayload {
 pub fn ad_server_response_body(auction_id: &str, winners: &[WinnerPayload]) -> Json {
     Json::obj([
         (params::HB_AUCTION, Json::str(auction_id)),
-        (
-            "winners",
-            Json::Arr(winners.iter().map(WinnerPayload::to_json).collect()),
-        ),
+        ("winners", Json::arr(winners.iter().map(WinnerPayload::to_json))),
     ])
 }
 

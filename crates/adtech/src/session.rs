@@ -15,13 +15,14 @@ use hb_http::{Request, Response, Router, Url, MsgScratch};
 use hb_simnet::{
     Dist, FaultDecision, FaultInjector, LatencyModel, Rng, Scheduler, SimDuration, SimTime,
 };
-use std::collections::HashMap;
+
 use std::sync::Arc;
 
 /// Per-host latency directory with domain-suffix fallback.
 #[derive(Default)]
 pub struct HostDirectory {
-    models: HashMap<String, LatencyModel>,
+    // Fx-hashed: the suffix walk hashes several host strings per request.
+    models: hb_simnet::FxHashMap<String, LatencyModel>,
     /// On-demand model derivation for lazily generated universes: consulted
     /// with the *original* host after the static map (and its suffix walk)
     /// misses, before the default applies.
@@ -143,6 +144,14 @@ pub struct PageWorld {
     pub scratch: MsgScratch,
 }
 
+/// Default JS handler service-time distribution (ms per response
+/// callback) — single source of truth for the cold and pooled paths, so
+/// a pooled visit always starts from the same defaults as a fresh world.
+const DEFAULT_HANDLER_SERVICE_MS: Dist = Dist::Uniform { lo: 1.0, hi: 6.0 };
+/// Default RTT multiplier (neutral until `begin_visit` applies the
+/// site's network quality).
+const DEFAULT_RTT_SCALE: f64 = 1.0;
+
 impl PageWorld {
     /// Create a world for one visit.
     pub fn new(url: Url, net: Net, rng: Rng) -> PageWorld {
@@ -163,22 +172,45 @@ impl PageWorld {
             browser,
             net,
             rng,
-            handler_service_ms: Dist::Uniform { lo: 1.0, hi: 6.0 },
+            handler_service_ms: DEFAULT_HANDLER_SERVICE_MS,
             in_flight: 0,
-            rtt_scale: 1.0,
+            rtt_scale: DEFAULT_RTT_SCALE,
             flow: crate::wrapper::FlowState::default(),
             scratch,
         }
     }
 
-    /// Enable the diagnostic trace (examples / debugging).
+    /// Re-arm a pooled world for its next visit: per-visit state (RNG,
+    /// network handle, flow bookkeeping) returns to the
+    /// [`PageWorld::from_parts`] defaults while the browser and the
+    /// buffer pools — the expensive parts — stay. The caller resets the
+    /// browser separately (it owns the detector taps).
+    pub fn reset_for_visit(&mut self, net: Net, rng: Rng) {
+        self.net = net;
+        self.rng = rng;
+        self.handler_service_ms = DEFAULT_HANDLER_SERVICE_MS;
+        self.in_flight = 0;
+        self.rtt_scale = DEFAULT_RTT_SCALE;
+        self.flow.reset_for_visit();
+    }
+
+    /// Enable the diagnostic trace (examples / debugging). Toggles the
+    /// browser's existing trace in place, so a pooled browser keeps one
+    /// ring allocation no matter how often tracing flips on and off.
     pub fn with_trace(mut self) -> PageWorld {
-        self.browser.trace = hb_simnet::Trace::new(8192);
+        self.browser.trace.set_capacity(8192);
+        self.browser.trace.set_enabled(true);
         self
     }
 }
 
 /// Continuation invoked when a request resolves.
+///
+/// Call sites pass the closure *unboxed*: [`send_request`] is generic
+/// over the continuation, which lets the scheduler's type-keyed callback
+/// pool recycle each call site's closure (continuation included) instead
+/// of paying a fresh `Box<dyn FnOnce>` per request. The boxed form still
+/// satisfies the bound for callers that need type erasure.
 pub type NetContinuation = Box<dyn FnOnce(&mut PageWorld, &mut Scheduler<PageWorld>, NetOutcome)>;
 
 /// Issue a request on behalf of the page.
@@ -191,18 +223,23 @@ pub type NetContinuation = Box<dyn FnOnce(&mut PageWorld, &mut Scheduler<PageWor
 /// 4. otherwise the response arrives after `RTT + server processing`
 ///    (+ fault slowdown), observers see it at arrival time, and the
 ///    continuation runs once the single JS thread has a free slot.
-pub fn send_request(
+pub fn send_request<F>(
     w: &mut PageWorld,
     s: &mut Scheduler<PageWorld>,
     req: Request,
-    on_done: NetContinuation,
-) {
+    on_done: F,
+) where
+    F: FnOnce(&mut PageWorld, &mut Scheduler<PageWorld>, NetOutcome) + 'static,
+{
     let now = s.now();
     w.in_flight += 1;
     w.browser.note_request_out(&req, now);
 
-    // DNS: unknown host?
-    if w.net.router.resolve(&req.url.host).is_none() {
+    // DNS: unknown host? One router walk serves both the reachability
+    // check and the dispatch below (a cheap Arc clone keeps the borrow
+    // checker out of `w`'s fields).
+    let router = w.net.router.clone();
+    let Some(endpoint) = router.resolve(&req.url.host) else {
         s.after(SimDuration::from_millis(1), move |w: &mut PageWorld, s| {
             w.in_flight -= 1;
             w.browser
@@ -211,7 +248,7 @@ pub fn send_request(
             on_done(w, s, NetOutcome::Failed(FailureReason::NoSuchHost));
         });
         return;
-    }
+    };
 
     // Fault decision.
     let mut extra = SimDuration::ZERO;
@@ -234,11 +271,7 @@ pub fn send_request(
     // endpoint is a pure function of (request, rng).
     let raw_rtt = w.net.latency.lookup(&req.url.host).sample(&mut w.rng);
     let rtt = hb_simnet::SimDuration::from_millis_f64(raw_rtt.as_millis_f64() * w.rtt_scale.max(0.05));
-    let reply = w
-        .net
-        .router
-        .dispatch(&req, &mut w.rng)
-        .expect("resolve() succeeded above");
+    let reply = endpoint.handle(&req, &mut w.rng);
     let arrival_delay = rtt + reply.processing + extra;
     let response = reply.response;
 
@@ -303,15 +336,10 @@ mod tests {
         {
             let sched = sim.scheduler();
             sched.after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
-                send_request(
-                    w,
-                    s,
-                    req,
-                    Box::new(move |_w, s, out| {
-                        assert!(matches!(out, NetOutcome::Response(_)));
-                        *d2.borrow_mut() = Some(s.now());
-                    }),
-                );
+                send_request(w, s, req, move |_w, s, out| {
+                    assert!(matches!(out, NetOutcome::Response(_)));
+                    *d2.borrow_mut() = Some(s.now());
+                });
             });
         }
         sim.run_to_idle(100);
@@ -337,13 +365,13 @@ mod tests {
                 w,
                 s,
                 req,
-                Box::new(move |_w, _s, out| {
+                move |_w, _s, out| {
                     assert!(matches!(
                         out,
                         NetOutcome::Failed(FailureReason::NoSuchHost)
                     ));
                     *f2.borrow_mut() = true;
-                }),
+                },
             );
         });
         sim.run_to_idle(100);
@@ -366,13 +394,13 @@ mod tests {
                 w,
                 s,
                 req,
-                Box::new(move |_w, s, out| {
+                move |_w, s, out| {
                     assert!(matches!(
                         out,
                         NetOutcome::Failed(FailureReason::NetworkDropped)
                     ));
                     *f2.borrow_mut() = Some(s.now());
-                }),
+                },
             );
         });
         sim.run_to_idle(100);
@@ -404,13 +432,13 @@ mod tests {
                 w,
                 s,
                 r1,
-                Box::new(move |_w, s, _| o1.borrow_mut().push((1, s.now()))),
+                move |_w, s, _| o1.borrow_mut().push((1, s.now())),
             );
             send_request(
                 w,
                 s,
                 r2,
-                Box::new(move |_w, s, _| o2.borrow_mut().push((2, s.now()))),
+                move |_w, s, _| o2.borrow_mut().push((2, s.now())),
             );
         });
         sim.run_to_idle(100);
@@ -437,7 +465,7 @@ mod tests {
             )
         };
         sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
-            send_request(w, s, req, Box::new(|_, _, _| {}));
+            send_request(w, s, req, |_, _, _| {});
         });
         sim.run_to_idle(100);
         assert_eq!(*seen.borrow(), 2, "Before + Completed");

@@ -132,47 +132,48 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
     );
     let id = w.browser.next_request_id();
     let req = Request::get(id, url).from_initiator("adserver-tag");
-    send_request(
-        w,
-        s,
-        req,
-        Box::new(move |w, s, out| {
-            let filled_price = match out {
-                NetOutcome::Response(rsp) if rsp.status == hb_http::Status::OK => rsp
-                    .body
-                    .json()
-                    .and_then(|b| b.get("price").and_then(|p| p.as_f64()))
-                    .map(Cpm),
-                _ => None,
-            };
-            match filled_price {
-                Some(price) => {
-                    let now = s.now();
-                    let start = w.flow.truth.first_bid_request_at.unwrap();
-                    w.flow.truth.waterfall_latency = Some(now.saturating_since(start));
-                    w.flow.truth.waterfall_fill_tier = Some(idx);
-                    // DSP-specific win notification (no hb_* keys).
-                    let pparam = rtb_price_param(&tier.partner.code);
-                    let mut q = w.scratch.take_params();
-                    q.append(
-                        HStr::from_static(pparam),
-                        HStr::from_display(format_args!("{:.4}", price.0)),
-                    );
-                    q.append("cb", HStr::from_display(w.rng.below(1_000_000_000)));
-                    let url = Url::https_pooled(
-                        HStr::from_display(format_args!("rtb.{}", tier.partner.host)),
-                        HStr::from_static(protocol::paths::RTB_NOTIFY),
-                        q,
-                    );
-                    let id = w.browser.next_request_id();
-                    let req = Request::get(id, url).from_initiator("adserver-tag");
-                    send_request(w, s, req, Box::new(|_, _, _| {}));
-                    finish_waterfall(w, s, FillChannel::HeaderBid, price);
+    send_request(w, s, req, move |w, s, out| {
+        let filled_price = match out {
+            NetOutcome::Response(rsp) if rsp.status == hb_http::Status::OK => {
+                match rsp.body.into_json() {
+                    Some(body) => {
+                        let price =
+                            body.get("price").and_then(|p| p.as_f64()).map(Cpm);
+                        w.scratch.recycle_json(body);
+                        price
+                    }
+                    None => None,
                 }
-                None => try_tier(w, s, idx + 1),
             }
-        }),
-    );
+            _ => None,
+        };
+        match filled_price {
+            Some(price) => {
+                let now = s.now();
+                let start = w.flow.truth.first_bid_request_at.unwrap();
+                w.flow.truth.waterfall_latency = Some(now.saturating_since(start));
+                w.flow.truth.waterfall_fill_tier = Some(idx);
+                // DSP-specific win notification (no hb_* keys).
+                let pparam = rtb_price_param(&tier.partner.code);
+                let mut q = w.scratch.take_params();
+                q.append(
+                    HStr::from_static(pparam),
+                    HStr::from_display(format_args!("{:.4}", price.0)),
+                );
+                q.append("cb", HStr::from_display(w.rng.below(1_000_000_000)));
+                let url = Url::https_pooled(
+                    HStr::from_display(format_args!("rtb.{}", tier.partner.host)),
+                    HStr::from_static(protocol::paths::RTB_NOTIFY),
+                    q,
+                );
+                let id = w.browser.next_request_id();
+                let req = Request::get(id, url).from_initiator("adserver-tag");
+                send_request(w, s, req, |_, _, _| {});
+                finish_waterfall(w, s, FillChannel::HeaderBid, price);
+            }
+            None => try_tier(w, s, idx + 1),
+        }
+    });
 }
 
 fn finish_waterfall(

@@ -157,6 +157,19 @@ impl FlowState {
     fn site_handle(&self) -> Arc<SiteRuntime> {
         self.site.clone().expect("flow started without a site")
     }
+
+    /// Re-arm for the next pooled visit, keeping the collected-bids
+    /// buffer capacity. Equivalent to `*self = FlowState::default()`
+    /// minus the allocation churn.
+    pub fn reset_for_visit(&mut self) {
+        self.site = None;
+        self.auction_id = HStr::EMPTY;
+        self.bids.clear();
+        self.partners_pending = 0;
+        self.sent_to_adserver = false;
+        self.done = false;
+        self.truth = VisitGroundTruth::default();
+    }
 }
 
 /// Entry point: start a visit for `site`. Schedules the page fetch and the
@@ -179,19 +192,14 @@ pub fn begin_visit(
     // 1. Fetch the page HTML.
     let id = w.browser.next_request_id();
     let req = Request::get(id, site.page_url.clone()).from_initiator("navigation");
-    send_request(
-        w,
-        s,
-        req,
-        Box::new(move |w, s, out| {
-            if !matches!(out, NetOutcome::Response(_)) {
-                w.flow.done = true; // site unreachable
-                return;
-            }
-            w.browser.page.mark_header_parsed(s.now());
-            fetch_libraries(w, s);
-        }),
-    );
+    send_request(w, s, req, move |w, s, out| {
+        if !matches!(out, NetOutcome::Response(_)) {
+            w.flow.done = true; // site unreachable
+            return;
+        }
+        w.browser.page.mark_header_parsed(s.now());
+        fetch_libraries(w, s);
+    });
 }
 
 /// 2. Fetch wrapper + ad-manager libraries from the CDN, then start the flow.
@@ -210,7 +218,7 @@ fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         ),
     )
     .from_initiator("document");
-    send_request(w, s, gpt_req, Box::new(|_, _, _| {}));
+    send_request(w, s, gpt_req, |_, _, _| {});
 
     let lib_id = w.browser.next_request_id();
     let lib_req = Request::get(
@@ -222,19 +230,14 @@ fn fetch_libraries(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         ),
     )
     .from_initiator("document");
-    send_request(
-        w,
-        s,
-        lib_req,
-        Box::new(move |w, s, _| {
-            w.browser.page.mark_dom_ready(s.now());
-            match site.facet {
-                Some(HbFacet::ClientSide) | Some(HbFacet::Hybrid) => start_client_auction(w, s),
-                Some(HbFacet::ServerSide) => start_server_side(w, s),
-                None => crate::waterfall::start_waterfall(w, s),
-            }
-        }),
-    );
+    send_request(w, s, lib_req, move |w, s, _| {
+        w.browser.page.mark_dom_ready(s.now());
+        match site.facet {
+            Some(HbFacet::ClientSide) | Some(HbFacet::Hybrid) => start_client_auction(w, s),
+            Some(HbFacet::ServerSide) => start_server_side(w, s),
+            None => crate::waterfall::start_waterfall(w, s),
+        }
+    });
 }
 
 /// 3a. Client-side / hybrid: fan out to the configured partners.
@@ -245,25 +248,21 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     w.flow.truth.facet = site.facet;
     w.flow.truth.slots_auctioned = site.ad_units.len();
 
-    let unit_codes: Vec<Json> = site
-        .ad_units
-        .iter()
-        .map(|u| Json::str(u.code.clone()))
-        .collect();
-    w.browser.fire_event(
-        now,
-        events::AUCTION_INIT,
-        &Json::obj([
-            (params::HB_AUCTION, Json::str(auction_id.clone())),
-            ("adUnitCodes", Json::Arr(unit_codes)),
-            ("timestamp", Json::num(now.as_millis_f64())),
-        ]),
-    );
-    w.browser.fire_event(
-        now,
-        events::REQUEST_BIDS,
-        &Json::obj([(params::HB_AUCTION, Json::str(auction_id.clone()))]),
-    );
+    // Event payloads are built from pooled spines and recycled as soon
+    // as the listeners have seen them (listeners copy what they keep).
+    let payload = Json::obj([
+        (params::HB_AUCTION, Json::str(auction_id.clone())),
+        (
+            "adUnitCodes",
+            Json::arr(site.ad_units.iter().map(|u| Json::str(u.code.clone()))),
+        ),
+        ("timestamp", Json::num(now.as_millis_f64())),
+    ]);
+    w.browser.fire_event(now, events::AUCTION_INIT, &payload);
+    w.scratch.recycle_json(payload);
+    let payload = Json::obj([(params::HB_AUCTION, Json::str(auction_id.clone()))]);
+    w.browser.fire_event(now, events::REQUEST_BIDS, &payload);
+    w.scratch.recycle_json(payload);
 
     let slots: Vec<(HStr, crate::types::AdSize)> = site
         .ad_units
@@ -287,23 +286,18 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         let id = w.browser.next_request_id();
         let req = Request::post(id, url, Body::Json(bid_request_body(&slots)))
             .from_initiator("prebid.js");
-        w.browser.fire_event(
-            s.now(),
-            events::BID_REQUESTED,
-            &Json::obj([
-                (params::HB_BIDDER, Json::str(code.clone())),
-                (params::HB_AUCTION, Json::str(auction_id.clone())),
-            ]),
-        );
+        let payload = Json::obj([
+            (params::HB_BIDDER, Json::str(code.clone())),
+            (params::HB_AUCTION, Json::str(auction_id.clone())),
+        ]);
+        w.browser.fire_event(s.now(), events::BID_REQUESTED, &payload);
+        w.scratch.recycle_json(payload);
         if w.flow.truth.first_bid_request_at.is_none() {
             w.flow.truth.first_bid_request_at = Some(s.now());
         }
-        send_request(
-            w,
-            s,
-            req,
-            Box::new(move |w, s, out| handle_bid_outcome(w, s, &code, out)),
-        );
+        send_request(w, s, req, move |w, s, out| {
+            handle_bid_outcome(w, s, &code, out)
+        });
     }
 
     if site.client_partners.is_empty() {
@@ -335,30 +329,31 @@ fn handle_bid_outcome(
     let arrived_late = w.flow.sent_to_adserver;
     if let NetOutcome::Response(rsp) = out {
         if rsp.status.is_success() {
-            if let Some(body) = rsp.body.json() {
-                if let Some((_, bids)) = protocol::parse_bid_response(body) {
+            if let Some(body) = rsp.body.into_json() {
+                if let Some((_, bids)) = protocol::parse_bid_response(&body) {
                     for bid in bids {
                         w.flow.truth.client_bids += 1;
                         if arrived_late {
                             w.flow.truth.late_bids += 1;
                         }
-                        w.browser.fire_event(
-                            s.now(),
-                            events::BID_RESPONSE,
-                            &Json::obj([
-                                (params::BIDDER, Json::str(bid.bidder.clone())),
-                                (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
-                                (params::HB_SLOT, Json::str(bid.slot.clone())),
-                                (params::CPM, Json::num(bid.cpm.0)),
-                                (params::HB_SIZE, Json::str(HStr::from_display(bid.size))),
-                                (params::HB_CURRENCY, Json::str(bid.currency.clone())),
-                            ]),
-                        );
+                        let payload = Json::obj([
+                            (params::BIDDER, Json::str(bid.bidder.clone())),
+                            (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
+                            (params::HB_SLOT, Json::str(bid.slot.clone())),
+                            (params::CPM, Json::num(bid.cpm.0)),
+                            (params::HB_SIZE, Json::str(HStr::from_display(bid.size))),
+                            (params::HB_CURRENCY, Json::str(bid.currency.clone())),
+                        ]);
+                        w.browser.fire_event(s.now(), events::BID_RESPONSE, &payload);
+                        w.scratch.recycle_json(payload);
                         if !arrived_late {
                             w.flow.bids.push(bid);
                         }
                     }
                 }
+                // The response tree is dead; pool its spines for the
+                // next payload this worker builds.
+                w.scratch.recycle_json(body);
             }
         }
     }
@@ -379,15 +374,13 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     let site = w.flow.site_handle();
     let auction_id = w.flow.auction_id.clone();
 
-    w.browser.fire_event(
-        now,
-        events::AUCTION_END,
-        &Json::obj([
-            (params::HB_AUCTION, Json::str(auction_id.clone())),
-            ("bidsReceived", Json::num(w.flow.bids.len() as f64)),
-            ("timestamp", Json::num(now.as_millis_f64())),
-        ]),
-    );
+    let payload = Json::obj([
+        (params::HB_AUCTION, Json::str(auction_id.clone())),
+        ("bidsReceived", Json::num(w.flow.bids.len() as f64)),
+        ("timestamp", Json::num(now.as_millis_f64())),
+    ]);
+    w.browser.fire_event(now, events::AUCTION_END, &payload);
+    w.scratch.recycle_json(payload);
 
     // Bucket prices for targeting.
     let bucketed: Vec<BidPayload> = w
@@ -434,12 +427,7 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         // HB-related request.
         w.flow.truth.first_bid_request_at = Some(now);
     }
-    send_request(
-        w,
-        s,
-        req,
-        Box::new(|w, s, out| handle_adserver_response(w, s, out)),
-    );
+    send_request(w, s, req, |w, s, out| handle_adserver_response(w, s, out));
 }
 
 /// 3b. Server-Side HB: one request to the provider; it runs the auction.
@@ -466,12 +454,7 @@ fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     );
     let id = w.browser.next_request_id();
     let req = Request::get(id, url).from_initiator("hb-provider-tag");
-    send_request(
-        w,
-        s,
-        req,
-        Box::new(|w, s, out| handle_adserver_response(w, s, out)),
-    );
+    send_request(w, s, req, |w, s, out| handle_adserver_response(w, s, out));
 }
 
 /// 5. Ad-server response: fire win events, render slots, notify winners.
@@ -480,12 +463,16 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
     w.flow.truth.adserver_response_at = Some(now);
     let site = w.flow.site_handle();
     let winners = match out {
-        NetOutcome::Response(rsp) if rsp.status.is_success() => rsp
-            .body
-            .into_json()
-            .and_then(|b| protocol::parse_ad_server_response(&b))
-            .map(|(_, ws)| ws)
-            .unwrap_or_default(),
+        NetOutcome::Response(rsp) if rsp.status.is_success() => match rsp.body.into_json() {
+            Some(body) => {
+                let ws = protocol::parse_ad_server_response(&body)
+                    .map(|(_, ws)| ws)
+                    .unwrap_or_default();
+                w.scratch.recycle_json(body);
+                ws
+            }
+            None => Vec::new(),
+        },
         _ => Vec::new(),
     };
     w.flow.truth.winners = winners.clone();
@@ -496,17 +483,15 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
     );
     for winner in &winners {
         if winner.channel == FillChannel::HeaderBid && fires_prebid_events {
-            w.browser.fire_event(
-                now,
-                events::BID_WON,
-                &Json::obj([
-                    (params::HB_BIDDER, Json::str(winner.bidder.clone())),
-                    (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
-                    (params::HB_SLOT, Json::str(winner.slot.clone())),
-                    (params::HB_PB, Json::str(winner.pb.to_param())),
-                    (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
-                ]),
-            );
+            let payload = Json::obj([
+                (params::HB_BIDDER, Json::str(winner.bidder.clone())),
+                (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
+                (params::HB_SLOT, Json::str(winner.slot.clone())),
+                (params::HB_PB, Json::str(winner.pb.to_param())),
+                (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
+            ]);
+            w.browser.fire_event(now, events::BID_WON, &payload);
+            w.scratch.recycle_json(payload);
         }
         // Win notification back to client-side partners we know the host of.
         if winner.channel == FillChannel::HeaderBid {
@@ -526,7 +511,7 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
                 );
                 let id = w.browser.next_request_id();
                 let req = Request::get(id, url).from_initiator("prebid.js");
-                send_request(w, s, req, Box::new(|_, _, _| {}));
+                send_request(w, s, req, |_, _, _| {});
             }
         }
     }
@@ -541,26 +526,23 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
         s.after(delay, move |w: &mut PageWorld, s| {
             let now = s.now();
             if fail {
-                w.browser.fire_event(
-                    now,
-                    events::AD_RENDER_FAILED,
-                    &Json::obj([(params::HB_SLOT, Json::str(winner.slot.clone()))]),
-                );
+                let payload =
+                    Json::obj([(params::HB_SLOT, Json::str(winner.slot.clone()))]);
+                w.browser.fire_event(now, events::AD_RENDER_FAILED, &payload);
+                w.scratch.recycle_json(payload);
                 w.browser.page.mark_ad_failed();
             } else {
-                w.browser.fire_event(
-                    now,
-                    events::SLOT_RENDER_ENDED,
-                    &Json::obj([
-                        (params::HB_SLOT, Json::str(winner.slot.clone())),
-                        (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
-                        (
-                            "isEmpty",
-                            Json::Bool(winner.channel == FillChannel::Unfilled),
-                        ),
-                        ("channel", Json::str(HStr::from_static(winner.channel.label()))),
-                    ]),
-                );
+                let payload = Json::obj([
+                    (params::HB_SLOT, Json::str(winner.slot.clone())),
+                    (params::HB_SIZE, Json::str(HStr::from_display(winner.size))),
+                    (
+                        "isEmpty",
+                        Json::Bool(winner.channel == FillChannel::Unfilled),
+                    ),
+                    ("channel", Json::str(HStr::from_static(winner.channel.label()))),
+                ]);
+                w.browser.fire_event(now, events::SLOT_RENDER_ENDED, &payload);
+                w.scratch.recycle_json(payload);
                 w.browser.page.mark_ad_rendered(now);
             }
             if last {

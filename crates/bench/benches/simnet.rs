@@ -1,0 +1,62 @@
+//! Microbenches for the simnet scheduler core: slab-queue churn and the
+//! pooled-simulation lifecycle. These track the structures PR 4 rebuilt —
+//! regressions here surface before they show up as campaign throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_simnet::{EventQueue, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+/// Random-ish schedule/cancel/pop interleaving over one persistent queue,
+/// the pattern a visit's wrapper timeout + request fan-out produces. The
+/// queue storage survives across iterations, so steady-state iterations
+/// exercise the slab free list rather than the allocator.
+fn schedule_cancel(c: &mut Criterion) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut ids = Vec::with_capacity(64);
+    c.bench_function("simnet/schedule_cancel", |b| {
+        b.iter(|| {
+            ids.clear();
+            for i in 0..64u64 {
+                // Scatter times so the heap actually reorders.
+                let at = SimTime::from_micros((i * 37) % 101);
+                ids.push(q.schedule(at, i));
+            }
+            for id in ids.iter().step_by(2) {
+                black_box(q.cancel(*id));
+            }
+            while let Some(popped) = q.pop() {
+                black_box(popped);
+            }
+        })
+    });
+}
+
+/// The pooled-simulation steady state: seed a small callback cascade, run
+/// to idle, reset in place. Callback boxes and event storage recycle
+/// across iterations exactly as they do across a worker's visits.
+fn pooled_simulation(c: &mut Criterion) {
+    let mut sim = Simulation::new(0u64);
+    c.bench_function("simnet/pooled_sim_visit", |b| {
+        b.iter(|| {
+            sim.reset_in_place();
+            for i in 0..16u64 {
+                sim.scheduler()
+                    .after(SimDuration::from_micros(i * 13 % 40), move |w: &mut u64, s| {
+                        *w = w.wrapping_add(i);
+                        s.after(SimDuration::from_micros(5), move |w: &mut u64, _| {
+                            *w = w.wrapping_add(1);
+                        });
+                    });
+            }
+            sim.run_to_idle(1_000);
+            black_box(*sim.world());
+        })
+    });
+}
+
+criterion_group!(
+    name = simnet;
+    config = Criterion::default().sample_size(10);
+    targets = schedule_cancel, pooled_simulation
+);
+criterion_main!(simnet);

@@ -6,15 +6,99 @@
 //! median ns/op per bench plus derived visits/sec for throughput benches —
 //! so the perf trajectory is tracked in-repo across PRs.
 //!
+//! The snapshot additionally records the **measured steady-state
+//! allocation count per visit flow** (client/server/hybrid/waterfall),
+//! observed with a counting global allocator over the same pooled visit
+//! path `tests/alloc_free.rs` budgets — so the allocation trajectory is
+//! tracked alongside throughput.
+//!
 //! Usage (after `cargo bench -p hb-bench`):
 //!
 //! ```text
-//! cargo run --release -p hb-bench --bin bench_snapshot -- 3
-//! # → writes benches/BENCH_3.json at the workspace root
+//! cargo run --release -p hb-bench --bin bench_snapshot -- 4
+//! # → writes benches/BENCH_4.json at the workspace root
 //! ```
 
+use hb_adtech::HbFacet;
+use hb_core::Interner;
+use hb_crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System-allocator wrapper counting allocations (single-threaded here,
+/// so a process-wide counter is exact).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY-FREE NOTE: implementing `GlobalAlloc` requires the `unsafe impl`
+// form; the implementation only delegates to `System` and bumps a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Steady-state allocations for one pooled visit of each flow at tiny
+/// scale (3 warm-up visits, then one measured). Keep the flow table and
+/// warm-up protocol in lockstep with `tests/alloc_free.rs`, which
+/// enforces the budgets over the same procedure — a drift between the
+/// two would make the tracked trajectory incomparable to the gate.
+fn measure_visit_allocs() -> Vec<(&'static str, u64)> {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = SessionConfig::default();
+    let flows: [(&'static str, Option<HbFacet>); 4] = [
+        ("client_side", Some(HbFacet::ClientSide)),
+        ("server_side", Some(HbFacet::ServerSide)),
+        ("hybrid", Some(HbFacet::Hybrid)),
+        ("waterfall", None),
+    ];
+    let mut out = Vec::new();
+    for (label, facet) in flows {
+        let Some(site) = eco.sites().iter().find(|s| s.facet == facet) else {
+            // Don't silently drop a flow from the snapshot — a missing
+            // key would read as "never measured" across PRs.
+            eprintln!("warning: no {label} site in the tiny universe; alloc_per_visit omits it");
+            continue;
+        };
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut strings = Interner::new();
+        let visit = |strings: &mut Interner, scratch: &mut VisitScratch| {
+            crawl_site_pooled(
+                eco.net(),
+                eco.runtime_shared(site.rank),
+                eco.visit_rng(site.rank, 0),
+                0,
+                &cfg,
+                strings,
+                scratch,
+            )
+        };
+        for _ in 0..3 {
+            let _ = visit(&mut strings, &mut scratch);
+        }
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let _ = visit(&mut strings, &mut scratch);
+        out.push((label, ALLOCS.load(Ordering::Relaxed) - before));
+    }
+    out
+}
 
 /// A minimal field extractor for the shim's flat JSON lines (keys and
 /// numeric/string scalars only — exactly what the shim emits).
@@ -99,6 +183,13 @@ fn main() {
         }
         out.push_str("}");
         out.push_str(if i + 1 == count { "\n" } else { ",\n" });
+    }
+    out.push_str("  },\n  \"alloc_per_visit\": {\n");
+    let allocs = measure_visit_allocs();
+    let n_flows = allocs.len();
+    for (i, (label, count)) in allocs.iter().enumerate() {
+        out.push_str(&format!("    \"{label}\": {count}"));
+        out.push_str(if i + 1 == n_flows { "\n" } else { ",\n" });
     }
     out.push_str("  }\n}\n");
 

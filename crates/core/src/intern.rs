@@ -17,7 +17,7 @@
 //! so symbol numbering is identical regardless of scheduling or
 //! parallelism (see `hb-crawler`'s campaign module).
 
-use std::collections::HashMap;
+use hb_simnet::FxHashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -53,7 +53,10 @@ impl fmt::Debug for Symbol {
 #[derive(Clone, Debug)]
 pub struct Interner {
     strings: Vec<Arc<str>>,
-    map: HashMap<Arc<str>, Symbol>,
+    /// Fx-hashed: interning happens per record string on the crawl and
+    /// merge hot paths; symbol numbering comes from `strings` order, so
+    /// the hasher cannot influence any output.
+    map: FxHashMap<Arc<str>, Symbol>,
 }
 
 impl Default for Interner {
@@ -67,7 +70,7 @@ impl Interner {
     pub fn new() -> Interner {
         let mut interner = Interner {
             strings: Vec::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         };
         interner.intern("");
         interner

@@ -162,62 +162,82 @@ fn run_batch(
     let chunk_size = cfg.chunk_visits.max(1);
     let n_blocks = ranks.len().div_ceil(chunk_size);
     let total = ranks.len();
-    let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+
+    // One worker's block body: crawl block `b` into a sealed chunk.
+    let crawl_block = |b: usize, scratch: &mut VisitScratch, net: &hb_adtech::Net| {
+        let lo = b * chunk_size;
+        let hi = (lo + chunk_size).min(total);
+        let mut strings = Interner::new();
+        let mut visits = VisitColumns::with_capacity(hi - lo);
+        let mut truths = Vec::with_capacity(hi - lo);
+        for &rank in &ranks[lo..hi] {
+            let visit = crawl_site_pooled(
+                net.clone(),
+                factory.runtime_shared(rank),
+                factory.visit_rng(rank, day),
+                day,
+                &cfg.session,
+                &mut strings,
+                scratch,
+            );
+            truths.push(TruthRecord::from_truth(rank, day, &visit.truth));
+            visits.push(visit.record);
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
+                if let Some(cb) = &cfg.progress {
+                    cb(CampaignProgress {
+                        shard: shard_id,
+                        day,
+                        done: n,
+                        total,
+                    });
+                }
+            }
+        }
+        VisitChunk {
+            day,
+            shard: shard_id,
+            seq: b as u32,
+            visits,
+            truths,
+            strings,
+        }
+    };
+
+    if workers.min(n_blocks) == 1 {
+        // Single-worker batch (one core, or one block): run inline on the
+        // calling thread. No scope, no spawn, no channel hand-off — on a
+        // single-core box the cross-thread chunk relay alone costs more
+        // than a sealed chunk is worth. Blocks run in `seq` order by
+        // construction, so the sink sees the identical chunk stream.
+        let net = factory.net();
+        let mut scratch = VisitScratch::new(factory.partner_list());
+        for b in 0..n_blocks {
+            sink(crawl_block(b, &mut scratch, &net));
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<VisitChunk>();
     std::thread::scope(|scope| {
         let next = &next;
-        let done = &done;
+        let crawl_block = &crawl_block;
         for _ in 0..workers.min(n_blocks) {
             let tx = tx.clone();
             scope.spawn(move || {
                 let net = factory.net();
-                // Per-worker scratch: browser, detector buffers and message
-                // pools live for the whole batch, not one visit.
+                // Per-worker scratch: pooled simulation, browser, detector
+                // buffers and message pools live for the whole batch, not
+                // one visit.
                 let mut scratch = VisitScratch::new(factory.partner_list());
                 loop {
                     let b = next.fetch_add(1, Ordering::Relaxed);
                     if b >= n_blocks {
                         break;
                     }
-                    let lo = b * chunk_size;
-                    let hi = (lo + chunk_size).min(total);
-                    let mut strings = Interner::new();
-                    let mut visits = VisitColumns::with_capacity(hi - lo);
-                    let mut truths = Vec::with_capacity(hi - lo);
-                    for &rank in &ranks[lo..hi] {
-                        let visit = crawl_site_pooled(
-                            net.clone(),
-                            factory.runtime_shared(rank),
-                            factory.visit_rng(rank, day),
-                            day,
-                            &cfg.session,
-                            &mut strings,
-                            &mut scratch,
-                        );
-                        truths.push(TruthRecord::from_truth(rank, day, &visit.truth));
-                        visits.push(visit.record);
-                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
-                            if let Some(cb) = &cfg.progress {
-                                cb(CampaignProgress {
-                                    shard: shard_id,
-                                    day,
-                                    done: n,
-                                    total,
-                                });
-                            }
-                        }
-                    }
-                    let chunk = VisitChunk {
-                        day,
-                        shard: shard_id,
-                        seq: b as u32,
-                        visits,
-                        truths,
-                        strings,
-                    };
-                    if tx.send(chunk).is_err() {
+                    if tx.send(crawl_block(b, &mut scratch, &net)).is_err() {
                         break;
                     }
                 }

@@ -45,25 +45,25 @@ pub struct SiteVisit {
     pub page_completed: bool,
 }
 
-/// Per-worker visit execution state, reused across visits: the browser
-/// (with the detector's taps attached once), the detector's accumulation
-/// buffers, and the HTTP-layer buffer pool. One `VisitScratch` per crawl
-/// worker turns the per-visit setup — browser construction, tap
-/// registration, request-map allocation, query-buffer churn — into
-/// amortized one-time cost.
+/// Per-worker visit execution state, reused across visits: one pooled
+/// [`Simulation`] whose world holds the browser (with the detector's taps
+/// attached once) and the HTTP-layer buffer pool, plus the detector's
+/// accumulation buffers. One `VisitScratch` per crawl worker turns the
+/// per-visit setup — simulation construction (event slab, heap, callback
+/// pool), browser construction, tap registration, request-map allocation,
+/// query-buffer churn — into amortized one-time cost: a steady-state
+/// visit re-arms everything in place via [`Simulation::reset_in_place`].
 pub struct VisitScratch {
-    browser: Option<Browser>,
+    sim: Option<Simulation<PageWorld>>,
     detector: HbDetector,
-    msg: MsgScratch,
 }
 
 impl VisitScratch {
     /// Build a worker's scratch around the campaign's shared partner list.
     pub fn new(list: Arc<PartnerList>) -> VisitScratch {
         VisitScratch {
-            browser: None,
+            sim: None,
             detector: HbDetector::with_list(list),
-            msg: MsgScratch::new(),
         }
     }
 }
@@ -104,21 +104,26 @@ pub fn crawl_site_pooled(
 ) -> SiteVisit {
     let rank = runtime.rank;
     let domain = runtime.page_url.host.clone();
-    let browser = match scratch.browser.take() {
-        Some(mut b) => {
-            b.reset_for_visit(runtime.page_url.clone(), SimTime::ZERO);
-            scratch.detector.reset();
-            b
+    let detector = &scratch.detector;
+    let sim = match &mut scratch.sim {
+        Some(sim) => {
+            // Steady state: re-arm the pooled simulation and its world in
+            // place. `reset_in_place` rewinds the clock and recycles the
+            // event slab + callback pool; the world keeps its browser
+            // (taps attached) and buffer pools.
+            let w = sim.reset_in_place();
+            w.browser.reset_for_visit(runtime.page_url.clone(), SimTime::ZERO);
+            w.reset_for_visit(net, rng);
+            detector.reset();
+            sim
         }
         None => {
             let mut b = Browser::open_untraced(runtime.page_url.clone(), SimTime::ZERO);
-            scratch.detector.attach(&mut b);
-            b
+            detector.attach(&mut b);
+            let world = PageWorld::from_parts(b, net, rng, MsgScratch::new());
+            scratch.sim.insert(Simulation::new(world))
         }
     };
-    let world = PageWorld::from_parts(browser, net, rng, std::mem::take(&mut scratch.msg));
-
-    let mut sim = Simulation::new(world);
     {
         let rt = runtime.clone();
         sim.scheduler()
@@ -134,7 +139,7 @@ pub fn crawl_site_pooled(
     let settle_deadline = (loaded_at + cfg.settle).max(sim.now());
     sim.run_until(settle_deadline.min(SimTime::ZERO + cfg.page_timeout + cfg.settle), cfg.max_events);
 
-    let world = sim.into_world();
+    let world = sim.world_mut();
     let page_completed = world.browser.page.loaded.is_some();
     let page_load_ms = world
         .browser
@@ -142,12 +147,11 @@ pub fn crawl_site_pooled(
         .page_load_time()
         .map(|d| d.as_millis_f64());
     let record = scratch.detector.finish(&domain, rank, day, page_load_ms, strings);
-    // Hand the reusable parts back to the worker for the next visit.
-    scratch.browser = Some(world.browser);
-    scratch.msg = world.scratch;
+    // Only the ground truth leaves the world; the simulation (browser,
+    // pools, event storage) stays in the scratch for the next visit.
     SiteVisit {
         record,
-        truth: world.flow.truth,
+        truth: std::mem::take(&mut world.flow.truth),
         page_completed,
     }
 }

@@ -7,7 +7,7 @@
 //! listeners. Observers are passive (they cannot reschedule simulation
 //! work), which mirrors the extension's read-only vantage point.
 
-use hb_http::Json;
+use hb_http::{HStr, Json};
 use hb_simnet::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -38,8 +38,10 @@ pub struct EventBus {
     named: Vec<(String, Listener)>,
     /// Listeners receiving every event (the detector's tap).
     wildcard: Vec<Listener>,
-    /// Count of events emitted, by name, for diagnostics.
-    emitted: Vec<(String, u64)>,
+    /// Count of events emitted, by name, for diagnostics. Names are
+    /// `HStr` (event names fit inline), so counting a fresh name on the
+    /// pooled-visit hot path does not allocate.
+    emitted: Vec<(HStr, u64)>,
 }
 
 impl EventBus {
@@ -74,7 +76,7 @@ impl EventBus {
         let ev = DomEvent { name, payload, at };
         match self.emitted.iter_mut().find(|(n, _)| n == name) {
             Some((_, c)) => *c += 1,
-            None => self.emitted.push((name.to_string(), 1)),
+            None => self.emitted.push((HStr::new(name), 1)),
         }
         for (n, l) in &self.named {
             if n == name {

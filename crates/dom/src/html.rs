@@ -201,23 +201,35 @@ impl HtmlBuilder {
         self
     }
 
-    /// Render the document.
+    /// Render the document (streamed into one buffer; no per-line
+    /// temporary strings or `fmt` machinery — pages are re-rendered on
+    /// the crawl hot path).
     pub fn build(self) -> String {
         let mut out = String::with_capacity(512);
         out.push_str("<!DOCTYPE html>\n<html>\n<head>\n");
-        out.push_str(&format!("<title>{}</title>\n", self.title));
+        out.push_str("<title>");
+        out.push_str(&self.title);
+        out.push_str("</title>\n");
         for s in &self.head_scripts {
-            out.push_str(&format!("<script src=\"{s}\"></script>\n"));
+            out.push_str("<script src=\"");
+            out.push_str(s);
+            out.push_str("\"></script>\n");
         }
         for body in &self.head_inline {
-            out.push_str(&format!("<script>{body}</script>\n"));
+            out.push_str("<script>");
+            out.push_str(body);
+            out.push_str("</script>\n");
         }
         out.push_str("</head>\n<body>\n");
         for id in &self.ad_slot_ids {
-            out.push_str(&format!("<div id=\"{id}\" class=\"ad-unit\"></div>\n"));
+            out.push_str("<div id=\"");
+            out.push_str(id);
+            out.push_str("\" class=\"ad-unit\"></div>\n");
         }
         for s in &self.body_scripts {
-            out.push_str(&format!("<script src=\"{s}\"></script>\n"));
+            out.push_str("<script src=\"");
+            out.push_str(s);
+            out.push_str("\"></script>\n");
         }
         out.push_str("</body>\n</html>\n");
         out

@@ -91,6 +91,12 @@ thread_local! {
     /// skip the ad-unit/partner-list assembly entirely.
     static RUNTIME_MEMO: RefCell<Lru<Arc<hb_adtech::SiteRuntime>>> =
         const { RefCell::new(Lru::new()) };
+    /// And for the rendered page HTML: every visit's first request fetches
+    /// the page, and assembling the document (half a dozen `format!`s plus
+    /// the builder) is pure in `(seed, rank)` — by far the most expensive
+    /// lazy derivation to repeat per visit. Stored as `HStr` (`Arc<str>`
+    /// at this length), so serving the page is a pointer clone.
+    static PAGE_HTML_MEMO: RefCell<Lru<hb_http::HStr>> = const { RefCell::new(Lru::new()) };
 }
 
 /// The pure site-derivation core: everything needed to compute the profile
@@ -153,6 +159,15 @@ impl SiteGen {
         RUNTIME_MEMO.with(|m| {
             m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
                 Arc::new(world::site_runtime(&self.site_shared(rank), &self.specs))
+            })
+        })
+    }
+
+    /// The site's rendered page HTML, through the per-thread memo.
+    pub fn page_html_shared(&self, rank: u32) -> hb_http::HStr {
+        PAGE_HTML_MEMO.with(|m| {
+            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
+                hb_http::HStr::from(world::page_html(&self.site_shared(rank), &self.specs))
             })
         })
     }

@@ -27,11 +27,6 @@ pub fn page_html(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
     if site.facet.is_some() {
         b = b.head_script(format!("https://{CDN_HOST}/prebid.js"));
         b = b.head_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
-        let partner_codes: Vec<&str> = site
-            .client_partner_ids
-            .iter()
-            .map(|&i| specs[i].code)
-            .collect();
         b = b.head_inline(format!(
             "pbjs.addAdUnits({}); pbjs.requestBids({{timeout: {}}});",
             site.ad_units.len(),
@@ -40,8 +35,15 @@ pub fn page_html(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
                 .map(|t| t.as_micros() / 1000)
                 .unwrap_or(0),
         ));
-        if !partner_codes.is_empty() {
-            b = b.head_inline(format!("// bidders: {}", partner_codes.join(",")));
+        if !site.client_partner_ids.is_empty() {
+            let mut bidders = String::from("// bidders: ");
+            for (i, &pid) in site.client_partner_ids.iter().enumerate() {
+                if i > 0 {
+                    bidders.push(',');
+                }
+                bidders.push_str(specs[pid].code);
+            }
+            b = b.head_inline(bidders);
         }
     } else {
         b = b.body_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
@@ -190,7 +192,7 @@ pub fn build_world(
 
     // Publisher pages + own ad servers.
     for site in sites {
-        let html = page_html(site, specs);
+        let html = hb_http::HStr::from(page_html(site, specs));
         router.register(site.domain.clone(), move |r: &Request, _: &mut Rng| {
             ServerReply::instant(Response::text(r.id, html.clone()))
         });
@@ -241,11 +243,11 @@ impl Endpoint for PublisherEndpoint {
     fn handle(&self, req: &Request, rng: &mut Rng) -> ServerReply {
         let host = &req.url.host;
         if let Some(rank) = self.gen.rank_of_page_host(host) {
-            let site = self.gen.site_shared(rank);
-            return ServerReply::instant(Response::text(
-                req.id,
-                page_html(&site, &self.gen.specs),
-            ));
+            // Memoized and shared: rendering the page document per request
+            // used to be the costliest repeated derivation on the visit
+            // hot path; now the response body is a clone of one `Arc<str>`.
+            let html = self.gen.page_html_shared(rank);
+            return ServerReply::instant(Response::text(req.id, html));
         }
         if let Some(rest) = host.strip_prefix("ads.") {
             if self.gen.rank_of_page_host(rest).is_some() {
@@ -329,7 +331,9 @@ pub fn site_runtime(
     specs: &[PartnerSpec],
 ) -> hb_adtech::SiteRuntime {
     hb_adtech::SiteRuntime {
-        page_url: hb_http::Url::parse(&site.url_string()).expect("valid generated url"),
+        // Equivalent to parsing `site.url_string()` ("https://<domain>/"),
+        // without rendering and re-parsing the string.
+        page_url: hb_http::Url::https(&site.domain, "/"),
         rank: site.rank,
         facet: site.facet,
         ad_units: site.ad_units.clone(),

@@ -8,7 +8,7 @@
 use crate::message::{Request, Response};
 use hb_simnet::rng::Rng;
 use hb_simnet::time::SimDuration;
-use std::collections::HashMap;
+use hb_simnet::FxHashMap;
 
 /// What a server does with a request.
 #[derive(Debug)]
@@ -59,8 +59,10 @@ where
 /// `example.com` when no more specific host is registered.
 #[derive(Default)]
 pub struct Router {
-    exact: HashMap<String, Box<dyn Endpoint + Send + Sync>>,
-    by_domain: HashMap<String, Box<dyn Endpoint + Send + Sync>>,
+    // Fx-hashed: resolved twice per request (DNS check + dispatch);
+    // lookups only, never iterated for output.
+    exact: FxHashMap<String, Box<dyn Endpoint + Send + Sync>>,
+    by_domain: FxHashMap<String, Box<dyn Endpoint + Send + Sync>>,
 }
 
 impl Router {

@@ -19,8 +19,10 @@
 //!
 //! Equality, ordering and hashing delegate to the underlying `str`, so an
 //! `HStr` behaves exactly like its text regardless of representation —
-//! `BTreeMap<HStr, _>` iterates in the same order as `BTreeMap<String, _>`
-//! did, which is what keeps figure output byte-identical.
+//! sorted containers keyed by `HStr` (e.g. the sorted-vec
+//! [`JsonObj`](crate::json::JsonObj)) iterate in the same order as their
+//! `String`-keyed equivalents, which is what keeps figure output
+//! byte-identical.
 
 use std::borrow::{Borrow, Cow};
 use std::fmt;

@@ -5,9 +5,26 @@
 //! detector auditable and avoids pulling a serialization framework into the
 //! measurement boundary. Supports the full JSON grammar except for
 //! `\u` surrogate pairs being passed through unpaired.
+//!
+//! ## Representation and pooling
+//!
+//! Objects are a **sorted `Vec<(HStr, Json)>`** ([`JsonObj`]): lookups
+//! binary-search, insertion keeps sort order, so iteration and
+//! serialization are byte-identical to the previous `BTreeMap`
+//! representation by construction — while the whole object lives in one
+//! contiguous spine instead of one node allocation per key.
+//!
+//! Those spines (and array spines) are recycled through [`JsonScratch`],
+//! a per-worker-thread pool mirroring `MsgScratch`: builders
+//! ([`Json::obj`], [`Json::arr`]) and the parser draw cleared spines from
+//! the pool, and [`Json::recycle`] walks a dead tree handing every spine
+//! back. Message payloads that die inside a visit (request bodies after
+//! dispatch, response bodies after parsing) therefore stop touching the
+//! allocator in the steady state; trees that escape into records are
+//! simply dropped as before — pooling is best-effort and behaviour-free.
 
 use crate::hstr::HStr;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 use std::fmt;
 
 /// A JSON value.
@@ -24,7 +41,165 @@ pub enum Json {
     /// An array.
     Arr(Vec<Json>),
     /// An object (sorted keys for deterministic serialization).
-    Obj(BTreeMap<HStr, Json>),
+    Obj(JsonObj),
+}
+
+/// A JSON object: key-sorted `Vec` of entries with unique keys.
+///
+/// Semantically a drop-in for the `BTreeMap<HStr, Json>` it replaced:
+/// `insert` keeps entries sorted (last write to a key wins), `get` is a
+/// binary search, iteration yields keys in ascending order. Equality,
+/// ordering of serialization bytes, and parameter-flattening order are
+/// therefore unchanged by construction.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JsonObj {
+    entries: Vec<(HStr, Json)>,
+}
+
+impl JsonObj {
+    /// An empty object backed by a recycled spine when one is pooled.
+    pub fn new() -> JsonObj {
+        JsonObj {
+            entries: JsonScratch::take_obj_spine(),
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Position of `key`, or where it would insert.
+    #[inline]
+    fn search(&self, key: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key))
+    }
+
+    /// Value for `key`, if present (binary search).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        let i = self.search(key).ok()?;
+        Some(&self.entries[i].1)
+    }
+
+    /// Mutable value for `key`, if present.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        let i = self.search(key).ok()?;
+        Some(&mut self.entries[i].1)
+    }
+
+    /// Insert a key/value pair, keeping entries sorted. Returns the
+    /// previous value when the key was already present (last write wins —
+    /// `BTreeMap::insert` semantics).
+    pub fn insert(&mut self, key: impl Into<HStr>, value: Json) -> Option<Json> {
+        let key = key.into();
+        match self.search(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Iterate `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HStr, &Json)> {
+        self.entries.iter().map(|e| (&e.0, &e.1))
+    }
+}
+
+impl<'a> IntoIterator for &'a JsonObj {
+    type Item = (&'a HStr, &'a Json);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (HStr, Json)>,
+        fn(&'a (HStr, Json)) -> (&'a HStr, &'a Json),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|e| (&e.0, &e.1))
+    }
+}
+
+impl FromIterator<(HStr, Json)> for JsonObj {
+    fn from_iter<T: IntoIterator<Item = (HStr, Json)>>(iter: T) -> JsonObj {
+        let mut obj = JsonObj::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+/// Upper bound on pooled spines of each kind.
+const SPINE_POOL_CAP: usize = 64;
+
+/// Per-worker-thread recycling pool for JSON `Vec` spines (object entry
+/// vectors and array element vectors), mirroring `MsgScratch`'s role for
+/// query/header buffers. One pool per thread; builders and the parser pull
+/// from it implicitly, [`Json::recycle`] pays trees back in.
+#[derive(Default)]
+pub struct JsonScratch {
+    objs: Vec<Vec<(HStr, Json)>>,
+    arrs: Vec<Vec<Json>>,
+}
+
+thread_local! {
+    static JSON_SCRATCH: RefCell<JsonScratch> = RefCell::new(JsonScratch::default());
+}
+
+impl JsonScratch {
+    /// A cleared object spine, recycled when the pool has one.
+    fn take_obj_spine() -> Vec<(HStr, Json)> {
+        JSON_SCRATCH.with(|s| s.borrow_mut().objs.pop().unwrap_or_default())
+    }
+
+    /// A cleared array spine, recycled when the pool has one.
+    fn take_arr_spine() -> Vec<Json> {
+        JSON_SCRATCH.with(|s| s.borrow_mut().arrs.pop().unwrap_or_default())
+    }
+
+    /// Recycle a dead JSON tree: every object and array spine with real
+    /// capacity returns to this thread's pool (bounded by
+    /// [`SPINE_POOL_CAP`]); strings and scalars are dropped as usual.
+    pub fn recycle(j: Json) {
+        JSON_SCRATCH.with(|s| Self::recycle_into(&mut s.borrow_mut(), j));
+    }
+
+    fn recycle_into(pool: &mut JsonScratch, j: Json) {
+        match j {
+            Json::Arr(mut items) => {
+                for item in items.drain(..) {
+                    Self::recycle_into(pool, item);
+                }
+                if items.capacity() > 0 && pool.arrs.len() < SPINE_POOL_CAP {
+                    pool.arrs.push(items);
+                }
+            }
+            Json::Obj(obj) => {
+                let mut entries = obj.entries;
+                for (_, v) in entries.drain(..) {
+                    Self::recycle_into(pool, v);
+                }
+                if entries.capacity() > 0 && pool.objs.len() < SPINE_POOL_CAP {
+                    pool.objs.push(entries);
+                }
+            }
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => {}
+        }
+    }
+
+    /// Spines currently pooled on this thread, `(objects, arrays)` —
+    /// diagnostics for the allocation tests.
+    pub fn pooled_spines() -> (usize, usize) {
+        JSON_SCRATCH.with(|s| {
+            let s = s.borrow();
+            (s.objs.len(), s.arrs.len())
+        })
+    }
 }
 
 /// Error from [`Json::parse`].
@@ -45,7 +220,9 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 impl Json {
-    /// Shorthand: build an object from `(key, value)` pairs.
+    /// Shorthand: build an object from `(key, value)` pairs (last write
+    /// to a duplicate key wins). The entry spine comes from this thread's
+    /// [`JsonScratch`] pool when one is available.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
         Json::Obj(
             pairs
@@ -53,6 +230,20 @@ impl Json {
                 .map(|(k, v)| (HStr::from_static(k), v))
                 .collect(),
         )
+    }
+
+    /// Shorthand: build an array. The element spine comes from this
+    /// thread's [`JsonScratch`] pool when one is available.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        let mut v = JsonScratch::take_arr_spine();
+        v.extend(items);
+        Json::Arr(v)
+    }
+
+    /// Hand a dead tree's spines back to this thread's [`JsonScratch`]
+    /// pool (behaviour-free: purely an allocator-traffic optimization).
+    pub fn recycle(self) {
+        JsonScratch::recycle(self);
     }
 
     /// Shorthand: a string value.
@@ -125,7 +316,7 @@ impl Json {
     }
 
     /// Object content, if this is an object.
-    pub fn as_obj(&self) -> Option<&BTreeMap<HStr, Json>> {
+    pub fn as_obj(&self) -> Option<&JsonObj> {
         match self {
             Json::Obj(m) => Some(m),
             _ => None,
@@ -195,6 +386,8 @@ impl Json {
             Json::Obj(map) => {
                 out.push('{');
                 for (i, (k, v)) in map.iter().enumerate() {
+                    // `iter` ascends sorted keys, so the serialized bytes
+                    // match the former BTreeMap representation exactly.
                     if i > 0 {
                         out.push(',');
                     }
@@ -292,7 +485,7 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
+        let mut items = JsonScratch::take_arr_spine();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -317,7 +510,7 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut map = BTreeMap::new();
+        let mut map = JsonObj::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -523,6 +716,128 @@ mod tests {
     fn integer_formatting_is_compact() {
         assert_eq!(Json::num(300.0).to_string_compact(), "300");
         assert_eq!(Json::num(0.5).to_string_compact(), "0.5");
+    }
+
+    #[test]
+    fn sorted_vec_object_duplicate_key_last_write_wins() {
+        let mut obj = JsonObj::new();
+        assert_eq!(obj.insert("k", Json::num(1.0)), None);
+        assert_eq!(obj.insert("a", Json::num(2.0)), None);
+        // Re-inserting replaces in place and returns the old value.
+        assert_eq!(obj.insert("k", Json::num(3.0)), Some(Json::num(1.0)));
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj.get("k").unwrap().as_f64(), Some(3.0));
+        // Builder sugar behaves the same way (BTreeMap collect semantics).
+        let v = Json::obj([("k", Json::num(1.0)), ("k", Json::num(9.0))]);
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(9.0));
+        assert_eq!(v.as_obj().unwrap().len(), 1);
+        // And so does the parser.
+        let p = Json::parse(r#"{"k":1,"k":9}"#).unwrap();
+        assert_eq!(p.get("k").unwrap().as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn sorted_vec_object_lookup_miss_and_empty() {
+        let empty = JsonObj::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.get("anything"), None);
+        assert_eq!(Json::Obj(empty).to_string_compact(), "{}");
+
+        let v = Json::obj([("bb", Json::num(1.0)), ("dd", Json::num(2.0))]);
+        let obj = v.as_obj().unwrap();
+        // Misses before, between, and after the sorted entries.
+        assert_eq!(obj.get("aa"), None);
+        assert_eq!(obj.get("cc"), None);
+        assert_eq!(obj.get("zz"), None);
+        assert_eq!(obj.get("bb").unwrap().as_f64(), Some(1.0));
+        // get on non-objects stays None.
+        assert_eq!(Json::Null.get("k"), None);
+        assert_eq!(Json::Arr(vec![]).get("k"), None);
+    }
+
+    #[test]
+    fn sorted_vec_iteration_is_key_ascending() {
+        let v = Json::obj([
+            ("zeta", Json::num(1.0)),
+            ("alpha", Json::num(2.0)),
+            ("mid", Json::num(3.0)),
+        ]);
+        let keys: Vec<&str> = v.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    /// Serializer fixtures captured from the `BTreeMap<HStr, Json>` build
+    /// (the representation before the sorted-vec refactor). The new
+    /// representation must reproduce these bytes exactly — this is the
+    /// invariant that keeps figure CSVs byte-identical.
+    #[test]
+    fn serializer_byte_equivalent_to_btreemap_fixtures() {
+        let cases: [(Json, &str); 4] = [
+            (
+                // Insertion order deliberately unsorted.
+                Json::obj([
+                    ("hb_slot", Json::str("ad-slot-1")),
+                    ("bidder", Json::str("appnexus")),
+                    ("cpm", Json::num(0.52)),
+                    ("hb_size", Json::str("300x250")),
+                ]),
+                r#"{"bidder":"appnexus","cpm":0.52,"hb_size":"300x250","hb_slot":"ad-slot-1"}"#,
+            ),
+            (
+                Json::obj([
+                    ("winners", Json::arr([Json::obj([
+                        ("hb_slot", Json::str("s1")),
+                        ("channel", Json::str("hb")),
+                    ])])),
+                    ("hb_auction", Json::str("auc-7")),
+                ]),
+                r#"{"hb_auction":"auc-7","winners":[{"channel":"hb","hb_slot":"s1"}]}"#,
+            ),
+            (
+                Json::obj([("empty", Json::obj([])), ("arr", Json::arr([]))]),
+                r#"{"arr":[],"empty":{}}"#,
+            ),
+            (
+                Json::obj([
+                    ("b", Json::Bool(true)),
+                    ("a", Json::Null),
+                    ("n", Json::num(300.0)),
+                ]),
+                r#"{"a":null,"b":true,"n":300}"#,
+            ),
+        ];
+        for (value, expected) in cases {
+            assert_eq!(value.to_string_compact(), expected);
+            // Parsing the fixture reproduces the same value and bytes.
+            let reparsed = Json::parse(expected).unwrap();
+            assert_eq!(reparsed, value);
+            assert_eq!(reparsed.to_string_compact(), expected);
+        }
+    }
+
+    #[test]
+    fn recycled_spines_are_reused_by_builders() {
+        // Drain whatever this thread pooled so counts start known.
+        JSON_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.objs.clear();
+            s.arrs.clear();
+        });
+        let tree = Json::obj([
+            ("bids", Json::arr([Json::obj([("cpm", Json::num(0.4))])])),
+            ("ok", Json::Bool(true)),
+        ]);
+        tree.recycle();
+        let (objs, arrs) = JsonScratch::pooled_spines();
+        assert!(objs >= 2, "outer + inner object spines pooled, got {objs}");
+        assert!(arrs >= 1, "array spine pooled, got {arrs}");
+        // Builders drain the pool again.
+        let rebuilt = Json::obj([("x", Json::arr([Json::num(1.0)]))]);
+        let (objs2, arrs2) = JsonScratch::pooled_spines();
+        assert!(objs2 < objs);
+        assert!(arrs2 < arrs);
+        assert_eq!(rebuilt.to_string_compact(), r#"{"x":[1]}"#);
     }
 
     #[test]

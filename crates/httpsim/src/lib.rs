@@ -30,7 +30,7 @@ pub mod url;
 pub use cookies::{Cookie, CookieJar};
 pub use endpoint::{Endpoint, Router, ServerReply};
 pub use hstr::HStr;
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, JsonObj, JsonScratch};
 pub use message::{Body, Headers, Method, Request, RequestId, Response, Status};
 pub use scratch::MsgScratch;
 pub use url::{percent_decode, percent_encode, percent_encode_into, QueryParams, Url, UrlError};

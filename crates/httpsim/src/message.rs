@@ -84,8 +84,10 @@ pub enum Body {
     /// No body.
     #[default]
     Empty,
-    /// Plain text (HTML pages, scripts).
-    Text(String),
+    /// Plain text (HTML pages, scripts). Stored as [`HStr`], so a long
+    /// shared document (a memoized publisher page) is one `Arc<str>`
+    /// cloned per response instead of a fresh `String` copy.
+    Text(HStr),
     /// Structured JSON (bid requests/responses).
     Json(Json),
     /// `application/x-www-form-urlencoded` pairs.
@@ -130,7 +132,7 @@ impl Body {
     /// Body as text where meaningful.
     pub fn as_text(&self) -> Option<String> {
         match self {
-            Body::Text(t) => Some(t.clone()),
+            Body::Text(t) => Some(t.as_str().to_owned()),
             Body::Json(j) => Some(j.to_string_compact()),
             Body::Form(q) => Some(q.encode()),
             Body::Empty => None,
@@ -359,8 +361,9 @@ impl Response {
         }
     }
 
-    /// A 200 response with a text body.
-    pub fn text(request_id: RequestId, body: impl Into<String>) -> Response {
+    /// A 200 response with a text body. Accepts anything `HStr`-able —
+    /// pass an existing `HStr` to share its storage across responses.
+    pub fn text(request_id: RequestId, body: impl Into<HStr>) -> Response {
         Response {
             request_id,
             status: Status::OK,

@@ -19,6 +19,7 @@
 //!   only ever *reduces* allocator traffic; it never changes behaviour.
 
 use crate::hstr::HStr;
+use crate::json::{Json, JsonScratch};
 use crate::message::{Body, Request};
 use crate::url::QueryParams;
 
@@ -67,7 +68,7 @@ impl MsgScratch {
 
     /// Recycle every pooled component of a finished request. The `HStr`
     /// components (host, path, initiator) are cheap to drop; only the
-    /// entry vectors are worth keeping.
+    /// entry vectors (and any JSON tree's spines) are worth keeping.
     pub fn recycle_request(&mut self, req: Request) {
         let Request {
             url, headers, body, ..
@@ -77,10 +78,21 @@ impl MsgScratch {
         self.recycle_body(body);
     }
 
-    fn recycle_body(&mut self, body: Body) {
-        if let Body::Form(q) = body {
-            self.keep(q.into_storage());
+    /// Recycle a finished message body: form entry vectors return to this
+    /// pool, JSON trees hand their spines to the thread's [`JsonScratch`].
+    pub fn recycle_body(&mut self, body: Body) {
+        match body {
+            Body::Form(q) => self.keep(q.into_storage()),
+            Body::Json(j) => JsonScratch::recycle(j),
+            Body::Text(_) | Body::Empty => {}
         }
+    }
+
+    /// Recycle a dead JSON tree (see [`JsonScratch::recycle`]) — the
+    /// worker-side door for payloads that die outside a message, e.g.
+    /// DOM event payloads after they have been fired.
+    pub fn recycle_json(&mut self, j: Json) {
+        JsonScratch::recycle(j);
     }
 
     /// Keep a buffer for reuse when it holds real capacity and the pool

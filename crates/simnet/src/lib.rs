@@ -8,7 +8,11 @@
 //!   derivation (so parallel crawls are order-independent);
 //! * [`Dist`] — declarative scalar distributions used by the ecosystem
 //!   generators and latency models;
-//! * [`EventQueue`] / [`Simulation`] — the future-event list and driver;
+//! * [`EventQueue`] / [`Simulation`] — the future-event list and driver:
+//!   a slab of generation-stamped payload slots under a POD
+//!   `(time, seq, slot)` heap (O(1) cancel, storage persisting across
+//!   [`Simulation::reset`]) with a type-keyed recycling pool for callback
+//!   boxes — a steady-state simulation schedules without allocating;
 //! * [`LatencyModel`] — per-endpoint round-trip models with heavy tails;
 //! * [`FaultInjector`] — drops, slowdowns and outages;
 //! * [`Trace`] — a pcap-style bounded record of what happened.
@@ -22,6 +26,7 @@
 pub mod dist;
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod link;
 pub mod rng;
 pub mod sim;
@@ -31,8 +36,9 @@ pub mod trace;
 pub use dist::Dist;
 pub use event::{EventId, EventQueue};
 pub use fault::{FaultDecision, FaultInjector};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use link::LatencyModel;
 pub use rng::{fnv1a, Rng};
-pub use sim::{Callback, Scheduler, Simulation, StopReason};
+pub use sim::{Callback, QueuedCb, Scheduler, Simulation, StopReason};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceKind, TraceRecord};

@@ -48,6 +48,13 @@ pub struct TraceRecord {
 }
 
 /// Bounded ring buffer of trace records.
+///
+/// The ring grows lazily (first pushes allocate, up to `capacity`) and its
+/// storage is **reused across pooled visits**: [`Trace::clear`] drops the
+/// records but keeps the `VecDeque` allocation, and toggling recording via
+/// [`Trace::set_enabled`] / [`Trace::set_capacity`] never discards the
+/// ring — so a worker that flips tracing on and off between visits pays
+/// the ring allocation once, not per toggle.
 #[derive(Debug)]
 pub struct Trace {
     records: VecDeque<TraceRecord>,
@@ -57,10 +64,11 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Create a trace holding at most `capacity` records.
+    /// Create a trace holding at most `capacity` records. No storage is
+    /// allocated until records are pushed.
     pub fn new(capacity: usize) -> Self {
         Trace {
-            records: VecDeque::with_capacity(capacity.min(4096)),
+            records: VecDeque::new(),
             capacity,
             dropped: 0,
             enabled: true,
@@ -77,6 +85,24 @@ impl Trace {
     /// Is recording enabled?
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Toggle recording in place. Disabling keeps the retained records
+    /// and the ring storage (re-enabling continues into the same
+    /// allocation); callers wanting a clean window pair this with
+    /// [`Trace::clear`].
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Change the record cap in place, keeping the ring storage. Shrinking
+    /// below the retained count evicts the oldest records.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.records.len() > capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
     }
 
     /// Append a record, evicting the oldest when full.
@@ -169,6 +195,40 @@ mod tests {
         t.push(SimTime::ZERO, TraceKind::Note, "x");
         assert!(t.is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn toggling_reuses_ring_storage() {
+        let mut t = Trace::new(16);
+        for i in 0..8u64 {
+            t.push(SimTime::from_millis(i), TraceKind::Note, format!("{i}"));
+        }
+        let cap = t.records.capacity();
+        assert!(cap >= 8);
+        // Disable, clear, re-enable: the ring allocation survives.
+        t.set_enabled(false);
+        t.clear();
+        t.push(SimTime::ZERO, TraceKind::Note, "ignored");
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.push(SimTime::ZERO, TraceKind::Note, "kept");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records.capacity(), cap, "toggle must not reallocate");
+    }
+
+    #[test]
+    fn capacity_shrink_evicts_oldest() {
+        let mut t = Trace::new(8);
+        for i in 0..6u64 {
+            t.push(SimTime::from_millis(i), TraceKind::Note, format!("{i}"));
+        }
+        t.set_capacity(2);
+        let details: Vec<&str> = t.records().map(|r| r.detail.as_str()).collect();
+        assert_eq!(details, vec!["4", "5"]);
+        assert_eq!(t.evicted(), 4);
+        // And the cap keeps applying to new pushes.
+        t.push(SimTime::from_millis(9), TraceKind::Note, "6");
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

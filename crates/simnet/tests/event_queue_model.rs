@@ -1,0 +1,159 @@
+//! Model-checking the slab-backed [`EventQueue`] against a naive
+//! reference implementation.
+//!
+//! The reference model keeps every pending event in a `Vec` and re-sorts
+//! on demand — obviously correct, hopelessly slow. Random interleavings
+//! of `schedule` / `cancel` / `pop` must observe identical behaviour on
+//! both: the same pop order (including `(time, seq)` tie-breaks), the
+//! same cancel outcomes (true iff the event is still pending), and the
+//! same live-event counts. This pins the determinism contract the figure
+//! pipeline relies on while the production queue plays slab/free-list
+//! tricks underneath.
+
+use hb_simnet::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+/// One step of a random interleaving.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Schedule a payload at the given time (millis).
+    Schedule(u64),
+    /// Cancel the n-th id ever issued (may already be spent).
+    Cancel(usize),
+    /// Pop the next live event.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..50).prop_map(Op::Schedule),
+        (0usize..64).prop_map(Op::Cancel),
+        Just(Op::Pop),
+    ]
+}
+
+/// The naive reference: pending events in insertion order, popped by a
+/// full scan for the `(time, seq)` minimum.
+#[derive(Default)]
+struct NaiveQueue {
+    pending: Vec<(SimTime, u64, u64)>, // (at, seq, payload)
+    next_seq: u64,
+}
+
+impl NaiveQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((at, seq, payload));
+        seq
+    }
+
+    /// Cancel by issue order; true iff the event was still pending.
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|(_, s, _)| *s == seq) {
+            Some(i) => {
+                self.pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let i = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.pending.remove(i);
+        Some((at, payload))
+    }
+}
+
+proptest! {
+    /// Slab queue ≡ naive model over random schedule/cancel/pop
+    /// interleavings, in one continuous session.
+    #[test]
+    fn slab_queue_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut slab: EventQueue<u64> = EventQueue::new();
+        let mut naive = NaiveQueue::default();
+        let mut slab_ids = Vec::new();
+        let mut naive_seqs = Vec::new();
+        let mut payload = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule(ms) => {
+                    payload += 1;
+                    let at = SimTime::from_millis(ms);
+                    slab_ids.push(slab.schedule(at, payload));
+                    naive_seqs.push(naive.schedule(at, payload));
+                }
+                Op::Cancel(nth) => {
+                    // Cancel the nth id ever issued — possibly already
+                    // popped, cancelled, or never issued at all.
+                    let slab_hit = slab_ids.get(nth).map(|id| slab.cancel(*id));
+                    let naive_hit = naive_seqs.get(nth).map(|seq| naive.cancel(*seq));
+                    prop_assert_eq!(slab_hit, naive_hit);
+                }
+                Op::Pop => {
+                    let got = slab.pop().map(|(at, _, p)| (at, p));
+                    prop_assert_eq!(got, naive.pop());
+                }
+            }
+            prop_assert_eq!(slab.len(), naive.pending.len());
+            prop_assert_eq!(slab.is_empty(), naive.pending.is_empty());
+        }
+
+        // Drain both: the full remaining pop order must agree.
+        loop {
+            let got = slab.pop().map(|(at, _, p)| (at, p));
+            let want = naive.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Clearing mid-session resets the queue to fresh-queue behaviour
+    /// (sequence tie-breaks restart), matching a brand-new naive model.
+    #[test]
+    fn cleared_queue_matches_fresh_model(
+        before in proptest::collection::vec((0u64..20, Just(())), 0..16),
+        after in proptest::collection::vec(0u64..20, 0..16),
+    ) {
+        let mut slab: EventQueue<u64> = EventQueue::new();
+        let mut old_ids = Vec::new();
+        for (i, (ms, _)) in before.iter().enumerate() {
+            old_ids.push(slab.schedule(SimTime::from_millis(*ms), i as u64));
+        }
+        // Pop half, keep the rest pending, then clear.
+        for _ in 0..before.len() / 2 {
+            slab.pop();
+        }
+        slab.clear();
+
+        let mut naive = NaiveQueue::default();
+        for (i, ms) in after.iter().enumerate() {
+            let p = 1000 + i as u64;
+            slab.schedule(SimTime::from_millis(*ms), p);
+            naive.schedule(SimTime::from_millis(*ms), p);
+        }
+        // Every pre-clear id — popped, pending-at-clear, whatever — is
+        // stale: cancelling it must not touch the post-clear events.
+        for id in old_ids {
+            prop_assert!(!slab.cancel(id));
+        }
+        prop_assert_eq!(slab.len(), naive.pending.len());
+        loop {
+            let got = slab.pop().map(|(at, _, p)| (at, p));
+            let want = naive.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
