@@ -31,8 +31,8 @@ pub struct DirectOrder {
 /// Per-publisher account configuration at the ad server.
 #[derive(Clone, Debug)]
 pub struct AdServerAccount {
-    /// Account id (`pub-<rank>`).
-    pub account_id: String,
+    /// Account id (`pub-<rank>`, compact/inline).
+    pub account_id: HStr,
     /// Direct orders available to this publisher.
     pub direct_orders: Vec<DirectOrder>,
     /// Fallback/house eCPM (AdSense-like remnant); `None` = unfilled slots
@@ -41,22 +41,24 @@ pub struct AdServerAccount {
     /// Floor price applied to HB bids.
     pub floor: Cpm,
     /// Partners this account's server-side auctions fan out to
-    /// (Server-Side and Hybrid HB only).
-    pub s2s_partners: Vec<PartnerProfile>,
-    /// The ad units this account serves (authoritative slot list).
-    pub ad_units: Vec<AdUnit>,
+    /// (Server-Side and Hybrid HB only). `Arc`-shared with the catalog's
+    /// profile table — deriving an account never deep-clones a profile.
+    pub s2s_partners: Vec<Arc<PartnerProfile>>,
+    /// The ad units this account serves (authoritative slot list;
+    /// `Arc`-shared with the site profile and runtime).
+    pub ad_units: Arc<[AdUnit]>,
 }
 
 impl AdServerAccount {
     /// Minimal account for tests.
     pub fn test_account(id: &str, units: Vec<AdUnit>) -> AdServerAccount {
         AdServerAccount {
-            account_id: id.to_string(),
+            account_id: HStr::new(id),
             direct_orders: Vec::new(),
             fallback_cpm: Some(Cpm(0.05)),
             floor: Cpm(0.01),
             s2s_partners: Vec::new(),
-            ad_units: units,
+            ad_units: units.into(),
         }
     }
 }
@@ -220,7 +222,7 @@ where
 ///   (this is what makes the same endpoint serve pure Server-Side HB — no
 ///   client bids — and Hybrid HB — both).
 pub struct AdServerEndpoint {
-    accounts: FxHashMap<String, Arc<AdServerAccount>>,
+    accounts: FxHashMap<HStr, Arc<AdServerAccount>>,
     /// On-demand account derivation for lazily generated universes: when
     /// the static `accounts` map misses, the resolver gets a chance to
     /// produce the account from the id alone (`None` = genuinely unknown).
@@ -513,9 +515,10 @@ mod tests {
         let mut p = PartnerProfile::test_profile(1, "ix");
         p.bid_rate = 1.0;
         let mut account = AdServerAccount::test_account("pub-2", vec![unit("s1")]);
-        account.s2s_partners = vec![p];
+        account.s2s_partners = vec![Arc::new(p)];
         let mut rng = Rng::new(8);
-        let (bids, dur) = run_s2s_auction(&account, &account.ad_units.clone(), &mut rng);
+        let units = account.ad_units.clone();
+        let (bids, dur) = run_s2s_auction(&account, &units[..], &mut rng);
         assert_eq!(bids.len(), 1);
         assert_eq!(bids[0].bidder, "ix");
         assert!(dur > SimDuration::ZERO);

@@ -28,6 +28,6 @@ pub use partner::{partner_endpoint, PartnerId, PartnerKind, PartnerProfile};
 pub use protocol::{BidPayload, FillChannel, WinnerPayload};
 pub use rtb::{first_price_winner, AuctionOutcome, InternalAuction, SeatBid};
 pub use session::{send_request, HostDirectory, Net, NetOutcome, PageWorld};
-pub use types::{AdSize, AdUnit, Cpm, HbFacet};
+pub use types::{AdSize, AdUnit, Cpm, HbFacet, SizeList};
 pub use waterfall::{rtb_price_param, start_waterfall, waterfall_endpoint, WaterfallTier};
 pub use wrapper::{begin_visit, FlowState, PartnerRef, SiteRuntime, VisitGroundTruth, WrapperConfig};

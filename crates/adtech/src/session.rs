@@ -22,7 +22,8 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct HostDirectory {
     // Fx-hashed: the suffix walk hashes several host strings per request.
-    models: hb_simnet::FxHashMap<String, LatencyModel>,
+    // `HStr` keys: registering an interned hostname never rebuilds it.
+    models: hb_simnet::FxHashMap<hb_http::HStr, LatencyModel>,
     /// On-demand model derivation for lazily generated universes: consulted
     /// with the *original* host after the static map (and its suffix walk)
     /// misses, before the default applies.
@@ -40,8 +41,8 @@ impl HostDirectory {
     }
 
     /// Register a latency model for a host (and all its subdomains).
-    pub fn insert(&mut self, host: impl Into<String>, model: LatencyModel) {
-        self.models.insert(host.into().to_ascii_lowercase(), model);
+    pub fn insert(&mut self, host: impl Into<hb_http::HStr>, model: LatencyModel) {
+        self.models.insert(host.into().into_lower_ascii(), model);
     }
 
     /// Set the default model for unknown hosts.

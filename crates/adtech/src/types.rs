@@ -133,13 +133,83 @@ impl fmt::Display for HbFacet {
     }
 }
 
+/// Accepted creative sizes of one ad unit, stored inline. Real-world
+/// units accept a handful of sizes (the generator assigns one); the
+/// former one-element `Vec<AdSize>` per unit was the dominant cold-
+/// derivation allocation for unit-heavy sites, so the list lives on the
+/// stack — `AdUnit` is now allocation-free apart from its (usually
+/// inline) slot code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeList {
+    len: u8,
+    sizes: [AdSize; 4],
+}
+
+impl Default for SizeList {
+    fn default() -> SizeList {
+        SizeList::empty()
+    }
+}
+
+impl SizeList {
+    /// No sizes.
+    pub const fn empty() -> SizeList {
+        SizeList {
+            len: 0,
+            sizes: [AdSize { w: 0, h: 0 }; 4],
+        }
+    }
+
+    /// A single-size list.
+    pub fn one(size: AdSize) -> SizeList {
+        let mut l = SizeList::empty();
+        l.push(size);
+        l
+    }
+
+    /// Append a size; silently ignores overflow past the inline capacity
+    /// (four sizes — beyond anything the generator or paper describe).
+    pub fn push(&mut self, size: AdSize) {
+        if (self.len as usize) < self.sizes.len() {
+            self.sizes[self.len as usize] = size;
+            self.len += 1;
+        }
+    }
+
+    /// First (primary) size, if any.
+    pub fn first(&self) -> Option<AdSize> {
+        (self.len > 0).then(|| self.sizes[0])
+    }
+
+    /// Number of sizes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no sizes are listed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the sizes.
+    pub fn iter(&self) -> impl Iterator<Item = AdSize> + '_ {
+        self.sizes[..self.len as usize].iter().copied()
+    }
+}
+
+impl From<AdSize> for SizeList {
+    fn from(size: AdSize) -> SizeList {
+        SizeList::one(size)
+    }
+}
+
 /// An ad slot a publisher puts up for auction.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AdUnit {
     /// Slot code (matches the page's `div` id).
     pub code: HStr,
     /// Accepted creative sizes (first is primary).
-    pub sizes: Vec<AdSize>,
+    pub sizes: SizeList,
     /// Floor price agreed with the publisher.
     pub floor: Cpm,
 }
@@ -149,14 +219,14 @@ impl AdUnit {
     pub fn new(code: impl Into<HStr>, size: AdSize, floor: Cpm) -> AdUnit {
         AdUnit {
             code: code.into(),
-            sizes: vec![size],
+            sizes: SizeList::one(size),
             floor,
         }
     }
 
     /// Primary size.
     pub fn primary_size(&self) -> AdSize {
-        self.sizes.first().copied().unwrap_or(AdSize::MEDIUM_RECT)
+        self.sizes.first().unwrap_or(AdSize::MEDIUM_RECT)
     }
 }
 
@@ -213,7 +283,7 @@ mod tests {
         assert_eq!(u.primary_size(), AdSize::LEADERBOARD);
         let empty = AdUnit {
             code: "x".into(),
-            sizes: vec![],
+            sizes: SizeList::empty(),
             floor: Cpm::ZERO,
         };
         assert_eq!(empty.primary_size(), AdSize::MEDIUM_RECT);

@@ -194,7 +194,7 @@ fn finish_waterfall(
     } else {
         channel
     };
-    for unit in &site.ad_units {
+    for unit in site.ad_units.iter() {
         w.flow.truth.winners.push(WinnerPayload {
             slot: unit.code.clone(),
             bidder: HStr::EMPTY,
@@ -265,7 +265,7 @@ mod tests {
             page_url: url,
             rank: 10,
             facet: None,
-            ad_units: vec![AdUnit::new("ad-slot-1", AdSize::MEDIUM_RECT, Cpm(0.01))],
+            ad_units: vec![AdUnit::new("ad-slot-1", AdSize::MEDIUM_RECT, Cpm(0.01))].into(),
             client_partners: vec![],
             ad_server_host: "ads.pub1.example".into(),
             account_id: "pub-10".into(),

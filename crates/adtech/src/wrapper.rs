@@ -70,8 +70,10 @@ pub struct SiteRuntime {
     /// The HB facet; `None` = waterfall-only site.
     pub facet: Option<HbFacet>,
     /// Ad units up for auction (already includes any multi-device
-    /// duplication the publisher misconfigured).
-    pub ad_units: Vec<AdUnit>,
+    /// duplication the publisher misconfigured). Shared with the site
+    /// profile and ad-server account — runtime derivation is a handle
+    /// clone, not a unit-list deep copy.
+    pub ad_units: Arc<[AdUnit]>,
     /// Client-side partners (client and hybrid facets).
     pub client_partners: Vec<PartnerRef>,
     /// The ad server / server-side provider host.
@@ -128,6 +130,36 @@ impl VisitGroundTruth {
                 .saturating_since(self.first_bid_request_at?),
         )
     }
+
+    /// Clear for the next pooled visit while keeping the winners vector's
+    /// capacity (equivalent to `*self = Default::default()` observably).
+    /// The exhaustive destructuring makes a newly added field a compile
+    /// error here, so per-visit state can never leak across pooled visits
+    /// silently.
+    pub fn reset_for_visit(&mut self) {
+        let VisitGroundTruth {
+            facet,
+            slots_auctioned,
+            client_bids,
+            late_bids,
+            first_bid_request_at,
+            adserver_sent_at,
+            adserver_response_at,
+            winners,
+            waterfall_latency,
+            waterfall_fill_tier,
+        } = self;
+        *facet = None;
+        *slots_auctioned = 0;
+        *client_bids = 0;
+        *late_bids = 0;
+        *first_bid_request_at = None;
+        *adserver_sent_at = None;
+        *adserver_response_at = None;
+        winners.clear();
+        *waterfall_latency = None;
+        *waterfall_fill_tier = None;
+    }
 }
 
 /// Mutable per-visit flow state living inside [`PageWorld`].
@@ -168,7 +200,7 @@ impl FlowState {
         self.partners_pending = 0;
         self.sent_to_adserver = false;
         self.done = false;
-        self.truth = VisitGroundTruth::default();
+        self.truth.reset_for_visit();
     }
 }
 
@@ -397,12 +429,12 @@ fn send_to_adserver(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     q.append("account", site.account_id.clone());
     q.append(params::HB_AUCTION, auction_id);
     q.append(params::HB_SOURCE, "client");
-    for unit in &site.ad_units {
+    for unit in site.ad_units.iter() {
         q.append(params::HB_SLOT, unit.code.clone());
     }
     // Echo the best bid per slot as hb_* targeting key-values (what DFP
     // line items key on, and what the detector sees in the URL).
-    for unit in &site.ad_units {
+    for unit in site.ad_units.iter() {
         if let Some(best) = bucketed
             .iter()
             .filter(|b| b.slot == unit.code)
@@ -444,7 +476,7 @@ fn start_server_side(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     q.append("account", site.account_id.clone());
     q.append(params::HB_AUCTION, w.flow.auction_id.clone());
     q.append(params::HB_SOURCE, "s2s");
-    for unit in &site.ad_units {
+    for unit in site.ad_units.iter() {
         q.append(params::HB_SLOT, unit.code.clone());
     }
     let url = Url::https_pooled(
@@ -595,7 +627,7 @@ mod tests {
         if facet == Some(HbFacet::ServerSide) || facet == Some(HbFacet::Hybrid) {
             let mut s2s = PartnerProfile::test_profile(3, "gamma");
             s2s.bid_rate = 1.0;
-            account.s2s_partners = vec![s2s];
+            account.s2s_partners = vec![std::sync::Arc::new(s2s)];
         }
         router.register("ads.pub1.example", AdServerEndpoint::new([account.clone()]));
         router.register("dfp-adnet.example", AdServerEndpoint::new([account]));
@@ -628,7 +660,8 @@ mod tests {
             ad_units: vec![
                 AdUnit::new("ad-slot-1", AdSize::MEDIUM_RECT, Cpm(0.01)),
                 AdUnit::new("ad-slot-2", AdSize::LEADERBOARD, Cpm(0.01)),
-            ],
+            ]
+            .into(),
             client_partners: if facet == Some(HbFacet::ServerSide) {
                 vec![]
             } else {

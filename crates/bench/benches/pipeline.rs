@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hb_adtech::HbFacet;
-use hb_core::Interner;
-use hb_crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
-use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use hb_core::{Interner, VisitColumns};
+use hb_crawler::{crawl_site_into, crawl_site_pooled, SessionConfig, VisitScratch};
+use hb_ecosystem::{Ecosystem, EcosystemConfig, SiteFactory};
 use hb_http::{Json, Request, RequestId, Url};
 use std::hint::black_box;
 
@@ -138,9 +138,71 @@ fn campaign_small_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pure cold site derivation: every iteration derives a rank no memo has
+/// ever seen (the factory's lazy universe is huge, the rank cursor never
+/// wraps), so this isolates `generate_site` + profile assembly — the
+/// per-site cost an adoption sweep pays before the first request flies.
+fn derive_site_cold_bench(c: &mut Criterion) {
+    let factory = SiteFactory::new(EcosystemConfig::paper_scale().with_sites(100_000_000));
+    let mut rank: u32 = 0;
+    c.bench_function("ecosystem/derive_site_cold", |b| {
+        b.iter(|| {
+            rank += 1;
+            black_box(factory.site(rank))
+        })
+    });
+}
+
+/// The adoption-sweep shape: a warm worker scratch crawling a block of
+/// ranks it has never visited — every visit is a memo miss (cold
+/// `runtime_shared`, cold page HTML) appending direct-to-column. Reported
+/// as visits/sec over the block, directly comparable to the campaign
+/// benches; the rank window advances each iteration so the path never
+/// warms up.
+fn campaign_cold_sweep_bench(c: &mut Criterion) {
+    const BLOCK: u32 = 256;
+    let factory = SiteFactory::new(EcosystemConfig::paper_scale().with_sites(100_000_000));
+    let session = SessionConfig::default();
+    let net = factory.net();
+    let mut scratch = VisitScratch::new(factory.partner_list());
+    let mut strings = Interner::new();
+    let mut cols = VisitColumns::new();
+    let mut truths = Vec::new();
+    let mut next_rank: u32 = 1;
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(BLOCK as u64));
+    group.bench_function("cold_sweep", |b| {
+        b.iter(|| {
+            // Seal the previous "chunk": columns, truths and the local
+            // interner restart per block, like a campaign block does.
+            cols.clear();
+            truths.clear();
+            strings = Interner::new();
+            let lo = next_rank;
+            next_rank += BLOCK;
+            for rank in lo..lo + BLOCK {
+                black_box(crawl_site_into(
+                    net.clone(),
+                    factory.runtime_shared(rank),
+                    factory.visit_rng(rank, 0),
+                    0,
+                    &session,
+                    &mut strings,
+                    &mut scratch,
+                    &mut cols,
+                    &mut truths,
+                ));
+            }
+            cols.len()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = pipeline;
     config = Criterion::default().sample_size(10);
-    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_small_bench
+    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_small_bench,
+        derive_site_cold_bench, campaign_cold_sweep_bench
 );
 criterion_main!(pipeline);

@@ -6,11 +6,14 @@
 //! median ns/op per bench plus derived visits/sec for throughput benches —
 //! so the perf trajectory is tracked in-repo across PRs.
 //!
-//! The snapshot additionally records the **measured steady-state
-//! allocation count per visit flow** (client/server/hybrid/waterfall),
-//! observed with a counting global allocator over the same pooled visit
-//! path `tests/alloc_free.rs` budgets — so the allocation trajectory is
-//! tracked alongside throughput.
+//! The snapshot additionally records the **measured allocation counts per
+//! visit flow** (client/server/hybrid/waterfall), observed with a
+//! counting global allocator over the same visit paths
+//! `tests/alloc_free.rs` budgets: the pooled row path (`alloc_per_visit`,
+//! comparable to BENCH_3/BENCH_4) and the direct-to-column campaign hot
+//! path with its steady/cold-fresh/memo-cleared split
+//! (`alloc_per_visit_columnar`) — so both the allocation trajectory and
+//! the cold-visit tax are tracked alongside throughput.
 //!
 //! Usage (after `cargo bench -p hb-bench`):
 //!
@@ -20,9 +23,9 @@
 //! ```
 
 use hb_adtech::HbFacet;
-use hb_core::Interner;
-use hb_crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
-use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use hb_core::{Interner, VisitColumns};
+use hb_crawler::{crawl_site_into, crawl_site_pooled, SessionConfig, TruthRecord, VisitScratch};
+use hb_ecosystem::{clear_thread_memos, Ecosystem, EcosystemConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -96,6 +99,85 @@ fn measure_visit_allocs() -> Vec<(&'static str, u64)> {
         let before = ALLOCS.load(Ordering::Relaxed);
         let _ = visit(&mut strings, &mut scratch);
         out.push((label, ALLOCS.load(Ordering::Relaxed) - before));
+    }
+    out
+}
+
+/// Allocations of `f` (single-threaded process, counter is exact).
+fn allocs_during<R>(f: impl FnOnce() -> R) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let _ = f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Steady-state and **cold** allocation counts for the direct-to-column
+/// campaign hot path (`crawl_site_into`). Keep the protocol in lockstep
+/// with `tests/alloc_free.rs`:
+///
+/// * `steady` — the Nth visit of the same rank after 3 warm-ups;
+/// * `cold_fresh_mean` — mean over 5 never-visited ranks of the flow
+///   with a warm scratch (the adoption-sweep / memo-miss shape);
+/// * `cold_memo_cleared` — the warm rank again after
+///   [`clear_thread_memos`] (pure re-derivation, no new interner
+///   entries).
+fn measure_columnar_allocs() -> Vec<(&'static str, u64, u64, u64)> {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = SessionConfig::default();
+    let flows: [(&'static str, Option<HbFacet>); 4] = [
+        ("client_side", Some(HbFacet::ClientSide)),
+        ("server_side", Some(HbFacet::ServerSide)),
+        ("hybrid", Some(HbFacet::Hybrid)),
+        ("waterfall", None),
+    ];
+    let mut out = Vec::new();
+    for (label, facet) in flows {
+        let ranks: Vec<u32> = eco
+            .sites()
+            .iter()
+            .filter(|s| s.facet == facet)
+            .map(|s| s.rank)
+            .collect();
+        if ranks.len() < 6 {
+            eprintln!("warning: too few {label} sites; cold_alloc_per_visit omits it");
+            continue;
+        }
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut strings = Interner::new();
+        let mut cols = VisitColumns::new();
+        let mut truths: Vec<TruthRecord> = Vec::new();
+        let visit = |rank: u32,
+                     strings: &mut Interner,
+                     scratch: &mut VisitScratch,
+                     cols: &mut VisitColumns,
+                     truths: &mut Vec<TruthRecord>| {
+            crawl_site_into(
+                eco.net(),
+                eco.runtime_shared(rank),
+                eco.visit_rng(rank, 0),
+                0,
+                &cfg,
+                strings,
+                scratch,
+                cols,
+                truths,
+            )
+        };
+        for _ in 0..3 {
+            let _ = visit(ranks[0], &mut strings, &mut scratch, &mut cols, &mut truths);
+        }
+        let steady =
+            allocs_during(|| visit(ranks[0], &mut strings, &mut scratch, &mut cols, &mut truths));
+        let fresh: Vec<u64> = ranks[1..6]
+            .iter()
+            .map(|&r| {
+                allocs_during(|| visit(r, &mut strings, &mut scratch, &mut cols, &mut truths))
+            })
+            .collect();
+        let fresh_mean = fresh.iter().sum::<u64>() / fresh.len() as u64;
+        clear_thread_memos();
+        let cleared =
+            allocs_during(|| visit(ranks[0], &mut strings, &mut scratch, &mut cols, &mut truths));
+        out.push((label, steady, fresh_mean, cleared));
     }
     out
 }
@@ -190,6 +272,18 @@ fn main() {
     for (i, (label, count)) in allocs.iter().enumerate() {
         out.push_str(&format!("    \"{label}\": {count}"));
         out.push_str(if i + 1 == n_flows { "\n" } else { ",\n" });
+    }
+    // The direct-to-column hot path, steady and cold (see
+    // measure_columnar_allocs for the protocol).
+    out.push_str("  },\n  \"alloc_per_visit_columnar\": {\n");
+    let columnar = measure_columnar_allocs();
+    let n_columnar = columnar.len();
+    for (i, (label, steady, fresh, cleared)) in columnar.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{label}\": {{\"steady\": {steady}, \"cold_fresh_mean\": {fresh}, \
+             \"cold_memo_cleared\": {cleared}}}"
+        ));
+        out.push_str(if i + 1 == n_columnar { "\n" } else { ",\n" });
     }
     out.push_str("  }\n}\n");
 

@@ -131,9 +131,51 @@ impl VisitColumns {
         self.rank.is_empty()
     }
 
-    /// Append one finished visit, consuming the row (child vectors are
-    /// drained into the flattened arrays).
-    pub fn push(&mut self, v: VisitRecord) {
+    /// Drop every row while keeping the allocated capacity of all columns
+    /// (benches and long-lived per-worker buffers reuse the storage).
+    pub fn clear(&mut self) {
+        let VisitColumns {
+            domain,
+            rank,
+            day,
+            hb_detected,
+            facet,
+            slots_auctioned,
+            hb_latency_ms,
+            page_load_ms,
+            partners,
+            partners_off,
+            bids,
+            bids_off,
+            partner_latencies,
+            latencies_off,
+            slots,
+            slots_off,
+            event_counts,
+            events_off,
+        } = self;
+        domain.clear();
+        rank.clear();
+        day.clear();
+        hb_detected.clear();
+        facet.clear();
+        slots_auctioned.clear();
+        hb_latency_ms.clear();
+        page_load_ms.clear();
+        partners.clear();
+        partners_off.clear();
+        bids.clear();
+        bids_off.clear();
+        partner_latencies.clear();
+        latencies_off.clear();
+        slots.clear();
+        slots_off.clear();
+        event_counts.clear();
+        events_off.clear();
+    }
+
+    /// Lazily seed the offset columns (they carry one extra leading 0).
+    fn ensure_offsets(&mut self) {
         if self.partners_off.is_empty() {
             self.partners_off.push(0);
             self.bids_off.push(0);
@@ -141,24 +183,53 @@ impl VisitColumns {
             self.slots_off.push(0);
             self.events_off.push(0);
         }
-        self.domain.push(v.domain);
-        self.rank.push(v.rank);
-        self.day.push(v.day);
-        self.hb_detected.push(v.hb_detected);
-        self.facet.push(v.facet);
-        self.slots_auctioned.push(v.slots_auctioned);
-        self.hb_latency_ms.push(v.hb_latency_ms);
-        self.page_load_ms.push(v.page_load_ms);
-        self.partners.extend(v.partners);
-        self.partners_off.push(self.partners.len() as u32);
-        self.bids.extend(v.bids);
-        self.bids_off.push(self.bids.len() as u32);
-        self.partner_latencies.extend(v.partner_latencies);
-        self.latencies_off.push(self.partner_latencies.len() as u32);
-        self.slots.extend(v.slots);
-        self.slots_off.push(self.slots.len() as u32);
-        self.event_counts.extend(v.event_counts);
-        self.events_off.push(self.event_counts.len() as u32);
+    }
+
+    /// Start appending one visit row directly into the columns. Child
+    /// rows (partners, bids, latencies, slots, event counts) are pushed
+    /// straight into the flattened arrays; [`VisitBuilder::finish_row`]
+    /// commits the scalars and offsets. This is the crawl hot path: a
+    /// finished visit lands in columnar storage without ever
+    /// materializing an owned [`VisitRecord`].
+    pub fn begin_visit(&mut self) -> VisitBuilder<'_> {
+        self.ensure_offsets();
+        VisitBuilder {
+            cols: self,
+            committed: false,
+        }
+    }
+
+    /// Append one finished visit, consuming the row (child vectors are
+    /// drained into the flattened arrays). Equivalent to streaming the
+    /// row through [`VisitColumns::begin_visit`] — enforced row-for-row
+    /// by the builder-equivalence proptest.
+    pub fn push(&mut self, v: VisitRecord) {
+        let mut b = self.begin_visit();
+        for p in v.partners {
+            b.push_partner(p);
+        }
+        for bid in v.bids {
+            b.push_bid(bid);
+        }
+        for l in v.partner_latencies {
+            b.push_partner_latency(l);
+        }
+        for s in v.slots {
+            b.push_slot(s);
+        }
+        for (label, n) in v.event_counts {
+            b.push_event_count(label, n);
+        }
+        b.finish_row(VisitScalars {
+            domain: v.domain,
+            rank: v.rank,
+            day: v.day,
+            hb_detected: v.hb_detected,
+            facet: v.facet,
+            slots_auctioned: v.slots_auctioned,
+            hb_latency_ms: v.hb_latency_ms,
+            page_load_ms: v.page_load_ms,
+        });
     }
 
     /// Borrowed view of row `i`.
@@ -216,6 +287,117 @@ impl VisitColumns {
         }
         for (label, _) in &mut self.event_counts {
             *label = f(*label);
+        }
+    }
+}
+
+/// The scalar fields of one visit row, committed together by
+/// [`VisitBuilder::finish_row`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VisitScalars {
+    /// Site hostname.
+    pub domain: Symbol,
+    /// Site rank (1-based).
+    pub rank: u32,
+    /// Crawl day (0-based).
+    pub day: u32,
+    /// Did the visit exhibit HB activity?
+    pub hb_detected: bool,
+    /// Facet classification, when HB was detected.
+    pub facet: Option<DetectedFacet>,
+    /// Number of ad slots auctioned.
+    pub slots_auctioned: u32,
+    /// Total HB latency, ms.
+    pub hb_latency_ms: Option<f64>,
+    /// Page load time, ms.
+    pub page_load_ms: Option<f64>,
+}
+
+/// In-progress appender for one visit row inside a [`VisitColumns`].
+///
+/// Child rows accumulate in the flattened arrays as they are pushed;
+/// [`VisitBuilder::finish_row`] commits the row by appending the scalar
+/// columns and the offset entries. Dropping an unfinished builder rolls
+/// the uncommitted child rows back, leaving the columns exactly as they
+/// were before [`VisitColumns::begin_visit`].
+pub struct VisitBuilder<'a> {
+    cols: &'a mut VisitColumns,
+    committed: bool,
+}
+
+impl VisitBuilder<'_> {
+    /// Append one participating partner (sorted order is the caller's
+    /// responsibility, matching [`VisitRecord::partners`]).
+    pub fn push_partner(&mut self, p: Symbol) {
+        self.cols.partners.push(p);
+    }
+
+    /// Append one detected bid.
+    pub fn push_bid(&mut self, b: DetectedBid) {
+        self.cols.bids.push(b);
+    }
+
+    /// Append one per-partner latency observation.
+    pub fn push_partner_latency(&mut self, l: PartnerLatency) {
+        self.cols.partner_latencies.push(l);
+    }
+
+    /// Append one slot decision.
+    pub fn push_slot(&mut self, s: DetectedSlot) {
+        self.cols.slots.push(s);
+    }
+
+    /// Append one DOM-event count.
+    pub fn push_event_count(&mut self, label: Symbol, n: u32) {
+        self.cols.event_counts.push((label, n));
+    }
+
+    /// The bids pushed for *this* row so far (the detector's
+    /// double-count check reads them back while reconstructing winners).
+    pub fn bids(&self) -> &[DetectedBid] {
+        let start = *self.cols.bids_off.last().expect("offsets seeded") as usize;
+        &self.cols.bids[start..]
+    }
+
+    /// Number of slot decisions pushed for this row so far.
+    pub fn slots_len(&self) -> usize {
+        let start = *self.cols.slots_off.last().expect("offsets seeded") as usize;
+        self.cols.slots.len() - start
+    }
+
+    /// Commit the row: append the scalar columns and seal the child
+    /// windows.
+    pub fn finish_row(mut self, s: VisitScalars) {
+        let c = &mut *self.cols;
+        c.domain.push(s.domain);
+        c.rank.push(s.rank);
+        c.day.push(s.day);
+        c.hb_detected.push(s.hb_detected);
+        c.facet.push(s.facet);
+        c.slots_auctioned.push(s.slots_auctioned);
+        c.hb_latency_ms.push(s.hb_latency_ms);
+        c.page_load_ms.push(s.page_load_ms);
+        c.partners_off.push(c.partners.len() as u32);
+        c.bids_off.push(c.bids.len() as u32);
+        c.latencies_off.push(c.partner_latencies.len() as u32);
+        c.slots_off.push(c.slots.len() as u32);
+        c.events_off.push(c.event_counts.len() as u32);
+        self.committed = true;
+    }
+}
+
+impl Drop for VisitBuilder<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Roll back child rows of the abandoned visit.
+            let c = &mut *self.cols;
+            c.partners.truncate(*c.partners_off.last().unwrap_or(&0) as usize);
+            c.bids.truncate(*c.bids_off.last().unwrap_or(&0) as usize);
+            c.partner_latencies
+                .truncate(*c.latencies_off.last().unwrap_or(&0) as usize);
+            c.slots.truncate(*c.slots_off.last().unwrap_or(&0) as usize);
+            c.event_counts
+                .truncate(*c.events_off.last().unwrap_or(&0) as usize);
         }
     }
 }

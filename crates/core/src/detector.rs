@@ -13,8 +13,9 @@
 //! interned at reconstruction time.
 
 use crate::classify::{classify_request, response_has_hb_params, RequestKind};
+use crate::columns::{VisitColumns, VisitScalars};
 use crate::events::{CapturedEvent, HbEventKind};
-use crate::intern::Interner;
+use crate::intern::{Interner, Symbol};
 use crate::list::PartnerList;
 use crate::record::{
     BidSource, DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord,
@@ -28,7 +29,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 /// One observed request with its lifecycle timing and extracted content.
-#[derive(Clone, Debug)]
+/// Parsed bid/winner entries live in the state's flattened side tables
+/// (`raw_bids`/`raw_winners`) as half-open ranges, so the per-request
+/// record is flat data and clearing the state keeps every capacity.
+#[derive(Clone, Copy, Debug)]
 struct ObservedRequest {
     kind: RequestKind,
     /// Matched partner, as an index into the detector's list.
@@ -36,10 +40,10 @@ struct ObservedRequest {
     sent_at: SimTime,
     completed_at: Option<SimTime>,
     failed: bool,
-    /// Parsed bid entries from a successful bid response.
-    response_bids: Vec<RawBid>,
-    /// Parsed winner entries from an ad-server response.
-    response_winners: Vec<RawWinner>,
+    /// Range of parsed bid entries in `DetectorState::raw_bids`.
+    bids: (u32, u32),
+    /// Range of parsed winner entries in `DetectorState::raw_winners`.
+    winners: (u32, u32),
     /// Did the response body carry HB params (server-side signal)?
     response_has_hb_params: bool,
 }
@@ -67,10 +71,29 @@ struct RawWinner {
 #[derive(Default)]
 struct DetectorState {
     events: Vec<CapturedEvent>,
-    // Fx-hashed: touched 2-3 times per classified request on the visit
-    // hot path; iteration for output goes through `order`.
-    requests: FxHashMap<RequestId, ObservedRequest>,
-    order: Vec<RequestId>,
+    /// Observed requests in classification order — reconstruction walks
+    /// this flat, cache-friendly slice directly (the former per-finish
+    /// `Vec<&ObservedRequest>` temporaries are gone).
+    requests: Vec<ObservedRequest>,
+    // Fx-hashed: touched 1-2 times per classified request on the visit
+    // hot path; iteration for output goes through `requests`.
+    index: FxHashMap<RequestId, u32>,
+    /// Flattened parsed bid entries, windowed by `ObservedRequest::bids`.
+    raw_bids: Vec<RawBid>,
+    /// Flattened parsed winner entries, windowed by
+    /// `ObservedRequest::winners`.
+    raw_winners: Vec<RawWinner>,
+}
+
+/// Reusable reconstruction buffers (capacity survives across visits).
+#[derive(Default)]
+struct FinishScratch {
+    /// Distinct participating partners, as list indices.
+    partners: Vec<u32>,
+    /// `(event name, count)` pairs being sorted for output.
+    events: Vec<(&'static str, u32)>,
+    /// Distinct bid slots (slots-auctioned fallback count).
+    slots: Vec<Symbol>,
 }
 
 /// The HBDetector. Create with a partner list, [`attach`](Self::attach) to
@@ -78,6 +101,7 @@ struct DetectorState {
 pub struct HbDetector {
     list: Arc<PartnerList>,
     state: Rc<RefCell<DetectorState>>,
+    scratch: RefCell<FinishScratch>,
 }
 
 impl HbDetector {
@@ -92,6 +116,7 @@ impl HbDetector {
         HbDetector {
             list,
             state: Rc::new(RefCell::new(DetectorState::default())),
+            scratch: RefCell::new(FinishScratch::default()),
         }
     }
 
@@ -109,30 +134,36 @@ impl HbDetector {
         let state = self.state.clone();
         let list = self.list.clone();
         browser.webrequest.tap(move |ev| {
-            let mut st = state.borrow_mut();
+            let st = &mut *state.borrow_mut();
             match ev {
                 WebRequestEvent::Before { request, at } => {
                     let classification = classify_request(&list, request);
                     if classification.kind == RequestKind::Unrelated {
                         return;
                     }
-                    st.order.push(request.id);
-                    st.requests.insert(
-                        request.id,
-                        ObservedRequest {
-                            kind: classification.kind,
-                            partner_index: classification.partner_index,
-                            sent_at: *at,
-                            completed_at: None,
-                            failed: false,
-                            response_bids: Vec::new(),
-                            response_winners: Vec::new(),
-                            response_has_hb_params: false,
-                        },
-                    );
+                    st.index.insert(request.id, st.requests.len() as u32);
+                    st.requests.push(ObservedRequest {
+                        kind: classification.kind,
+                        partner_index: classification.partner_index,
+                        sent_at: *at,
+                        completed_at: None,
+                        failed: false,
+                        bids: (0, 0),
+                        winners: (0, 0),
+                        response_has_hb_params: false,
+                    });
                 }
                 WebRequestEvent::Completed { request, response, at } => {
-                    if let Some(obs) = st.requests.get_mut(&request.id) {
+                    let DetectorState {
+                        requests,
+                        index,
+                        raw_bids,
+                        raw_winners,
+                        ..
+                    } = st;
+                    if let Some(obs) =
+                        index.get(&request.id).map(|&i| &mut requests[i as usize])
+                    {
                         obs.completed_at = Some(*at);
                         obs.response_has_hb_params = response_has_hb_params(response);
                         // Parse every JSON body, not just hb_-flagged ones:
@@ -140,11 +171,17 @@ impl HbDetector {
                         // payload carrying an hb_ key alongside the lists.
                         // Structured bodies are borrowed (no tree clone);
                         // text bodies are still parsed opportunistically.
-                        response.body.with_json(|body| parse_response_content(obs, body));
+                        response.body.with_json(|body| {
+                            parse_response_content(obs, raw_bids, raw_winners, body)
+                        });
                     }
                 }
                 WebRequestEvent::Failed { request, .. } => {
-                    if let Some(obs) = st.requests.get_mut(&request.id) {
+                    if let Some(obs) = st
+                        .index
+                        .get(&request.id)
+                        .map(|&i| &mut st.requests[i as usize])
+                    {
                         obs.failed = true;
                     }
                 }
@@ -165,12 +202,18 @@ impl HbDetector {
         let mut st = self.state.borrow_mut();
         st.events.clear();
         st.requests.clear();
-        st.order.clear();
+        st.index.clear();
+        st.raw_bids.clear();
+        st.raw_winners.clear();
     }
 
     /// Reconstruct the visit record. `domain`, `rank` and `day` are crawl
     /// metadata; `page_load_ms` comes from the page timing. All strings
     /// are interned into `strings` — resolve the record against it.
+    ///
+    /// Thin row wrapper over [`HbDetector::finish_into`] for one-shot
+    /// callers (tests, examples, validation); the campaign workers append
+    /// straight into their chunk's columns.
     pub fn finish(
         &self,
         domain: &str,
@@ -179,50 +222,63 @@ impl HbDetector {
         page_load_ms: Option<f64>,
         strings: &mut Interner,
     ) -> VisitRecord {
+        let mut cols = VisitColumns::new();
+        self.finish_into(domain, rank, day, page_load_ms, strings, &mut cols);
+        cols.get(0).to_record()
+    }
+
+    /// Reconstruct the visit and append it as one row directly into
+    /// `cols` — detected bids, slots and latencies stream into the
+    /// worker's columnar storage without materializing an owned
+    /// [`VisitRecord`] (the crawl hot path: nothing escapes the visit but
+    /// the column tails). Interning order, row content and child-row
+    /// order are identical to [`HbDetector::finish`] by construction.
+    pub fn finish_into(
+        &self,
+        domain: &str,
+        rank: u32,
+        day: u32,
+        page_load_ms: Option<f64>,
+        strings: &mut Interner,
+        cols: &mut VisitColumns,
+    ) {
         let st = self.state.borrow();
+        let scratch = &mut *self.scratch.borrow_mut();
         let entry = |idx: Option<u32>| idx.map(|i| self.list.entry(i));
-        let mut rec = VisitRecord {
+        let mut scalars = VisitScalars {
             domain: strings.intern(domain),
             rank,
             day,
             page_load_ms,
-            ..VisitRecord::default()
+            ..VisitScalars::default()
         };
+        let mut row = cols.begin_visit();
 
         // --- Gather the key requests -------------------------------------
-        let ordered: Vec<&ObservedRequest> = st
-            .order
-            .iter()
-            .filter_map(|id| st.requests.get(id))
-            .collect();
-        let bid_requests: Vec<&ObservedRequest> = ordered
-            .iter()
-            .copied()
-            .filter(|r| r.kind == RequestKind::BidRequest)
-            .collect();
-        let adserver_calls: Vec<&ObservedRequest> = ordered
-            .iter()
-            .copied()
-            .filter(|r| r.kind == RequestKind::AdServerCall)
-            .collect();
+        // `st.requests` is already the classification-ordered flat slice;
+        // the reconstruction passes below re-walk it instead of collecting
+        // per-kind temporaries.
+        let bid_requests = || st.requests.iter().filter(|r| r.kind == RequestKind::BidRequest);
+        let adserver_calls =
+            || st.requests.iter().filter(|r| r.kind == RequestKind::AdServerCall);
 
         // --- HB present? ---------------------------------------------------
         let has_proof_event = st.events.iter().any(|e| e.kind.proves_hb());
-        let has_hb_response_params = adserver_calls
-            .iter()
-            .any(|r| r.response_has_hb_params)
-            || bid_requests.iter().any(|r| r.response_has_hb_params);
-        rec.hb_detected = has_proof_event || !bid_requests.is_empty() || has_hb_response_params;
-        if !rec.hb_detected {
-            return rec;
+        let has_hb_response_params = adserver_calls().any(|r| r.response_has_hb_params)
+            || bid_requests().any(|r| r.response_has_hb_params);
+        let has_bid_requests = bid_requests().next().is_some();
+        scalars.hb_detected = has_proof_event || has_bid_requests || has_hb_response_params;
+        if !scalars.hb_detected {
+            row.finish_row(scalars);
+            return;
         }
 
         // --- Facet --------------------------------------------------------
-        let adserver_call = adserver_calls.first().copied();
+        let adserver_call = adserver_calls().next();
         let adserver_is_partner = adserver_call
             .map(|c| c.partner_index.is_some())
             .unwrap_or(false);
-        rec.facet = Some(if bid_requests.is_empty() {
+        scalars.facet = Some(if !has_bid_requests {
             DetectedFacet::Server
         } else if adserver_is_partner {
             DetectedFacet::Hybrid
@@ -231,31 +287,40 @@ impl HbDetector {
         });
 
         // --- Partners (request-level evidence) ------------------------------
-        let mut partners: Vec<&str> = Vec::new();
-        for r in bid_requests.iter().chain(adserver_call.iter()) {
-            if let Some(e) = entry(r.partner_index) {
-                if !partners.contains(&e.name.as_str()) {
-                    partners.push(&e.name);
+        // Distinct list indices, deduped and sorted by display name in a
+        // reusable buffer, interned in sorted order (matching the former
+        // `Vec<&str>` path symbol for symbol).
+        let partners = &mut scratch.partners;
+        partners.clear();
+        for r in bid_requests().chain(adserver_call) {
+            if let Some(i) = r.partner_index {
+                let name = &self.list.entry(i).name;
+                if !partners.iter().any(|&j| self.list.entry(j).name == *name) {
+                    partners.push(i);
                 }
             }
         }
-        partners.sort_unstable();
-        rec.partners = partners.iter().map(|name| strings.intern(name)).collect();
+        partners.sort_unstable_by(|&a, &b| {
+            self.list.entry(a).name.cmp(&self.list.entry(b).name)
+        });
+        for &i in partners.iter() {
+            let sym = strings.intern(&self.list.entry(i).name);
+            row.push_partner(sym);
+        }
 
         // --- Timing ---------------------------------------------------------
-        let first_hb_request_at = bid_requests
-            .iter()
+        let first_hb_request_at = bid_requests()
             .map(|r| r.sent_at)
-            .chain(adserver_call.iter().map(|r| r.sent_at))
+            .chain(adserver_call.map(|r| r.sent_at))
             .min();
         let adserver_sent_at = adserver_call.map(|c| c.sent_at);
         let adserver_done_at = adserver_call.and_then(|c| c.completed_at);
         if let (Some(t0), Some(t1)) = (first_hb_request_at, adserver_done_at) {
-            rec.hb_latency_ms = Some(t1.saturating_since(t0).as_millis_f64());
+            scalars.hb_latency_ms = Some(t1.saturating_since(t0).as_millis_f64());
         }
 
         // --- Bids -----------------------------------------------------------
-        for r in &bid_requests {
+        for r in bid_requests() {
             let late = match (r.completed_at, adserver_sent_at) {
                 (Some(done), Some(sent)) => done > sent,
                 // Never completed: counts as lost, not late.
@@ -266,7 +331,7 @@ impl HbDetector {
                 .map(|done| done.saturating_since(r.sent_at).as_millis_f64());
             if let Some(e) = entry(r.partner_index) {
                 if let Some(lat) = latency_ms {
-                    rec.partner_latencies.push(PartnerLatency {
+                    row.push_partner_latency(PartnerLatency {
                         partner_name: strings.intern(&e.name),
                         bidder_code: strings.intern(&e.code),
                         latency_ms: lat,
@@ -274,12 +339,12 @@ impl HbDetector {
                     });
                 }
             }
-            for bid in &r.response_bids {
+            for bid in &st.raw_bids[r.bids.0 as usize..r.bids.1 as usize] {
                 let partner_name = match self.list.by_code(&bid.bidder) {
                     Some(e) => strings.intern(&e.name),
                     None => strings.intern(&bid.bidder),
                 };
-                rec.bids.push(DetectedBid {
+                row.push_bid(DetectedBid {
                     bidder_code: strings.intern(&bid.bidder),
                     partner_name,
                     slot: strings.intern(&bid.slot),
@@ -295,7 +360,7 @@ impl HbDetector {
         // partner-latency view includes the providers).
         if let Some(c) = adserver_call {
             if let (Some(e), Some(done)) = (entry(c.partner_index), c.completed_at) {
-                rec.partner_latencies.push(PartnerLatency {
+                row.push_partner_latency(PartnerLatency {
                     partner_name: strings.intern(&e.name),
                     bidder_code: strings.intern(&e.code),
                     latency_ms: done.saturating_since(c.sent_at).as_millis_f64(),
@@ -305,8 +370,8 @@ impl HbDetector {
         }
 
         // --- Winners / slots -------------------------------------------------
-        for c in &adserver_calls {
-            for w in &c.response_winners {
+        for c in adserver_calls() {
+            for w in &st.raw_winners[c.winners.0 as usize..c.winners.1 as usize] {
                 let slot = strings.intern(&w.slot);
                 let size = strings.intern(&w.size);
                 let winner = strings.intern(&w.bidder);
@@ -315,18 +380,17 @@ impl HbDetector {
                     // Server-Side and Hybrid HB (the only price signal the
                     // client gets there). Skip bidders already seen as
                     // client bids for this slot to avoid double counting.
-                    let already = rec
-                        .bids
-                        .iter()
-                        .any(|b| b.source == BidSource::ClientVisible
+                    let already = row.bids().iter().any(|b| {
+                        b.source == BidSource::ClientVisible
                             && b.bidder_code == winner
-                            && b.slot == slot);
+                            && b.slot == slot
+                    });
                     if !already {
                         let partner_name = match self.list.by_code(&w.bidder) {
                             Some(e) => strings.intern(&e.name),
                             None => winner,
                         };
-                        rec.bids.push(DetectedBid {
+                        row.push_bid(DetectedBid {
                             bidder_code: winner,
                             partner_name,
                             slot,
@@ -338,7 +402,7 @@ impl HbDetector {
                         });
                     }
                 }
-                rec.slots.push(DetectedSlot {
+                row.push_slot(DetectedSlot {
                     slot,
                     size,
                     winner,
@@ -352,16 +416,19 @@ impl HbDetector {
         // Prefer the auctionInit adUnitCodes count; fall back to the
         // ad-server call's hb_slot parameters; then to rendered slots.
         let init_units: Option<u32> = None; // adUnitCodes not stored per event; use slots
-        rec.slots_auctioned = init_units.unwrap_or_else(|| {
-            let from_slots = rec.slots.len() as u32;
+        scalars.slots_auctioned = init_units.unwrap_or_else(|| {
+            let from_slots = row.slots_len() as u32;
             if from_slots > 0 {
                 from_slots
             } else {
-                rec.bids
-                    .iter()
-                    .map(|b| b.slot)
-                    .collect::<std::collections::BTreeSet<_>>()
-                    .len() as u32
+                // Distinct bid slots, counted in a reusable buffer (the
+                // former per-finish `BTreeSet`).
+                let distinct = &mut scratch.slots;
+                distinct.clear();
+                distinct.extend(row.bids().iter().map(|b| b.slot));
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len() as u32
             }
         });
 
@@ -372,30 +439,40 @@ impl HbDetector {
         for e in &st.events {
             counts[e.kind as usize] += 1;
         }
-        let mut names: Vec<(&'static str, u32)> = HbEventKind::ALL
-            .iter()
-            .map(|k| (k.event_name(), counts[*k as usize]))
-            .filter(|(_, n)| *n > 0)
-            .collect();
+        let names = &mut scratch.events;
+        names.clear();
+        names.extend(
+            HbEventKind::ALL
+                .iter()
+                .map(|k| (k.event_name(), counts[*k as usize]))
+                .filter(|(_, n)| *n > 0),
+        );
         names.sort_unstable();
-        rec.event_counts = names
-            .into_iter()
-            .map(|(name, n)| (strings.intern(name), n))
-            .collect();
+        for &(name, n) in names.iter() {
+            let sym = strings.intern(name);
+            row.push_event_count(sym, n);
+        }
 
-        rec
+        row.finish_row(scalars);
     }
 }
 
-/// Parse bid-response and ad-server-response JSON into raw entries.
-fn parse_response_content(obs: &mut ObservedRequest, body: &Json) {
+/// Parse bid-response and ad-server-response JSON into the flattened raw
+/// tables, recording the half-open ranges on the request.
+fn parse_response_content(
+    obs: &mut ObservedRequest,
+    raw_bids: &mut Vec<RawBid>,
+    raw_winners: &mut Vec<RawWinner>,
+    body: &Json,
+) {
+    let bid_start = raw_bids.len() as u32;
     if let Some(bids) = body.get("bids").and_then(|b| b.as_arr()) {
         for b in bids {
             let bidder = b.get("bidder").and_then(|v| v.as_str()).unwrap_or("");
             if bidder.is_empty() {
                 continue;
             }
-            obs.response_bids.push(RawBid {
+            raw_bids.push(RawBid {
                 bidder: HStr::new(bidder),
                 slot: HStr::new(b.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
                 cpm: b.get("cpm").and_then(|v| v.as_f64()).unwrap_or(0.0),
@@ -403,9 +480,11 @@ fn parse_response_content(obs: &mut ObservedRequest, body: &Json) {
             });
         }
     }
+    obs.bids = (bid_start, raw_bids.len() as u32);
+    let win_start = raw_winners.len() as u32;
     if let Some(winners) = body.get("winners").and_then(|w| w.as_arr()) {
         for w in winners {
-            obs.response_winners.push(RawWinner {
+            raw_winners.push(RawWinner {
                 slot: HStr::new(w.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
                 bidder: HStr::new(w.get("hb_bidder").and_then(|v| v.as_str()).unwrap_or("")),
                 pb: w
@@ -418,6 +497,7 @@ fn parse_response_content(obs: &mut ObservedRequest, body: &Json) {
             });
         }
     }
+    obs.winners = (win_start, raw_winners.len() as u32);
 }
 
 #[cfg(test)]

@@ -36,7 +36,7 @@ pub use classify::{
     classify_request, hb_params_of_request, hb_params_of_response, is_hb_param,
     response_has_hb_params, Classification, RequestKind,
 };
-pub use columns::{VisitColumns, VisitView};
+pub use columns::{VisitBuilder, VisitColumns, VisitScalars, VisitView};
 pub use detector::HbDetector;
 pub use events::{CapturedEvent, HbEventKind};
 pub use intern::{Interner, Symbol};

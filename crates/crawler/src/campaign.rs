@@ -23,14 +23,13 @@
 //! identical for every `parallelism` *and* every `shards` setting.
 
 use crate::chunk::VisitChunk;
-use crate::dataset::{CrawlDataset, TruthRecord};
-use crate::session::{crawl_site_pooled, SessionConfig, VisitScratch};
+use crate::dataset::CrawlDataset;
+use crate::ring::SlotRing;
+use crate::session::{crawl_site_into, SessionConfig, VisitScratch};
 use hb_core::{Interner, VisitColumns};
 use hb_ecosystem::{Ecosystem, SiteFactory};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 
 /// A progress observation delivered to [`CampaignConfig::progress`].
@@ -172,7 +171,10 @@ fn run_batch(
         let mut visits = VisitColumns::with_capacity(hi - lo);
         let mut truths = Vec::with_capacity(hi - lo);
         for &rank in &ranks[lo..hi] {
-            let visit = crawl_site_pooled(
+            // Direct-to-column: the detector appends the finished row
+            // straight into the chunk's columns and the ground truth is
+            // flattened in place — no owned SiteVisit per visit.
+            let _ = crawl_site_into(
                 net.clone(),
                 factory.runtime_shared(rank),
                 factory.visit_rng(rank, day),
@@ -180,9 +182,9 @@ fn run_batch(
                 &cfg.session,
                 &mut strings,
                 scratch,
+                &mut visits,
+                &mut truths,
             );
-            truths.push(TruthRecord::from_truth(rank, day, &visit.truth));
-            visits.push(visit.record);
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
                 if let Some(cb) = &cfg.progress {
@@ -219,14 +221,24 @@ fn run_batch(
         return;
     }
 
+    // Multi-worker batch: chunks hand off through a bounded slot ring —
+    // block `b` travels through slot `b % capacity`, so the consumer
+    // drains in `seq` order with no reorder window, nothing allocates per
+    // hand-off, and at most `capacity` sealed chunks are ever in flight
+    // (the mpsc relay was unbounded and allocated a node per chunk).
+    let producers = workers.min(n_blocks);
+    let ring: SlotRing<VisitChunk> = SlotRing::new(producers * 2, producers);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<VisitChunk>();
     std::thread::scope(|scope| {
         let next = &next;
+        let ring = &ring;
         let crawl_block = &crawl_block;
-        for _ in 0..workers.min(n_blocks) {
-            let tx = tx.clone();
+        for _ in 0..producers {
             scope.spawn(move || {
+                // Mark this producer finished on any exit — and abort the
+                // batch on panic — so neither the consumer nor a sibling
+                // blocked on ring capacity ever waits on a dead worker.
+                let _guard = ring.producer_guard();
                 let net = factory.net();
                 // Per-worker scratch: pooled simulation, browser, detector
                 // buffers and message pools live for the whole batch, not
@@ -237,26 +249,25 @@ fn run_batch(
                     if b >= n_blocks {
                         break;
                     }
-                    if tx.send(crawl_block(b, &mut scratch, &net)).is_err() {
-                        break;
+                    if !ring.publish(b, crawl_block(b, &mut scratch, &net)) {
+                        break; // batch aborted
                     }
                 }
             });
         }
-        drop(tx);
-        // Hand chunks to the sink in seq order: a small reorder window
-        // absorbs scheduling jitter, so the consumer sees a deterministic
-        // stream without waiting for the whole batch.
-        let mut pending: BTreeMap<u32, VisitChunk> = BTreeMap::new();
-        let mut next_seq = 0u32;
-        for chunk in rx {
-            pending.insert(chunk.seq, chunk);
-            while let Some(c) = pending.remove(&next_seq) {
-                sink(c);
-                next_seq += 1;
+        // The guard aborts the batch when the consumer stops for any
+        // reason (sink panic included), releasing producers blocked on
+        // ring capacity; after a fully drained batch it is a no-op.
+        let _consumer = ring.consumer_guard();
+        for b in 0..n_blocks {
+            match ring.consume(b) {
+                Some(chunk) => sink(chunk),
+                // The batch aborted (a producer died before publishing
+                // `b`); stop consuming — the scope join below propagates
+                // its panic.
+                None => break,
             }
         }
-        debug_assert!(pending.is_empty(), "chunk seq gap");
     });
 }
 

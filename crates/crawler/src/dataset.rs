@@ -27,7 +27,9 @@ pub struct TruthRecord {
     /// Crawl day.
     pub day: u32,
     /// Ground-truth facet label (`client-side`/`server-side`/`hybrid`/`none`).
-    pub facet: String,
+    /// Static: the label set is closed, so flattening a visit's truth
+    /// never allocates for it.
+    pub facet: &'static str,
     /// Slots auctioned.
     pub slots: u32,
     /// Client-visible bids.
@@ -50,10 +52,7 @@ impl TruthRecord {
         TruthRecord {
             rank,
             day,
-            facet: t
-                .facet
-                .map(|f| f.label().to_string())
-                .unwrap_or_else(|| "none".to_string()),
+            facet: t.facet.map(|f| f.label()).unwrap_or("none"),
             slots: t.slots_auctioned as u32,
             client_bids: t.client_bids as u32,
             late_bids: t.late_bids as u32,
@@ -232,7 +231,12 @@ impl CrawlDataset {
             .map(|r| TruthRecord {
                 rank: r[0].parse().unwrap_or(0),
                 day: r[1].parse().unwrap_or(0),
-                facet: r[2].clone(),
+                facet: match r[2].as_str() {
+                    "client-side" => "client-side",
+                    "server-side" => "server-side",
+                    "hybrid" => "hybrid",
+                    _ => "none",
+                },
                 slots: r[3].parse().unwrap_or(0),
                 client_bids: r[4].parse().unwrap_or(0),
                 late_bids: r[5].parse().unwrap_or(0),

@@ -25,5 +25,10 @@ pub use campaign::{
 };
 pub use chunk::VisitChunk;
 pub use dataset::{CrawlDataset, TruthRecord};
-pub use session::{crawl_site, crawl_site_pooled, SessionConfig, SiteVisit, VisitScratch};
+pub mod ring;
+
+pub use session::{
+    crawl_site, crawl_site_into, crawl_site_pooled, SessionConfig, SiteVisit, VisitOutcome,
+    VisitScratch,
+};
 pub use wayback_crawl::{adoption_study, overlap_study, AdoptionPoint, OverlapPoint};

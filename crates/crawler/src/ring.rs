@@ -1,0 +1,331 @@
+//! Bounded slot ring for chunk hand-off between crawl workers and the
+//! streaming consumer.
+//!
+//! The multi-worker batch used to relay sealed [`VisitChunk`]s through an
+//! unbounded `mpsc` channel and reorder them on the consumer side with a
+//! `BTreeMap` window: every send allocated a channel node, the receiver
+//! parked and woke per message, and a slow consumer let chunks pile up
+//! without bound. The ring replaces all three properties at once:
+//!
+//! * **No per-message allocation** — the ring's slots are allocated once
+//!   per batch; hand-off moves the payload through a pre-existing slot.
+//! * **Ordered by construction** — block `b` travels through slot
+//!   `b % capacity`, and the consumer takes blocks in ascending order, so
+//!   the deterministic `(day, shard, seq)` stream needs no reorder window.
+//! * **Bounded** — a producer that runs `capacity` blocks ahead of the
+//!   consumer waits (spin-then-yield), so at most `capacity` sealed
+//!   chunks are in flight.
+//!
+//! Slot protocol (Vyukov-style sequence stamps, but with a `Mutex` around
+//! the payload so the crate stays free of `unsafe`): slot `s` carries a
+//! stamp; `stamp == b` means "free for the producer of block `b`",
+//! `stamp == b + 1` means "holds block `b`". The consumer of block `b`
+//! waits for `b + 1`, takes the payload, and re-arms the slot with
+//! `b + capacity`. The mutex is never contended: the stamp hand-off
+//! serializes producer and consumer access to the slot.
+//!
+//! [`VisitChunk`]: crate::chunk::VisitChunk
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One slot of the ring.
+struct RingSlot<T> {
+    /// Sequence stamp (see module docs for the encoding).
+    stamp: AtomicUsize,
+    /// Payload in transit, present only between publish and consume.
+    payload: Mutex<Option<T>>,
+}
+
+/// A bounded multi-producer / single-consumer ring carrying numbered
+/// blocks in ascending order.
+pub struct SlotRing<T> {
+    slots: Vec<RingSlot<T>>,
+    /// Producers still running; lets the consumer detect a died-before-
+    /// publish producer instead of spinning forever.
+    producers_alive: AtomicUsize,
+    /// Abort flag: set when a producer unwinds mid-batch or the consumer
+    /// stops early (sink panic, missing block). Every wait loop gives up
+    /// on it, so one failing side releases the other instead of
+    /// deadlocking — the surrounding `thread::scope` then propagates the
+    /// original panic.
+    aborted: AtomicBool,
+}
+
+/// Wait with escalating backoff: spin briefly (the common case is "the
+/// stamp is already right"), yield for a while, then sleep in short
+/// slices. Chunk production takes milliseconds, so a waiter that reaches
+/// the sleep phase adds at most ~100 µs of hand-off latency per block
+/// while no longer burning a core for the whole wait — the parked `mpsc`
+/// receiver this replaced didn't, and neither should the ring.
+fn wait_for(stamp: &AtomicUsize, want: usize, mut give_up: impl FnMut() -> bool) -> bool {
+    let mut spins = 0u32;
+    loop {
+        if stamp.load(Ordering::Acquire) == want {
+            return true;
+        }
+        if give_up() {
+            return false;
+        }
+        spins = spins.saturating_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else if spins < 256 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+}
+
+impl<T> SlotRing<T> {
+    /// Ring with room for `capacity` in-flight blocks, fed by `producers`
+    /// workers. `capacity` should be at least `producers` so every worker
+    /// can have a block in flight; the campaign uses `2 * producers` for
+    /// slack.
+    pub fn new(capacity: usize, producers: usize) -> SlotRing<T> {
+        let capacity = capacity.max(1);
+        SlotRing {
+            slots: (0..capacity)
+                .map(|s| RingSlot {
+                    stamp: AtomicUsize::new(s),
+                    payload: Mutex::new(None),
+                })
+                .collect(),
+            producers_alive: AtomicUsize::new(producers),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Has either side abandoned the batch?
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Publish block `b`. Blocks (spin/yield) while the slot still holds
+    /// an unconsumed earlier block. Returns `false` — dropping `value` —
+    /// when the batch was aborted (a sibling producer unwound, or the
+    /// consumer stopped early); the producer should stop claiming blocks.
+    #[must_use]
+    pub fn publish(&self, b: usize, value: T) -> bool {
+        let slot = &self.slots[b % self.slots.len()];
+        // Give up only on abort: in a healthy batch the consumer always
+        // drains every published block below `b`, so the slot frees up.
+        if !wait_for(&slot.stamp, b, || self.is_aborted()) {
+            return false;
+        }
+        *slot.payload.lock().expect("ring slot poisoned") = Some(value);
+        slot.stamp.store(b + 1, Ordering::Release);
+        true
+    }
+
+    /// Take block `b`, waiting for its producer. Returns `None` when the
+    /// batch aborted or every producer exited without publishing it (a
+    /// worker panicked — the caller's thread scope will propagate the
+    /// panic).
+    pub fn consume(&self, b: usize) -> Option<T> {
+        let slot = &self.slots[b % self.slots.len()];
+        let gone = || self.is_aborted() || self.producers_alive.load(Ordering::Acquire) == 0;
+        if !wait_for(&slot.stamp, b + 1, gone) {
+            // Producers are gone; the block may still have been published
+            // just before the last producer exited.
+            if slot.stamp.load(Ordering::Acquire) != b + 1 {
+                return None;
+            }
+        }
+        let value = slot
+            .payload
+            .lock()
+            .expect("ring slot poisoned")
+            .take()
+            .expect("stamped slot holds a payload");
+        slot.stamp.store(b + self.slots.len(), Ordering::Release);
+        Some(value)
+    }
+
+    /// Abandon the batch: wake every waiter on both sides. Idempotent.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// A producer is done (normal exit or unwind). Call exactly once per
+    /// producer; [`ProducerGuard`] automates it and flags an abort when
+    /// the producer is unwinding from a panic.
+    pub fn producer_done(&self) {
+        self.producers_alive.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// RAII guard marking a producer finished on drop (panic included).
+    pub fn producer_guard(&self) -> ProducerGuard<'_, T> {
+        ProducerGuard { ring: self }
+    }
+
+    /// RAII guard for the consumer: aborts the batch on drop, so a
+    /// panicking sink (or any early consumer exit) releases producers
+    /// blocked in [`SlotRing::publish`]. On a fully drained batch the
+    /// abort is a harmless no-op — every producer has already exited.
+    pub fn consumer_guard(&self) -> ConsumerGuard<'_, T> {
+        ConsumerGuard { ring: self }
+    }
+}
+
+/// Decrements the ring's live-producer count on drop; a panicking
+/// producer additionally aborts the batch so the consumer (stuck waiting
+/// for the block this producer claimed but will never publish) and any
+/// sibling producers blocked on ring capacity are released.
+pub struct ProducerGuard<'a, T> {
+    ring: &'a SlotRing<T>,
+}
+
+impl<T> Drop for ProducerGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ring.abort();
+        }
+        self.ring.producer_done();
+    }
+}
+
+/// Aborts the batch when the consumer stops (see
+/// [`SlotRing::consumer_guard`]).
+pub struct ConsumerGuard<'a, T> {
+    ring: &'a SlotRing<T>,
+}
+
+impl<T> Drop for ConsumerGuard<'_, T> {
+    fn drop(&mut self) {
+        self.ring.abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_producer_round_trips_in_order() {
+        let ring: SlotRing<usize> = SlotRing::new(2, 1);
+        let guard = ring.producer_guard();
+        // Interleave publish/consume so the bounded capacity never blocks.
+        for b in 0..10 {
+            assert!(ring.publish(b, b * 7));
+            assert_eq!(ring.consume(b), Some(b * 7));
+        }
+        drop(guard);
+    }
+
+    #[test]
+    fn multi_producer_claims_arrive_in_block_order() {
+        let n_blocks = 200usize;
+        let workers = 4;
+        let ring: SlotRing<usize> = SlotRing::new(workers * 2, workers);
+        let next = AtomicUsize::new(0);
+        let mut seen = Vec::with_capacity(n_blocks);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ring = &ring;
+                let next = &next;
+                scope.spawn(move || {
+                    let _guard = ring.producer_guard();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        if !ring.publish(b, b) {
+                            break;
+                        }
+                    }
+                });
+            }
+            let _consumer = ring.consumer_guard();
+            for b in 0..n_blocks {
+                seen.push(ring.consume(b).expect("all producers healthy"));
+            }
+        });
+        let want: Vec<usize> = (0..n_blocks).collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn dead_producers_release_the_consumer() {
+        let ring: SlotRing<usize> = SlotRing::new(4, 1);
+        let guard = ring.producer_guard();
+        assert!(ring.publish(0, 42));
+        drop(guard); // producer exits before block 1
+        assert_eq!(ring.consume(0), Some(42), "published block still drains");
+        assert_eq!(ring.consume(1), None, "missing block reported, no hang");
+    }
+
+    #[test]
+    fn panicking_producer_releases_everyone_with_siblings_alive() {
+        // The regression shape: worker A claims a block and dies; worker B
+        // races ahead until ring capacity and must not deadlock; the
+        // consumer must stop (returning None) so the scope can propagate
+        // A's panic — even though B is still alive when A unwinds.
+        let n_blocks = 100usize;
+        let ring: SlotRing<usize> = SlotRing::new(4, 2);
+        let next = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let ring = &ring;
+                let next = &next;
+                // Worker A: claims its first block and panics.
+                scope.spawn(move || {
+                    let _guard = ring.producer_guard();
+                    let _b = next.fetch_add(1, Ordering::Relaxed);
+                    panic!("worker A dies");
+                });
+                // Worker B: healthy, runs the rest.
+                scope.spawn(move || {
+                    let _guard = ring.producer_guard();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        if !ring.publish(b, b) {
+                            break;
+                        }
+                    }
+                });
+                let _consumer = ring.consumer_guard();
+                let mut drained = 0;
+                for b in 0..n_blocks {
+                    match ring.consume(b) {
+                        Some(_) => drained += 1,
+                        None => break,
+                    }
+                }
+                // A's claimed block was never published, so the consumer
+                // cannot have drained everything.
+                assert!(drained < n_blocks);
+            });
+        }));
+        assert!(result.is_err(), "worker A's panic must propagate");
+    }
+
+    #[test]
+    fn dying_consumer_releases_blocked_producers() {
+        // A panicking sink drops the consumer guard; producers blocked on
+        // ring capacity must bail out of publish instead of spinning.
+        let ring: SlotRing<usize> = SlotRing::new(2, 1);
+        std::thread::scope(|scope| {
+            let ring = &ring;
+            scope.spawn(move || {
+                let _guard = ring.producer_guard();
+                for b in 0..50 {
+                    if !ring.publish(b, b) {
+                        return;
+                    }
+                }
+                panic!("producer should have been released by the abort");
+            });
+            let consumer = ring.consumer_guard();
+            assert_eq!(ring.consume(0), Some(0));
+            // "Sink panic": the consumer stops without draining the rest.
+            drop(consumer);
+        });
+    }
+}

@@ -5,8 +5,9 @@
 //! visit (no cookies, no history), a 60-second page-load timeout, and an
 //! extra 5-second settle window after load for pending responses.
 
+use crate::dataset::TruthRecord;
 use hb_adtech::{begin_visit, Net, PageWorld, SiteRuntime, VisitGroundTruth};
-use hb_core::{HbDetector, Interner, PartnerList, VisitRecord};
+use hb_core::{HbDetector, Interner, PartnerList, VisitColumns, VisitRecord};
 use hb_dom::Browser;
 use hb_http::MsgScratch;
 use hb_simnet::{Rng, SimDuration, Simulation, SimTime};
@@ -88,22 +89,23 @@ pub fn crawl_site(
     crawl_site_pooled(net, Arc::new(runtime), rng, day, cfg, strings, &mut scratch)
 }
 
-/// [`crawl_site`] over a worker-owned [`VisitScratch`]: the browser,
-/// detector state and message buffers are reused from the previous visit
-/// on this worker, so a steady-state visit performs near-zero transient
-/// allocation outside the payloads that escape into the returned
-/// [`SiteVisit`].
-pub fn crawl_site_pooled(
+/// Outcome flags of one visit appended through [`crawl_site_into`].
+#[derive(Clone, Copy, Debug)]
+pub struct VisitOutcome {
+    /// Whether the page finished loading within the timeout.
+    pub page_completed: bool,
+}
+
+/// Drive one visit's simulation on the pooled scratch, leaving the
+/// detector's observation state and the world's ground truth populated.
+/// Returns the page-timing facts every finisher needs.
+fn simulate_visit(
     net: Net,
-    runtime: Arc<SiteRuntime>,
+    runtime: &Arc<SiteRuntime>,
     rng: Rng,
-    day: u32,
     cfg: &SessionConfig,
-    strings: &mut Interner,
     scratch: &mut VisitScratch,
-) -> SiteVisit {
-    let rank = runtime.rank;
-    let domain = runtime.page_url.host.clone();
+) -> VisitOutcome {
     let detector = &scratch.detector;
     let sim = match &mut scratch.sim {
         Some(sim) => {
@@ -138,9 +140,29 @@ pub fn crawl_site_pooled(
     let loaded_at = sim.world().browser.page.loaded.unwrap_or_else(|| sim.now());
     let settle_deadline = (loaded_at + cfg.settle).max(sim.now());
     sim.run_until(settle_deadline.min(SimTime::ZERO + cfg.page_timeout + cfg.settle), cfg.max_events);
+    VisitOutcome {
+        page_completed: sim.world().browser.page.loaded.is_some(),
+    }
+}
 
-    let world = sim.world_mut();
-    let page_completed = world.browser.page.loaded.is_some();
+/// [`crawl_site`] over a worker-owned [`VisitScratch`]: the browser,
+/// detector state and message buffers are reused from the previous visit
+/// on this worker, so a steady-state visit performs near-zero transient
+/// allocation outside the payloads that escape into the returned
+/// [`SiteVisit`].
+pub fn crawl_site_pooled(
+    net: Net,
+    runtime: Arc<SiteRuntime>,
+    rng: Rng,
+    day: u32,
+    cfg: &SessionConfig,
+    strings: &mut Interner,
+    scratch: &mut VisitScratch,
+) -> SiteVisit {
+    let rank = runtime.rank;
+    let domain = runtime.page_url.host.clone();
+    let outcome = simulate_visit(net, &runtime, rng, cfg, scratch);
+    let world = scratch.sim.as_mut().expect("simulated").world_mut();
     let page_load_ms = world
         .browser
         .page
@@ -152,8 +174,45 @@ pub fn crawl_site_pooled(
     SiteVisit {
         record,
         truth: std::mem::take(&mut world.flow.truth),
-        page_completed,
+        page_completed: outcome.page_completed,
     }
+}
+
+/// The campaign hot path: crawl one site on the pooled scratch and append
+/// the outcome **directly into columnar storage** — the detector streams
+/// bids/slots/latencies into `cols` through a
+/// [`VisitBuilder`](hb_core::VisitBuilder) row, and the ground truth is
+/// flattened into `truths` straight from the world (no owned
+/// [`SiteVisit`]/[`VisitRecord`] is ever materialized, so nothing escapes
+/// the visit but the column tails themselves).
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_site_into(
+    net: Net,
+    runtime: Arc<SiteRuntime>,
+    rng: Rng,
+    day: u32,
+    cfg: &SessionConfig,
+    strings: &mut Interner,
+    scratch: &mut VisitScratch,
+    cols: &mut VisitColumns,
+    truths: &mut Vec<TruthRecord>,
+) -> VisitOutcome {
+    let rank = runtime.rank;
+    let domain = runtime.page_url.host.clone();
+    let outcome = simulate_visit(net, &runtime, rng, cfg, scratch);
+    let world = scratch.sim.as_mut().expect("simulated").world_mut();
+    let page_load_ms = world
+        .browser
+        .page
+        .page_load_time()
+        .map(|d| d.as_millis_f64());
+    scratch
+        .detector
+        .finish_into(&domain, rank, day, page_load_ms, strings, cols);
+    // Flatten the truth by reference — the winners vector and the rest of
+    // the world's per-visit state stay in the pooled world for reuse.
+    truths.push(TruthRecord::from_truth(rank, day, &world.flow.truth));
+    outcome
 }
 
 #[cfg(test)]

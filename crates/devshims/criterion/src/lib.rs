@@ -14,7 +14,55 @@
 //! compared.
 
 use std::hint::black_box as hint_black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Benchmarks run (not filtered out) across every group in the process.
+/// [`finalize`] uses it to fail a run whose name filter matched nothing —
+/// otherwise a renamed bench turns a CI smoke like
+/// `cargo bench -- --test some_bench` into a silent no-op.
+static MATCHED: AtomicUsize = AtomicUsize::new(0);
+
+/// Parse the bench CLI once: `(test_mode, name filter)`. Shared by
+/// [`Criterion::default`] and [`finalize`], so the value-taking-flag list
+/// cannot drift between the two.
+fn parse_cli() -> (bool, Option<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut test_mode = false;
+    let mut filter = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--test" | "-t" => test_mode = true,
+            "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+            | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                // Flags (with possible value) accepted for CLI
+                // compatibility; the value, if any, is skipped below.
+                if matches!(args[i].as_str(), "--profile-time" | "--save-baseline"
+                    | "--baseline" | "--measurement-time" | "--warm-up-time" | "--sample-size")
+                {
+                    i += 1;
+                }
+            }
+            word if !word.starts_with('-') => filter = Some(word.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (test_mode, filter)
+}
+
+/// End-of-run check, called by [`criterion_main!`] after every group: a
+/// run with a name filter that selected zero benchmarks exits non-zero
+/// instead of reporting vacuous success.
+pub fn finalize() {
+    if let (_, Some(f)) = parse_cli() {
+        if MATCHED.load(Ordering::Relaxed) == 0 {
+            eprintln!("error: no benchmark matched filter {f:?}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -73,28 +121,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut test_mode = false;
-        let mut filter = None;
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--test" | "-t" => test_mode = true,
-                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
-                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
-                    // Flags (with possible value) accepted for CLI
-                    // compatibility; the value, if any, is skipped below.
-                    if matches!(args[i].as_str(), "--profile-time" | "--save-baseline"
-                        | "--baseline" | "--measurement-time" | "--warm-up-time" | "--sample-size")
-                    {
-                        i += 1;
-                    }
-                }
-                word if !word.starts_with('-') => filter = Some(word.to_string()),
-                _ => {}
-            }
-            i += 1;
-        }
+        let (test_mode, filter) = parse_cli();
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_millis(1500),
@@ -144,6 +171,7 @@ impl Criterion {
                 return;
             }
         }
+        MATCHED.fetch_add(1, Ordering::Relaxed);
         if self.test_mode {
             let mut b = Bencher {
                 iters: 1,
@@ -333,12 +361,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the bench entry point.
+/// Declare the bench entry point. After every group ran, [`finalize`]
+/// fails the process when a name filter matched no benchmark — a CI
+/// smoke pinned to a renamed bench id must go red, not vacuously green.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }

@@ -19,8 +19,8 @@
 
 use crate::catalog::{self, PartnerSpec};
 use crate::config::EcosystemConfig;
-use crate::publisher::{self, SiteProfile};
-use crate::world;
+use crate::publisher::{self, DeriveCtx, DeriveScratch, SiteProfile};
+use crate::world::{self, RuntimeCtx};
 use hb_adtech::{AdServerAccount, HostDirectory, Net, PartnerProfile};
 use hb_core::PartnerList;
 use hb_http::Router;
@@ -92,11 +92,27 @@ thread_local! {
     static RUNTIME_MEMO: RefCell<Lru<Arc<hb_adtech::SiteRuntime>>> =
         const { RefCell::new(Lru::new()) };
     /// And for the rendered page HTML: every visit's first request fetches
-    /// the page, and assembling the document (half a dozen `format!`s plus
-    /// the builder) is pure in `(seed, rank)` — by far the most expensive
-    /// lazy derivation to repeat per visit. Stored as `HStr` (`Arc<str>`
-    /// at this length), so serving the page is a pointer clone.
+    /// the page, and assembling the document is pure in `(seed, rank)` —
+    /// by far the most expensive lazy derivation to repeat per visit.
+    /// Stored as `HStr` (`Arc<str>` at this length), so serving the page
+    /// is a pointer clone.
     static PAGE_HTML_MEMO: RefCell<Lru<hb_http::HStr>> = const { RefCell::new(Lru::new()) };
+    /// Per-worker derivation buffers (weight working copies, the rendered-
+    /// page buffer). A memo miss draws its transient storage from here, so
+    /// cold derivation — the adoption-sweep hot path, where every rank is
+    /// seen for the first time — stops paying per-site allocation churn.
+    static DERIVE_SCRATCH: RefCell<DeriveScratch> = RefCell::new(DeriveScratch::new());
+}
+
+/// Clear this thread's derivation memos (site, account, runtime, page
+/// HTML). Benches and allocation tests use this to measure the true
+/// memo-miss (cold) path; production code never needs it — stale entries
+/// simply age out of the LRUs.
+pub fn clear_thread_memos() {
+    SITE_MEMO.with(|m| m.borrow_mut().entries.clear());
+    ACCOUNT_MEMO.with(|m| m.borrow_mut().entries.clear());
+    RUNTIME_MEMO.with(|m| m.borrow_mut().entries.clear());
+    PAGE_HTML_MEMO.with(|m| m.borrow_mut().entries.clear());
 }
 
 /// The pure site-derivation core: everything needed to compute the profile
@@ -108,8 +124,17 @@ pub struct SiteGen {
     pub specs: Vec<PartnerSpec>,
     /// Partner runtime profiles (index = partner id).
     pub profiles: Vec<PartnerProfile>,
+    /// `Arc`-shared profile table: derived ad-server accounts reference
+    /// these instead of deep-cloning the s2s pool per account.
+    profiles_shared: Vec<Arc<PartnerProfile>>,
     providers: Vec<(usize, f64)>,
     s2s_pool: Vec<usize>,
+    // Weight templates + runtime tables, pure in the catalog: built once
+    // so per-site derivation copies instead of recomputing-and-allocating.
+    wf_weights: Vec<f64>,
+    provider_weights: Vec<f64>,
+    s2s_weights: Vec<f64>,
+    runtime_ctx: RuntimeCtx,
     root: Rng,
     universe_id: u64,
 }
@@ -119,17 +144,40 @@ impl SiteGen {
     pub fn new(config: EcosystemConfig) -> SiteGen {
         let specs = catalog::catalog();
         let profiles = catalog::profiles(&specs);
+        let profiles_shared = profiles.iter().cloned().map(Arc::new).collect();
         let providers = catalog::providers(&specs);
         let s2s_pool = catalog::s2s_pool(&specs);
+        let wf_weights = publisher::wf_weight_template(&specs);
+        let provider_weights = providers.iter().map(|(_, w)| *w).collect();
+        let s2s_weights = s2s_pool.iter().map(|&i| specs[i].weight).collect();
+        let runtime_ctx = RuntimeCtx::new(&specs);
         let root = Rng::new(config.seed).derive_str("site-profiles");
         SiteGen {
             config,
             specs,
             profiles,
+            profiles_shared,
             providers,
             s2s_pool,
+            wf_weights,
+            provider_weights,
+            s2s_weights,
+            runtime_ctx,
             root,
             universe_id: NEXT_UNIVERSE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The precomputed derivation context over this universe's catalog.
+    fn derive_ctx(&self) -> DeriveCtx<'_> {
+        DeriveCtx {
+            cfg: &self.config,
+            specs: &self.specs,
+            providers: &self.providers,
+            s2s_pool: &self.s2s_pool,
+            wf_weights: &self.wf_weights,
+            provider_weights: &self.provider_weights,
+            s2s_weights: &self.s2s_weights,
         }
     }
 
@@ -147,44 +195,66 @@ impl SiteGen {
     pub fn account_shared(&self, rank: u32) -> Arc<AdServerAccount> {
         ACCOUNT_MEMO.with(|m| {
             m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                Arc::new(world::account_for(&self.site_shared(rank), &self.profiles))
+                Arc::new(world::account_for(
+                    &self.site_shared(rank),
+                    &self.profiles_shared,
+                ))
             })
         })
     }
 
     /// The shared per-visit runtime for `rank`, through the per-thread
     /// memo. Flows hold this by `Arc`, so starting a visit never rebuilds
-    /// ad units, partner refs or waterfall tiers for a memoized rank.
+    /// ad units, partner refs or waterfall tiers for a memoized rank; a
+    /// memo miss builds it from the precomputed [`RuntimeCtx`] tables.
     pub fn runtime_shared(&self, rank: u32) -> Arc<hb_adtech::SiteRuntime> {
         RUNTIME_MEMO.with(|m| {
             m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                Arc::new(world::site_runtime(&self.site_shared(rank), &self.specs))
+                Arc::new(world::site_runtime_with(
+                    &self.site_shared(rank),
+                    &self.runtime_ctx,
+                ))
             })
         })
     }
 
-    /// The site's rendered page HTML, through the per-thread memo.
+    /// The site's rendered page HTML, through the per-thread memo. A miss
+    /// renders into the thread's reusable page buffer; only the final
+    /// `Arc<str>` the memo retains is allocated.
     pub fn page_html_shared(&self, rank: u32) -> hb_http::HStr {
         PAGE_HTML_MEMO.with(|m| {
             m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                hb_http::HStr::from(world::page_html(&self.site_shared(rank), &self.specs))
+                let site = self.site_shared(rank);
+                DERIVE_SCRATCH.with(|s| {
+                    let scratch = &mut *s.borrow_mut();
+                    world::render_page_html(&site, &self.specs, &mut scratch.page);
+                    hb_http::HStr::from(scratch.page.as_str())
+                })
             })
         })
     }
 
     /// Derive the profile of the site at 1-based `rank`. O(1) in the
     /// toplist size; identical to what the eager generator produces for
-    /// the same `(seed, rank)`.
+    /// the same `(seed, rank)`. Transient buffers come from the thread's
+    /// [`DeriveScratch`], so a cold derivation allocates only what escapes
+    /// into the profile.
     pub fn site(&self, rank: u32) -> SiteProfile {
         let mut rng = self.root.derive(rank as u64);
-        publisher::generate_site(
-            &self.config,
-            &self.specs,
-            &self.providers,
-            &self.s2s_pool,
-            rank,
-            &mut rng,
-        )
+        DERIVE_SCRATCH.with(|s| {
+            publisher::generate_site_with(
+                &self.derive_ctx(),
+                rank,
+                &mut rng,
+                &mut s.borrow_mut(),
+            )
+        })
+    }
+
+    /// Build a (non-memoized) per-visit runtime for a site profile from
+    /// the precomputed tables.
+    pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
+        world::site_runtime_with(site, &self.runtime_ctx)
     }
 
     /// Parse a publisher page host (`pub{rank}.example`) back to its rank;
@@ -304,9 +374,10 @@ impl SiteFactory {
         self.detector_list.clone()
     }
 
-    /// The per-visit runtime for a site profile.
+    /// The per-visit runtime for a site profile (precomputed tables; no
+    /// hostname re-rendering).
     pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
-        world::site_runtime(site, &self.gen.specs)
+        self.gen.runtime_for(site)
     }
 
     /// The shared per-visit runtime for `rank` through the per-thread LRU

@@ -27,10 +27,14 @@ pub mod world;
 pub use catalog::PartnerSpec;
 pub use config::EcosystemConfig;
 pub use factory::{SiteFactory, SiteGen};
-pub use publisher::SiteProfile;
-pub use toplist::{site_domain, TopList, YEARLY_OVERLAPS};
+pub use factory::clear_thread_memos;
+pub use publisher::{DeriveCtx, DeriveScratch, SiteProfile};
+pub use toplist::{site_domain, site_domain_hstr, TopList, YEARLY_OVERLAPS};
 pub use wayback::{snapshot, yearly_archive, Snapshot, YEARLY_ADOPTION};
-pub use world::{ad_server_host_for, build_lazy_world, build_world, page_html, site_runtime, CDN_HOST};
+pub use world::{
+    ad_server_host_for, build_lazy_world, build_world, page_html, render_page_html,
+    site_runtime, site_runtime_with, RuntimeCtx, CDN_HOST,
+};
 
 use hb_adtech::{HostDirectory, Net, PartnerProfile};
 use hb_core::PartnerList;
@@ -122,7 +126,7 @@ impl Ecosystem {
 
     /// The per-visit runtime for a site.
     pub fn runtime_for(&self, site: &SiteProfile) -> hb_adtech::SiteRuntime {
-        world::site_runtime(site, &self.specs)
+        self.factory.runtime_for(site)
     }
 
     /// The shared per-visit runtime for `rank` through the factory's

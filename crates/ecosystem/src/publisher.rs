@@ -9,17 +9,19 @@
 use crate::catalog::PartnerSpec;
 use crate::config::EcosystemConfig;
 use crate::sizes::sample_size;
-use crate::toplist::site_domain;
+use crate::toplist::site_domain_hstr;
 use hb_adtech::{AdUnit, Cpm, HbFacet, PartnerRef, WrapperConfig};
+use hb_http::HStr;
 use hb_simnet::{Rng, SimDuration};
+use std::sync::Arc;
 
 /// Ground-truth profile of one site.
 #[derive(Clone, Debug)]
 pub struct SiteProfile {
     /// 1-based rank.
     pub rank: u32,
-    /// Site hostname.
-    pub domain: String,
+    /// Site hostname (inline [`HStr`]: derivation never heap-allocates it).
+    pub domain: HStr,
     /// HB facet; `None` = waterfall-only site.
     pub facet: Option<HbFacet>,
     /// Catalog indices of client-side partners.
@@ -28,8 +30,10 @@ pub struct SiteProfile {
     pub provider_id: Option<usize>,
     /// Catalog indices of the provider's s2s pool for this account.
     pub s2s_partner_ids: Vec<usize>,
-    /// Ad units (slot duplication for devices already applied).
-    pub ad_units: Vec<AdUnit>,
+    /// Ad units (slot duplication for devices already applied). Shared so
+    /// the runtime and ad-server account reference the same slice instead
+    /// of deep-cloning unit lists on every derivation.
+    pub ad_units: Arc<[AdUnit]>,
     /// Wrapper tuning.
     pub wrapper: WrapperConfig,
     /// Catalog indices of the waterfall tier partners, in order.
@@ -50,14 +54,15 @@ impl SiteProfile {
         format!("https://{}/", self.domain)
     }
 
-    /// Host of the site's own ad server (client-side facet).
-    pub fn own_ad_server_host(&self) -> String {
-        format!("ads.{}", self.domain)
+    /// Host of the site's own ad server (client-side facet). Rendered
+    /// through a stack buffer — short hosts never touch the heap.
+    pub fn own_ad_server_host(&self) -> HStr {
+        HStr::from_display(format_args!("ads.{}", self.domain))
     }
 
-    /// Ad-server account id.
-    pub fn account_id(&self) -> String {
-        format!("pub-{}", self.rank)
+    /// Ad-server account id (stack-rendered, inline).
+    pub fn account_id(&self) -> HStr {
+        HStr::from_display(format_args!("pub-{}", self.rank))
     }
 
     /// Number of unique demand partners as the paper counts them
@@ -105,40 +110,41 @@ fn sample_client_partner_count(facet: HbFacet, rng: &mut Rng) -> usize {
 
 /// Select `k` distinct client partners, weighted by popularity. Top-ranked
 /// sites lean toward fast partners (they can afford integration work and
-/// care about latency), which drives Fig. 13.
+/// care about latency), which drives Fig. 13. The per-rank weights are
+/// computed into `weights` (a reusable scratch buffer — cleared, never
+/// shrunk), so selection performs no transient allocation.
 fn select_client_partners(
     specs: &[PartnerSpec],
     k: usize,
     rank_frac: f64,
     rng: &mut Rng,
+    weights: &mut Vec<f64>,
 ) -> Vec<usize> {
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
-    let mut weights: Vec<f64> = specs
-        .iter()
-        .map(|s| {
-            if s.weight <= 0.0 || s.bid_rate <= 0.0 {
-                return 0.0;
-            }
-            // Speed bias for top sites (Fig. 13): head publishers pick
-            // sub-300ms partners aggressively and avoid the slow tail.
-            let speed_bonus = if s.latency_median_ms < 300.0 {
-                1.0 + 3.0 * (1.0 - rank_frac)
-            } else if s.latency_median_ms > 600.0 {
-                0.25 + 0.75 * rank_frac
-            } else {
-                1.0
-            };
-            // Tail sites disproportionately use niche partners.
-            let niche_bonus = if s.weight < 0.01 {
-                1.0 + rank_frac * 1.5
-            } else {
-                1.0
-            };
-            s.weight * speed_bonus * niche_bonus
-        })
-        .collect();
+    weights.clear();
+    weights.extend(specs.iter().map(|s| {
+        if s.weight <= 0.0 || s.bid_rate <= 0.0 {
+            return 0.0;
+        }
+        // Speed bias for top sites (Fig. 13): head publishers pick
+        // sub-300ms partners aggressively and avoid the slow tail.
+        let speed_bonus = if s.latency_median_ms < 300.0 {
+            1.0 + 3.0 * (1.0 - rank_frac)
+        } else if s.latency_median_ms > 600.0 {
+            0.25 + 0.75 * rank_frac
+        } else {
+            1.0
+        };
+        // Tail sites disproportionately use niche partners.
+        let niche_bonus = if s.weight < 0.01 {
+            1.0 + rank_frac * 1.5
+        } else {
+            1.0
+        };
+        s.weight * speed_bonus * niche_bonus
+    }));
     for _ in 0..k {
-        match rng.weighted_index(&weights) {
+        match rng.weighted_index(weights) {
             Some(i) => {
                 chosen.push(i);
                 weights[i] = 0.0;
@@ -149,7 +155,60 @@ fn select_client_partners(
     chosen
 }
 
-/// Generate the profile of the site at `rank`.
+/// Reusable per-worker derivation buffers. One lives in thread-local
+/// storage next to the factory memos; everything transient a site
+/// derivation needs — weight working copies, the rendered-page buffer —
+/// draws from here, so a memo miss performs near-zero heap allocation
+/// beyond the data that escapes into the memoized profile itself.
+#[derive(Default)]
+pub struct DeriveScratch {
+    /// Working copy of whichever weight table is being sampled-without-
+    /// replacement right now (waterfall tiers, client partners, s2s pool).
+    pub(crate) weights: Vec<f64>,
+    /// Rendered publisher-page buffer (reused by the page-HTML memo path).
+    pub(crate) page: String,
+}
+
+impl DeriveScratch {
+    /// Fresh scratch (buffers grow to steady state on first use).
+    pub fn new() -> DeriveScratch {
+        DeriveScratch::default()
+    }
+}
+
+/// Precomputed derivation context: the catalog slices plus the weight
+/// tables that are pure functions of the catalog. Built once per universe
+/// ([`SiteGen`](crate::factory::SiteGen) owns the templates) so per-site
+/// derivation copies weights instead of recomputing-and-allocating them.
+#[derive(Clone, Copy)]
+pub struct DeriveCtx<'a> {
+    /// Generation knobs.
+    pub cfg: &'a EcosystemConfig,
+    /// Partner calibration specs (index = partner id).
+    pub specs: &'a [PartnerSpec],
+    /// Provider catalog indices with selection weights.
+    pub providers: &'a [(usize, f64)],
+    /// Catalog indices eligible for providers' s2s pools.
+    pub s2s_pool: &'a [usize],
+    /// Waterfall-tier selection weights (index = partner id).
+    pub wf_weights: &'a [f64],
+    /// Provider selection weights (parallel to `providers`).
+    pub provider_weights: &'a [f64],
+    /// S2s-pool selection weights (parallel to `s2s_pool`).
+    pub s2s_weights: &'a [f64],
+}
+
+/// Waterfall-tier weight template (pure in the catalog).
+pub fn wf_weight_template(specs: &[PartnerSpec]) -> Vec<f64> {
+    specs
+        .iter()
+        .map(|s| if s.bid_rate > 0.0 { s.weight } else { 0.0 })
+        .collect()
+}
+
+/// Generate the profile of the site at `rank` (convenience wrapper that
+/// builds the weight templates and a throwaway scratch; the crawl path
+/// goes through [`generate_site_with`] with both reused).
 pub fn generate_site(
     cfg: &EcosystemConfig,
     specs: &[PartnerSpec],
@@ -158,8 +217,34 @@ pub fn generate_site(
     rank: u32,
     rng: &mut Rng,
 ) -> SiteProfile {
+    let wf_weights = wf_weight_template(specs);
+    let provider_weights: Vec<f64> = providers.iter().map(|(_, w)| *w).collect();
+    let s2s_weights: Vec<f64> = s2s_pool.iter().map(|&i| specs[i].weight).collect();
+    let ctx = DeriveCtx {
+        cfg,
+        specs,
+        providers,
+        s2s_pool,
+        wf_weights: &wf_weights,
+        provider_weights: &provider_weights,
+        s2s_weights: &s2s_weights,
+    };
+    generate_site_with(&ctx, rank, rng, &mut DeriveScratch::new())
+}
+
+/// Generate the profile of the site at `rank`, drawing every transient
+/// buffer from `scratch`. RNG consumption (and therefore the derived
+/// profile) is identical to [`generate_site`].
+pub fn generate_site_with(
+    ctx: &DeriveCtx<'_>,
+    rank: u32,
+    rng: &mut Rng,
+    scratch: &mut DeriveScratch,
+) -> SiteProfile {
+    let cfg = ctx.cfg;
+    let specs = ctx.specs;
     let rank_frac = (rank - 1) as f64 / cfg.n_sites.max(1) as f64;
-    let domain = site_domain(rank);
+    let domain = site_domain_hstr(rank);
     let adopted = rng.chance(cfg.adoption_for_rank(rank));
 
     // Page server latency: head sites run fast origins.
@@ -169,15 +254,15 @@ pub fn generate_site(
     let net_quality = 0.68 + 0.55 * rank_frac.powf(0.6) + rng.f64_range(0.0, 0.12);
 
     // Waterfall chain (every site has one; HB sites may still fall back).
+    // The weight table is copied from the per-universe template into the
+    // scratch buffer (selection zeroes chosen entries).
     let n_tiers = 2 + rng.index(3);
-    let wf_weights: Vec<f64> = specs
-        .iter()
-        .map(|s| if s.bid_rate > 0.0 { s.weight } else { 0.0 })
-        .collect();
     let mut waterfall_tier_ids = Vec::with_capacity(n_tiers);
-    let mut wfw = wf_weights;
+    let wfw = &mut scratch.weights;
+    wfw.clear();
+    wfw.extend_from_slice(ctx.wf_weights);
     for _ in 0..n_tiers {
-        if let Some(i) = rng.weighted_index(&wfw) {
+        if let Some(i) = rng.weighted_index(wfw) {
             waterfall_tier_ids.push(i);
             wfw[i] = 0.0;
         }
@@ -198,11 +283,11 @@ pub fn generate_site(
             client_partner_ids: Vec::new(),
             provider_id: None,
             s2s_partner_ids: Vec::new(),
-            ad_units: vec![AdUnit::new(
+            ad_units: Arc::from([AdUnit::new(
                 "ad-slot-1",
                 hb_adtech::AdSize::MEDIUM_RECT,
                 Cpm(floor),
-            )],
+            )]),
             wrapper: WrapperConfig::default(),
             waterfall_tier_ids,
             page_latency_ms,
@@ -225,13 +310,14 @@ pub fn generate_site(
 
     // Partners.
     let k = sample_client_partner_count(facet, rng);
-    let client_partner_ids = select_client_partners(specs, k, rank_frac, rng);
+    let client_partner_ids =
+        select_client_partners(specs, k, rank_frac, rng, &mut scratch.weights);
     let provider_id = match facet {
         HbFacet::ClientSide => None,
         _ => {
-            let weights: Vec<f64> = providers.iter().map(|(_, w)| *w).collect();
-            let pick = rng.weighted_index(&weights).unwrap_or(0);
-            Some(providers[pick].0)
+            // Read-only draw: the template needs no working copy.
+            let pick = rng.weighted_index(ctx.provider_weights).unwrap_or(0);
+            Some(ctx.providers[pick].0)
         }
     };
     // The provider's s2s pool for this account: 4-8 exchange partners,
@@ -239,12 +325,14 @@ pub fn generate_site(
     // bid volume (Fig. 11).
     let s2s_partner_ids: Vec<usize> = if provider_id.is_some() {
         let n = 4 + rng.index(5);
-        let mut weights: Vec<f64> = s2s_pool.iter().map(|&i| specs[i].weight).collect();
+        let weights = &mut scratch.weights;
+        weights.clear();
+        weights.extend_from_slice(ctx.s2s_weights);
         let mut chosen = Vec::with_capacity(n);
         for _ in 0..n {
-            match rng.weighted_index(&weights) {
+            match rng.weighted_index(weights) {
                 Some(j) => {
-                    chosen.push(s2s_pool[j]);
+                    chosen.push(ctx.s2s_pool[j]);
                     weights[j] = 0.0;
                 }
                 None => break,
@@ -255,7 +343,7 @@ pub fn generate_site(
         Vec::new()
     };
 
-    // Ad units.
+    // Ad units (slot codes stack-rendered into inline `HStr`s).
     let mut n_units = sample_unit_count(facet, rng);
     let duplication = if rng.chance(cfg.device_duplication_share) {
         4 + rng.index(3) // device-class duplication (>20-slot oddity)
@@ -263,10 +351,10 @@ pub fn generate_site(
         1
     };
     n_units *= duplication;
-    let ad_units: Vec<AdUnit> = (0..n_units)
+    let ad_units: Arc<[AdUnit]> = (0..n_units)
         .map(|i| {
             AdUnit::new(
-                format!("ad-slot-{}", i + 1),
+                HStr::from_display(format_args!("ad-slot-{}", i + 1)),
                 sample_size(facet, rng),
                 Cpm(floor),
             )

@@ -85,6 +85,13 @@ pub fn site_domain(rank: u32) -> String {
     format!("pub{rank}.example")
 }
 
+/// [`site_domain`] as a compact [`hb_http::HStr`]: rendered through a
+/// stack buffer and stored inline (`pub{u32}.example` is at most 21
+/// bytes), so deriving a hostname never touches the heap.
+pub fn site_domain_hstr(rank: u32) -> hb_http::HStr {
+    hb_http::HStr::from_display(format_args!("pub{rank}.example"))
+}
+
 /// Per-year overlap targets versus the purchased base list (paper §3.2).
 pub const YEARLY_OVERLAPS: [(&str, f64); 4] = [
     ("2017-06", 0.7836),

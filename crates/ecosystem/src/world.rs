@@ -12,54 +12,83 @@ use crate::factory::SiteGen;
 use crate::publisher::{partner_refs, SiteProfile};
 use hb_adtech::{
     partner_endpoint, waterfall_endpoint, AdServerAccount, AdServerEndpoint, DirectOrder,
-    HostDirectory, PartnerProfile,
+    HostDirectory, PartnerProfile, PartnerRef,
 };
-use hb_http::{Endpoint, Request, Response, Router, ServerReply};
+use hb_http::{Endpoint, HStr, Request, Response, Router, ServerReply};
 use hb_simnet::{LatencyModel, Rng};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// The shared CDN host serving wrapper/ad-manager libraries.
 pub const CDN_HOST: &str = "cdn.hbrepro.example";
 
 /// Build the HTML of a live publisher page (also served by its endpoint).
+/// Convenience wrapper over [`render_page_html`]; the memoizing factory
+/// path renders into a reusable per-worker buffer instead.
 pub fn page_html(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
-    let mut b = hb_dom::HtmlBuilder::new(format!("{} — rank {}", site.domain, site.rank));
+    let mut out = String::new();
+    render_page_html(site, specs, &mut out);
+    out
+}
+
+/// Render a publisher page into `out` (cleared first). Byte-identical to
+/// what the former [`hb_dom::HtmlBuilder`] assembly produced, but written
+/// straight into one buffer: no per-fragment `format!` temporaries, no
+/// builder vectors — a memo-missed page render costs only the buffer's
+/// steady-state growth.
+pub fn render_page_html(site: &SiteProfile, specs: &[PartnerSpec], out: &mut String) {
+    out.clear();
+    out.push_str("<!DOCTYPE html>\n<html>\n<head>\n<title>");
+    let _ = write!(out, "{} — rank {}", site.domain, site.rank);
+    out.push_str("</title>\n");
     if site.facet.is_some() {
-        b = b.head_script(format!("https://{CDN_HOST}/prebid.js"));
-        b = b.head_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
-        b = b.head_inline(format!(
+        out.push_str("<script src=\"https://");
+        out.push_str(CDN_HOST);
+        out.push_str("/prebid.js\"></script>\n<script src=\"https://");
+        out.push_str(CDN_HOST);
+        out.push_str("/gpt/pubads_impl.js\"></script>\n<script>");
+        let _ = write!(
+            out,
             "pbjs.addAdUnits({}); pbjs.requestBids({{timeout: {}}});",
             site.ad_units.len(),
             site.wrapper
                 .timeout
                 .map(|t| t.as_micros() / 1000)
                 .unwrap_or(0),
-        ));
+        );
+        out.push_str("</script>\n");
         if !site.client_partner_ids.is_empty() {
-            let mut bidders = String::from("// bidders: ");
+            out.push_str("<script>// bidders: ");
             for (i, &pid) in site.client_partner_ids.iter().enumerate() {
                 if i > 0 {
-                    bidders.push(',');
+                    out.push(',');
                 }
-                bidders.push_str(specs[pid].code);
+                out.push_str(specs[pid].code);
             }
-            b = b.head_inline(bidders);
+            out.push_str("</script>\n");
         }
-    } else {
-        b = b.body_script(format!("https://{CDN_HOST}/gpt/pubads_impl.js"));
     }
-    let mut builder = b;
-    for unit in &site.ad_units {
-        builder = builder.ad_slot(unit.code.clone());
+    out.push_str("</head>\n<body>\n");
+    for unit in site.ad_units.iter() {
+        out.push_str("<div id=\"");
+        out.push_str(&unit.code);
+        out.push_str("\" class=\"ad-unit\"></div>\n");
     }
-    builder.build()
+    if site.facet.is_none() {
+        out.push_str("<script src=\"https://");
+        out.push_str(CDN_HOST);
+        out.push_str("/gpt/pubads_impl.js\"></script>\n");
+    }
+    out.push_str("</body>\n</html>\n");
 }
 
 /// Build the ad-server account for a site (used by its own ad server for
 /// client-side sites, or registered at the provider for server/hybrid).
+/// `profiles` is the `Arc`-shared partner-profile table — the account
+/// references the s2s pool's profiles instead of deep-cloning them.
 pub fn account_for(
     site: &SiteProfile,
-    profiles: &[PartnerProfile],
+    profiles: &[Arc<PartnerProfile>],
 ) -> AdServerAccount {
     let direct_orders = site
         .direct_order_cpm
@@ -151,7 +180,7 @@ fn register_backbone(
             profile.price.clone(),
             4.0,
         );
-        let rtb_host = format!("rtb.{host}");
+        let rtb_host = HStr::from_display(format_args!("rtb.{host}"));
         router.register(rtb_host.clone(), move |req: &Request, rng: &mut Rng| {
             wf_edge.handle(req, rng)
         });
@@ -168,6 +197,8 @@ pub fn build_world(
     let mut router = Router::new();
     let mut latency = HostDirectory::new();
     register_backbone(&mut router, &mut latency, specs, profiles);
+    let shared: Vec<Arc<PartnerProfile>> =
+        profiles.iter().cloned().map(Arc::new).collect();
 
     // Provider ad servers (one endpoint per provider host, holding the
     // accounts of every site that chose it).
@@ -178,19 +209,20 @@ pub fn build_world(
             provider_accounts
                 .entry(pid)
                 .or_default()
-                .push(account_for(site, profiles));
+                .push(account_for(site, &shared));
         }
     }
     for (pid, accounts) in provider_accounts {
         let host = specs[pid].host();
         // The provider host already serves partner traffic; give the ad
         // server its own subdomain, mirroring ad.doubleclick.net.
-        let ads_host = format!("ads.{host}");
+        let ads_host = HStr::from_display(format_args!("ads.{host}"));
         router.register(ads_host.clone(), AdServerEndpoint::new(accounts));
         latency.insert(ads_host, specs[pid].to_profile(0).latency.clone());
     }
 
-    // Publisher pages + own ad servers.
+    // Publisher pages + own ad servers (interned `HStr` hosts end to end:
+    // registration clones the compact handle instead of fresh `String`s).
     for site in sites {
         let html = hb_http::HStr::from(page_html(site, specs));
         router.register(site.domain.clone(), move |r: &Request, _: &mut Rng| {
@@ -201,7 +233,7 @@ pub fn build_world(
             let host = site.own_ad_server_host();
             router.register(
                 host.clone(),
-                AdServerEndpoint::new([account_for(site, profiles)]),
+                AdServerEndpoint::new([account_for(site, &shared)]),
             );
             latency.insert(host, own_ads_latency_model(site));
         }
@@ -272,7 +304,7 @@ pub fn build_lazy_world(gen: &Arc<SiteGen>) -> World {
     // ad-server partners); the per-site accounts are derived on demand.
     for (pid, _) in crate::catalog::providers(&gen.specs) {
         let host = gen.specs[pid].host();
-        let ads_host = format!("ads.{host}");
+        let ads_host = HStr::from_display(format_args!("ads.{host}"));
         let g = gen.clone();
         router.register(
             ads_host.clone(),
@@ -317,19 +349,60 @@ pub fn build_lazy_world(gen: &Arc<SiteGen>) -> World {
 }
 
 /// Host of the ad server a site's wrapper talks to.
-pub fn ad_server_host_for(site: &SiteProfile, specs: &[PartnerSpec]) -> String {
+pub fn ad_server_host_for(site: &SiteProfile, specs: &[PartnerSpec]) -> HStr {
     match (site.facet, site.provider_id) {
         (Some(hb_adtech::HbFacet::ClientSide), _) | (None, _) => site.own_ad_server_host(),
-        (_, Some(pid)) => format!("ads.{}", specs[pid].host()),
+        (_, Some(pid)) => HStr::from_display(format_args!("ads.{}", specs[pid].host())),
         _ => site.own_ad_server_host(),
     }
 }
 
+/// Precomputed per-universe runtime-construction tables: one
+/// [`PartnerRef`] and one provider ads-host per partner id, built once
+/// (the factory owns them) so deriving a [`SiteRuntime`](hb_adtech::SiteRuntime)
+/// clones compact handles instead of re-rendering hostnames.
+pub struct RuntimeCtx {
+    /// Partner references (index = partner id).
+    pub refs: Vec<PartnerRef>,
+    /// Provider ad-server hosts, `ads.{partner host}` (index = partner id).
+    pub ads_hosts: Vec<HStr>,
+}
+
+impl RuntimeCtx {
+    /// Build the tables from the catalog (O(catalog), once per universe).
+    pub fn new(specs: &[PartnerSpec]) -> RuntimeCtx {
+        let ids: Vec<usize> = (0..specs.len()).collect();
+        RuntimeCtx {
+            refs: partner_refs(specs, &ids),
+            ads_hosts: specs
+                .iter()
+                .map(|s| HStr::from_display(format_args!("ads.{}", s.host())))
+                .collect(),
+        }
+    }
+}
+
 /// Build the per-visit [`SiteRuntime`](hb_adtech::SiteRuntime).
+/// Convenience wrapper over [`site_runtime_with`] that builds a throwaway
+/// [`RuntimeCtx`]; the factory path reuses one per universe.
 pub fn site_runtime(
     site: &SiteProfile,
     specs: &[PartnerSpec],
 ) -> hb_adtech::SiteRuntime {
+    site_runtime_with(site, &RuntimeCtx::new(specs))
+}
+
+/// Build the per-visit [`SiteRuntime`](hb_adtech::SiteRuntime) from the
+/// precomputed tables: partner refs and hostnames are cheap handle
+/// clones, ids are stack-rendered, ad units are `Arc`-shared with the
+/// profile — a memo-missed runtime derivation performs no transient
+/// allocation beyond the vectors that escape into the runtime itself.
+pub fn site_runtime_with(site: &SiteProfile, ctx: &RuntimeCtx) -> hb_adtech::SiteRuntime {
+    let ad_server_host = match (site.facet, site.provider_id) {
+        (Some(hb_adtech::HbFacet::ClientSide), _) | (None, _) => site.own_ad_server_host(),
+        (_, Some(pid)) => ctx.ads_hosts[pid].clone(),
+        _ => site.own_ad_server_host(),
+    };
     hb_adtech::SiteRuntime {
         // Equivalent to parsing `site.url_string()` ("https://<domain>/"),
         // without rendering and re-parsing the string.
@@ -337,15 +410,19 @@ pub fn site_runtime(
         rank: site.rank,
         facet: site.facet,
         ad_units: site.ad_units.clone(),
-        client_partners: partner_refs(specs, &site.client_partner_ids),
-        ad_server_host: ad_server_host_for(site, specs).into(),
-        account_id: site.account_id().into(),
+        client_partners: site
+            .client_partner_ids
+            .iter()
+            .map(|&i| ctx.refs[i].clone())
+            .collect(),
+        ad_server_host,
+        account_id: site.account_id(),
         wrapper: site.wrapper.clone(),
         waterfall_tiers: site
             .waterfall_tier_ids
             .iter()
             .map(|&i| hb_adtech::WaterfallTier {
-                partner: partner_refs(specs, &[i]).remove(0),
+                partner: ctx.refs[i].clone(),
                 floor: hb_adtech::Cpm(site.floor),
             })
             .collect(),
@@ -477,7 +554,7 @@ mod tests {
             );
             // Latency-model parity for the page host and its ads host
             // (the lazy side resolves both dynamically).
-            for host in [site.domain.clone(), format!("ads.{}", site.domain)] {
+            for host in [site.domain.clone(), site.own_ad_server_host()] {
                 let mut a = Rng::new(site.rank as u64);
                 let mut b = Rng::new(site.rank as u64);
                 assert_eq!(

@@ -5,6 +5,7 @@
 //! and returns a [`ServerReply`]: the response together with the server-side
 //! processing delay (network RTT is added separately by the latency model).
 
+use crate::hstr::HStr;
 use crate::message::{Request, Response};
 use hb_simnet::rng::Rng;
 use hb_simnet::time::SimDuration;
@@ -60,9 +61,11 @@ where
 #[derive(Default)]
 pub struct Router {
     // Fx-hashed: resolved twice per request (DNS check + dispatch);
-    // lookups only, never iterated for output.
-    exact: FxHashMap<String, Box<dyn Endpoint + Send + Sync>>,
-    by_domain: FxHashMap<String, Box<dyn Endpoint + Send + Sync>>,
+    // lookups only, never iterated for output. Keys are compact `HStr`s
+    // (equality/hash delegate to the text), so registering an interned
+    // hostname is a handle clone, not a fresh `String`.
+    exact: FxHashMap<HStr, Box<dyn Endpoint + Send + Sync>>,
+    by_domain: FxHashMap<HStr, Box<dyn Endpoint + Send + Sync>>,
 }
 
 impl Router {
@@ -74,20 +77,20 @@ impl Router {
     /// Register an endpoint for an exact hostname.
     pub fn register(
         &mut self,
-        host: impl Into<String>,
+        host: impl Into<HStr>,
         ep: impl Endpoint + Send + Sync + 'static,
     ) {
-        self.exact.insert(host.into().to_ascii_lowercase(), Box::new(ep));
+        self.exact.insert(host.into().into_lower_ascii(), Box::new(ep));
     }
 
     /// Register an endpoint for a base domain (matches all subdomains).
     pub fn register_domain(
         &mut self,
-        domain: impl Into<String>,
+        domain: impl Into<HStr>,
         ep: impl Endpoint + Send + Sync + 'static,
     ) {
         self.by_domain
-            .insert(domain.into().to_ascii_lowercase(), Box::new(ep));
+            .insert(domain.into().into_lower_ascii(), Box::new(ep));
     }
 
     /// Look up the endpoint for a host.

@@ -153,6 +153,20 @@ pub fn lower_ascii(s: &str) -> HStr {
     }
 }
 
+impl HStr {
+    /// Lower-case in the by-value form: an already-lowercase string is
+    /// returned *as the same handle* — no copy, no fresh `Arc` for long
+    /// shared strings — so registering an interned hostname under a
+    /// lowercased key is a true handle clone.
+    pub fn into_lower_ascii(self) -> HStr {
+        if self.bytes().any(|b| b.is_ascii_uppercase()) {
+            HStr::from(self.as_str().to_ascii_lowercase())
+        } else {
+            self
+        }
+    }
+}
+
 impl Default for HStr {
     fn default() -> HStr {
         HStr::EMPTY

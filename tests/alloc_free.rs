@@ -1,20 +1,24 @@
 //! Allocation accounting for the visit hot paths.
 //!
-//! Two layers of budget are enforced with a counting allocator:
+//! Three layers of budget are enforced with a counting allocator:
 //!
 //! * the detector's per-request classify path performs **zero** heap
 //!   allocations for form/empty bodies (PR 1 invariant);
 //! * a full steady-state visit through the pooled per-worker
 //!   [`VisitScratch`] stays under a fixed per-flow allocation budget
-//!   (PR 3 invariant, budgets halved in PR 4) — with the slab scheduler,
-//!   the type-keyed callback-box pool, the pooled per-worker simulation
-//!   and the JSON spine pool, the allocator traffic left after warm-up is
-//!   almost entirely data escaping into the returned `SiteVisit`.
+//!   (PR 3 invariant, budgets halved in PR 4; the direct-to-column
+//!   `crawl_site_into` path of PR 5 gets its own, tighter budgets);
+//! * a **cold** (memo-miss) visit — the adoption-sweep hot path, where
+//!   every rank is seen for the first time — stays under a per-flow
+//!   budget too (PR 5 invariant: scratch-based site derivation makes a
+//!   cold visit approach pooled-visit cost).
 
 use hb_repro::adtech::HbFacet;
-use hb_repro::core::{classify_request, Interner, PartnerList, RequestKind};
-use hb_repro::crawler::{crawl_site_pooled, SessionConfig, VisitScratch};
-use hb_repro::ecosystem::{Ecosystem, EcosystemConfig};
+use hb_repro::core::{classify_request, Interner, PartnerList, RequestKind, VisitColumns};
+use hb_repro::crawler::{
+    crawl_site_into, crawl_site_pooled, SessionConfig, TruthRecord, VisitScratch,
+};
+use hb_repro::ecosystem::{clear_thread_memos, Ecosystem, EcosystemConfig};
 use hb_repro::http::{Request, RequestId, Url};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -112,7 +116,7 @@ fn steady_state_visit_stays_within_allocation_budget() {
             .unwrap_or_else(|| panic!("{label} site in tiny universe"));
         let mut scratch = VisitScratch::new(eco.partner_list());
         let mut strings = Interner::new();
-        let mut visit = |strings: &mut Interner, scratch: &mut VisitScratch| {
+        let visit = |strings: &mut Interner, scratch: &mut VisitScratch| {
             crawl_site_pooled(
                 eco.net(),
                 eco.runtime_shared(site.rank),
@@ -140,6 +144,159 @@ fn steady_state_visit_stays_within_allocation_budget() {
         assert!(
             steady < cold,
             "{label}: pooling must beat the cold visit ({steady} vs {cold})"
+        );
+    }
+}
+
+/// Per-flow steady-state budgets for the campaign's actual hot path —
+/// [`crawl_site_into`], which appends straight into the worker's columns
+/// and flattens the truth in place. Measured steady states on the
+/// reference container after PR 5 (direct-to-column record building) are
+/// ~21 (client), ~17 (server), ~27 (hybrid) and ~19 (waterfall) — mostly
+/// column-tail growth and interner traffic. Budgets carry ~2.5-3x
+/// headroom for allocator drift.
+const COLUMNAR_BUDGETS: [(&str, Option<HbFacet>, u64); 4] = [
+    ("client_side", Some(HbFacet::ClientSide), 65),
+    ("server_side", Some(HbFacet::ServerSide), 50),
+    ("hybrid", Some(HbFacet::Hybrid), 75),
+    ("waterfall", None, 50),
+];
+
+/// Per-flow **cold-visit** budgets: a warm worker scratch visiting a rank
+/// whose derivation memos all miss. Two shapes are enforced:
+///
+/// * `fresh`: never-before-seen ranks (the adoption-sweep shape — also
+///   pays first-time interner entries for the new domain/partners), as
+///   the *mean* over several sites of the flow, since per-site partner
+///   fan-out varies;
+/// * `cleared`: the same already-interned rank after
+///   [`clear_thread_memos`] (pure re-derivation cost).
+///
+/// Measured after PR 5 (scratch-based derivation): fresh means ~61 / 53 /
+/// 71 / 26 and cleared ~26 / 26 / 34 / 20 — versus fresh means of ~155 /
+/// 130 / 170 / 48 before (PR 4), a >50% cut. Budgets carry ~2x headroom.
+const COLD_BUDGETS: [(&str, Option<HbFacet>, u64, u64); 4] = [
+    // (label, facet, fresh-mean budget, memo-cleared budget)
+    ("client_side", Some(HbFacet::ClientSide), 125, 65),
+    ("server_side", Some(HbFacet::ServerSide), 110, 65),
+    ("hybrid", Some(HbFacet::Hybrid), 145, 80),
+    ("waterfall", None, 60, 50),
+];
+
+/// One columnar visit through the per-worker scratch.
+#[allow(clippy::too_many_arguments)]
+fn columnar_visit(
+    eco: &Ecosystem,
+    rank: u32,
+    cfg: &SessionConfig,
+    strings: &mut Interner,
+    scratch: &mut VisitScratch,
+    cols: &mut VisitColumns,
+    truths: &mut Vec<TruthRecord>,
+) -> bool {
+    crawl_site_into(
+        eco.net(),
+        eco.runtime_shared(rank),
+        eco.visit_rng(rank, 0),
+        0,
+        cfg,
+        strings,
+        scratch,
+        cols,
+        truths,
+    )
+    .page_completed
+}
+
+#[test]
+fn steady_state_columnar_visit_stays_within_allocation_budget() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = SessionConfig::default();
+    for (label, facet, budget) in COLUMNAR_BUDGETS {
+        let site = eco
+            .sites()
+            .iter()
+            .find(|s| s.facet == facet)
+            .unwrap_or_else(|| panic!("{label} site in tiny universe"));
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut strings = Interner::new();
+        let mut cols = VisitColumns::new();
+        let mut truths = Vec::new();
+        for _ in 0..3 {
+            let _ = columnar_visit(
+                &eco, site.rank, &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
+            );
+        }
+        let (steady, completed) = allocations_during(|| {
+            columnar_visit(
+                &eco, site.rank, &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
+            )
+        });
+        eprintln!("alloc_into[{label}]: steady {steady} (budget {budget})");
+        assert!(completed, "{label}: visit must complete");
+        assert!(
+            steady <= budget,
+            "{label}: steady-state columnar visit allocated {steady} (> budget {budget})"
+        );
+    }
+}
+
+#[test]
+fn cold_visit_stays_within_allocation_budget() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let cfg = SessionConfig::default();
+    for (label, facet, fresh_budget, cleared_budget) in COLD_BUDGETS {
+        let ranks: Vec<u32> = eco
+            .sites()
+            .iter()
+            .filter(|s| s.facet == facet)
+            .map(|s| s.rank)
+            .collect();
+        assert!(ranks.len() >= 5, "{label}: tiny universe has enough sites");
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut strings = Interner::new();
+        let mut cols = VisitColumns::new();
+        let mut truths = Vec::new();
+        // Warm the worker scratch (browser, detector buffers, pools) on
+        // the first site — from here on, every allocation difference is
+        // the cold derivation itself.
+        for _ in 0..3 {
+            let _ = columnar_visit(
+                &eco, ranks[0], &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
+            );
+        }
+        // Fresh ranks: every memo (site, account, runtime, page HTML)
+        // misses, and the domain/partner strings are new to the interner.
+        let fresh: Vec<u64> = ranks[1..ranks.len().min(6)]
+            .iter()
+            .map(|&rank| {
+                allocations_during(|| {
+                    columnar_visit(
+                        &eco, rank, &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
+                    )
+                })
+                .0
+            })
+            .collect();
+        let mean = fresh.iter().sum::<u64>() / fresh.len() as u64;
+        // Memo-cleared revisit of the warm rank: pure re-derivation.
+        clear_thread_memos();
+        let (cleared, _) = allocations_during(|| {
+            columnar_visit(
+                &eco, ranks[0], &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
+            )
+        });
+        eprintln!(
+            "alloc_cold[{label}]: fresh {fresh:?} mean {mean} (budget {fresh_budget}), \
+             memo-cleared {cleared} (budget {cleared_budget})"
+        );
+        assert!(
+            mean <= fresh_budget,
+            "{label}: cold fresh-rank visits averaged {mean} allocations (> budget {fresh_budget})"
+        );
+        assert!(
+            cleared <= cleared_budget,
+            "{label}: memo-cleared visit allocated {cleared} (> budget {cleared_budget})"
         );
     }
 }
