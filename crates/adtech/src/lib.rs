@@ -30,4 +30,7 @@ pub use rtb::{first_price_winner, AuctionOutcome, InternalAuction, SeatBid};
 pub use session::{send_request, HostDirectory, Net, NetOutcome, PageWorld};
 pub use types::{AdSize, AdUnit, Cpm, HbFacet, SizeList};
 pub use waterfall::{rtb_price_param, start_waterfall, waterfall_endpoint, WaterfallTier};
-pub use wrapper::{begin_visit, FlowState, PartnerRef, SiteRuntime, VisitGroundTruth, WrapperConfig};
+pub use wrapper::{
+    begin_visit, FlowState, PartnerRef, RobustnessPolicy, SiteRuntime, VisitGroundTruth,
+    WrapperConfig,
+};

@@ -28,6 +28,8 @@ pub mod events {
     pub const SLOT_RENDER_ENDED: &str = "slotRenderEnded";
     /// An ad failed to render.
     pub const AD_RENDER_FAILED: &str = "adRenderFailed";
+    /// Every demand source failed; a passback / house ad filled the slots.
+    pub const PASSBACK: &str = "passbackServed";
 }
 
 /// Library-fixed HB parameter keys (paper §3.1: "bidder", "hb_partner",
@@ -55,6 +57,8 @@ pub mod params {
     pub const CPM: &str = "cpm";
     /// Generic bidder key also used by bid responses.
     pub const BIDDER: &str = "bidder";
+    /// Marks a bid request as a deterministic retry of a failed attempt.
+    pub const HB_RETRY: &str = "hb_retry";
 }
 
 /// URL path conventions in the simulated namespace.

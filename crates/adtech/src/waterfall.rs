@@ -115,6 +115,21 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
         finish_waterfall(w, s, FillChannel::Fallback, Cpm(0.05));
         return;
     }
+    send_tier_request(w, s, idx, 0);
+}
+
+/// Send the tier's RTB call (attempt 0 or the one `rt=1`-marked retry).
+///
+/// Every send bumps the waterfall attempt generation; the response
+/// continuation and the optional tier deadline both capture it, so
+/// whichever fires second sees a stale generation and no-ops. A dropped
+/// tier therefore advances on the deadline instead of hanging until the
+/// 30 s browser network timeout — and never advances twice.
+///
+/// Waterfall traffic must never carry `hb_*` keys (the detector asserts
+/// it), so the retry marker is the DSP-style `rt` parameter.
+fn send_tier_request(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize, attempt: u8) {
+    let site = w.flow.site.as_ref().unwrap().clone();
     let tier = site.waterfall_tiers[idx].clone();
     let size = site
         .ad_units
@@ -125,6 +140,9 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
     q.append("floor", tier.floor.to_param());
     q.append("size", HStr::from_display(size));
     q.append("cb", HStr::from_display(w.rng.below(1_000_000_000)));
+    if attempt > 0 {
+        q.append("rt", "1");
+    }
     let url = Url::https_pooled(
         HStr::from_display(format_args!("rtb.{}", tier.partner.host)),
         HStr::from_static(protocol::paths::RTB_AD),
@@ -132,7 +150,15 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
     );
     let id = w.browser.next_request_id();
     let req = Request::get(id, url).from_initiator("adserver-tag");
+    w.flow.wf_attempt = w.flow.wf_attempt.wrapping_add(1);
+    let gen = w.flow.wf_attempt;
     send_request(w, s, req, move |w, s, out| {
+        if matches!(&out, NetOutcome::Failed(_)) {
+            w.flow.truth.bids_dropped += 1;
+        }
+        if w.flow.done || w.flow.wf_attempt != gen {
+            return; // the deadline already moved the chain on
+        }
         let filled_price = match out {
             NetOutcome::Response(rsp) if rsp.status == hb_http::Status::OK => {
                 match rsp.body.into_json() {
@@ -174,6 +200,28 @@ fn try_tier(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, idx: usize) {
             None => try_tier(w, s, idx + 1),
         }
     });
+    if let Some(deadline) = site.robustness.tier_deadline {
+        let retry = attempt == 0 && site.robustness.retry;
+        let backoff = site.robustness.retry_backoff;
+        s.after(deadline, move |w: &mut PageWorld, s| {
+            if w.flow.done || w.flow.wf_attempt != gen {
+                return; // tier answered in time
+            }
+            if retry {
+                s.after(backoff, move |w: &mut PageWorld, s| {
+                    if w.flow.done || w.flow.wf_attempt != gen {
+                        return; // the late answer landed during backoff
+                    }
+                    w.flow.truth.retries += 1;
+                    send_tier_request(w, s, idx, 1);
+                });
+            } else {
+                // Retry spent (or disabled): the tier is dead — advance.
+                w.flow.truth.timed_out_partners += 1;
+                try_tier(w, s, idx + 1);
+            }
+        });
+    }
 }
 
 fn finish_waterfall(
@@ -215,7 +263,7 @@ mod tests {
     use super::*;
     use crate::session::{HostDirectory, Net};
     use crate::types::AdUnit;
-    use crate::wrapper::{begin_visit, SiteRuntime, WrapperConfig};
+    use crate::wrapper::{begin_visit, RobustnessPolicy, SiteRuntime, WrapperConfig};
     use hb_http::Router;
     use hb_simnet::{FaultInjector, LatencyModel, Rng, Simulation, SimTime};
     use std::sync::Arc as Rc;
@@ -233,6 +281,16 @@ mod tests {
 
     /// World with a 2-tier waterfall: tier0 never fills, tier1 always does.
     fn build(fill0: f64, fill1: f64) -> Simulation<PageWorld> {
+        build_with(fill0, fill1, FaultInjector::none(), RobustnessPolicy::off())
+    }
+
+    /// [`build`] plus a fault injector and a robustness policy.
+    fn build_with(
+        fill0: f64,
+        fill1: f64,
+        faults: FaultInjector,
+        robustness: RobustnessPolicy,
+    ) -> Simulation<PageWorld> {
         let mut router = Router::new();
         router.register("pub1.example", |r: &Request, _: &mut Rng| {
             ServerReply::instant(Response::text(r.id, "<html><head></head></html>"))
@@ -253,11 +311,7 @@ mod tests {
         latency.insert("cdn.example", LatencyModel::constant(10.0));
         latency.insert("rtb.adx0.example", LatencyModel::constant(80.0));
         latency.insert("rtb.adx1.example", LatencyModel::constant(80.0));
-        let net = Net::new(
-            Rc::new(router),
-            Rc::new(latency),
-            Rc::new(FaultInjector::none()),
-        );
+        let net = Net::new(Rc::new(router), Rc::new(latency), Rc::new(faults));
         let url = Url::parse("https://pub1.example/").unwrap();
         let mut world = PageWorld::new(url.clone(), net, Rng::new(7));
         world.handler_service_ms = Dist::Const(2.0);
@@ -277,6 +331,7 @@ mod tests {
             cdn_host: "cdn.example".into(),
             render_fail_rate: 0.0,
             net_quality: 1.0,
+            robustness,
         };
         let mut sim = Simulation::new(world);
         sim.scheduler()
@@ -339,6 +394,81 @@ mod tests {
         assert_eq!(w.browser.events.emitted_count("auctionInit"), 0);
         assert_eq!(w.browser.events.emitted_count("bidResponse"), 0);
         assert_eq!(w.browser.events.emitted_count("bidWon"), 0);
+    }
+
+    #[test]
+    fn dead_tier_advances_on_deadline_after_one_retry() {
+        // Tier 0's endpoint is hard-down. With a tier deadline + retry the
+        // chain retries once (marked rt=1, never hb_*) and then advances
+        // to tier 1 instead of hanging until the browser network timeout.
+        let policy = RobustnessPolicy {
+            tier_deadline: Some(SimDuration::from_millis(300)),
+            retry: true,
+            retry_backoff: SimDuration::from_millis(50),
+            ..RobustnessPolicy::off()
+        };
+        let faults = FaultInjector::none().with_outage("rtb.adx0.example");
+        let mut sim = build_with(0.0, 1.0, faults, policy);
+        sim.run_to_idle(60_000);
+        let truth = &sim.world().flow.truth;
+        assert_eq!(truth.waterfall_fill_tier, Some(1), "chain advanced");
+        assert_eq!(truth.retries, 1, "one rt=1 retry against tier 0");
+        assert_eq!(truth.timed_out_partners, 1, "tier 0 resolved as dead");
+        assert_eq!(truth.bids_dropped, 2, "both tier-0 attempts dropped");
+        let lat = truth.waterfall_latency.unwrap();
+        // deadline (300) + backoff (50) + deadline (300) + tier1 hop.
+        assert!(lat >= SimDuration::from_millis(650), "lat {lat}");
+        assert!(lat <= SimDuration::from_millis(1_500), "lat {lat}");
+    }
+
+    #[test]
+    fn dead_chain_with_deadlines_falls_back_without_hanging() {
+        // Every tier is down and retry is disabled: the chain must walk
+        // the deadlines and land on the house-ad fallback.
+        let policy = RobustnessPolicy {
+            tier_deadline: Some(SimDuration::from_millis(200)),
+            ..RobustnessPolicy::off()
+        };
+        let faults = FaultInjector::none()
+            .with_outage("rtb.adx0.example")
+            .with_outage("rtb.adx1.example");
+        let mut sim = build_with(1.0, 1.0, faults, policy);
+        sim.run_to_idle(60_000);
+        let w = sim.world();
+        assert!(w.flow.done);
+        let truth = &w.flow.truth;
+        assert_eq!(truth.waterfall_fill_tier, None);
+        assert_eq!(truth.winners[0].channel, FillChannel::Fallback);
+        assert_eq!(truth.timed_out_partners, 2);
+        let lat = truth.waterfall_latency.unwrap();
+        assert!(lat <= SimDuration::from_millis(1_000), "lat {lat}");
+    }
+
+    #[test]
+    fn retried_waterfall_traffic_still_carries_no_hb_params() {
+        let policy = RobustnessPolicy {
+            tier_deadline: Some(SimDuration::from_millis(300)),
+            retry: true,
+            retry_backoff: SimDuration::from_millis(50),
+            ..RobustnessPolicy::off()
+        };
+        let faults = FaultInjector::none().with_outage("rtb.adx0.example");
+        let mut sim = build_with(0.0, 1.0, faults, policy);
+        let hb_seen = Rc::new(std::cell::RefCell::new(false));
+        let h2 = hb_seen.clone();
+        sim.world_mut().browser.webrequest.tap(move |ev| {
+            if let hb_dom::WebRequestEvent::Before { request, .. } = ev {
+                let params = request.visible_params();
+                if params.iter().any(|(k, _)| k.starts_with("hb_")) {
+                    *h2.borrow_mut() = true;
+                }
+            }
+        });
+        sim.run_to_idle(60_000);
+        assert!(
+            !*hb_seen.borrow(),
+            "retried waterfall traffic must not carry hb_*"
+        );
     }
 
     #[test]

@@ -60,6 +60,61 @@ impl Default for WrapperConfig {
     }
 }
 
+/// Robustness behavior of the ad path under degraded networks. Everything
+/// defaults to **off**, which reproduces the baseline flows bit for bit:
+/// no extra events are scheduled, no retry requests are issued, and no
+/// RNG draws are added, so a healthy-scenario campaign stays
+/// byte-identical to one built without any robustness policy.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RobustnessPolicy {
+    /// Per-partner client bid deadline: a partner that has not answered
+    /// by then is resolved (retried once when [`Self::retry`] is set,
+    /// failed otherwise) so the auction never waits on a dead endpoint.
+    pub partner_deadline: Option<SimDuration>,
+    /// Issue one deterministic retry (marked `hb_retry=1`) when a bid
+    /// request fails or exceeds its deadline.
+    pub retry: bool,
+    /// Backoff before the retry request leaves.
+    pub retry_backoff: SimDuration,
+    /// Waterfall tier deadline: a tier that has not answered by then is
+    /// retried once (marked `rt=1`, no `hb_*` keys — waterfall traffic
+    /// must never carry them) and then advanced past, so the daisy chain
+    /// cannot hang on a dropped tier.
+    pub tier_deadline: Option<SimDuration>,
+    /// Serve a passback / house ad when every demand source failed, so a
+    /// fully degraded visit still renders and completes.
+    pub passback: bool,
+    /// Per-partner deadline of the server-side mediator's fan-out
+    /// (threaded into [`crate::adserver::AdServerAccount::s2s_deadline`]
+    /// by the ecosystem). `None` = wait for every s2s partner.
+    pub s2s_deadline: Option<SimDuration>,
+}
+
+impl RobustnessPolicy {
+    /// Everything disabled (the baseline semantics).
+    pub fn off() -> RobustnessPolicy {
+        RobustnessPolicy::default()
+    }
+
+    /// A sane degraded-network posture: 2.5 s partner deadline, one retry
+    /// after 100 ms, 2 s waterfall tier deadline, passback on.
+    pub fn degraded_defaults() -> RobustnessPolicy {
+        RobustnessPolicy {
+            partner_deadline: Some(SimDuration::from_millis(2_500)),
+            retry: true,
+            retry_backoff: SimDuration::from_millis(100),
+            tier_deadline: Some(SimDuration::from_millis(2_000)),
+            passback: true,
+            s2s_deadline: Some(SimDuration::from_millis(600)),
+        }
+    }
+
+    /// True when every knob is off (the baseline fast path).
+    pub fn is_off(&self) -> bool {
+        *self == RobustnessPolicy::default()
+    }
+}
+
 /// Everything the simulation needs to visit one site.
 #[derive(Clone, Debug)]
 pub struct SiteRuntime {
@@ -92,6 +147,9 @@ pub struct SiteRuntime {
     /// visit (premium publishers sit on better-peered infrastructure;
     /// drives the rank-latency association of Fig. 13). 1.0 = neutral.
     pub net_quality: f64,
+    /// Robustness posture of the ad path (deadlines, retry, passback).
+    /// The default keeps everything off, i.e. baseline semantics.
+    pub robustness: RobustnessPolicy,
 }
 
 /// Ground truth collected during the visit (for validating the detector
@@ -119,6 +177,16 @@ pub struct VisitGroundTruth {
     pub waterfall_latency: Option<SimDuration>,
     /// Which waterfall tier filled (0-based; `None` = fallback).
     pub waterfall_fill_tier: Option<usize>,
+    /// Ad-path requests (bid, tier, ad-server calls) whose response never
+    /// arrived (network drop / timeout).
+    pub bids_dropped: usize,
+    /// Retry requests issued by the robustness policy.
+    pub retries: usize,
+    /// Distinct client partners resolved as timed out / failed.
+    pub timed_out_partners: usize,
+    /// Did a passback / house ad fill the slots because every demand
+    /// source failed?
+    pub passback_served: bool,
 }
 
 impl VisitGroundTruth {
@@ -148,6 +216,10 @@ impl VisitGroundTruth {
             winners,
             waterfall_latency,
             waterfall_fill_tier,
+            bids_dropped,
+            retries,
+            timed_out_partners,
+            passback_served,
         } = self;
         *facet = None;
         *slots_auctioned = 0;
@@ -159,6 +231,10 @@ impl VisitGroundTruth {
         winners.clear();
         *waterfall_latency = None;
         *waterfall_fill_tier = None;
+        *bids_dropped = 0;
+        *retries = 0;
+        *timed_out_partners = 0;
+        *passback_served = false;
     }
 }
 
@@ -179,6 +255,16 @@ pub struct FlowState {
     pub sent_to_adserver: bool,
     /// Is the visit complete (ads rendered / given up)?
     pub done: bool,
+    /// Per-partner: has this partner's auction participation been
+    /// resolved (answered, failed, or deadline-expired)? Indexed like
+    /// `site.client_partners`. A partner resolves exactly once, even
+    /// when deadlines and in-flight responses race.
+    pub partner_resolved: Vec<bool>,
+    /// Per-partner: has the one robustness retry been spent?
+    pub partner_retried: Vec<bool>,
+    /// Waterfall attempt generation, bumped on every tier transition or
+    /// retry so stale deadline/response continuations no-op.
+    pub wf_attempt: u32,
     /// Ground truth accumulator.
     pub truth: VisitGroundTruth,
 }
@@ -200,6 +286,9 @@ impl FlowState {
         self.partners_pending = 0;
         self.sent_to_adserver = false;
         self.done = false;
+        self.partner_resolved.clear();
+        self.partner_retried.clear();
+        self.wf_attempt = 0;
         self.truth.reset_for_visit();
     }
 }
@@ -302,8 +391,16 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
         .map(|u| (u.code.clone(), u.primary_size()))
         .collect();
     w.flow.partners_pending = site.client_partners.len();
+    w.flow.partner_resolved.clear();
+    w.flow
+        .partner_resolved
+        .resize(site.client_partners.len(), false);
+    w.flow.partner_retried.clear();
+    w.flow
+        .partner_retried
+        .resize(site.client_partners.len(), false);
 
-    for partner in &site.client_partners {
+    for (idx, partner) in site.client_partners.iter().enumerate() {
         let code = partner.code.clone();
         let mut q = w.scratch.take_params();
         q.append(params::HB_AUCTION, auction_id.clone());
@@ -328,8 +425,13 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
             w.flow.truth.first_bid_request_at = Some(s.now());
         }
         send_request(w, s, req, move |w, s, out| {
-            handle_bid_outcome(w, s, &code, out)
+            handle_bid_outcome(w, s, idx, 0, out)
         });
+        if let Some(deadline) = site.robustness.partner_deadline {
+            s.after(deadline, move |w: &mut PageWorld, s| {
+                partner_deadline_expired(w, s, idx, 0);
+            });
+        }
     }
 
     if site.client_partners.is_empty() {
@@ -350,14 +452,25 @@ fn start_client_auction(w: &mut PageWorld, s: &mut Scheduler<PageWorld>) {
     }
 }
 
-/// Handle a partner's bid response (or failure).
+/// Handle a partner's bid response (or failure) for one attempt.
+///
+/// With the robustness policy off every partner produces exactly one
+/// outcome, so the resolution bookkeeping degenerates to the baseline
+/// "decrement pending once per partner" semantics. With deadlines/retry
+/// on, a partner can produce several outcomes (deadline expiry, the
+/// original slow response, the retry response) — only the first
+/// *resolving* one decrements `partners_pending`.
 fn handle_bid_outcome(
     w: &mut PageWorld,
     s: &mut Scheduler<PageWorld>,
-    bidder: &str,
+    partner_idx: usize,
+    attempt: u8,
     out: NetOutcome,
 ) {
-    w.flow.partners_pending = w.flow.partners_pending.saturating_sub(1);
+    let succeeded = matches!(&out, NetOutcome::Response(rsp) if rsp.status.is_success());
+    if matches!(&out, NetOutcome::Failed(_)) {
+        w.flow.truth.bids_dropped += 1;
+    }
     let arrived_late = w.flow.sent_to_adserver;
     if let NetOutcome::Response(rsp) = out {
         if rsp.status.is_success() {
@@ -389,10 +502,112 @@ fn handle_bid_outcome(
             }
         }
     }
-    let _ = bidder;
+
+    // Resolution bookkeeping. Outcomes arriving after the partner
+    // resolved (late responses past a deadline, the straggling network
+    // failure of an already-expired attempt) count bids/drops above but
+    // must not decrement `partners_pending` again.
+    if w.flow.partner_resolved.get(partner_idx).copied().unwrap_or(true) {
+        return;
+    }
+    if !succeeded {
+        let site = w.flow.site_handle();
+        if attempt == 0 && site.robustness.retry && !w.flow.partner_retried[partner_idx] {
+            // First attempt failed fast: spend the retry; resolution is
+            // deferred to the retry's outcome or deadline.
+            launch_partner_retry(w, s, partner_idx);
+            return;
+        }
+        w.flow.truth.timed_out_partners += 1;
+    } else if attempt == 0 && w.flow.partner_retried[partner_idx] {
+        // The original attempt answered after its deadline launched a
+        // retry: the bids were counted above; the retry resolves.
+        return;
+    }
+    w.flow.partner_resolved[partner_idx] = true;
+    w.flow.partners_pending = w.flow.partners_pending.saturating_sub(1);
     if w.flow.partners_pending == 0 && !w.flow.sent_to_adserver && !w.flow.done {
         send_to_adserver(w, s);
     }
+}
+
+/// A partner's per-attempt deadline fired. No-op when the partner already
+/// resolved or (for attempt 0) a retry superseded the attempt; otherwise
+/// spend the retry, or resolve the partner as timed out.
+fn partner_deadline_expired(
+    w: &mut PageWorld,
+    s: &mut Scheduler<PageWorld>,
+    partner_idx: usize,
+    attempt: u8,
+) {
+    if w.flow.done || w.flow.partner_resolved.get(partner_idx).copied().unwrap_or(true) {
+        return;
+    }
+    if attempt == 0 && w.flow.partner_retried[partner_idx] {
+        return; // the retry's own deadline is armed
+    }
+    let site = w.flow.site_handle();
+    if attempt == 0 && site.robustness.retry {
+        launch_partner_retry(w, s, partner_idx);
+        return;
+    }
+    w.flow.truth.timed_out_partners += 1;
+    w.flow.partner_resolved[partner_idx] = true;
+    w.flow.partners_pending = w.flow.partners_pending.saturating_sub(1);
+    if w.flow.partners_pending == 0 && !w.flow.sent_to_adserver && !w.flow.done {
+        send_to_adserver(w, s);
+    }
+}
+
+/// Issue the one deterministic retry for a partner: after the configured
+/// backoff, re-send the bid request marked `hb_retry=1` and re-arm the
+/// per-attempt deadline.
+fn launch_partner_retry(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, partner_idx: usize) {
+    let site = w.flow.site_handle();
+    w.flow.partner_retried[partner_idx] = true;
+    w.flow.truth.retries += 1;
+    let partner = &site.client_partners[partner_idx];
+    let code = partner.code.clone();
+    let host = partner.host.clone();
+    let auction_id = w.flow.auction_id.clone();
+    let slots: Vec<(HStr, crate::types::AdSize)> = site
+        .ad_units
+        .iter()
+        .map(|u| (u.code.clone(), u.primary_size()))
+        .collect();
+    let backoff = site.robustness.retry_backoff;
+    let deadline = site.robustness.partner_deadline;
+    s.after(backoff, move |w: &mut PageWorld, s| {
+        if w.flow.done
+            || w.flow.partner_resolved.get(partner_idx).copied().unwrap_or(true)
+        {
+            return;
+        }
+        let mut q = w.scratch.take_params();
+        q.append(params::HB_AUCTION, auction_id.clone());
+        q.append(params::HB_BIDDER, code.clone());
+        q.append(params::HB_SOURCE, "client");
+        q.append("slots", HStr::from_display(slots.len()));
+        q.append(params::HB_RETRY, "1");
+        let url = Url::https_pooled(host, HStr::from_static(protocol::paths::BID), q);
+        let id = w.browser.next_request_id();
+        let req = Request::post(id, url, Body::Json(bid_request_body(&slots)))
+            .from_initiator("prebid.js");
+        let payload = Json::obj([
+            (params::HB_BIDDER, Json::str(code)),
+            (params::HB_AUCTION, Json::str(auction_id)),
+        ]);
+        w.browser.fire_event(s.now(), events::BID_REQUESTED, &payload);
+        w.scratch.recycle_json(payload);
+        send_request(w, s, req, move |w, s, out| {
+            handle_bid_outcome(w, s, partner_idx, 1, out)
+        });
+        if let Some(d) = deadline {
+            s.after(d, move |w: &mut PageWorld, s| {
+                partner_deadline_expired(w, s, partner_idx, 1);
+            });
+        }
+    });
 }
 
 /// 4. Ship collected bids to the ad server; fires `auctionEnd`.
@@ -494,7 +709,10 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
     let now = s.now();
     w.flow.truth.adserver_response_at = Some(now);
     let site = w.flow.site_handle();
-    let winners = match out {
+    if matches!(&out, NetOutcome::Failed(_)) {
+        w.flow.truth.bids_dropped += 1;
+    }
+    let mut winners = match out {
         NetOutcome::Response(rsp) if rsp.status.is_success() => match rsp.body.into_json() {
             Some(body) => {
                 let ws = protocol::parse_ad_server_response(&body)
@@ -507,6 +725,30 @@ fn handle_adserver_response(w: &mut PageWorld, s: &mut Scheduler<PageWorld>, out
         },
         _ => Vec::new(),
     };
+    if winners.is_empty() && site.robustness.passback && !site.ad_units.is_empty() {
+        // Graceful degradation: every demand source (including the ad
+        // server itself) failed — fill the slots with a house ad so the
+        // page still completes instead of timing out empty.
+        w.flow.truth.passback_served = true;
+        winners = site
+            .ad_units
+            .iter()
+            .map(|u| WinnerPayload {
+                slot: u.code.clone(),
+                bidder: HStr::from_static("house"),
+                pb: crate::types::Cpm(0.0),
+                size: u.primary_size(),
+                ad_id: HStr::from_static("passback"),
+                channel: FillChannel::Fallback,
+            })
+            .collect();
+        let payload = Json::obj([
+            (params::HB_AUCTION, Json::str(w.flow.auction_id.clone())),
+            ("slots", Json::num(winners.len() as f64)),
+        ]);
+        w.browser.fire_event(now, events::PASSBACK, &payload);
+        w.scratch.recycle_json(payload);
+    }
     w.flow.truth.winners = winners.clone();
 
     let fires_prebid_events = matches!(
@@ -603,6 +845,16 @@ mod tests {
     /// Build a tiny world: one publisher page, a CDN, two partners, and an
     /// ad server with one account.
     fn build_world(facet: Option<HbFacet>, wrapper: WrapperConfig) -> Simulation<PageWorld> {
+        build_world_with(facet, wrapper, FaultInjector::none(), RobustnessPolicy::off())
+    }
+
+    /// [`build_world`] plus a fault injector and a robustness policy.
+    fn build_world_with(
+        facet: Option<HbFacet>,
+        wrapper: WrapperConfig,
+        faults: FaultInjector,
+        robustness: RobustnessPolicy,
+    ) -> Simulation<PageWorld> {
         let mut router = Router::new();
         router.register("pub1.example", |r: &Request, _: &mut Rng| {
             ServerReply::instant(Response::text(r.id, "<html><head></head></html>"))
@@ -640,11 +892,7 @@ mod tests {
         latency.insert("ads.pub1.example", LatencyModel::constant(50.0));
         latency.insert("dfp-adnet.example", LatencyModel::constant(50.0));
 
-        let net = Net::new(
-            Rc::new(router),
-            Rc::new(latency),
-            Rc::new(FaultInjector::none()),
-        );
+        let net = Net::new(Rc::new(router), Rc::new(latency), Rc::new(faults));
         let url = Url::parse("https://pub1.example/").unwrap();
         let mut world = PageWorld::new(url.clone(), net, Rng::new(42));
         world.handler_service_ms = hb_simnet::Dist::Const(2.0);
@@ -685,6 +933,7 @@ mod tests {
             cdn_host: "cdn.example".into(),
             render_fail_rate: 0.0,
             net_quality: 1.0,
+            robustness,
         };
         let mut sim = Simulation::new(world);
         sim.scheduler().after(SimDuration::ZERO, move |w: &mut PageWorld, s| {
@@ -818,6 +1067,91 @@ mod tests {
         let truth = &sim.world().flow.truth;
         assert_eq!(truth.late_bids, 0);
         assert_eq!(truth.client_bids, 4);
+    }
+
+    #[test]
+    fn partner_deadline_and_retry_resolve_dead_partner() {
+        // alpha is hard-down; without a deadline the no-timeout wrapper
+        // would wait the full 30 s browser network timeout. The policy
+        // resolves it after one retry and the auction proceeds on beta.
+        let cfg = WrapperConfig {
+            timeout: None,
+            ..WrapperConfig::default()
+        };
+        let policy = RobustnessPolicy {
+            partner_deadline: Some(SimDuration::from_millis(500)),
+            retry: true,
+            retry_backoff: SimDuration::from_millis(50),
+            ..RobustnessPolicy::off()
+        };
+        let faults = FaultInjector::none().with_outage("alpha.adnet.example");
+        let mut sim = build_world_with(Some(HbFacet::ClientSide), cfg, faults, policy);
+        sim.run_to_idle(60_000);
+        let w = sim.world();
+        assert!(w.flow.done, "visit completed despite the dead partner");
+        let truth = &w.flow.truth;
+        assert_eq!(truth.client_bids, 2, "only beta answered");
+        assert_eq!(truth.retries, 1, "one retry against alpha");
+        assert_eq!(truth.timed_out_partners, 1);
+        assert_eq!(truth.bids_dropped, 2, "both alpha attempts dropped");
+        // The auction resolved on the deadline chain (~1.1 s), not the
+        // 30 s network timeout.
+        let lat = truth.hb_latency().unwrap();
+        assert!(lat <= SimDuration::from_millis(2_000), "lat {lat}");
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::HeaderBid && win.bidder == "beta"));
+        // The retry request is a marked bid request: 2 initial + 1 retry.
+        assert_eq!(w.browser.events.emitted_count(events::BID_REQUESTED), 3);
+    }
+
+    #[test]
+    fn passback_fills_when_every_demand_source_is_down() {
+        // Partners AND the ad server are down. Without passback the page
+        // gives up with zero winners; with it the slots render house ads
+        // and the visit still completes.
+        let policy = RobustnessPolicy {
+            partner_deadline: Some(SimDuration::from_millis(500)),
+            retry: false,
+            retry_backoff: SimDuration::ZERO,
+            tier_deadline: None,
+            passback: true,
+            s2s_deadline: None,
+        };
+        let faults = FaultInjector::none()
+            .with_outage("alpha.adnet.example")
+            .with_outage("beta.adnet.example")
+            .with_outage("ads.pub1.example");
+        let mut sim = build_world_with(
+            Some(HbFacet::ClientSide),
+            WrapperConfig::default(),
+            faults,
+            policy,
+        );
+        sim.run_to_idle(60_000);
+        let w = sim.world();
+        assert!(w.flow.done, "visit completed via passback");
+        let truth = &w.flow.truth;
+        assert!(truth.passback_served);
+        assert_eq!(truth.winners.len(), 2);
+        assert!(truth
+            .winners
+            .iter()
+            .all(|win| win.channel == FillChannel::Fallback && win.bidder == "house"));
+        assert_eq!(truth.timed_out_partners, 2);
+        assert_eq!(truth.retries, 0);
+        // Two partner requests + the ad-server call never answered.
+        assert_eq!(truth.bids_dropped, 3);
+        assert_eq!(w.browser.events.emitted_count(events::PASSBACK), 1);
+        assert_eq!(w.browser.events.emitted_count(events::SLOT_RENDER_ENDED), 2);
+    }
+
+    #[test]
+    fn robustness_policy_defaults_are_off() {
+        assert!(RobustnessPolicy::off().is_off());
+        assert!(RobustnessPolicy::default().is_off());
+        assert!(!RobustnessPolicy::degraded_defaults().is_off());
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub struct DatasetIndex {
     pub v_n_bids: Vec<u32>,
     /// Number of late bids.
     pub v_n_late: Vec<u32>,
+    /// Bid/ad requests lost to network faults.
+    pub v_bids_dropped: Vec<u32>,
+    /// Deadline-triggered retries issued.
+    pub v_retries: Vec<u32>,
+    /// Demand sources given up on after deadline/retry exhaustion.
+    pub v_timed_out: Vec<u32>,
+    /// Passback / house-ad fill after total demand failure.
+    pub v_passback: Vec<bool>,
 
     // --- day-0 sweep columns (every visit, HB or not) ---------------------
     /// Site rank.
@@ -156,6 +164,10 @@ struct IndexAccum {
     v_slots_auctioned: Vec<u32>,
     v_n_bids: Vec<u32>,
     v_n_late: Vec<u32>,
+    v_bids_dropped: Vec<u32>,
+    v_retries: Vec<u32>,
+    v_timed_out: Vec<u32>,
+    v_passback: Vec<bool>,
     d0_rank: Vec<u32>,
     d0_hb: Vec<bool>,
     d0_facet: Vec<Option<DetectedFacet>>,
@@ -194,6 +206,10 @@ impl IndexAccum {
         self.v_slots_auctioned.push(v.slots_auctioned);
         self.v_n_bids.push(v.bids.len() as u32);
         self.v_n_late.push(v.late_bids() as u32);
+        self.v_bids_dropped.push(v.bids_dropped);
+        self.v_retries.push(v.retries);
+        self.v_timed_out.push(v.timed_out_partners);
+        self.v_passback.push(v.passback_served);
 
         let domain = map(v.domain);
         let site = self.site_rows.entry(domain).or_insert_with(|| SiteRow {
@@ -292,6 +308,10 @@ impl IndexAccum {
             v_slots_auctioned: self.v_slots_auctioned,
             v_n_bids: self.v_n_bids,
             v_n_late: self.v_n_late,
+            v_bids_dropped: self.v_bids_dropped,
+            v_retries: self.v_retries,
+            v_timed_out: self.v_timed_out,
+            v_passback: self.v_passback,
             d0_rank: self.d0_rank,
             d0_hb: self.d0_hb,
             d0_facet: self.d0_facet,

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod adoption;
+pub mod faults;
 pub mod index;
 pub mod late;
 pub mod latency;
@@ -27,6 +28,7 @@ pub mod waterfall_cmp;
 #[doc(hidden)]
 pub mod test_fixtures;
 
+pub use faults::{fault_reports, FaultSlice};
 pub use index::{DatasetIndex, DatasetIndexBuilder};
 pub use registry::{all_reports, dataset_reports, history_reports, indexed_reports};
 pub use report::FigureReport;

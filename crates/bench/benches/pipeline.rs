@@ -2,11 +2,12 @@
 //! simulation per protocol flow, detector hot paths, and a tiny campaign.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hb_adtech::HbFacet;
+use hb_adtech::{HbFacet, RobustnessPolicy};
 use hb_core::{Interner, VisitColumns};
 use hb_crawler::{crawl_site_into, crawl_site_pooled, SessionConfig, VisitScratch};
-use hb_ecosystem::{Ecosystem, EcosystemConfig, SiteFactory};
+use hb_ecosystem::{Ecosystem, EcosystemConfig, ScenarioConfig, SiteFactory};
 use hb_http::{Json, Request, RequestId, Url};
+use hb_simnet::{Dist, HostFaultProfile, LatencyModel};
 use std::hint::black_box;
 
 /// One steady-state visit per flow type, through the pooled per-worker
@@ -113,6 +114,48 @@ fn campaign_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// `campaign/throughput` again, but under a stressed scenario touching
+/// every fault axis: a lossy ambient profile on one partner, a scheduled
+/// outage on a second, a congested link to a third, and the degraded
+/// robustness posture (per-partner deadlines, one retry with backoff,
+/// passback). Same prebuilt tiny universe shape and the same
+/// `Throughput::Elements` denominator, so the two visits/sec numbers are
+/// directly comparable — the fault machinery is budgeted to stay within
+/// 15% of the healthy sweep.
+fn campaign_faulty_bench(c: &mut Criterion) {
+    let specs = hb_ecosystem::catalog::catalog();
+    let base = EcosystemConfig::tiny_scale();
+    let scenario = ScenarioConfig::healthy()
+        .with_host_profile(
+            specs[0].host(),
+            HostFaultProfile {
+                drop_chance: 0.20,
+                slow_chance: 0.30,
+                slow_penalty_ms: Dist::Const(900.0),
+            },
+        )
+        .with_outage(specs[1].host(), 1, base.crawl_days)
+        .with_degraded_link(specs[2].host(), LatencyModel::constant(1_200.0))
+        .with_robustness(RobustnessPolicy::degraded_defaults());
+    let eco = Ecosystem::generate(base.with_scenario(scenario));
+    let visits = {
+        // One warm-up run to learn the visit count (sweep + dailies).
+        let ds = hb_crawler::run_campaign(&eco, &hb_crawler::CampaignConfig::default());
+        ds.visits.len() as u64
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(visits));
+    group.bench_function("faulty_sweep", |b| {
+        b.iter(|| {
+            black_box(hb_crawler::run_campaign(
+                &eco,
+                &hb_crawler::CampaignConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
 /// A 2,000-site × 1-day campaign over the lazy factory — the scale where
 /// eager universe construction used to dominate. Reported as visits/sec
 /// (`Throughput::Elements`), directly comparable to the crawl binary.
@@ -202,7 +245,7 @@ fn campaign_cold_sweep_bench(c: &mut Criterion) {
 criterion_group!(
     name = pipeline;
     config = Criterion::default().sample_size(10);
-    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_small_bench,
-        derive_site_cold_bench, campaign_cold_sweep_bench
+    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_faulty_bench,
+        campaign_small_bench, derive_site_cold_bench, campaign_cold_sweep_bench
 );
 criterion_main!(pipeline);

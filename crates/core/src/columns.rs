@@ -26,6 +26,10 @@ pub struct VisitColumns {
     slots_auctioned: Vec<u32>,
     hb_latency_ms: Vec<Option<f64>>,
     page_load_ms: Vec<Option<f64>>,
+    bids_dropped: Vec<u32>,
+    retries: Vec<u32>,
+    timed_out_partners: Vec<u32>,
+    passback_served: Vec<bool>,
     partners: Vec<Symbol>,
     partners_off: Vec<u32>,
     bids: Vec<DetectedBid>,
@@ -57,6 +61,14 @@ pub struct VisitView<'a> {
     pub hb_latency_ms: Option<f64>,
     /// Page load time, ms.
     pub page_load_ms: Option<f64>,
+    /// Bid requests that never completed (dropped/timed out on the wire).
+    pub bids_dropped: u32,
+    /// Bid requests that were deterministic retries of a failed attempt.
+    pub retries: u32,
+    /// Distinct partners with at least one uncompleted bid request.
+    pub timed_out_partners: u32,
+    /// Did a passback / house ad fill the slots?
+    pub passback_served: bool,
     /// Unique partner display names participating.
     pub partners: &'a [Symbol],
     /// All bids observed.
@@ -91,6 +103,10 @@ impl VisitView<'_> {
             slots: self.slots.to_vec(),
             event_counts: self.event_counts.to_vec(),
             page_load_ms: self.page_load_ms,
+            bids_dropped: self.bids_dropped,
+            retries: self.retries,
+            timed_out_partners: self.timed_out_partners,
+            passback_served: self.passback_served,
         }
     }
 }
@@ -117,6 +133,10 @@ impl VisitColumns {
             slots_auctioned: Vec::with_capacity(n),
             hb_latency_ms: Vec::with_capacity(n),
             page_load_ms: Vec::with_capacity(n),
+            bids_dropped: Vec::with_capacity(n),
+            retries: Vec::with_capacity(n),
+            timed_out_partners: Vec::with_capacity(n),
+            passback_served: Vec::with_capacity(n),
             ..VisitColumns::default()
         }
     }
@@ -143,6 +163,10 @@ impl VisitColumns {
             slots_auctioned,
             hb_latency_ms,
             page_load_ms,
+            bids_dropped,
+            retries,
+            timed_out_partners,
+            passback_served,
             partners,
             partners_off,
             bids,
@@ -162,6 +186,10 @@ impl VisitColumns {
         slots_auctioned.clear();
         hb_latency_ms.clear();
         page_load_ms.clear();
+        bids_dropped.clear();
+        retries.clear();
+        timed_out_partners.clear();
+        passback_served.clear();
         partners.clear();
         partners_off.clear();
         bids.clear();
@@ -229,6 +257,10 @@ impl VisitColumns {
             slots_auctioned: v.slots_auctioned,
             hb_latency_ms: v.hb_latency_ms,
             page_load_ms: v.page_load_ms,
+            bids_dropped: v.bids_dropped,
+            retries: v.retries,
+            timed_out_partners: v.timed_out_partners,
+            passback_served: v.passback_served,
         });
     }
 
@@ -246,6 +278,10 @@ impl VisitColumns {
             slots_auctioned: self.slots_auctioned[i],
             hb_latency_ms: self.hb_latency_ms[i],
             page_load_ms: self.page_load_ms[i],
+            bids_dropped: self.bids_dropped[i],
+            retries: self.retries[i],
+            timed_out_partners: self.timed_out_partners[i],
+            passback_served: self.passback_served[i],
             partners: &self.partners[window(&self.partners_off, i)],
             bids: &self.bids[window(&self.bids_off, i)],
             partner_latencies: &self.partner_latencies[window(&self.latencies_off, i)],
@@ -311,6 +347,14 @@ pub struct VisitScalars {
     pub hb_latency_ms: Option<f64>,
     /// Page load time, ms.
     pub page_load_ms: Option<f64>,
+    /// Bid requests that never completed.
+    pub bids_dropped: u32,
+    /// Deterministic retry attempts observed.
+    pub retries: u32,
+    /// Distinct partners with an uncompleted bid request.
+    pub timed_out_partners: u32,
+    /// Did a passback / house ad fill the slots?
+    pub passback_served: bool,
 }
 
 /// In-progress appender for one visit row inside a [`VisitColumns`].
@@ -377,6 +421,10 @@ impl VisitBuilder<'_> {
         c.slots_auctioned.push(s.slots_auctioned);
         c.hb_latency_ms.push(s.hb_latency_ms);
         c.page_load_ms.push(s.page_load_ms);
+        c.bids_dropped.push(s.bids_dropped);
+        c.retries.push(s.retries);
+        c.timed_out_partners.push(s.timed_out_partners);
+        c.passback_served.push(s.passback_served);
         c.partners_off.push(c.partners.len() as u32);
         c.bids_off.push(c.bids.len() as u32);
         c.latencies_off.push(c.partner_latencies.len() as u32);
@@ -413,6 +461,10 @@ impl<'a> From<&'a VisitRecord> for VisitView<'a> {
             slots_auctioned: v.slots_auctioned,
             hb_latency_ms: v.hb_latency_ms,
             page_load_ms: v.page_load_ms,
+            bids_dropped: v.bids_dropped,
+            retries: v.retries,
+            timed_out_partners: v.timed_out_partners,
+            passback_served: v.passback_served,
             partners: &v.partners,
             bids: &v.bids,
             partner_latencies: &v.partner_latencies,
@@ -469,6 +521,10 @@ mod tests {
             slots: vec![],
             event_counts: vec![(strings.intern("auctionInit"), 1)],
             page_load_ms: Some(900.0),
+            bids_dropped: (rank % 2) as u32,
+            retries: 0,
+            timed_out_partners: 0,
+            passback_served: rank == 3,
         }
     }
 
@@ -487,6 +543,8 @@ mod tests {
             assert_eq!(back.partners, row.partners);
             assert_eq!(back.event_counts, row.event_counts);
             assert_eq!(back.hb_latency_ms, row.hb_latency_ms);
+            assert_eq!(back.bids_dropped, row.bids_dropped);
+            assert_eq!(back.passback_served, row.passback_served);
         }
     }
 

@@ -40,6 +40,8 @@ struct ObservedRequest {
     sent_at: SimTime,
     completed_at: Option<SimTime>,
     failed: bool,
+    /// Was this request a marked retry (`hb_retry` query param)?
+    retry: bool,
     /// Range of parsed bid entries in `DetectorState::raw_bids`.
     bids: (u32, u32),
     /// Range of parsed winner entries in `DetectorState::raw_winners`.
@@ -94,6 +96,8 @@ struct FinishScratch {
     events: Vec<(&'static str, u32)>,
     /// Distinct bid slots (slots-auctioned fallback count).
     slots: Vec<Symbol>,
+    /// Distinct partners with an uncompleted bid request, as list indices.
+    timed_out: Vec<u32>,
 }
 
 /// The HBDetector. Create with a partner list, [`attach`](Self::attach) to
@@ -148,6 +152,7 @@ impl HbDetector {
                         sent_at: *at,
                         completed_at: None,
                         failed: false,
+                        retry: request.url.query.get("hb_retry").is_some(),
                         bids: (0, 0),
                         winners: (0, 0),
                         response_has_hb_params: false,
@@ -431,6 +436,28 @@ impl HbDetector {
                 distinct.len() as u32
             }
         });
+
+        // --- Fault accounting -------------------------------------------------
+        // A bid request with no completion never produced a response on
+        // the wire (dropped, hard-down partner, or past the browser
+        // network timeout) — the robustness figures slice on these.
+        let timed_out = &mut scratch.timed_out;
+        timed_out.clear();
+        for r in bid_requests() {
+            if r.completed_at.is_none() {
+                scalars.bids_dropped += 1;
+                if let Some(i) = r.partner_index {
+                    if !timed_out.contains(&i) {
+                        timed_out.push(i);
+                    }
+                }
+            }
+            if r.retry {
+                scalars.retries += 1;
+            }
+        }
+        scalars.timed_out_partners = timed_out.len() as u32;
+        scalars.passback_served = st.events.iter().any(|e| e.kind == HbEventKind::Passback);
 
         // --- Event counters ----------------------------------------------------
         // Fixed-size count array indexed by kind; emitted sorted by event
@@ -740,6 +767,63 @@ mod tests {
         assert!(!rec.hb_detected, "waterfall must not be flagged");
         assert!(rec.facet.is_none());
         assert!(rec.bids.is_empty());
+    }
+
+    #[test]
+    fn fault_accounting_counts_drops_retries_and_passback() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        // First attempt to AppNexus: never completes (dropped on the wire).
+        let id = b.next_request_id();
+        let req = Request::get(
+            id,
+            Url::parse(
+                "https://appnexus-adnet.example/hb/bid?hb_auction=a7&hb_bidder=appnexus&hb_source=client",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req, SimTime::from_millis(10));
+        // Deterministic retry, marked with hb_retry: also dropped.
+        let id2 = b.next_request_id();
+        let req2 = Request::get(
+            id2,
+            Url::parse(
+                "https://appnexus-adnet.example/hb/bid?hb_auction=a7&hb_bidder=appnexus&hb_source=client&hb_retry=1",
+            )
+            .unwrap(),
+        );
+        b.note_request_out(&req2, SimTime::from_millis(250));
+        // Every bidder failed: the wrapper serves a passback house ad.
+        b.fire_event(SimTime::from_millis(3300), "passbackServed", &Json::obj([]));
+        let mut strings = Interner::new();
+        let rec = det.finish("pub7.example", 70, 0, None, &mut strings);
+        assert!(rec.hb_detected, "bid requests alone prove HB");
+        assert_eq!(rec.bids_dropped, 2);
+        assert_eq!(rec.retries, 1);
+        assert_eq!(rec.timed_out_partners, 1, "both drops are the same partner");
+        assert!(rec.passback_served);
+        assert!(rec.bids.is_empty());
+        // passbackServed is counted but proves nothing by itself.
+        assert_eq!(
+            rec.event_counts.len(),
+            1,
+            "only the passback event fired"
+        );
+    }
+
+    #[test]
+    fn healthy_visit_has_zero_fault_counters() {
+        let det = HbDetector::new(PartnerList::demo());
+        let mut b = browser();
+        det.attach(&mut b);
+        synthetic_client_visit(&mut b);
+        let mut strings = Interner::new();
+        let rec = det.finish("pub.example", 10, 0, None, &mut strings);
+        assert_eq!(rec.bids_dropped, 0);
+        assert_eq!(rec.retries, 0);
+        assert_eq!(rec.timed_out_partners, 0);
+        assert!(!rec.passback_served);
     }
 
     #[test]

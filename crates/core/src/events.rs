@@ -28,11 +28,14 @@ pub enum HbEventKind {
     SlotRenderEnded,
     /// An ad failed to render.
     AdRenderFailed,
+    /// A passback / house ad filled the slots because every demand source
+    /// failed (graceful degradation under network faults).
+    Passback,
 }
 
 impl HbEventKind {
     /// All recognized kinds.
-    pub const ALL: [HbEventKind; 8] = [
+    pub const ALL: [HbEventKind; 9] = [
         HbEventKind::AuctionInit,
         HbEventKind::RequestBids,
         HbEventKind::BidRequested,
@@ -41,6 +44,7 @@ impl HbEventKind {
         HbEventKind::BidWon,
         HbEventKind::SlotRenderEnded,
         HbEventKind::AdRenderFailed,
+        HbEventKind::Passback,
     ];
 
     /// The DOM event name this kind corresponds to.
@@ -54,6 +58,7 @@ impl HbEventKind {
             HbEventKind::BidWon => "bidWon",
             HbEventKind::SlotRenderEnded => "slotRenderEnded",
             HbEventKind::AdRenderFailed => "adRenderFailed",
+            HbEventKind::Passback => "passbackServed",
         }
     }
 
@@ -64,11 +69,14 @@ impl HbEventKind {
 
     /// Events that *prove* an HB auction is running in the browser.
     /// `slotRenderEnded` alone does not qualify: ad-manager tags fire it
-    /// for any programmatic fill, including waterfall.
+    /// for any programmatic fill, including waterfall. `passbackServed`
+    /// likewise: any tag setup can fall back to a house ad.
     pub fn proves_hb(&self) -> bool {
         !matches!(
             self,
-            HbEventKind::SlotRenderEnded | HbEventKind::AdRenderFailed
+            HbEventKind::SlotRenderEnded
+                | HbEventKind::AdRenderFailed
+                | HbEventKind::Passback
         )
     }
 }
@@ -146,6 +154,7 @@ mod tests {
         assert!(HbEventKind::BidResponse.proves_hb());
         assert!(!HbEventKind::SlotRenderEnded.proves_hb());
         assert!(!HbEventKind::AdRenderFailed.proves_hb());
+        assert!(!HbEventKind::Passback.proves_hb());
     }
 
     #[test]

@@ -129,6 +129,15 @@ pub struct VisitRecord {
     pub event_counts: Vec<(Symbol, u32)>,
     /// Page load time in ms, when the page finished loading.
     pub page_load_ms: Option<f64>,
+    /// Bid requests that never completed (dropped/timed out on the wire).
+    pub bids_dropped: u32,
+    /// Bid requests that were deterministic retries of a failed attempt.
+    pub retries: u32,
+    /// Distinct partners with at least one uncompleted bid request.
+    pub timed_out_partners: u32,
+    /// Did a passback / house ad fill the slots after every demand source
+    /// failed?
+    pub passback_served: bool,
 }
 
 impl VisitRecord {

@@ -105,6 +105,10 @@ fn record_for(spec: &RowSpec, strings: &mut Interner) -> VisitRecord {
             .map(|i| (sym(strings, "ev", i), (i + 1) as u32))
             .collect(),
         page_load_ms: spec.page_ms,
+        bids_dropped: (spec.rank % 3) as u32,
+        retries: (spec.day % 2) as u32,
+        timed_out_partners: (spec.rank % 2) as u32,
+        passback_served: spec.rank % 5 == 0,
     }
 }
 
@@ -144,6 +148,10 @@ fn build_row(cols: &mut VisitColumns, rec: &VisitRecord) {
         slots_auctioned: rec.slots_auctioned,
         hb_latency_ms: rec.hb_latency_ms,
         page_load_ms: rec.page_load_ms,
+        bids_dropped: rec.bids_dropped,
+        retries: rec.retries,
+        timed_out_partners: rec.timed_out_partners,
+        passback_served: rec.passback_served,
     });
 }
 

@@ -213,7 +213,7 @@ fn run_batch(
         // single-core box the cross-thread chunk relay alone costs more
         // than a sealed chunk is worth. Blocks run in `seq` order by
         // construction, so the sink sees the identical chunk stream.
-        let net = factory.net();
+        let net = factory.net_for_day(day);
         let mut scratch = VisitScratch::new(factory.partner_list());
         for b in 0..n_blocks {
             sink(crawl_block(b, &mut scratch, &net));
@@ -239,7 +239,7 @@ fn run_batch(
                 // batch on panic — so neither the consumer nor a sibling
                 // blocked on ring capacity ever waits on a dead worker.
                 let _guard = ring.producer_guard();
-                let net = factory.net();
+                let net = factory.net_for_day(day);
                 // Per-worker scratch: pooled simulation, browser, detector
                 // buffers and message pools live for the whole batch, not
                 // one visit.

@@ -44,6 +44,14 @@ pub struct TruthRecord {
     pub hb_wins: u32,
     /// Revenue proxy: sum of clearing price buckets.
     pub revenue_cpm: f64,
+    /// Bid/ad requests lost to network faults (drops, dead hosts).
+    pub bids_dropped: u32,
+    /// Deadline-triggered retries issued (HB partners + waterfall tiers).
+    pub retries: u32,
+    /// Demand sources given up on after deadline/retry exhaustion.
+    pub timed_out_partners: u32,
+    /// Did the wrapper fall back to house ads after total demand failure?
+    pub passback_served: bool,
 }
 
 impl TruthRecord {
@@ -64,6 +72,10 @@ impl TruthRecord {
                 .filter(|w| w.channel == FillChannel::HeaderBid)
                 .count() as u32,
             revenue_cpm: t.winners.iter().map(|w| w.pb.0).sum(),
+            bids_dropped: t.bids_dropped as u32,
+            retries: t.retries as u32,
+            timed_out_partners: t.timed_out_partners as u32,
+            passback_served: t.passback_served,
         }
     }
 }
@@ -189,12 +201,12 @@ impl CrawlDataset {
     /// Serialize the ground-truth table to CSV.
     pub fn truths_csv(&self) -> String {
         let mut out = String::from(
-            "rank,day,facet,slots,client_bids,late_bids,hb_latency_ms,waterfall_latency_ms,hb_wins,revenue_cpm\n",
+            "rank,day,facet,slots,client_bids,late_bids,hb_latency_ms,waterfall_latency_ms,hb_wins,revenue_cpm,bids_dropped,retries,timed_out_partners,passback_served\n",
         );
         for t in &self.truths {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{:.6}",
+                "{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
                 t.rank,
                 t.day,
                 t.facet,
@@ -207,6 +219,10 @@ impl CrawlDataset {
                     .unwrap_or_default(),
                 t.hb_wins,
                 t.revenue_cpm,
+                t.bids_dropped,
+                t.retries,
+                t.timed_out_partners,
+                t.passback_served,
             );
         }
         out
@@ -244,6 +260,12 @@ impl CrawlDataset {
                 waterfall_latency_ms: r[7].parse().ok(),
                 hb_wins: r[8].parse().unwrap_or(0),
                 revenue_cpm: r[9].parse().unwrap_or(0.0),
+                // Fault columns appeared with scenario support; rows from
+                // older dumps simply read as fault-free.
+                bids_dropped: r.get(10).and_then(|s| s.parse().ok()).unwrap_or(0),
+                retries: r.get(11).and_then(|s| s.parse().ok()).unwrap_or(0),
+                timed_out_partners: r.get(12).and_then(|s| s.parse().ok()).unwrap_or(0),
+                passback_served: r.get(13).map(|s| s == "true").unwrap_or(false),
             })
             .collect()
     }
@@ -278,6 +300,10 @@ mod tests {
             slots: vec![],
             event_counts: vec![],
             page_load_ms: Some(1400.0),
+            bids_dropped: 0,
+            retries: 0,
+            timed_out_partners: 0,
+            passback_served: false,
         }
     }
 
@@ -318,6 +344,10 @@ mod tests {
                     waterfall_latency_ms: None,
                     hb_wins: 2,
                     revenue_cpm: 0.61,
+                    bids_dropped: 2,
+                    retries: 1,
+                    timed_out_partners: 1,
+                    passback_served: true,
                 },
                 TruthRecord {
                     rank: 9,
@@ -330,6 +360,7 @@ mod tests {
                     waterfall_latency_ms: Some(210.0),
                     hb_wins: 0,
                     revenue_cpm: 0.02,
+                    ..TruthRecord::default()
                 },
             ],
             n_sites: 10,
@@ -344,6 +375,26 @@ mod tests {
         assert_eq!(back[0].hb_latency_ms, Some(612.5));
         assert_eq!(back[1].waterfall_latency_ms, Some(210.0));
         assert_eq!(back[1].hb_latency_ms, None);
+        assert_eq!(back[0].bids_dropped, 2);
+        assert_eq!(back[0].retries, 1);
+        assert_eq!(back[0].timed_out_partners, 1);
+        assert!(back[0].passback_served);
+        assert!(!back[1].passback_served);
+    }
+
+    #[test]
+    fn load_truths_accepts_pre_fault_dumps() {
+        // A truth.csv written before the fault columns existed (10 columns)
+        // still loads, with the fault counters defaulting to zero.
+        let old = "rank,day,facet,slots,client_bids,late_bids,hb_latency_ms,waterfall_latency_ms,hb_wins,revenue_cpm\n\
+                   5,2,hybrid,4,3,1,612.500,,2,0.610000\n";
+        let back = CrawlDataset::load_truths(old);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].rank, 5);
+        assert_eq!(back[0].bids_dropped, 0);
+        assert_eq!(back[0].retries, 0);
+        assert_eq!(back[0].timed_out_partners, 0);
+        assert!(!back[0].passback_served);
     }
 
     #[test]

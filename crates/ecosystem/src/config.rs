@@ -1,5 +1,7 @@
 //! Ecosystem configuration presets.
 
+use crate::scenario::ScenarioConfig;
+
 /// All knobs of the synthetic ecosystem generator.
 #[derive(Clone, Debug)]
 pub struct EcosystemConfig {
@@ -35,6 +37,10 @@ pub struct EcosystemConfig {
     pub slow_chance: f64,
     /// Render failure rate after a win.
     pub render_fail_rate: f64,
+    /// Degraded-network campaign scenario (outage windows, per-host
+    /// profiles, degraded links, ad-path robustness). The default
+    /// ([`ScenarioConfig::healthy`]) changes nothing.
+    pub scenario: ScenarioConfig,
 }
 
 impl EcosystemConfig {
@@ -56,6 +62,7 @@ impl EcosystemConfig {
             drop_chance: 0.004,
             slow_chance: 0.03,
             render_fail_rate: 0.015,
+            scenario: ScenarioConfig::healthy(),
         }
     }
 
@@ -93,6 +100,12 @@ impl EcosystemConfig {
     /// Override the crawl duration.
     pub fn with_days(mut self, d: u32) -> EcosystemConfig {
         self.crawl_days = d;
+        self
+    }
+
+    /// Override the degraded-network scenario.
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> EcosystemConfig {
+        self.scenario = scenario;
         self
     }
 

@@ -150,7 +150,8 @@ impl SiteGen {
         let wf_weights = publisher::wf_weight_template(&specs);
         let provider_weights = providers.iter().map(|(_, w)| *w).collect();
         let s2s_weights = s2s_pool.iter().map(|&i| specs[i].weight).collect();
-        let runtime_ctx = RuntimeCtx::new(&specs);
+        let runtime_ctx =
+            RuntimeCtx::new(&specs).with_robustness(config.scenario.robustness.clone());
         let root = Rng::new(config.seed).derive_str("site-profiles");
         SiteGen {
             config,
@@ -191,14 +192,19 @@ impl SiteGen {
         })
     }
 
-    /// The site's ad-server account, through the per-thread memo.
+    /// The site's ad-server account, through the per-thread memo. The
+    /// scenario's mediator robustness (s2s deadline + retry backoff) is
+    /// stamped on here, so every lazily resolved account carries the
+    /// campaign's policy.
     pub fn account_shared(&self, rank: u32) -> Arc<AdServerAccount> {
         ACCOUNT_MEMO.with(|m| {
             m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                Arc::new(world::account_for(
-                    &self.site_shared(rank),
-                    &self.profiles_shared,
-                ))
+                let mut account =
+                    world::account_for(&self.site_shared(rank), &self.profiles_shared);
+                let policy = &self.config.scenario.robustness;
+                account.s2s_deadline = policy.s2s_deadline;
+                account.s2s_retry_backoff = policy.retry_backoff;
+                Arc::new(account)
             })
         })
     }
@@ -287,6 +293,12 @@ pub struct SiteFactory {
     router: Arc<Router>,
     latency: Arc<HostDirectory>,
     faults: Arc<FaultInjector>,
+    /// Per-day fault injectors (index = sim-day), present only when the
+    /// scenario schedules outage windows. Each is the ambient injector
+    /// plus the outages active that day, built once up front so
+    /// [`SiteFactory::net_for_day`] is a pair of `Arc` clones on the
+    /// visit path.
+    faults_by_day: Vec<Arc<FaultInjector>>,
     detector_list: Arc<PartnerList>,
 }
 
@@ -295,19 +307,39 @@ impl SiteFactory {
     /// and CDN eagerly — O(catalog), not O(toplist)).
     pub fn new(config: EcosystemConfig) -> SiteFactory {
         let gen = Arc::new(SiteGen::new(config));
-        let world = world::build_lazy_world(&gen);
+        let mut world = world::build_lazy_world(&gen);
         let detector_list = Arc::new(catalog::partner_list(&gen.specs));
-        let faults = FaultInjector::none()
+        let scenario = &gen.config.scenario;
+        // Degraded links override the affected hosts' latency models for
+        // the whole campaign (every day, every worker).
+        for (host, model) in &scenario.degraded_links {
+            world.latency.insert(host.clone(), model.clone());
+        }
+        let mut faults = FaultInjector::none()
             .with_drop_chance(gen.config.drop_chance)
             .with_slowdown(
                 gen.config.slow_chance,
                 hb_simnet::Dist::log_normal_median(350.0, 0.7).clamped(50.0, 12_000.0),
             );
+        // Ambient per-host loss profiles apply on every day.
+        for (host, profile) in &scenario.host_profiles {
+            faults.set_host_profile(host.clone(), profile.clone());
+        }
+        // Scheduled outages vary by day: precompute one injector per
+        // sim-day (days are a small constant; sites are not).
+        let faults_by_day: Vec<Arc<FaultInjector>> = if scenario.has_outages() {
+            (0..=gen.config.crawl_days)
+                .map(|day| Arc::new(scenario.injector_for_day(&faults, day)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         SiteFactory {
             gen,
             router: Arc::new(world.router),
             latency: Arc::new(world.latency),
             faults: Arc::new(faults),
+            faults_by_day,
             detector_list,
         }
     }
@@ -352,6 +384,19 @@ impl SiteFactory {
             self.latency.clone(),
             self.faults.clone(),
         )
+    }
+
+    /// The network handle for a specific sim-day: identical to
+    /// [`SiteFactory::net`] unless the scenario schedules outage windows,
+    /// in which case the day's injector carries the outages active that
+    /// day. Deterministic in `day` alone, so shards and workers agree.
+    pub fn net_for_day(&self, day: u32) -> Net {
+        let faults = self
+            .faults_by_day
+            .get(day as usize)
+            .cloned()
+            .unwrap_or_else(|| self.faults.clone());
+        Net::new(self.router.clone(), self.latency.clone(), faults)
     }
 
     /// Shared router handle (lazy publisher resolution).

@@ -19,6 +19,7 @@ pub mod catalog;
 pub mod config;
 pub mod factory;
 pub mod publisher;
+pub mod scenario;
 pub mod sizes;
 pub mod toplist;
 pub mod wayback;
@@ -28,6 +29,7 @@ pub use catalog::PartnerSpec;
 pub use config::EcosystemConfig;
 pub use factory::{SiteFactory, SiteGen};
 pub use factory::clear_thread_memos;
+pub use scenario::{OutageWindow, ScenarioConfig};
 pub use publisher::{DeriveCtx, DeriveScratch, SiteProfile};
 pub use toplist::{site_domain, site_domain_hstr, TopList, YEARLY_OVERLAPS};
 pub use wayback::{snapshot, yearly_archive, Snapshot, YEARLY_ADOPTION};

@@ -12,10 +12,10 @@ use crate::factory::SiteGen;
 use crate::publisher::{partner_refs, SiteProfile};
 use hb_adtech::{
     partner_endpoint, waterfall_endpoint, AdServerAccount, AdServerEndpoint, DirectOrder,
-    HostDirectory, PartnerProfile, PartnerRef,
+    HostDirectory, PartnerProfile, PartnerRef, RobustnessPolicy,
 };
 use hb_http::{Endpoint, HStr, Request, Response, Router, ServerReply};
-use hb_simnet::{LatencyModel, Rng};
+use hb_simnet::{LatencyModel, Rng, SimDuration};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -111,6 +111,10 @@ pub fn account_for(
             .map(|&i| profiles[i].clone())
             .collect(),
         ad_units: site.ad_units.clone(),
+        // Robustness is a campaign-scenario axis; the factory layers the
+        // scenario's mediator deadline on top of this baseline account.
+        s2s_deadline: None,
+        s2s_retry_backoff: SimDuration::ZERO,
     }
 }
 
@@ -366,6 +370,9 @@ pub struct RuntimeCtx {
     pub refs: Vec<PartnerRef>,
     /// Provider ad-server hosts, `ads.{partner host}` (index = partner id).
     pub ads_hosts: Vec<HStr>,
+    /// Ad-path robustness policy stamped into every derived runtime
+    /// (scenario axis; [`RobustnessPolicy::off`] outside degraded runs).
+    pub robustness: RobustnessPolicy,
 }
 
 impl RuntimeCtx {
@@ -378,7 +385,14 @@ impl RuntimeCtx {
                 .iter()
                 .map(|s| HStr::from_display(format_args!("ads.{}", s.host())))
                 .collect(),
+            robustness: RobustnessPolicy::off(),
         }
+    }
+
+    /// Builder: stamp a robustness policy into derived runtimes.
+    pub fn with_robustness(mut self, policy: RobustnessPolicy) -> RuntimeCtx {
+        self.robustness = policy;
+        self
     }
 }
 
@@ -429,6 +443,7 @@ pub fn site_runtime_with(site: &SiteProfile, ctx: &RuntimeCtx) -> hb_adtech::Sit
         cdn_host: hb_http::HStr::from_static(CDN_HOST),
         render_fail_rate: 0.015,
         net_quality: site.net_quality,
+        robustness: ctx.robustness.clone(),
     }
 }
 

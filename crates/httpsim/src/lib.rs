@@ -12,24 +12,24 @@
 //! Everything is implemented in-repo (no external parsers) so the
 //! measurement pipeline is fully auditable end to end.
 
-// `deny` rather than `forbid`: the single audited exception is
-// `hstr::HStr::as_str`, which skips per-access UTF-8 re-validation of the
-// inline small-string buffer (see the invariant documented there). All
-// other modules remain unsafe-free.
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cookies;
 pub mod endpoint;
-pub mod hstr;
 pub mod json;
 pub mod message;
 pub mod scratch;
 pub mod url;
 
+// `HStr` moved down to `hb-simnet` (so the engine's fault injector can
+// key outage sets on it without a dependency cycle); re-export the module
+// so every historical `hb_http::hstr::`/`hb_http::HStr` path still works.
+pub use hb_simnet::hstr;
+
 pub use cookies::{Cookie, CookieJar};
 pub use endpoint::{Endpoint, Router, ServerReply};
-pub use hstr::HStr;
+pub use hb_simnet::HStr;
 pub use json::{Json, JsonError, JsonObj, JsonScratch};
 pub use message::{Body, Headers, Method, Request, RequestId, Response, Status};
 pub use scratch::MsgScratch;

@@ -77,6 +77,9 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// `std::collections::HashMap` with the Fx hasher.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
+/// `std::collections::HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,9 +3,14 @@
 //! Nearly every string flowing through the simulated HTTP layer is short:
 //! hostnames (`pub1234.example`), parameter keys (`hb_bidder`), bidder
 //! codes, slot codes, size strings, auction ids. Storing them as owned
-//! `String`s makes every [`Url`](crate::Url) construction and every JSON
-//! payload a chain of small heap allocations — the dominant cost of a
-//! simulated visit once the detector itself is allocation-free.
+//! `String`s makes every `Url` construction and every JSON payload a
+//! chain of small heap allocations — the dominant cost of a simulated
+//! visit once the detector itself is allocation-free.
+//!
+//! The type lives in `hb-simnet` (the workspace root crate) so that the
+//! engine's own host-keyed structures — most importantly
+//! [`FaultInjector`](crate::FaultInjector) outage sets — can share the
+//! compact representation; `hb-http` re-exports it unchanged.
 //!
 //! [`HStr`] replaces `String` in those positions with a three-way
 //! representation, all 24 bytes (the size of a `String`):
@@ -19,10 +24,9 @@
 //!
 //! Equality, ordering and hashing delegate to the underlying `str`, so an
 //! `HStr` behaves exactly like its text regardless of representation —
-//! sorted containers keyed by `HStr` (e.g. the sorted-vec
-//! [`JsonObj`](crate::json::JsonObj)) iterate in the same order as their
-//! `String`-keyed equivalents, which is what keeps figure output
-//! byte-identical.
+//! sorted containers keyed by `HStr` (e.g. `hb-http`'s sorted-vec
+//! `JsonObj`) iterate in the same order as their `String`-keyed
+//! equivalents, which is what keeps figure output byte-identical.
 
 use std::borrow::{Borrow, Cow};
 use std::fmt;

@@ -14,19 +14,26 @@
 //!   [`Simulation::reset`]) with a type-keyed recycling pool for callback
 //!   boxes — a steady-state simulation schedules without allocating;
 //! * [`LatencyModel`] — per-endpoint round-trip models with heavy tails;
-//! * [`FaultInjector`] — drops, slowdowns and outages;
+//! * [`FaultInjector`] — drops, slowdowns and outages (keyed on [`HStr`]);
+//! * [`HStr`] — the 24-byte compact string shared by the whole stack
+//!   (re-exported by `hb-http`, which historically owned it);
 //! * [`Trace`] — a pcap-style bounded record of what happened.
 //!
 //! The engine is intentionally single-threaded and allocation-light; the
 //! crawler achieves parallelism by running many independent simulations.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the single audited exception is
+// `hstr::HStr::as_str`, which skips per-access UTF-8 re-validation of the
+// inline small-string buffer (see the invariant documented there). All
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod event;
 pub mod fault;
 pub mod hash;
+pub mod hstr;
 pub mod link;
 pub mod rng;
 pub mod sim;
@@ -35,8 +42,9 @@ pub mod trace;
 
 pub use dist::Dist;
 pub use event::{EventId, EventQueue};
-pub use fault::{FaultDecision, FaultInjector};
-pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use fault::{FaultDecision, FaultInjector, HostFaultProfile};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hstr::HStr;
 pub use link::LatencyModel;
 pub use rng::{fnv1a, Rng};
 pub use sim::{Callback, QueuedCb, Scheduler, Simulation, StopReason};

@@ -42,15 +42,18 @@ pub use hb_stats as stats;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use hb_adtech::{AdSize, AdUnit, Cpm, HbFacet};
+    pub use hb_adtech::{AdSize, AdUnit, Cpm, HbFacet, RobustnessPolicy};
     pub use hb_analysis::{
-        all_reports, dataset_reports, DatasetIndex, DatasetIndexBuilder, FigureReport,
+        all_reports, dataset_reports, fault_reports, DatasetIndex, DatasetIndexBuilder,
+        FaultSlice, FigureReport,
     };
     pub use hb_core::{HbDetector, Interner, PartnerList, Symbol, VisitRecord};
     pub use hb_crawler::{
         adoption_study, crawl_site, overlap_study, run_campaign, run_campaign_streamed,
         CampaignConfig, CrawlDataset, SessionConfig, ShardSpec, VisitChunk,
     };
-    pub use hb_ecosystem::{Ecosystem, EcosystemConfig, SiteFactory};
+    pub use hb_ecosystem::{
+        Ecosystem, EcosystemConfig, OutageWindow, ScenarioConfig, SiteFactory,
+    };
     pub use hb_simnet::{Rng, SimDuration, SimTime};
 }

@@ -1,10 +1,13 @@
 //! Failure-injection tests: the pipeline must stay sound when the network
-//! misbehaves — partner outages, heavy packet loss, dead pages.
+//! misbehaves — partner outages, heavy packet loss, dead pages — and
+//! campaign-level degraded-network scenarios must stay deterministic
+//! across parallelism and sharding.
 
 use hb_repro::adtech::{HbFacet, Net};
 use hb_repro::core::Interner;
 use hb_repro::prelude::*;
-use hb_repro::simnet::FaultInjector;
+use hb_repro::simnet::{Dist, FaultInjector, HostFaultProfile};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Rebuild a net handle with a custom fault injector over the same world.
@@ -156,4 +159,220 @@ fn ambient_fault_profile_keeps_campaign_sound() {
     for v in ds.visits.iter().filter(|v| v.hb_detected) {
         assert!(truth.contains(ds.str(v.domain)));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-network campaign scenarios
+// ---------------------------------------------------------------------------
+
+/// A stressed scenario touching every axis: one partner tier with a lossy
+/// ambient profile, one partner hard-down on day 1, a congested link to a
+/// third, and the ad path running its degraded robustness posture.
+fn stressed_scenario(eco_cfg: &EcosystemConfig) -> ScenarioConfig {
+    let specs = hb_repro::ecosystem::catalog::catalog();
+    ScenarioConfig::healthy()
+        .with_host_profile(
+            specs[0].host(),
+            HostFaultProfile {
+                drop_chance: 0.20,
+                slow_chance: 0.30,
+                slow_penalty_ms: Dist::Const(900.0),
+            },
+        )
+        .with_outage(specs[1].host(), 1, eco_cfg.crawl_days)
+        .with_degraded_link(
+            specs[2].host(),
+            hb_repro::simnet::LatencyModel::constant(1_200.0),
+        )
+        .with_robustness(RobustnessPolicy::degraded_defaults())
+}
+
+/// Figure bytes of a campaign: every paper report plus the fault-slice
+/// family, rendered and CSV-dumped.
+fn figure_bytes(ds: &CrawlDataset) -> String {
+    let ix = DatasetIndex::build(ds);
+    let mut out = String::new();
+    for r in dataset_reports(ds).iter().chain(fault_reports(&ix).iter()) {
+        let _ = write!(out, "==== {} ====\n{}\n{}\n", r.id, r.render(), r.to_csv());
+    }
+    out
+}
+
+#[test]
+fn degraded_link_shows_up_in_latency_columns() {
+    // Wire a congested link to one partner through the scenario axis and
+    // check the visit's latency columns reflect it: every observation of
+    // that partner sits above the override, while the healthy build of
+    // the same visit stays below it.
+    let base = EcosystemConfig::tiny_scale();
+    let eco_healthy = Ecosystem::generate(base.clone());
+    let site = eco_healthy
+        .hb_sites()
+        .find(|s| s.facet == Some(HbFacet::ClientSide) && s.client_partner_ids.len() >= 2)
+        .expect("client-side site with several partners")
+        .clone();
+    let slow_pid = site.client_partner_ids[0];
+    let slow_host = eco_healthy.specs[slow_pid].host();
+    let slow_name = eco_healthy.specs[slow_pid].name;
+
+    let degraded_ms = 2_000.0;
+    let eco_slow = Ecosystem::generate(base.with_scenario(
+        ScenarioConfig::healthy().with_degraded_link(
+            slow_host,
+            hb_repro::simnet::LatencyModel::constant(degraded_ms),
+        ),
+    ));
+
+    let samples_of = |eco: &Ecosystem| -> Vec<f64> {
+        let mut strings = Interner::new();
+        let visit = crawl_site(
+            eco.net(),
+            eco.runtime_for(&site),
+            eco.partner_list(),
+            eco.visit_rng(site.rank, 0),
+            0,
+            &SessionConfig::default(),
+            &mut strings,
+        );
+        visit
+            .record
+            .partner_latencies
+            .iter()
+            .filter(|pl| strings.resolve(pl.partner_name) == slow_name)
+            .map(|pl| pl.latency_ms)
+            .collect()
+    };
+
+    let healthy = samples_of(&eco_healthy);
+    let slow = samples_of(&eco_slow);
+    assert!(!slow.is_empty(), "degraded partner still answers");
+    for s in &slow {
+        assert!(*s >= degraded_ms, "degraded sample {s} below link override");
+    }
+    for s in &healthy {
+        assert!(*s < degraded_ms, "healthy sample {s} at degraded level");
+    }
+}
+
+#[test]
+fn scenario_campaign_bytes_identical_across_parallelism_and_shards() {
+    // The acceptance bar for the fault axes: with faults *enabled*, figure
+    // bytes are a pure function of (seed, scenario) — parallelism 1 vs 8
+    // and shards 1 vs 4 must agree byte for byte.
+    let base = EcosystemConfig::tiny_scale().with_days(2);
+    let cfg = base.clone().with_scenario(stressed_scenario(&base));
+    let eco = Ecosystem::generate(cfg);
+
+    let p1 = figure_bytes(&run_campaign(
+        &eco,
+        &CampaignConfig {
+            parallelism: 1,
+            ..CampaignConfig::default()
+        },
+    ));
+    let p8 = figure_bytes(&run_campaign(
+        &eco,
+        &CampaignConfig {
+            parallelism: 8,
+            ..CampaignConfig::default()
+        },
+    ));
+    assert_eq!(p1, p8, "figure bytes differ between parallelism 1 and 8");
+
+    let s4 = figure_bytes(&run_campaign(
+        &eco,
+        &CampaignConfig {
+            shards: 4,
+            chunk_visits: 17, // odd block size to stress the merge
+            ..CampaignConfig::default()
+        },
+    ));
+    assert_eq!(p1, s4, "figure bytes differ between 1 and 4 shards");
+}
+
+#[test]
+fn outage_window_confines_timeouts_to_scheduled_days() {
+    // A partner is hard-down on day 1 only (of 2 crawl days). The fault
+    // timeline must light up on the scheduled day and settle after it.
+    let base = EcosystemConfig::tiny_scale().with_days(2);
+    // Down the client partner most popular among this universe's HB sites,
+    // so the outage actually intersects the daily revisit set.
+    let probe = Ecosystem::generate(base.clone());
+    let mut uses = std::collections::HashMap::new();
+    for s in probe.hb_sites() {
+        for &pid in &s.client_partner_ids {
+            *uses.entry(pid).or_insert(0usize) += 1;
+        }
+    }
+    let (&popular, _) = uses.iter().max_by_key(|(_, n)| **n).expect("hb partners");
+    let cfg = base.clone().with_scenario(
+        ScenarioConfig::healthy()
+            .with_outage(probe.specs[popular].host(), 1, 1)
+            .with_robustness(RobustnessPolicy::degraded_defaults()),
+    );
+    let eco = Ecosystem::generate(cfg);
+    let ds = run_campaign(&eco, &CampaignConfig::default());
+    let ix = DatasetIndex::build(&ds);
+
+    let timeouts_on = |day: u32| -> u32 {
+        (0..ix.n_hb_visits())
+            .filter(|&i| ix.v_day[i] == day)
+            .map(|i| ix.v_timed_out[i])
+            .sum()
+    };
+    let day1 = timeouts_on(1);
+    let day2 = timeouts_on(2);
+    assert!(day1 > 0, "outage day produced no timeouts");
+    assert!(
+        day1 > day2,
+        "outage-day timeouts ({day1}) should exceed post-outage day ({day2})"
+    );
+    // The Z2 timeline agrees.
+    let z2 = hb_repro::analysis::faults::z02_fault_timeline(&ix);
+    assert_eq!(z2.metric("peak_timeout_day"), Some(1.0));
+}
+
+#[test]
+fn total_demand_outage_completes_via_passback() {
+    // Hard outage of *every* demand source a site has — all partners and
+    // its ad server. With the degraded robustness posture the visit must
+    // still complete (no hang, no panic) by serving house ads.
+    let base = EcosystemConfig::tiny_scale();
+    let probe = Ecosystem::generate(base.clone());
+    let site = probe
+        .hb_sites()
+        .find(|s| s.facet == Some(HbFacet::ClientSide))
+        .expect("client-side site")
+        .clone();
+
+    let mut scenario =
+        ScenarioConfig::healthy().with_robustness(RobustnessPolicy::degraded_defaults());
+    for &pid in site
+        .client_partner_ids
+        .iter()
+        .chain(site.waterfall_tier_ids.iter())
+    {
+        scenario = scenario.with_outage(probe.specs[pid].host(), 0, base.crawl_days);
+    }
+    scenario = scenario.with_outage(site.own_ad_server_host(), 0, base.crawl_days);
+
+    let eco = Ecosystem::generate(base.with_scenario(scenario));
+    let mut strings = Interner::new();
+    let visit = crawl_site(
+        eco.factory().net_for_day(0),
+        eco.runtime_for(&site),
+        eco.partner_list(),
+        eco.visit_rng(site.rank, 0),
+        0,
+        &SessionConfig::default(),
+        &mut strings,
+    );
+    assert!(visit.page_completed, "visit must complete under total outage");
+    assert!(visit.truth.passback_served, "house ads fill the dead slots");
+    assert!(
+        !visit.truth.winners.is_empty(),
+        "passback produced renderable winners"
+    );
+    assert_eq!(visit.truth.client_bids, 0, "no demand source could bid");
+    assert!(visit.truth.timed_out_partners > 0);
 }
