@@ -117,19 +117,21 @@ impl BidPayload {
         ])
     }
 
-    /// Decode from a bid-response JSON object.
+    /// Decode from a bid-response JSON object. Clones the body's own
+    /// string handles ([`Json::as_hstr`]) so values past the inline cap
+    /// share the body's `Arc<str>` instead of re-allocating.
     pub fn from_json(j: &Json) -> Option<BidPayload> {
         Some(BidPayload {
-            bidder: HStr::new(j.get(params::BIDDER)?.as_str()?),
-            slot: HStr::new(j.get(params::HB_SLOT)?.as_str()?),
+            bidder: j.get(params::BIDDER)?.as_hstr()?.clone(),
+            slot: j.get(params::HB_SLOT)?.as_hstr()?.clone(),
             cpm: Cpm(j.get(params::CPM)?.as_f64()?),
             size: AdSize::parse(j.get(params::HB_SIZE)?.as_str()?)?,
-            ad_id: HStr::new(j.get(params::HB_ADID)?.as_str()?),
-            currency: HStr::new(
-                j.get(params::HB_CURRENCY)
-                    .and_then(|c| c.as_str())
-                    .unwrap_or("USD"),
-            ),
+            ad_id: j.get(params::HB_ADID)?.as_hstr()?.clone(),
+            currency: j
+                .get(params::HB_CURRENCY)
+                .and_then(|c| c.as_hstr())
+                .cloned()
+                .unwrap_or(HStr::from_static("USD")),
         })
     }
 }
@@ -144,7 +146,7 @@ pub fn bid_response_body(auction_id: &str, bids: &[BidPayload]) -> Json {
 
 /// Parse a bid-response body back into payloads.
 pub fn parse_bid_response(body: &Json) -> Option<(HStr, Vec<BidPayload>)> {
-    let auction = HStr::new(body.get(params::HB_AUCTION)?.as_str()?);
+    let auction = body.get(params::HB_AUCTION)?.as_hstr()?.clone();
     let bids = body
         .get("bids")?
         .as_arr()?
@@ -224,23 +226,28 @@ impl WinnerPayload {
         j
     }
 
-    /// Decode from JSON.
+    /// Decode from JSON. Like [`BidPayload::from_json`], shares the
+    /// body's string handles instead of re-allocating them.
     pub fn from_json(j: &Json) -> Option<WinnerPayload> {
         let channel = FillChannel::parse(j.get("channel")?.as_str()?)?;
         Some(WinnerPayload {
-            slot: HStr::new(j.get(params::HB_SLOT)?.as_str()?),
-            bidder: HStr::new(
-                j.get(params::HB_BIDDER).and_then(|b| b.as_str()).unwrap_or(""),
-            ),
+            slot: j.get(params::HB_SLOT)?.as_hstr()?.clone(),
+            bidder: j
+                .get(params::HB_BIDDER)
+                .and_then(|b| b.as_hstr())
+                .cloned()
+                .unwrap_or(HStr::EMPTY),
             pb: j
                 .get(params::HB_PB)
                 .and_then(|p| p.as_str())
                 .and_then(Cpm::parse)
                 .unwrap_or(Cpm::ZERO),
             size: AdSize::parse(j.get(params::HB_SIZE)?.as_str()?)?,
-            ad_id: HStr::new(
-                j.get(params::HB_ADID).and_then(|a| a.as_str()).unwrap_or(""),
-            ),
+            ad_id: j
+                .get(params::HB_ADID)
+                .and_then(|a| a.as_hstr())
+                .cloned()
+                .unwrap_or(HStr::EMPTY),
             channel,
         })
     }

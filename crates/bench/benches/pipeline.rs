@@ -48,6 +48,55 @@ fn visit_bench(c: &mut Criterion) {
     }
 }
 
+/// Columnar twins of `visit/*`: the same steady-state flows through
+/// [`crawl_site_into`] — the direct-to-column path campaign workers
+/// actually run. The row benches above stay for cross-PR continuity;
+/// these report what a worker's visit really costs (no `SiteVisit`
+/// materialization, records appended straight to the columns).
+fn visit_columnar_bench(c: &mut Criterion) {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let pick = |facet: Option<HbFacet>| {
+        eco.sites()
+            .iter()
+            .find(|s| s.facet == facet)
+            .expect("facet present in tiny universe")
+    };
+    let cases = [
+        ("client_side_columnar", pick(Some(HbFacet::ClientSide))),
+        ("server_side_columnar", pick(Some(HbFacet::ServerSide))),
+        ("hybrid_columnar", pick(Some(HbFacet::Hybrid))),
+        ("waterfall_columnar", pick(None)),
+    ];
+    let session = SessionConfig::default();
+    for (label, site) in cases {
+        let mut strings = Interner::new();
+        let mut scratch = VisitScratch::new(eco.partner_list());
+        let mut cols = VisitColumns::new();
+        let mut truths = Vec::new();
+        c.bench_function(&format!("visit/{label}"), |b| {
+            b.iter(|| {
+                // Restart the columns each visit (a cheap len-reset of
+                // pooled buffers) so they don't grow without bound across
+                // iterations — the marginal cost a sealed chunk pays.
+                cols.clear();
+                truths.clear();
+                black_box(crawl_site_into(
+                    eco.net(),
+                    eco.runtime_shared(site.rank),
+                    eco.visit_rng(site.rank, 0),
+                    0,
+                    &session,
+                    &mut strings,
+                    &mut scratch,
+                    &mut cols,
+                    &mut truths,
+                ));
+                cols.len()
+            })
+        });
+    }
+}
+
 fn detector_hot_paths(c: &mut Criterion) {
     let list = hb_core::PartnerList::demo();
     let bid_req = Request::get(
@@ -181,6 +230,47 @@ fn campaign_small_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-worker scaling over one shared universe: the same 2,000-site ×
+/// 1-day campaign at 1 / 2 / 4 / 8 workers. The chunk size is shrunk to
+/// 64 visits so the workload splits into ~40 blocks — enough claimable
+/// blocks that every worker stays busy (at the default 256 the sweep
+/// collapses into a handful of blocks and the tail dominates). All
+/// workers share the factory's sharded derivation memo, so the per-rank
+/// derivations are paid once regardless of worker count; on a
+/// many-core box visits/sec should scale near-linearly, and
+/// `speedup_8w` (scaling_1w median / scaling_8w median) is folded into
+/// the snapshot and gated in CI.
+fn campaign_scaling_bench(c: &mut Criterion) {
+    let factory = hb_ecosystem::SiteFactory::new(
+        EcosystemConfig::paper_scale().with_sites(2_000).with_days(1),
+    );
+    let visits = {
+        let cfg = hb_crawler::CampaignConfig {
+            chunk_visits: 64,
+            ..hb_crawler::CampaignConfig::default()
+        };
+        let ds = hb_crawler::run_factory_campaign(&factory, &cfg);
+        ds.visits.len() as u64
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(visits));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("scaling_{workers}w"), |b| {
+            b.iter(|| {
+                let cfg = hb_crawler::CampaignConfig {
+                    parallelism: workers,
+                    chunk_visits: 64,
+                    ..hb_crawler::CampaignConfig::default()
+                };
+                black_box(hb_crawler::run_factory_campaign(&factory, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Pure cold site derivation: every iteration derives a rank no memo has
 /// ever seen (the factory's lazy universe is huge, the rank cursor never
 /// wraps), so this isolates `generate_site` + profile assembly — the
@@ -245,7 +335,8 @@ fn campaign_cold_sweep_bench(c: &mut Criterion) {
 criterion_group!(
     name = pipeline;
     config = Criterion::default().sample_size(10);
-    targets = visit_bench, detector_hot_paths, campaign_bench, campaign_faulty_bench,
-        campaign_small_bench, derive_site_cold_bench, campaign_cold_sweep_bench
+    targets = visit_bench, visit_columnar_bench, detector_hot_paths, campaign_bench,
+        campaign_faulty_bench, campaign_small_bench, campaign_scaling_bench,
+        derive_site_cold_bench, campaign_cold_sweep_bench
 );
 criterion_main!(pipeline);

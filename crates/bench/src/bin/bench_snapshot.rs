@@ -15,6 +15,12 @@
 //! (`alloc_per_visit_columnar`) — so both the allocation trajectory and
 //! the cold-visit tax are tracked alongside throughput.
 //!
+//! When the `campaign/scaling_{1,2,4,8}w` family is present, a
+//! `scaling` section is folded in too: per-worker-count medians, the
+//! derived `speedup_8w` (scaling_1w median / scaling_8w median), the
+//! core count the numbers were measured on, and a `speedup_8w_floor`
+//! (75% of measured) that `scaling_check` gates against in CI.
+//!
 //! Usage (after `cargo bench -p hb-bench`):
 //!
 //! ```text
@@ -25,7 +31,7 @@
 use hb_adtech::HbFacet;
 use hb_core::{Interner, VisitColumns};
 use hb_crawler::{crawl_site_into, crawl_site_pooled, SessionConfig, TruthRecord, VisitScratch};
-use hb_ecosystem::{clear_thread_memos, Ecosystem, EcosystemConfig};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -118,7 +124,7 @@ fn allocs_during<R>(f: impl FnOnce() -> R) -> u64 {
 /// * `cold_fresh_mean` — mean over 5 never-visited ranks of the flow
 ///   with a warm scratch (the adoption-sweep / memo-miss shape);
 /// * `cold_memo_cleared` — the warm rank again after
-///   [`clear_thread_memos`] (pure re-derivation, no new interner
+///   [`Ecosystem::clear_memos`] (pure re-derivation, no new interner
 ///   entries).
 fn measure_columnar_allocs() -> Vec<(&'static str, u64, u64, u64)> {
     let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
@@ -174,7 +180,7 @@ fn measure_columnar_allocs() -> Vec<(&'static str, u64, u64, u64)> {
             })
             .collect();
         let fresh_mean = fresh.iter().sum::<u64>() / fresh.len() as u64;
-        clear_thread_memos();
+        eco.clear_memos();
         let cleared =
             allocs_during(|| visit(ranks[0], &mut strings, &mut scratch, &mut cols, &mut truths));
         out.push((label, steady, fresh_mean, cleared));
@@ -266,7 +272,43 @@ fn main() {
         out.push_str("}");
         out.push_str(if i + 1 == count { "\n" } else { ",\n" });
     }
-    out.push_str("  },\n  \"alloc_per_visit\": {\n");
+    out.push_str("  },\n");
+    // Multi-worker scaling, when the scaling family ran: per-worker
+    // medians plus the derived 8-worker speedup and the floor CI gates
+    // against (75% of measured — headroom for run-to-run timing noise).
+    let scaling: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .filter_map(|&w| {
+            latest
+                .get(&format!("campaign/scaling_{w}w"))
+                .map(|(median_ns, _, _)| (w, *median_ns))
+        })
+        .collect();
+    let speedup_8w = match (
+        scaling.iter().find(|(w, _)| *w == 1),
+        scaling.iter().find(|(w, _)| *w == 8),
+    ) {
+        (Some((_, one)), Some((_, eight))) if *eight > 0.0 => Some(one / eight),
+        _ => None,
+    };
+    if let Some(speedup) = speedup_8w {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        out.push_str("  \"scaling\": {\n    \"workers\": {");
+        for (i, (w, median_ns)) in scaling.iter().enumerate() {
+            out.push_str(&format!("\"{w}\": {median_ns:.1}"));
+            if i + 1 < scaling.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str(&format!(
+            "}},\n    \"speedup_8w\": {speedup:.3},\n    \"speedup_8w_floor\": {:.3},\n    \
+             \"cores\": {cores}\n  }},\n",
+            speedup * 0.75
+        ));
+    }
+    out.push_str("  \"alloc_per_visit\": {\n");
     let allocs = measure_visit_allocs();
     let n_flows = allocs.len();
     for (i, (label, count)) in allocs.iter().enumerate() {

@@ -1,0 +1,160 @@
+//! Gate the multi-worker scaling curve in CI.
+//!
+//! Reads the latest `campaign/scaling_1w` / `campaign/scaling_8w` medians
+//! from the criterion shim's output (`target/shim-criterion/`), derives
+//! `speedup_8w = median_1w / median_8w`, and fails (exit 1) when it falls
+//! below a **core-aware** floor:
+//!
+//! * on a box with ≥ 8 cores, the floor is the `speedup_8w_floor`
+//!   recorded in the newest `benches/BENCH_<n>.json` whose snapshot was
+//!   also taken on ≥ 8 cores (falling back to 5.0, the acceptance bar,
+//!   when no such snapshot exists);
+//! * on 2–7 cores, near-linear scaling is physically capped at the core
+//!   count, so the floor is `0.55 × cores` — parallel efficiency, not
+//!   the 8-worker headline;
+//! * on 1 core (CI containers), 8 oversubscribed workers can only tie a
+//!   single worker, so the floor is 0.7 — the run fails only if the
+//!   worker machinery itself (lock contention in the shared memo,
+//!   scheduler overhead) makes parallel slower than serial by a wide
+//!   margin.
+//!
+//! Usage (after `cargo bench -p hb-bench -- campaign/scaling`):
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin scaling_check
+//! ```
+
+use std::path::PathBuf;
+
+/// A minimal field extractor for the shim's flat JSON lines (keys and
+/// numeric/string scalars only — exactly what the shim emits; kept in
+/// lockstep with `bench_snapshot`).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split(|c: char| c == ',' || c == '}').next()
+    }
+    .map(str::trim)
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Latest median for one bench id across the shim's output files.
+fn latest_median(shim_dir: &PathBuf, bench_id: &str) -> Option<f64> {
+    let mut best: Option<(u64, f64)> = None;
+    for entry in std::fs::read_dir(shim_dir).ok()?.flatten() {
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        for line in text.lines() {
+            if field(line, "id") != Some(bench_id) {
+                continue;
+            }
+            let Some(median) = field(line, "median_ns").and_then(|m| m.parse::<f64>().ok())
+            else {
+                continue;
+            };
+            let at_ms = field(line, "at_ms")
+                .and_then(|a| a.parse::<u64>().ok())
+                .unwrap_or(0);
+            if best.map(|(prev, _)| at_ms >= prev).unwrap_or(true) {
+                best = Some((at_ms, median));
+            }
+        }
+    }
+    best.map(|(_, median)| median)
+}
+
+/// The recorded `(speedup_8w_floor, cores)` from the newest
+/// `benches/BENCH_<n>.json` carrying a scaling section.
+fn recorded_floor(root: &PathBuf) -> Option<(f64, u64)> {
+    let dir = root.join("benches");
+    let mut newest: Option<(u64, f64, u64)> = None;
+    for entry in std::fs::read_dir(&dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        // The snapshot is multi-line JSON; flatten so the shim-style
+        // field extractor sees one line.
+        let flat = text.replace(['\n', ' '], "");
+        let (Some(floor), Some(cores)) = (
+            field(&flat, "speedup_8w_floor").and_then(|f| f.parse::<f64>().ok()),
+            field(&flat, "cores").and_then(|c| c.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        if newest.map(|(prev, _, _)| n >= prev).unwrap_or(true) {
+            newest = Some((n, floor, cores));
+        }
+    }
+    newest.map(|(_, floor, cores)| (floor, cores))
+}
+
+fn main() {
+    let root = workspace_root();
+    let shim_dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| root.join("target"))
+        .join("shim-criterion");
+    let (Some(one), Some(eight)) = (
+        latest_median(&shim_dir, "campaign/scaling_1w"),
+        latest_median(&shim_dir, "campaign/scaling_8w"),
+    ) else {
+        eprintln!(
+            "missing campaign/scaling_1w or scaling_8w samples under {}; \
+             run `cargo bench -p hb-bench -- campaign/scaling` first",
+            shim_dir.display()
+        );
+        std::process::exit(1);
+    };
+    if eight <= 0.0 {
+        eprintln!("degenerate scaling_8w median ({eight} ns)");
+        std::process::exit(1);
+    }
+    let speedup = one / eight;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let recorded = recorded_floor(&root);
+    let (floor, basis) = match cores {
+        1 => (0.7, "1-core oversubscription floor".to_string()),
+        2..=7 => (
+            0.55 * cores as f64,
+            format!("parallel-efficiency floor at {cores} cores"),
+        ),
+        _ => match recorded {
+            Some((floor, rec_cores)) if rec_cores >= 8 => (
+                floor,
+                format!("recorded floor (snapshot taken on {rec_cores} cores)"),
+            ),
+            _ => (5.0, "acceptance floor (no ≥8-core snapshot recorded)".to_string()),
+        },
+    };
+    println!(
+        "scaling: 1w {one:.0} ns, 8w {eight:.0} ns -> speedup_8w {speedup:.3} \
+         on {cores} core(s); floor {floor:.3} ({basis})"
+    );
+    if speedup < floor {
+        eprintln!("FAIL: speedup_8w {speedup:.3} fell below floor {floor:.3}");
+        std::process::exit(1);
+    }
+    println!("OK: speedup_8w {speedup:.3} >= floor {floor:.3}");
+}

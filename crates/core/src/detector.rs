@@ -492,18 +492,23 @@ fn parse_response_content(
     raw_winners: &mut Vec<RawWinner>,
     body: &Json,
 ) {
+    // Keep the body's own `HStr` handles instead of rebuilding from
+    // `&str`: a string past the inline cap would otherwise spill into a
+    // fresh `Arc<str>` per bid field, which was the last steady-state
+    // allocation in the detector's response path.
+    let hstr = |v: Option<&Json>| v.and_then(Json::as_hstr).cloned().unwrap_or(HStr::EMPTY);
     let bid_start = raw_bids.len() as u32;
     if let Some(bids) = body.get("bids").and_then(|b| b.as_arr()) {
         for b in bids {
-            let bidder = b.get("bidder").and_then(|v| v.as_str()).unwrap_or("");
+            let bidder = hstr(b.get("bidder"));
             if bidder.is_empty() {
                 continue;
             }
             raw_bids.push(RawBid {
-                bidder: HStr::new(bidder),
-                slot: HStr::new(b.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
+                bidder,
+                slot: hstr(b.get("hb_slot")),
                 cpm: b.get("cpm").and_then(|v| v.as_f64()).unwrap_or(0.0),
-                size: HStr::new(b.get("hb_size").and_then(|v| v.as_str()).unwrap_or("")),
+                size: hstr(b.get("hb_size")),
             });
         }
     }
@@ -512,15 +517,15 @@ fn parse_response_content(
     if let Some(winners) = body.get("winners").and_then(|w| w.as_arr()) {
         for w in winners {
             raw_winners.push(RawWinner {
-                slot: HStr::new(w.get("hb_slot").and_then(|v| v.as_str()).unwrap_or("")),
-                bidder: HStr::new(w.get("hb_bidder").and_then(|v| v.as_str()).unwrap_or("")),
+                slot: hstr(w.get("hb_slot")),
+                bidder: hstr(w.get("hb_bidder")),
                 pb: w
                     .get("hb_pb")
                     .and_then(|v| v.as_str())
                     .and_then(|s| s.parse::<f64>().ok())
                     .unwrap_or(0.0),
-                size: HStr::new(w.get("hb_size").and_then(|v| v.as_str()).unwrap_or("")),
-                channel: HStr::new(w.get("channel").and_then(|v| v.as_str()).unwrap_or("")),
+                size: hstr(w.get("hb_size")),
+                channel: hstr(w.get("channel")),
             });
         }
     }

@@ -24,95 +24,117 @@ use crate::world::{self, RuntimeCtx};
 use hb_adtech::{AdServerAccount, HostDirectory, Net, PartnerProfile};
 use hb_core::PartnerList;
 use hb_http::Router;
-use hb_simnet::{FaultInjector, Rng};
+use hb_simnet::{FaultInjector, FxHashMap, Rng};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-/// Distinguishes derivation cores so thread-local memos never serve a
-/// profile from another universe (tests routinely hold several).
-static NEXT_UNIVERSE_ID: AtomicU64 = AtomicU64::new(0);
+/// Shard count of the concurrent derivation memos (power of two; a rank
+/// maps to shard `rank & (MEMO_SHARDS - 1)`, so the contiguous rank
+/// blocks campaign workers claim land on different shards and readers
+/// almost never contend on the same lock).
+const MEMO_SHARDS: usize = 16;
 
-/// Capacity of the per-thread derivation memos. Sized for the access
-/// pattern of a crawl worker: all lookups of one visit hit the same rank,
-/// but daily revisits and interleaved-rank benches bounce between a small
-/// working set of ranks — a handful of extra slots turns those bounces
-/// from re-derivations into list hits. Lookup is a linear scan with
-/// move-to-front, so the capacity must stay small enough that a scan is
-/// cheaper than a re-derivation by orders of magnitude.
-const MEMO_CAP: usize = 16;
+/// Per-shard entry cap. The memo is shared by every worker for the life
+/// of the universe, so it must stay bounded: adoption sweeps over huge
+/// toplists (`campaign/cold_sweep` walks fresh ranks forever) would
+/// otherwise grow it without limit. When a shard fills up it is simply
+/// cleared — derivation is pure in `(seed, rank)`, so eviction can never
+/// change bytes, only cost a re-derivation. 16 shards × 512 entries keeps
+/// every bench scale and the daily-revisit working set of a medium crawl
+/// fully resident.
+const MEMO_SHARD_CAP: usize = 512;
 
-/// A tiny per-thread LRU: move-to-front vector keyed `(universe, rank)`.
-struct Lru<T> {
-    entries: Vec<(u64, u32, T)>,
+/// A sharded concurrent memo keyed by rank, shared by every worker of a
+/// universe: one derivation serves all threads, so a cold rank is paid
+/// once per campaign instead of once per worker thread (the per-thread
+/// LRUs this replaces re-derived every hot site N times under N workers).
+///
+/// Reads take a shard read lock and clone the value (`Arc`/`HStr` —
+/// pointer clones). A miss derives *outside* any lock, then publishes
+/// under the shard write lock with first-insert-wins: every caller gets a
+/// clone of the resident value, so concurrent derivations of the same
+/// rank always resolve to pointer-equal handles, never torn values.
+struct ShardedMemo<T> {
+    shards: Vec<RwLock<FxHashMap<u32, T>>>,
 }
 
-impl<T: Clone> Lru<T> {
-    const fn new() -> Lru<T> {
-        Lru { entries: Vec::new() }
+impl<T: Clone> ShardedMemo<T> {
+    fn new() -> ShardedMemo<T> {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+        }
     }
 
-    /// Fetch `(uid, rank)`, deriving and inserting on miss. The hit is
-    /// moved to the front; the coldest entry falls off the end.
-    fn get_or_insert_with(&mut self, uid: u64, rank: u32, derive: impl FnOnce() -> T) -> T {
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|(u, r, _)| *u == uid && *r == rank)
-        {
-            let hit = self.entries.remove(pos);
-            let value = hit.2.clone();
-            self.entries.insert(0, hit);
-            return value;
+    fn shard(&self, rank: u32) -> &RwLock<FxHashMap<u32, T>> {
+        &self.shards[rank as usize & (MEMO_SHARDS - 1)]
+    }
+
+    /// Fetch `rank`, deriving and publishing on miss. Whoever publishes
+    /// first wins; late derivers drop their value and return the winner's.
+    fn get_or_insert_with(&self, rank: u32, derive: impl FnOnce() -> T) -> T {
+        let shard = self.shard(rank);
+        if let Some(hit) = shard.read().expect("memo shard poisoned").get(&rank) {
+            return hit.clone();
         }
+        // Derive outside the lock: a slow derivation must not block
+        // readers of the other ~511 ranks on this shard.
         let value = derive();
-        if self.entries.len() == MEMO_CAP {
-            self.entries.pop();
+        let mut map = shard.write().expect("memo shard poisoned");
+        if map.len() >= MEMO_SHARD_CAP && !map.contains_key(&rank) {
+            map.clear();
         }
-        self.entries.insert(0, (uid, rank, value.clone()));
-        value
+        map.entry(rank).or_insert(value).clone()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("memo shard poisoned").clear();
+        }
+    }
+}
+
+/// The four derivation memos of one universe, shared across its workers.
+/// Owned by [`SiteGen`], so the `(universe, rank)` keying of the old
+/// thread-local memos is implicit — dropping the factory drops its memo,
+/// and universes can never serve each other's profiles.
+struct DerivationMemo {
+    site: ShardedMemo<Arc<SiteProfile>>,
+    account: ShardedMemo<Arc<AdServerAccount>>,
+    runtime: ShardedMemo<Arc<hb_adtech::SiteRuntime>>,
+    /// Rendered page HTML, stored as `HStr` (`Arc<str>` at this length):
+    /// serving the page is a pointer clone. By far the most expensive
+    /// derivation to repeat per visit.
+    page_html: ShardedMemo<hb_http::HStr>,
+}
+
+impl DerivationMemo {
+    fn new() -> DerivationMemo {
+        DerivationMemo {
+            site: ShardedMemo::new(),
+            account: ShardedMemo::new(),
+            runtime: ShardedMemo::new(),
+            page_html: ShardedMemo::new(),
+        }
+    }
+
+    fn clear(&self) {
+        self.site.clear();
+        self.account.clear();
+        self.runtime.clear();
+        self.page_html.clear();
     }
 }
 
 thread_local! {
-    /// Per-thread LRU of derived site profiles. A visit is simulated
-    /// synchronously on one thread and every lazy lookup it triggers
-    /// (page endpoint, latency model, ad-server account) targets the same
-    /// rank, so the front slot absorbs the in-visit pattern; the deeper
-    /// slots keep interleaved-rank days (and benches that revisit a site)
-    /// from re-deriving profiles. O(MEMO_CAP) memory, no locks — the
-    /// O(sites visited) cost bound of the lazy universe is preserved.
-    static SITE_MEMO: RefCell<Lru<Arc<SiteProfile>>> = const { RefCell::new(Lru::new()) };
-    /// Same idea for the derived ad-server account (spares the per-request
-    /// s2s partner-profile clones).
-    static ACCOUNT_MEMO: RefCell<Lru<Arc<AdServerAccount>>> = const { RefCell::new(Lru::new()) };
-    /// And for the per-visit runtime: the crawler starts every visit from
-    /// the shared runtime handle, so revisits (daily recrawls, benches)
-    /// skip the ad-unit/partner-list assembly entirely.
-    static RUNTIME_MEMO: RefCell<Lru<Arc<hb_adtech::SiteRuntime>>> =
-        const { RefCell::new(Lru::new()) };
-    /// And for the rendered page HTML: every visit's first request fetches
-    /// the page, and assembling the document is pure in `(seed, rank)` —
-    /// by far the most expensive lazy derivation to repeat per visit.
-    /// Stored as `HStr` (`Arc<str>` at this length), so serving the page
-    /// is a pointer clone.
-    static PAGE_HTML_MEMO: RefCell<Lru<hb_http::HStr>> = const { RefCell::new(Lru::new()) };
     /// Per-worker derivation buffers (weight working copies, the rendered-
     /// page buffer). A memo miss draws its transient storage from here, so
     /// cold derivation — the adoption-sweep hot path, where every rank is
     /// seen for the first time — stops paying per-site allocation churn.
+    /// These are transient buffers (nothing derived is kept here), so they
+    /// stay thread-local while the memos themselves are shared.
     static DERIVE_SCRATCH: RefCell<DeriveScratch> = RefCell::new(DeriveScratch::new());
-}
-
-/// Clear this thread's derivation memos (site, account, runtime, page
-/// HTML). Benches and allocation tests use this to measure the true
-/// memo-miss (cold) path; production code never needs it — stale entries
-/// simply age out of the LRUs.
-pub fn clear_thread_memos() {
-    SITE_MEMO.with(|m| m.borrow_mut().entries.clear());
-    ACCOUNT_MEMO.with(|m| m.borrow_mut().entries.clear());
-    RUNTIME_MEMO.with(|m| m.borrow_mut().entries.clear());
-    PAGE_HTML_MEMO.with(|m| m.borrow_mut().entries.clear());
 }
 
 /// The pure site-derivation core: everything needed to compute the profile
@@ -136,7 +158,9 @@ pub struct SiteGen {
     s2s_weights: Vec<f64>,
     runtime_ctx: RuntimeCtx,
     root: Rng,
-    universe_id: u64,
+    /// The universe's shared derivation memo: one `Arc` per derived
+    /// site/account/runtime/page, served to every worker thread.
+    memo: DerivationMemo,
 }
 
 impl SiteGen {
@@ -165,7 +189,7 @@ impl SiteGen {
             s2s_weights,
             runtime_ctx,
             root,
-            universe_id: NEXT_UNIVERSE_ID.fetch_add(1, Ordering::Relaxed),
+            memo: DerivationMemo::new(),
         }
     }
 
@@ -182,62 +206,66 @@ impl SiteGen {
         }
     }
 
-    /// [`SiteGen::site`] through the per-thread LRU memo: repeated lookups
-    /// of the same rank on one thread (the in-visit pattern, daily
-    /// revisits) cost one derivation.
+    /// [`SiteGen::site`] through the universe's shared concurrent memo:
+    /// repeated lookups of the same rank — in-visit lazy resolution, daily
+    /// revisits, *and other workers' visits* — cost one derivation total.
     pub fn site_shared(&self, rank: u32) -> Arc<SiteProfile> {
-        SITE_MEMO.with(|m| {
-            m.borrow_mut()
-                .get_or_insert_with(self.universe_id, rank, || Arc::new(self.site(rank)))
-        })
+        self.memo
+            .site
+            .get_or_insert_with(rank, || Arc::new(self.site(rank)))
     }
 
-    /// The site's ad-server account, through the per-thread memo. The
+    /// The site's ad-server account, through the shared memo. The
     /// scenario's mediator robustness (s2s deadline + retry backoff) is
     /// stamped on here, so every lazily resolved account carries the
     /// campaign's policy.
     pub fn account_shared(&self, rank: u32) -> Arc<AdServerAccount> {
-        ACCOUNT_MEMO.with(|m| {
-            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                let mut account =
-                    world::account_for(&self.site_shared(rank), &self.profiles_shared);
-                let policy = &self.config.scenario.robustness;
-                account.s2s_deadline = policy.s2s_deadline;
-                account.s2s_retry_backoff = policy.retry_backoff;
-                Arc::new(account)
-            })
+        self.memo.account.get_or_insert_with(rank, || {
+            let mut account = world::account_for(&self.site_shared(rank), &self.profiles_shared);
+            let policy = &self.config.scenario.robustness;
+            account.s2s_deadline = policy.s2s_deadline;
+            account.s2s_retry_backoff = policy.retry_backoff;
+            Arc::new(account)
         })
     }
 
-    /// The shared per-visit runtime for `rank`, through the per-thread
-    /// memo. Flows hold this by `Arc`, so starting a visit never rebuilds
-    /// ad units, partner refs or waterfall tiers for a memoized rank; a
-    /// memo miss builds it from the precomputed [`RuntimeCtx`] tables.
+    /// The shared per-visit runtime for `rank`, through the shared memo.
+    /// Flows hold this by `Arc`, so starting a visit never rebuilds ad
+    /// units, partner refs or waterfall tiers for a memoized rank; a memo
+    /// miss builds it from the precomputed [`RuntimeCtx`] tables, once,
+    /// for every worker.
     pub fn runtime_shared(&self, rank: u32) -> Arc<hb_adtech::SiteRuntime> {
-        RUNTIME_MEMO.with(|m| {
-            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                Arc::new(world::site_runtime_with(
-                    &self.site_shared(rank),
-                    &self.runtime_ctx,
-                ))
+        self.memo.runtime.get_or_insert_with(rank, || {
+            Arc::new(world::site_runtime_with(
+                &self.site_shared(rank),
+                &self.runtime_ctx,
+            ))
+        })
+    }
+
+    /// The site's rendered page HTML, through the shared memo. A miss
+    /// renders into the deriving thread's reusable page buffer; only the
+    /// final `Arc<str>` the memo retains is allocated.
+    pub fn page_html_shared(&self, rank: u32) -> hb_http::HStr {
+        self.memo.page_html.get_or_insert_with(rank, || {
+            let site = self.site_shared(rank);
+            DERIVE_SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                world::render_page_html(&site, &self.specs, &mut scratch.page);
+                hb_http::HStr::from(scratch.page.as_str())
             })
         })
     }
 
-    /// The site's rendered page HTML, through the per-thread memo. A miss
-    /// renders into the thread's reusable page buffer; only the final
-    /// `Arc<str>` the memo retains is allocated.
-    pub fn page_html_shared(&self, rank: u32) -> hb_http::HStr {
-        PAGE_HTML_MEMO.with(|m| {
-            m.borrow_mut().get_or_insert_with(self.universe_id, rank, || {
-                let site = self.site_shared(rank);
-                DERIVE_SCRATCH.with(|s| {
-                    let scratch = &mut *s.borrow_mut();
-                    world::render_page_html(&site, &self.specs, &mut scratch.page);
-                    hb_http::HStr::from(scratch.page.as_str())
-                })
-            })
-        })
+    /// Drop every entry of this universe's shared derivation memo (site,
+    /// account, runtime, page HTML). Benches and allocation tests use
+    /// this to measure the true memo-miss (cold) path, and the
+    /// determinism suite uses it to prove eviction is behaviour-free;
+    /// production code never needs it — a full shard simply recycles
+    /// itself. Clearing mid-campaign only costs re-derivations (pure in
+    /// `(seed, rank)`), never changes bytes.
+    pub fn clear_memos(&self) {
+        self.memo.clear();
     }
 
     /// Derive the profile of the site at 1-based `rank`. O(1) in the
@@ -364,15 +392,21 @@ impl SiteFactory {
         &self.gen
     }
 
+    /// Clear the universe's shared derivation memo (measurement hook; see
+    /// [`SiteGen::clear_memos`]).
+    pub fn clear_memos(&self) {
+        self.gen.clear_memos();
+    }
+
     /// Derive the profile of the site at 1-based `rank` (O(1)).
     pub fn site(&self, rank: u32) -> SiteProfile {
         self.gen.site(rank)
     }
 
-    /// Derive (or reuse, via the per-thread memo) the shared profile of
-    /// the site at 1-based `rank`. Prefer this on crawl paths: the lazy
-    /// world's endpoint and latency lookups for the same rank then hit
-    /// the memo instead of re-deriving.
+    /// Derive (or reuse, via the universe's shared memo) the shared
+    /// profile of the site at 1-based `rank`. Prefer this on crawl paths:
+    /// the lazy world's endpoint and latency lookups for the same rank
+    /// then hit the memo instead of re-deriving.
     pub fn site_shared(&self, rank: u32) -> Arc<SiteProfile> {
         self.gen.site_shared(rank)
     }
@@ -425,9 +459,9 @@ impl SiteFactory {
         self.gen.runtime_for(site)
     }
 
-    /// The shared per-visit runtime for `rank` through the per-thread LRU
-    /// memo — the crawl path's entry point (never rebuilds a memoized
-    /// rank's runtime).
+    /// The shared per-visit runtime for `rank` through the universe's
+    /// shared concurrent memo — the crawl path's entry point (one
+    /// derivation serves every worker).
     pub fn runtime_shared(&self, rank: u32) -> Arc<hb_adtech::SiteRuntime> {
         self.gen.runtime_shared(rank)
     }

@@ -28,7 +28,6 @@ pub mod world;
 pub use catalog::PartnerSpec;
 pub use config::EcosystemConfig;
 pub use factory::{SiteFactory, SiteGen};
-pub use factory::clear_thread_memos;
 pub use scenario::{OutageWindow, ScenarioConfig};
 pub use publisher::{DeriveCtx, DeriveScratch, SiteProfile};
 pub use toplist::{site_domain, site_domain_hstr, TopList, YEARLY_OVERLAPS};
@@ -132,9 +131,15 @@ impl Ecosystem {
     }
 
     /// The shared per-visit runtime for `rank` through the factory's
-    /// per-thread LRU memo (crawl/bench hot path).
+    /// shared concurrent memo (crawl/bench hot path).
     pub fn runtime_shared(&self, rank: u32) -> std::sync::Arc<hb_adtech::SiteRuntime> {
         self.factory.runtime_shared(rank)
+    }
+
+    /// Clear the universe's shared derivation memo (measurement hook for
+    /// benches and allocation tests; see [`SiteGen::clear_memos`]).
+    pub fn clear_memos(&self) {
+        self.factory.clear_memos();
     }
 
     /// Derive the deterministic RNG stream for a `(site, day)` visit.

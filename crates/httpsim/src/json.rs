@@ -291,6 +291,18 @@ impl Json {
         }
     }
 
+    /// The underlying [`HStr`], if this is a string. Callers that keep
+    /// the value should clone this handle instead of re-building one from
+    /// [`Json::as_str`] — an inline/static `HStr` copies in place and a
+    /// shared one bumps its refcount, so nothing re-allocates even when
+    /// the string is past the inline cap.
+    pub fn as_hstr(&self) -> Option<&HStr> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Numeric content, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

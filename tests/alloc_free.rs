@@ -18,7 +18,7 @@ use hb_repro::core::{classify_request, Interner, PartnerList, RequestKind, Visit
 use hb_repro::crawler::{
     crawl_site_into, crawl_site_pooled, SessionConfig, TruthRecord, VisitScratch,
 };
-use hb_repro::ecosystem::{clear_thread_memos, Ecosystem, EcosystemConfig, ScenarioConfig};
+use hb_repro::ecosystem::{Ecosystem, EcosystemConfig, ScenarioConfig};
 use hb_repro::simnet::{Dist, HostFaultProfile};
 use hb_repro::http::{Request, RequestId, Url};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -152,15 +152,17 @@ fn steady_state_visit_stays_within_allocation_budget() {
 /// Per-flow steady-state budgets for the campaign's actual hot path —
 /// [`crawl_site_into`], which appends straight into the worker's columns
 /// and flattens the truth in place. Measured steady states on the
-/// reference container after PR 5 (direct-to-column record building) are
-/// ~21 (client), ~17 (server), ~27 (hybrid) and ~19 (waterfall) — mostly
-/// column-tail growth and interner traffic. Budgets carry ~2.5-3x
+/// reference container after PR 7 (shared concurrent memo; raw-bid
+/// fields cloned from the body's own `HStr` handles instead of rebuilt,
+/// so strings past the inline cap no longer spill into fresh `Arc<str>`s)
+/// are ~21 (client), ~17 (server), ~27 (hybrid) and ~19 (waterfall) —
+/// mostly column-tail growth and interner traffic. Budgets carry ~2x
 /// headroom for allocator drift.
 const COLUMNAR_BUDGETS: [(&str, Option<HbFacet>, u64); 4] = [
-    ("client_side", Some(HbFacet::ClientSide), 65),
-    ("server_side", Some(HbFacet::ServerSide), 50),
-    ("hybrid", Some(HbFacet::Hybrid), 75),
-    ("waterfall", None, 50),
+    ("client_side", Some(HbFacet::ClientSide), 45),
+    ("server_side", Some(HbFacet::ServerSide), 35),
+    ("hybrid", Some(HbFacet::Hybrid), 55),
+    ("waterfall", None, 40),
 ];
 
 /// Per-flow **cold-visit** budgets: a warm worker scratch visiting a rank
@@ -171,17 +173,19 @@ const COLUMNAR_BUDGETS: [(&str, Option<HbFacet>, u64); 4] = [
 ///   the *mean* over several sites of the flow, since per-site partner
 ///   fan-out varies;
 /// * `cleared`: the same already-interned rank after
-///   [`clear_thread_memos`] (pure re-derivation cost).
+///   [`Ecosystem::clear_memos`] (pure re-derivation cost).
 ///
-/// Measured after PR 5 (scratch-based derivation): fresh means ~61 / 53 /
-/// 71 / 26 and cleared ~26 / 26 / 34 / 20 — versus fresh means of ~155 /
-/// 130 / 170 / 48 before (PR 4), a >50% cut. Budgets carry ~2x headroom.
+/// Measured after PR 7 (shared sharded memo): fresh means ~63 / 54 / 72
+/// / 26 and cleared ~41 / 42 / 47 / 33 — the cleared numbers carry a few
+/// extra shard-map insert allocations versus the PR 5 thread-local LRUs
+/// (~26 / 26 / 34 / 20), the price of one derivation serving every
+/// worker. Budgets carry ~2x headroom.
 const COLD_BUDGETS: [(&str, Option<HbFacet>, u64, u64); 4] = [
     // (label, facet, fresh-mean budget, memo-cleared budget)
-    ("client_side", Some(HbFacet::ClientSide), 125, 65),
-    ("server_side", Some(HbFacet::ServerSide), 110, 65),
-    ("hybrid", Some(HbFacet::Hybrid), 145, 80),
-    ("waterfall", None, 60, 50),
+    ("client_side", Some(HbFacet::ClientSide), 125, 80),
+    ("server_side", Some(HbFacet::ServerSide), 110, 80),
+    ("hybrid", Some(HbFacet::Hybrid), 145, 95),
+    ("waterfall", None, 60, 65),
 ];
 
 /// One columnar visit through the per-worker scratch.
@@ -281,7 +285,7 @@ fn cold_visit_stays_within_allocation_budget() {
             .collect();
         let mean = fresh.iter().sum::<u64>() / fresh.len() as u64;
         // Memo-cleared revisit of the warm rank: pure re-derivation.
-        clear_thread_memos();
+        eco.clear_memos();
         let (cleared, _) = allocations_during(|| {
             columnar_visit(
                 &eco, ranks[0], &cfg, &mut strings, &mut scratch, &mut cols, &mut truths,
@@ -307,8 +311,9 @@ fn cold_visit_stays_within_allocation_budget() {
 /// robustness posture (per-partner deadlines, one retry with backoff,
 /// passback). The retry machinery reuses the visit's pooled messages, so
 /// the budget is the client-side columnar budget plus a small surcharge
-/// for the extra truth counters and retried-request bookkeeping.
-const FAULTY_COLUMNAR_BUDGET: u64 = 85;
+/// for the extra truth counters and retried-request bookkeeping
+/// (measured steady ~37 after PR 7; ~2x headroom).
+const FAULTY_COLUMNAR_BUDGET: u64 = 75;
 
 #[test]
 fn fault_path_columnar_visit_stays_within_allocation_budget() {

@@ -82,6 +82,32 @@ fn figure_outputs_identical_across_parallelism() {
 }
 
 #[test]
+fn memo_clear_mid_campaign_does_not_change_figures() {
+    // The shared derivation memo is pure in (seed, rank): evicting it —
+    // here, aggressively clearing it from the progress callback while 4
+    // workers crawl — costs re-derivations but can never change what a
+    // visit observes. Every rendered figure must stay byte-identical to
+    // the undisturbed campaign's.
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+    let render = |cfg: &CampaignConfig| {
+        let ds = run_campaign(&eco, cfg);
+        hb_repro::analysis::dataset_reports(&ds)
+            .into_iter()
+            .map(|r| r.render())
+            .collect::<Vec<String>>()
+    };
+    let baseline = render(&CampaignConfig::default());
+    let gen = eco.factory().gen().clone();
+    let clearing = CampaignConfig {
+        parallelism: 4,
+        progress_every: 50,
+        progress: Some(Box::new(move |_| gen.clear_memos())),
+        ..CampaignConfig::default()
+    };
+    assert_eq!(baseline, render(&clearing));
+}
+
+#[test]
 fn reports_are_deterministic() {
     let build = || {
         let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
