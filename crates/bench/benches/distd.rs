@@ -1,0 +1,166 @@
+//! Distributed-fabric benches: what the lease fabric costs relative to
+//! the in-process campaign, and how long lease recovery takes.
+//!
+//! `campaign/distd_local_3w` runs the same tiny campaign the scaling
+//! benches run, but through a real coordinator socket and three worker
+//! threads speaking the wire protocol — reported as visits/sec so the
+//! fabric tax is directly comparable to `campaign/scaling_*`.
+//!
+//! `campaign/distd_recovery` is the recovery-time number: a doomed
+//! client takes the campaign's only lease and crashes, and the iteration
+//! ends when a healthy worker has re-leased and re-crawled that block
+//! after the 100ms heartbeat deadline lapses. The median is dominated by
+//! the lease timeout — the bound the fabric promises — plus the re-issue
+//! and re-crawl overhead on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hb_analysis::DatasetIndexBuilder;
+use hb_distd::{
+    config_fingerprint, read_msg, run_worker, write_msg, CoordConfig, Coordinator, Msg,
+    WorkerConfig,
+};
+use hb_ecosystem::EcosystemConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// One full distributed campaign over a prebound coordinator config:
+/// bind, spawn `workers` in-process worker threads, fold every chunk
+/// through the incremental figure index, return the finished stats.
+fn run_distributed(cfg: &CoordConfig, workers: usize) -> (u64, u64) {
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg.clone()).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let mut builder = DatasetIndexBuilder::new(cfg.eco.n_sites, cfg.eco.crawl_days);
+    let stats = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let wcfg = WorkerConfig {
+                    shards: cfg.shards,
+                    chunk_visits: cfg.chunk_visits,
+                    heartbeat_every: Duration::from_millis(250),
+                    ..WorkerConfig::new(addr, cfg.eco.clone())
+                };
+                run_worker(&wcfg).expect("worker");
+            });
+        }
+        coordinator
+            .run(&mut |chunk| builder.push_chunk(&chunk))
+            .expect("coordinator")
+    });
+    let index = builder.finish();
+    (stats.chunks_folded as u64, index.n_hb_visits() as u64)
+}
+
+/// Distributed throughput: the full tiny campaign through coordinator +
+/// 3 local workers over real sockets, as visits/sec. The elements
+/// denominator is the campaign's visit count (chunking-independent), so
+/// this reads on the same scale as `campaign/scaling_*` — the gap is the
+/// fabric tax (framing, checksums, leases, socket hops, fold ordering).
+fn distd_local_bench(c: &mut Criterion) {
+    let eco = EcosystemConfig::tiny_scale();
+    let cfg = CoordConfig {
+        shards: 2,
+        chunk_visits: 64,
+        ..CoordConfig::new(eco)
+    };
+    let visits = {
+        // One warm-up distributed run to learn the visit count (sweep +
+        // dailies) and to pre-warm the derivation memo pattern.
+        let eco = hb_ecosystem::Ecosystem::generate(cfg.eco.clone());
+        let ds = hb_crawler::run_campaign(&eco, &hb_crawler::CampaignConfig::default());
+        ds.visits.len() as u64
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.throughput(Throughput::Elements(visits));
+    group.bench_function("distd_local_3w", |b| {
+        b.iter(|| black_box(run_distributed(&cfg, 3)))
+    });
+    group.finish();
+}
+
+/// Recovery time, measured end to end: the campaign is one 32-visit
+/// block, a doomed client leases it and drops the connection, and a
+/// healthy worker must wait out the 100ms lease deadline, win the
+/// re-issue, and re-crawl the block before the campaign can complete.
+/// The median is the fabric's crash-to-recovered wall clock.
+fn distd_recovery_bench(c: &mut Criterion) {
+    let eco = EcosystemConfig::tiny_scale().with_sites(32).with_days(1);
+    let cfg = CoordConfig {
+        shards: 1,
+        chunk_visits: 32,
+        lease_timeout: Duration::from_millis(100),
+        ..CoordConfig::new(eco)
+    };
+    let fingerprint = config_fingerprint(&cfg.eco, cfg.shards, cfg.chunk_visits, &cfg.session);
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("distd_recovery", |b| {
+        b.iter(|| {
+            let coordinator = Coordinator::bind("127.0.0.1:0", cfg.clone()).expect("bind");
+            let addr = coordinator.local_addr().expect("addr").to_string();
+            let mut builder = DatasetIndexBuilder::new(cfg.eco.n_sites, cfg.eco.crawl_days);
+            // The coordinator only accepts once `run` starts below, so
+            // both clients live in the scope; the healthy worker holds
+            // off until the crash has landed.
+            let crashed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stats = std::thread::scope(|scope| {
+                {
+                    // The crash: take the only lease, then vanish.
+                    let addr = addr.clone();
+                    let crashed = crashed.clone();
+                    scope.spawn(move || {
+                        let mut doomed = loop {
+                            match std::net::TcpStream::connect(&addr) {
+                                Ok(s) => break s,
+                                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                            }
+                        };
+                        write_msg(&mut doomed, &Msg::Hello { fingerprint }).expect("hello");
+                        let Msg::Welcome { worker_id } = read_msg(&mut doomed).expect("welcome")
+                        else {
+                            panic!("handshake rejected");
+                        };
+                        write_msg(&mut doomed, &Msg::RequestLease { worker_id }).expect("request");
+                        let Msg::Lease { .. } = read_msg(&mut doomed).expect("lease") else {
+                            panic!("doomed client should win the first lease");
+                        };
+                        drop(doomed);
+                        crashed.store(true, std::sync::atomic::Ordering::Release);
+                    });
+                }
+                {
+                    // The recovery: a healthy worker waits out the
+                    // deadline, wins the re-issue, and re-crawls.
+                    let addr = addr.clone();
+                    let cfg = cfg.clone();
+                    let crashed = crashed.clone();
+                    scope.spawn(move || {
+                        while !crashed.load(std::sync::atomic::Ordering::Acquire) {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        let wcfg = WorkerConfig {
+                            shards: cfg.shards,
+                            chunk_visits: cfg.chunk_visits,
+                            heartbeat_every: Duration::from_millis(50),
+                            ..WorkerConfig::new(addr, cfg.eco.clone())
+                        };
+                        run_worker(&wcfg).expect("worker");
+                    });
+                }
+                coordinator
+                    .run(&mut |chunk| builder.push_chunk(&chunk))
+                    .expect("coordinator")
+            });
+            assert_eq!(stats.leases_reissued, 1, "the crashed lease must be re-issued");
+            black_box(builder.finish())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, distd_local_bench, distd_recovery_bench);
+criterion_main!(benches);

@@ -14,6 +14,8 @@
 use crate::intern::Symbol;
 use crate::record::{DetectedBid, DetectedFacet, DetectedSlot, PartnerLatency, VisitRecord};
 
+pub mod wire;
+
 /// Struct-of-arrays storage for visit records. Append-only; offsets keep
 /// child rows in visit order.
 #[derive(Clone, Debug, Default)]

@@ -39,6 +39,14 @@ impl Symbol {
     pub fn is_empty(self) -> bool {
         self == Symbol::EMPTY
     }
+
+    /// Rebuild a symbol from its raw index — wire decoding only. Kept
+    /// crate-private so external code cannot forge symbols that bypass an
+    /// interner; the wire decoder bounds-checks every index against the
+    /// companion interner before constructing.
+    pub(crate) const fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
 }
 
 impl fmt::Debug for Symbol {

@@ -36,6 +36,11 @@ pub use classify::{
     classify_request, hb_params_of_request, hb_params_of_response, is_hb_param,
     response_has_hb_params, Classification, RequestKind,
 };
+pub use columns::wire::{
+    decode_columns, decode_interner, encode_columns, encode_interner, open_frame, seal_frame,
+    seal_frame_into, xxh64, WireError, WireReader, WireWriter, FRAME_OVERHEAD, WIRE_MAGIC,
+    WIRE_VERSION,
+};
 pub use columns::{VisitBuilder, VisitColumns, VisitScalars, VisitView};
 pub use detector::HbDetector;
 pub use events::{CapturedEvent, HbEventKind};

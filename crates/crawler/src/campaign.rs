@@ -128,6 +128,58 @@ impl ShardSpec {
     }
 }
 
+/// Crawl one block of ranks into a sealed, self-contained chunk — the
+/// unit of lease-based distribution.
+///
+/// This is the exact iteration the in-process scheduler runs per claimed
+/// block ([`run_batch`] delegates here), exposed so a remote worker
+/// holding a `(day, shard, seq)` lease produces byte-identical chunks: a
+/// block-local interner, direct-to-column visits via [`crawl_site_into`],
+/// ground truth flattened in place. `on_visit` fires after every finished
+/// visit with the count of visits completed in this block (progress
+/// callbacks, lease heartbeats).
+#[allow(clippy::too_many_arguments)] // mirrors crawl_site_into's shape
+pub fn crawl_block_into(
+    factory: &SiteFactory,
+    ranks: &[u32],
+    day: u32,
+    shard: u32,
+    seq: u32,
+    session: &SessionConfig,
+    scratch: &mut VisitScratch,
+    net: &hb_adtech::Net,
+    on_visit: &mut dyn FnMut(usize),
+) -> VisitChunk {
+    let mut strings = Interner::new();
+    let mut visits = VisitColumns::with_capacity(ranks.len());
+    let mut truths = Vec::with_capacity(ranks.len());
+    for (i, &rank) in ranks.iter().enumerate() {
+        // Direct-to-column: the detector appends the finished row
+        // straight into the chunk's columns and the ground truth is
+        // flattened in place — no owned SiteVisit per visit.
+        let _ = crawl_site_into(
+            net.clone(),
+            factory.runtime_shared(rank),
+            factory.visit_rng(rank, day),
+            day,
+            session,
+            &mut strings,
+            scratch,
+            &mut visits,
+            &mut truths,
+        );
+        on_visit(i + 1);
+    }
+    VisitChunk {
+        day,
+        shard,
+        seq,
+        visits,
+        truths,
+        strings,
+    }
+}
+
 fn worker_count(cfg: &CampaignConfig) -> usize {
     if cfg.parallelism == 0 {
         std::thread::available_parallelism()
@@ -163,48 +215,34 @@ fn run_batch(
     let total = ranks.len();
     let done = AtomicUsize::new(0);
 
-    // One worker's block body: crawl block `b` into a sealed chunk.
+    // One worker's block body: crawl block `b` into a sealed chunk via
+    // the shared lease-block iteration.
     let crawl_block = |b: usize, scratch: &mut VisitScratch, net: &hb_adtech::Net| {
         let lo = b * chunk_size;
         let hi = (lo + chunk_size).min(total);
-        let mut strings = Interner::new();
-        let mut visits = VisitColumns::with_capacity(hi - lo);
-        let mut truths = Vec::with_capacity(hi - lo);
-        for &rank in &ranks[lo..hi] {
-            // Direct-to-column: the detector appends the finished row
-            // straight into the chunk's columns and the ground truth is
-            // flattened in place — no owned SiteVisit per visit.
-            let _ = crawl_site_into(
-                net.clone(),
-                factory.runtime_shared(rank),
-                factory.visit_rng(rank, day),
-                day,
-                &cfg.session,
-                &mut strings,
-                scratch,
-                &mut visits,
-                &mut truths,
-            );
-            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
-                if let Some(cb) = &cfg.progress {
-                    cb(CampaignProgress {
-                        shard: shard_id,
-                        day,
-                        done: n,
-                        total,
-                    });
-                }
-            }
-        }
-        VisitChunk {
+        crawl_block_into(
+            factory,
+            &ranks[lo..hi],
             day,
-            shard: shard_id,
-            seq: b as u32,
-            visits,
-            truths,
-            strings,
-        }
+            shard_id,
+            b as u32,
+            &cfg.session,
+            scratch,
+            net,
+            &mut |_| {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if cfg.progress_every > 0 && n % cfg.progress_every == 0 {
+                    if let Some(cb) = &cfg.progress {
+                        cb(CampaignProgress {
+                            shard: shard_id,
+                            day,
+                            done: n,
+                            total,
+                        });
+                    }
+                }
+            },
+        )
     };
 
     if workers.min(n_blocks) == 1 {
@@ -589,6 +627,57 @@ mod tests {
         };
         let _ = run_campaign(&eco, &cfg);
         assert!(hits.load(Ordering::Relaxed) > 0, "callback never fired");
+    }
+
+    #[test]
+    fn panicking_progress_callback_aborts_not_hangs() {
+        // A ProgressFn that panics does so on a crawl worker thread while
+        // the batch's slot ring is live. The producer guard must abort the
+        // batch (releasing the consumer and any sibling blocked on ring
+        // capacity) and the panic must surface to the campaign caller —
+        // the failure mode this pins down is a silently hung campaign.
+        use std::sync::mpsc;
+        use std::time::Duration;
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+            let cfg = CampaignConfig {
+                parallelism: 4,
+                chunk_visits: 8, // many blocks so producers race ahead
+                progress_every: 1,
+                progress: Some(Box::new(|_| panic!("observer dies"))),
+                ..CampaignConfig::default()
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_campaign(&eco, &cfg)
+            }));
+            let _ = tx.send(result.is_err());
+        });
+        let panicked = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("campaign hung on a panicking ProgressFn");
+        assert!(panicked, "the ProgressFn panic must surface to the caller");
+    }
+
+    #[test]
+    fn panicking_progress_callback_single_worker_surfaces() {
+        // The single-worker batch path runs inline with no ring; the panic
+        // must still propagate (and not poison later campaigns).
+        let eco = Ecosystem::generate(EcosystemConfig::tiny_scale());
+        let cfg = CampaignConfig {
+            parallelism: 1,
+            progress_every: 1,
+            progress: Some(Box::new(|_| panic!("observer dies"))),
+            ..CampaignConfig::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(&eco, &cfg)
+        }));
+        assert!(result.is_err());
+        // The ecosystem is untouched by the failed campaign: a clean run
+        // afterwards still works.
+        let ds = run_campaign(&eco, &CampaignConfig::default());
+        assert!(!ds.visits.is_empty());
     }
 
     #[test]

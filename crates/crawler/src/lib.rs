@@ -20,8 +20,9 @@ pub mod session;
 pub mod wayback_crawl;
 
 pub use campaign::{
-    crawl_shard, crawl_shard_streamed, merge_chunks, run_campaign, run_campaign_streamed,
-    run_factory_campaign, CampaignConfig, CampaignProgress, ProgressFn, ShardSpec,
+    crawl_block_into, crawl_shard, crawl_shard_streamed, merge_chunks, run_campaign,
+    run_campaign_streamed, run_factory_campaign, CampaignConfig, CampaignProgress, ProgressFn,
+    ShardSpec,
 };
 pub use chunk::VisitChunk;
 pub use dataset::{CrawlDataset, TruthRecord};

@@ -1,0 +1,135 @@
+//! Campaign coordinator binary.
+//!
+//! Binds the lease endpoint, prints `LISTENING <addr>` (machine-readable
+//! — tests and launchers parse it to find an ephemeral port), serves
+//! workers until the campaign completes, folds every chunk through the
+//! incremental figure index, and finally writes one CSV per figure plus a
+//! parseable `STATS` line with the fabric counters.
+//!
+//! ```text
+//! distd-coord --listen 127.0.0.1:0 --scale tiny --shards 2 \
+//!     --chunk-visits 64 --lease-timeout-ms 2000 --spool /tmp/spool \
+//!     --out /tmp/figures
+//! ```
+
+use hb_analysis::{indexed_reports, DatasetIndexBuilder};
+use hb_distd::{CoordConfig, Coordinator};
+use hb_ecosystem::EcosystemConfig;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distd-coord [--listen ADDR] [--scale tiny|test|paper] [--seed N] \
+         [--shards N] [--chunk-visits N] [--lease-timeout-ms N] \
+         [--reorder-window N] [--spool DIR] [--out DIR]"
+    );
+    std::process::exit(64);
+}
+
+fn scale_config(scale: &str) -> EcosystemConfig {
+    match scale {
+        "tiny" => EcosystemConfig::tiny_scale(),
+        "test" => EcosystemConfig::test_scale(),
+        "paper" => EcosystemConfig::paper_scale(),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut scale = "tiny".to_string();
+    let mut seed: Option<u64> = None;
+    let mut shards: u32 = 1;
+    let mut chunk_visits: usize = 64;
+    let mut lease_timeout = Duration::from_secs(10);
+    let mut reorder_window: usize = 16;
+    let mut spool_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--listen" => listen = val(&mut args),
+            "--scale" => scale = val(&mut args),
+            "--seed" => seed = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--shards" => shards = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--chunk-visits" => chunk_visits = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--lease-timeout-ms" => {
+                lease_timeout =
+                    Duration::from_millis(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--reorder-window" => {
+                reorder_window = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--spool" => spool_dir = Some(PathBuf::from(val(&mut args))),
+            "--out" => out_dir = Some(PathBuf::from(val(&mut args))),
+            _ => usage(),
+        }
+    }
+
+    let mut eco = scale_config(&scale);
+    if let Some(s) = seed {
+        eco = eco.with_seed(s);
+    }
+    let n_sites = eco.n_sites;
+    let n_days = eco.crawl_days;
+    let cfg = CoordConfig {
+        shards,
+        chunk_visits,
+        lease_timeout,
+        reorder_window,
+        spool_dir,
+        ..CoordConfig::new(eco)
+    };
+
+    let coordinator = match Coordinator::bind(&listen, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("distd-coord: bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = coordinator.local_addr().expect("bound socket has an addr");
+    println!("LISTENING {addr}");
+    std::io::stdout().flush().expect("stdout");
+
+    let mut builder = DatasetIndexBuilder::new(n_sites, n_days);
+    let stats = match coordinator.run(&mut |chunk| builder.push_chunk(&chunk)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("distd-coord: {e}");
+            std::process::exit(1);
+        }
+    };
+    let index = builder.finish();
+
+    if let Some(out) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(&out) {
+            eprintln!("distd-coord: create {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        for report in indexed_reports(&index) {
+            let path = out.join(format!("{}.csv", report.id));
+            if let Err(e) = std::fs::write(&path, report.render()) {
+                eprintln!("distd-coord: write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "STATS blocks_total={} chunks_folded={} chunks_replayed={} leases_issued={} \
+         leases_reissued={} chunks_duplicate_dropped={} frames_rejected={} workers_seen={}",
+        stats.blocks_total,
+        stats.chunks_folded,
+        stats.chunks_replayed,
+        stats.leases_issued,
+        stats.leases_reissued,
+        stats.chunks_duplicate_dropped,
+        stats.frames_rejected,
+        stats.workers_seen,
+    );
+}

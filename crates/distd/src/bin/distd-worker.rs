@@ -1,0 +1,110 @@
+//! Crawl worker binary.
+//!
+//! Connects to a coordinator, crawls leased blocks until the campaign is
+//! done, then prints a parseable `WORKER` stats line. Exit codes: 0 on a
+//! completed campaign, 2 when the coordinator was lost (clean shutdown
+//! after the retry budget), 1 on anything else.
+//!
+//! ```text
+//! distd-worker --connect 127.0.0.1:45123 --scale tiny --shards 2 \
+//!     --chunk-visits 64 --heartbeat-ms 500 --visit-delay-us 2000
+//! ```
+
+use hb_distd::{run_worker, DistdError, WorkerConfig};
+use hb_ecosystem::EcosystemConfig;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distd-worker --connect ADDR [--scale tiny|test|paper] [--seed N] \
+         [--shards N] [--chunk-visits N] [--heartbeat-ms N] [--visit-delay-us N] \
+         [--io-timeout-ms N] [--connect-attempts N]"
+    );
+    std::process::exit(64);
+}
+
+fn scale_config(scale: &str) -> EcosystemConfig {
+    match scale {
+        "tiny" => EcosystemConfig::tiny_scale(),
+        "test" => EcosystemConfig::test_scale(),
+        "paper" => EcosystemConfig::paper_scale(),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut scale = "tiny".to_string();
+    let mut seed: Option<u64> = None;
+    let mut shards: u32 = 1;
+    let mut chunk_visits: usize = 64;
+    let mut heartbeat = Duration::from_secs(2);
+    let mut visit_delay = Duration::ZERO;
+    let mut io_timeout = Duration::from_secs(10);
+    let mut connect_attempts: u32 = 5;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--connect" => connect = Some(val(&mut args)),
+            "--scale" => scale = val(&mut args),
+            "--seed" => seed = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--shards" => shards = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--chunk-visits" => chunk_visits = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--heartbeat-ms" => {
+                heartbeat = Duration::from_millis(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--visit-delay-us" => {
+                visit_delay =
+                    Duration::from_micros(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--io-timeout-ms" => {
+                io_timeout =
+                    Duration::from_millis(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--connect-attempts" => {
+                connect_attempts = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = connect else { usage() };
+
+    let mut eco = scale_config(&scale);
+    if let Some(s) = seed {
+        eco = eco.with_seed(s);
+    }
+    let cfg = WorkerConfig {
+        shards,
+        chunk_visits,
+        heartbeat_every: heartbeat,
+        visit_delay,
+        io_timeout,
+        connect_attempts,
+        ..WorkerConfig::new(addr, eco)
+    };
+
+    match run_worker(&cfg) {
+        Ok(stats) => {
+            println!(
+                "WORKER id={} blocks_completed={} visits={} leases_expired={} \
+                 duplicates={} reconnects={}",
+                stats.worker_id,
+                stats.blocks_completed,
+                stats.visits,
+                stats.leases_expired,
+                stats.duplicates,
+                stats.reconnects,
+            );
+        }
+        Err(DistdError::CoordinatorLost) => {
+            eprintln!("distd-worker: coordinator lost; exiting");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("distd-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The lease coordinator: schedule, lease table, ordered fold, spool.
+//!
+//! ## Protocol invariants
+//!
+//! * **The schedule is the fold order.** Blocks are numbered globally in
+//!   `(day, shard, seq)` order — exactly the order
+//!   `hb_crawler::run_campaign_streamed` seals chunks in — and the
+//!   coordinator folds completed chunks to its sink strictly in that
+//!   order, buffering at most `reorder_window` out-of-order arrivals.
+//!   Downstream consumers (`DatasetIndexBuilder`, figure rendering)
+//!   therefore see a byte-identical chunk stream whether the campaign ran
+//!   in one process or across a fabric of crashing workers.
+//! * **Leases bound the buffer.** A block is only leased while its index
+//!   is within `reorder_window` of the next fold point, so the reorder
+//!   buffer can never grow past the window no matter how workers race.
+//! * **Completion is idempotent.** Campaign visits are pure functions of
+//!   `(seed, rank, day)`, so a block crawled twice (lease expired, then
+//!   the original worker submitted anyway) yields byte-identical chunks;
+//!   the second arrival is detected by its `(day, shard, seq)` key and
+//!   dropped, counted in `chunks_duplicate_dropped`.
+//! * **Ack implies durable.** With a spool configured, the sealed frame
+//!   is fsynced to disk *before* the worker is acked; a coordinator
+//!   restarted on the same spool replays every acked chunk and re-leases
+//!   only the unfinished blocks.
+//! * **Nothing on the wire is trusted.** Frames (worker submissions and
+//!   spool files alike) are checksum-verified before parsing and
+//!   structurally validated during it; failures are counted in
+//!   `frames_rejected` and the block stays leasable.
+//!
+//! ## Schedule construction
+//!
+//! Day-0 blocks are known upfront (the full toplist, sharded
+//! contiguously). Blocks for days ≥ 1 revisit the HB sites *detected* on
+//! day 0, so they are appended only once every day-0 chunk has folded —
+//! the detected rank lists are accumulated during the ordered fold, which
+//! reproduces the in-process campaign's lists exactly.
+
+use crate::proto::{read_msg, write_msg, DistdError, Msg};
+use crate::spool::{spool_load, spool_write};
+use hb_crawler::{SessionConfig, ShardSpec, VisitChunk};
+use hb_ecosystem::EcosystemConfig;
+use std::collections::{BTreeMap, HashMap};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Coordinator tuning.
+#[derive(Clone, Debug)]
+pub struct CoordConfig {
+    /// The campaign universe (shared verbatim with every worker; the
+    /// handshake fingerprint commits to it).
+    pub eco: EcosystemConfig,
+    /// Contiguous toplist shards (the in-process `CampaignConfig::shards`).
+    pub shards: u32,
+    /// Visits per block / sealed chunk.
+    pub chunk_visits: usize,
+    /// Session policy (fingerprinted; workers crawl with their own copy).
+    pub session: SessionConfig,
+    /// A lease not heartbeat within this window is re-issued.
+    pub lease_timeout: Duration,
+    /// How many blocks past the fold point may be leased at once (bounds
+    /// the reorder buffer).
+    pub reorder_window: usize,
+    /// Chunk spool for crash-safe restarts; `None` disables durability.
+    pub spool_dir: Option<PathBuf>,
+    /// Back-off suggested to workers when nothing is leasable.
+    pub wait_millis: u32,
+}
+
+impl CoordConfig {
+    /// Sensible defaults for a local fabric over `eco`.
+    pub fn new(eco: EcosystemConfig) -> CoordConfig {
+        CoordConfig {
+            eco,
+            shards: 1,
+            chunk_visits: 256,
+            session: SessionConfig::default(),
+            lease_timeout: Duration::from_secs(10),
+            reorder_window: 16,
+            spool_dir: None,
+            wait_millis: 25,
+        }
+    }
+}
+
+/// Observable outcome of one coordinator run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordStats {
+    /// Total blocks in the final schedule.
+    pub blocks_total: usize,
+    /// Chunks folded to the sink (equals `blocks_total` on success).
+    pub chunks_folded: usize,
+    /// Chunks recovered from the spool instead of a worker.
+    pub chunks_replayed: usize,
+    /// Leases handed out (first issues and re-issues).
+    pub leases_issued: u64,
+    /// Leases that lapsed and were made leasable again.
+    pub leases_reissued: u64,
+    /// Redundant submissions dropped by key.
+    pub chunks_duplicate_dropped: u64,
+    /// Frames (worker or spool) that failed validation.
+    pub frames_rejected: u64,
+    /// Distinct handshakes accepted.
+    pub workers_seen: u32,
+}
+
+/// One schedulable block.
+struct Block {
+    day: u32,
+    shard: u32,
+    seq: u32,
+    ranks: Vec<u32>,
+}
+
+struct Lease {
+    block: usize,
+    deadline: Instant,
+}
+
+struct State {
+    schedule: Vec<Block>,
+    /// Block index by chunk key; grows with the schedule.
+    key_index: HashMap<(u32, u32, u32), usize>,
+    /// A chunk for this block has been accepted (buffered or folded).
+    complete: Vec<bool>,
+    /// Accepted chunks awaiting their turn to fold, by block index.
+    buffered: BTreeMap<usize, VisitChunk>,
+    /// Next block index to fold.
+    folded: usize,
+    /// Number of day-0 blocks (the upfront schedule).
+    day0_blocks: usize,
+    /// Days ≥ 1 have been appended.
+    schedule_final: bool,
+    /// Detected HB ranks per shard, accumulated during the ordered fold.
+    detected: Vec<Vec<u32>>,
+    leases: HashMap<u64, Lease>,
+    /// Reverse index: which lease currently owns a block.
+    leased_block: HashMap<usize, u64>,
+    next_lease_id: u64,
+    next_worker_id: u32,
+    done: bool,
+    stats: CoordStats,
+}
+
+fn push_block(st: &mut State, block: Block) {
+    st.key_index
+        .insert((block.day, block.shard, block.seq), st.schedule.len());
+    st.schedule.push(block);
+    st.complete.push(false);
+}
+
+/// Chunk a rank list the way the in-process worker scheduler does.
+fn blocks_of(ranks: &[u32], day: u32, shard: u32, chunk_visits: usize) -> Vec<Block> {
+    let chunk = chunk_visits.max(1);
+    ranks
+        .chunks(chunk)
+        .enumerate()
+        .map(|(seq, slice)| Block {
+            day,
+            shard,
+            seq: seq as u32,
+            ranks: slice.to_vec(),
+        })
+        .collect()
+}
+
+fn initial_state(cfg: &CoordConfig) -> State {
+    let shards = cfg.shards.max(1);
+    let mut st = State {
+        schedule: Vec::new(),
+        key_index: HashMap::new(),
+        complete: Vec::new(),
+        buffered: BTreeMap::new(),
+        folded: 0,
+        day0_blocks: 0,
+        schedule_final: false,
+        detected: vec![Vec::new(); shards as usize],
+        leases: HashMap::new(),
+        leased_block: HashMap::new(),
+        next_lease_id: 1,
+        next_worker_id: 1,
+        done: false,
+        stats: CoordStats::default(),
+    };
+    for shard in 0..shards {
+        let ranks: Vec<u32> = ShardSpec::new(shards, shard)
+            .rank_range(cfg.eco.n_sites)
+            .collect();
+        for b in blocks_of(&ranks, 0, shard, cfg.chunk_visits) {
+            push_block(&mut st, b);
+        }
+    }
+    st.day0_blocks = st.schedule.len();
+    st.stats.blocks_total = st.schedule.len();
+    if st.day0_blocks == 0 {
+        // Degenerate universe: nothing to crawl on day 0, so nothing can
+        // be detected either — the schedule is final and empty.
+        st.schedule_final = true;
+        st.done = true;
+    }
+    st
+}
+
+/// Append the revisit blocks for days 1..=crawl_days. Call exactly once,
+/// after every day-0 chunk has folded (the detected lists are complete).
+fn finalize_schedule(st: &mut State, cfg: &CoordConfig) {
+    debug_assert!(!st.schedule_final);
+    let shards = cfg.shards.max(1);
+    for day in 1..=cfg.eco.crawl_days {
+        for shard in 0..shards {
+            let ranks = st.detected[shard as usize].clone();
+            for b in blocks_of(&ranks, day, shard, cfg.chunk_visits) {
+                push_block(st, b);
+            }
+        }
+    }
+    st.schedule_final = true;
+    st.stats.blocks_total = st.schedule.len();
+}
+
+/// Fold every ready chunk, in schedule order, to the sink. Extends the
+/// schedule once day 0 completes and flips `done` when everything folded.
+fn fold_ready(st: &mut State, cfg: &CoordConfig, sink: &mut dyn FnMut(VisitChunk)) {
+    loop {
+        let Some(chunk) = st.buffered.remove(&st.folded) else {
+            break;
+        };
+        if chunk.day == 0 {
+            // Same accumulation the in-process campaign performs while
+            // streaming day-0 chunks: detected ranks in fold order.
+            st.detected[chunk.shard as usize]
+                .extend(chunk.visits.iter().filter(|v| v.hb_detected).map(|v| v.rank));
+        }
+        sink(chunk);
+        st.folded += 1;
+        st.stats.chunks_folded += 1;
+        if st.folded == st.day0_blocks && !st.schedule_final {
+            finalize_schedule(st, cfg);
+        }
+    }
+    if st.schedule_final && st.folded == st.schedule.len() {
+        st.done = true;
+    }
+}
+
+/// Release every lapsed lease; their blocks become leasable again.
+fn expire_lapsed(st: &mut State, now: Instant) {
+    let lapsed: Vec<u64> = st
+        .leases
+        .iter()
+        .filter(|(_, l)| l.deadline <= now)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in lapsed {
+        let lease = st.leases.remove(&id).expect("collected above");
+        st.leased_block.remove(&lease.block);
+        if !st.complete[lease.block] {
+            st.stats.leases_reissued += 1;
+        }
+    }
+}
+
+/// Answer a lease request: the lowest incomplete, unleased block within
+/// the reorder window, or `Wait`/`Done`.
+fn grant(st: &mut State, cfg: &CoordConfig) -> Msg {
+    expire_lapsed(st, Instant::now());
+    if st.done {
+        return Msg::Done;
+    }
+    let window_end = st
+        .folded
+        .saturating_add(cfg.reorder_window.max(1))
+        .min(st.schedule.len());
+    for i in st.folded..window_end {
+        if st.complete[i] || st.leased_block.contains_key(&i) {
+            continue;
+        }
+        let lease_id = st.next_lease_id;
+        st.next_lease_id += 1;
+        st.leases.insert(
+            lease_id,
+            Lease {
+                block: i,
+                deadline: Instant::now() + cfg.lease_timeout,
+            },
+        );
+        st.leased_block.insert(i, lease_id);
+        st.stats.leases_issued += 1;
+        let b = &st.schedule[i];
+        return Msg::Lease {
+            lease_id,
+            day: b.day,
+            shard: b.shard,
+            seq: b.seq,
+            ranks: b.ranks.clone(),
+        };
+    }
+    Msg::Wait {
+        millis: cfg.wait_millis,
+    }
+}
+
+/// Admit one decoded chunk. Returns the ack to send. When `durable` is
+/// false and a spool is configured, the frame is written (fsync + rename)
+/// before the block is marked complete — ack implies durable.
+fn admit(
+    st: &mut State,
+    cfg: &CoordConfig,
+    chunk: VisitChunk,
+    frame: Option<&[u8]>,
+) -> Msg {
+    let key = chunk.key();
+    let Some(&idx) = st.key_index.get(&key) else {
+        // A chunk for a block this schedule never issued: a stale worker
+        // from some other campaign. Refuse it.
+        st.stats.frames_rejected += 1;
+        return Msg::SubmitAck {
+            accepted: false,
+            duplicate: false,
+        };
+    };
+    if st.complete[idx] {
+        st.stats.chunks_duplicate_dropped += 1;
+        return Msg::SubmitAck {
+            accepted: true,
+            duplicate: true,
+        };
+    }
+    if let (Some(dir), Some(bytes)) = (&cfg.spool_dir, frame) {
+        if spool_write(dir, key, bytes).is_err() {
+            // Durability could not be guaranteed; do not ack, leave the
+            // block leasable so a later submit can retry.
+            return Msg::SubmitAck {
+                accepted: false,
+                duplicate: false,
+            };
+        }
+    }
+    st.complete[idx] = true;
+    st.buffered.insert(idx, chunk);
+    if let Some(lease_id) = st.leased_block.remove(&idx) {
+        st.leases.remove(&lease_id);
+    }
+    Msg::SubmitAck {
+        accepted: true,
+        duplicate: false,
+    }
+}
+
+/// One worker connection, served until EOF / error / campaign end.
+fn serve_conn(stream: &mut TcpStream, state: &Mutex<State>, cfg: &CoordConfig, fingerprint: u64) {
+    // Short read timeouts keep the handler responsive to campaign
+    // completion even when its worker was SIGKILLed mid-conversation.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut done_since: Option<Instant> = None;
+    loop {
+        let msg = match read_msg(stream) {
+            Ok(m) => m,
+            Err(DistdError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle: give a finished campaign's worker a grace window
+                // to fetch its `Done`, then hang up.
+                let done = state.lock().expect("coordinator state").done;
+                match (done, done_since) {
+                    (false, _) => continue,
+                    (true, None) => {
+                        done_since = Some(Instant::now());
+                        continue;
+                    }
+                    (true, Some(t)) if t.elapsed() < Duration::from_secs(2) => continue,
+                    (true, Some(_)) => return,
+                }
+            }
+            Err(_) => return, // EOF, reset, or a corrupt frame: drop the conn
+        };
+        let reply = match msg {
+            Msg::Hello { fingerprint: fp } => {
+                if fp == fingerprint {
+                    let mut st = state.lock().expect("coordinator state");
+                    let id = st.next_worker_id;
+                    st.next_worker_id += 1;
+                    st.stats.workers_seen += 1;
+                    Msg::Welcome { worker_id: id }
+                } else {
+                    Msg::Reject {
+                        reason: "config fingerprint mismatch".into(),
+                    }
+                }
+            }
+            Msg::RequestLease { .. } => {
+                let mut st = state.lock().expect("coordinator state");
+                grant(&mut st, cfg)
+            }
+            Msg::Heartbeat { lease_id, .. } => {
+                let mut st = state.lock().expect("coordinator state");
+                expire_lapsed(&mut st, Instant::now());
+                match st.leases.get_mut(&lease_id) {
+                    Some(lease) => {
+                        lease.deadline = Instant::now() + cfg.lease_timeout;
+                        Msg::HeartbeatAck
+                    }
+                    None => Msg::Expired,
+                }
+            }
+            Msg::SubmitChunk { frame, .. } => match VisitChunk::decode(&frame) {
+                Ok(chunk) => {
+                    let mut st = state.lock().expect("coordinator state");
+                    admit(&mut st, cfg, chunk, Some(&frame))
+                }
+                Err(_) => {
+                    let mut st = state.lock().expect("coordinator state");
+                    st.stats.frames_rejected += 1;
+                    Msg::SubmitAck {
+                        accepted: false,
+                        duplicate: false,
+                    }
+                }
+            },
+            // Anything else is a peer speaking the wrong side of the
+            // protocol; drop it.
+            _ => return,
+        };
+        if write_msg(stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// A bound, not-yet-running coordinator.
+pub struct Coordinator {
+    listener: TcpListener,
+    cfg: CoordConfig,
+}
+
+impl Coordinator {
+    /// Bind the coordinator socket (use port 0 for an ephemeral port and
+    /// read it back with [`Coordinator::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: CoordConfig) -> std::io::Result<Coordinator> {
+        Ok(Coordinator {
+            listener: TcpListener::bind(addr)?,
+            cfg,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the campaign to completion: replay the spool, serve workers,
+    /// fold every chunk to `sink` in `(day, shard, seq)` order. Returns
+    /// the run's counters.
+    pub fn run(self, sink: &mut dyn FnMut(VisitChunk)) -> Result<CoordStats, DistdError> {
+        let cfg = &self.cfg;
+        let fingerprint = crate::proto::config_fingerprint(
+            &cfg.eco,
+            cfg.shards.max(1),
+            cfg.chunk_visits,
+            &cfg.session,
+        );
+        let mut st = initial_state(cfg);
+
+        // --- Spool replay -------------------------------------------------
+        if let Some(dir) = &cfg.spool_dir {
+            let replay = spool_load(dir)?;
+            st.stats.frames_rejected += replay.rejected as u64;
+            // Chunks arrive key-sorted, so day 0 admits and folds first;
+            // folding day 0 finalizes the schedule, which lets the later
+            // days' keys resolve. Loop until a pass makes no progress so
+            // replay order never depends on that subtlety.
+            let mut pending = replay.chunks;
+            loop {
+                let before = pending.len();
+                let mut rest = Vec::new();
+                for chunk in pending {
+                    if st.key_index.contains_key(&chunk.key()) {
+                        // `frame: None` skips the spool write — the chunk
+                        // is already durable, that's where it came from.
+                        if let Msg::SubmitAck {
+                            accepted: true,
+                            duplicate: false,
+                        } = admit(&mut st, cfg, chunk, None)
+                        {
+                            st.stats.chunks_replayed += 1;
+                        }
+                    } else {
+                        rest.push(chunk);
+                    }
+                }
+                fold_ready(&mut st, cfg, sink);
+                if rest.is_empty() || rest.len() == before {
+                    // Leftovers belong to no block of this schedule:
+                    // refuse them like any unknown submission.
+                    st.stats.frames_rejected += rest.len() as u64;
+                    break;
+                }
+                pending = rest;
+            }
+        }
+        if st.done {
+            return Ok(st.stats);
+        }
+
+        // --- Serve --------------------------------------------------------
+        self.listener.set_nonblocking(true)?;
+        let state = Mutex::new(st);
+        std::thread::scope(|scope| {
+            loop {
+                match self.listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let state = &state;
+                        scope.spawn(move || serve_conn(&mut stream, state, cfg, fingerprint));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+                let mut st = state.lock().expect("coordinator state");
+                fold_ready(&mut st, cfg, sink);
+                if st.done {
+                    break;
+                }
+                drop(st);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Scope exit joins the handlers; they see `done` and hang up
+            // after the grace window.
+        });
+        let st = state.into_inner().expect("coordinator state");
+        Ok(st.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_crawler::{crawl_shard, CampaignConfig};
+    use hb_ecosystem::Ecosystem;
+
+    fn tiny_cfg() -> CoordConfig {
+        CoordConfig {
+            chunk_visits: 64,
+            ..CoordConfig::new(EcosystemConfig::tiny_scale())
+        }
+    }
+
+    /// Drive the schedule/fold state machine directly, no sockets: feed
+    /// it the chunks a real crawl produces and check the fold order.
+    #[test]
+    fn state_machine_folds_in_campaign_order() {
+        let cfg = tiny_cfg();
+        let eco = Ecosystem::generate(cfg.eco.clone());
+        let campaign = CampaignConfig {
+            chunk_visits: cfg.chunk_visits,
+            ..CampaignConfig::default()
+        };
+        let chunks = crawl_shard(eco.factory(), &campaign, 0);
+        let mut st = initial_state(&cfg);
+        // Submit out of order within the window: reverse each day's run.
+        let mut folded_keys = Vec::new();
+        let mut sink = |c: VisitChunk| folded_keys.push(c.key());
+        let mut queue: Vec<VisitChunk> = chunks.clone();
+        while !queue.is_empty() {
+            // Admit whatever the current schedule recognizes, in reverse.
+            let mut rest = Vec::new();
+            for chunk in queue.into_iter().rev() {
+                if st.key_index.contains_key(&chunk.key()) {
+                    let ack = admit(&mut st, &cfg, chunk, None);
+                    assert!(matches!(
+                        ack,
+                        Msg::SubmitAck {
+                            accepted: true,
+                            duplicate: false
+                        }
+                    ));
+                } else {
+                    rest.push(chunk);
+                }
+            }
+            fold_ready(&mut st, &cfg, &mut sink);
+            queue = rest;
+        }
+        assert!(st.done);
+        let want: Vec<_> = chunks.iter().map(VisitChunk::key).collect();
+        assert_eq!(folded_keys, want, "fold order is the campaign order");
+        assert_eq!(st.stats.chunks_folded, chunks.len());
+    }
+
+    #[test]
+    fn duplicate_chunks_are_dropped_idempotently() {
+        let cfg = tiny_cfg();
+        let eco = Ecosystem::generate(cfg.eco.clone());
+        let campaign = CampaignConfig {
+            chunk_visits: cfg.chunk_visits,
+            ..CampaignConfig::default()
+        };
+        let chunks = crawl_shard(eco.factory(), &campaign, 0);
+        let mut st = initial_state(&cfg);
+        let mut n = 0usize;
+        let mut sink = |_c: VisitChunk| n += 1;
+        let first = chunks[0].clone();
+        assert!(matches!(
+            admit(&mut st, &cfg, first.clone(), None),
+            Msg::SubmitAck {
+                accepted: true,
+                duplicate: false
+            }
+        ));
+        // The re-crawl of an expired lease arrives late: same key.
+        assert!(matches!(
+            admit(&mut st, &cfg, first, None),
+            Msg::SubmitAck {
+                accepted: true,
+                duplicate: true
+            }
+        ));
+        fold_ready(&mut st, &cfg, &mut sink);
+        assert_eq!(n, 1);
+        assert_eq!(st.stats.chunks_duplicate_dropped, 1);
+    }
+
+    #[test]
+    fn lapsed_leases_are_reissued_and_window_bounds_grants() {
+        let cfg = CoordConfig {
+            lease_timeout: Duration::from_millis(1),
+            reorder_window: 2,
+            ..tiny_cfg()
+        };
+        let mut st = initial_state(&cfg);
+        // Window of 2: exactly two grants, then Wait.
+        let a = grant(&mut st, &cfg);
+        let b = grant(&mut st, &cfg);
+        assert!(matches!(a, Msg::Lease { .. }));
+        assert!(matches!(b, Msg::Lease { .. }));
+        assert!(matches!(grant(&mut st, &cfg), Msg::Wait { .. }));
+        // Let both lapse; the same two blocks are granted again.
+        std::thread::sleep(Duration::from_millis(5));
+        let c = grant(&mut st, &cfg);
+        assert!(matches!(c, Msg::Lease { .. }));
+        assert_eq!(st.stats.leases_reissued, 2);
+        assert_eq!(st.stats.leases_issued, 3);
+        if let (Msg::Lease { seq: s0, .. }, Msg::Lease { seq: s2, .. }) = (a, c) {
+            assert_eq!(s0, s2, "the re-issued lease names the same block");
+        }
+    }
+
+    #[test]
+    fn unknown_blocks_are_refused() {
+        let cfg = tiny_cfg();
+        let eco = Ecosystem::generate(cfg.eco.clone());
+        let campaign = CampaignConfig {
+            chunk_visits: cfg.chunk_visits,
+            ..CampaignConfig::default()
+        };
+        let mut chunk = crawl_shard(eco.factory(), &campaign, 0)[0].clone();
+        chunk.shard = 9; // no such shard in a 1-shard schedule
+        let mut st = initial_state(&cfg);
+        assert!(matches!(
+            admit(&mut st, &cfg, chunk, None),
+            Msg::SubmitAck {
+                accepted: false,
+                duplicate: false
+            }
+        ));
+        assert_eq!(st.stats.frames_rejected, 1);
+    }
+}

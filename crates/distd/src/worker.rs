@@ -1,0 +1,275 @@
+//! The crash-safe crawl worker: lease, crawl, heartbeat, submit.
+//!
+//! A worker owns no schedule state. It derives its universe from the same
+//! `EcosystemConfig` the coordinator holds (the handshake fingerprint
+//! proves it), asks for one block lease at a time, crawls it with the
+//! exact in-process machinery (`hb_crawler::crawl_block_into` — same
+//! block-local interner, same direct-to-column sessions, same pooled
+//! scratch), and ships the sealed chunk back. Because visits are pure
+//! functions of `(seed, rank, day)`, a worker can be SIGKILLed at any
+//! instant and the re-issued lease produces a byte-identical chunk on
+//! another worker.
+//!
+//! Failure posture mirrors the ad-stack's `RobustnessPolicy`: every
+//! remote interaction has a deadline, failures are retried a bounded,
+//! deterministic number of times with doubling backoff, and when the
+//! budget is spent the worker exits cleanly with
+//! [`DistdError::CoordinatorLost`] rather than hanging.
+
+use crate::proto::{config_fingerprint, read_msg, write_msg, DistdError, Msg};
+use hb_crawler::{crawl_block_into, SessionConfig, VisitScratch};
+use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Worker tuning.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// The campaign universe — must match the coordinator's (checked by
+    /// fingerprint at handshake).
+    pub eco: EcosystemConfig,
+    /// Shard count (fingerprint input).
+    pub shards: u32,
+    /// Block size (fingerprint input).
+    pub chunk_visits: usize,
+    /// Session policy used for every visit.
+    pub session: SessionConfig,
+    /// Lease renewal cadence; keep well under the coordinator's
+    /// `lease_timeout`.
+    pub heartbeat_every: Duration,
+    /// Artificial per-visit delay — fault-injection aid so tests can
+    /// reliably SIGKILL a worker mid-lease. Zero in production.
+    pub visit_delay: Duration,
+    /// Connection attempts before declaring the coordinator lost.
+    pub connect_attempts: u32,
+    /// First retry backoff; doubles per attempt (deterministic, like the
+    /// wrapper's retry policy).
+    pub backoff_base: Duration,
+    /// Per-read socket deadline; a coordinator silent this long counts as
+    /// a broken connection.
+    pub io_timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// Sensible defaults for a worker of `addr`'s fabric.
+    pub fn new(addr: String, eco: EcosystemConfig) -> WorkerConfig {
+        WorkerConfig {
+            addr,
+            eco,
+            shards: 1,
+            chunk_visits: 256,
+            session: SessionConfig::default(),
+            heartbeat_every: Duration::from_secs(2),
+            visit_delay: Duration::ZERO,
+            connect_attempts: 5,
+            backoff_base: Duration::from_millis(100),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one worker accomplished.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Last worker id the coordinator assigned (changes on reconnect).
+    pub worker_id: u32,
+    /// Blocks crawled, submitted and acked as fresh.
+    pub blocks_completed: u64,
+    /// Visits crawled (including blocks later dropped as duplicates).
+    pub visits: u64,
+    /// Leases the coordinator declared expired under this worker.
+    pub leases_expired: u64,
+    /// Submissions acked as duplicates of an already-complete block.
+    pub duplicates: u64,
+    /// Times the connection was re-established mid-campaign.
+    pub reconnects: u64,
+}
+
+/// Connect + handshake, with deterministic doubling backoff.
+fn connect(cfg: &WorkerConfig, fingerprint: u64) -> Result<(TcpStream, u32), DistdError> {
+    let mut backoff = cfg.backoff_base;
+    let attempts = cfg.connect_attempts.max(1);
+    for attempt in 0..attempts {
+        match try_connect(cfg, fingerprint) {
+            Ok(ok) => return Ok(ok),
+            Err(DistdError::Rejected(reason)) => return Err(DistdError::Rejected(reason)),
+            Err(_) if attempt + 1 < attempts => {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(_) => break,
+        }
+    }
+    Err(DistdError::CoordinatorLost)
+}
+
+fn try_connect(cfg: &WorkerConfig, fingerprint: u64) -> Result<(TcpStream, u32), DistdError> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    write_msg(&mut stream, &Msg::Hello { fingerprint })?;
+    match read_msg(&mut stream)? {
+        Msg::Welcome { worker_id } => Ok((stream, worker_id)),
+        Msg::Reject { reason } => Err(DistdError::Rejected(reason)),
+        _ => Err(DistdError::Protocol("expected Welcome or Reject")),
+    }
+}
+
+/// Send one heartbeat; `Ok(true)` = renewed, `Ok(false)` = expired.
+fn heartbeat(stream: &mut TcpStream, worker_id: u32, lease_id: u64) -> Result<bool, DistdError> {
+    write_msg(
+        stream,
+        &Msg::Heartbeat {
+            worker_id,
+            lease_id,
+        },
+    )?;
+    match read_msg(stream)? {
+        Msg::HeartbeatAck => Ok(true),
+        Msg::Expired => Ok(false),
+        _ => Err(DistdError::Protocol("expected HeartbeatAck or Expired")),
+    }
+}
+
+/// Run one worker until the coordinator reports the campaign done.
+///
+/// Crash-safety contract: the worker never holds campaign state the
+/// coordinator cannot reconstruct — killing it at any point costs at most
+/// one lease timeout. Coordinator loss (connection refused/broken through
+/// the whole retry budget) returns [`DistdError::CoordinatorLost`].
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerStats, DistdError> {
+    let eco = Ecosystem::generate(cfg.eco.clone());
+    let factory = eco.factory();
+    let fingerprint = config_fingerprint(
+        &cfg.eco,
+        cfg.shards.max(1),
+        cfg.chunk_visits,
+        &cfg.session,
+    );
+    let mut scratch = VisitScratch::new(factory.partner_list());
+    let mut stats = WorkerStats::default();
+    let (mut stream, mut worker_id) = connect(cfg, fingerprint)?;
+    stats.worker_id = worker_id;
+
+    // One bounded reconnect cycle; campaign-level retries are the
+    // connect() budget, applied afresh per incident.
+    macro_rules! reconnect {
+        () => {{
+            let (s, id) = connect(cfg, fingerprint)?;
+            stream = s;
+            worker_id = id;
+            stats.worker_id = id;
+            stats.reconnects += 1;
+        }};
+    }
+
+    loop {
+        if write_msg(&mut stream, &Msg::RequestLease { worker_id }).is_err() {
+            reconnect!();
+            continue;
+        }
+        let reply = match read_msg(&mut stream) {
+            Ok(m) => m,
+            Err(_) => {
+                reconnect!();
+                continue;
+            }
+        };
+        match reply {
+            Msg::Done => return Ok(stats),
+            Msg::Wait { millis } => {
+                std::thread::sleep(Duration::from_millis(u64::from(millis).max(1)));
+            }
+            Msg::Lease {
+                lease_id,
+                day,
+                shard,
+                seq,
+                ranks,
+            } => {
+                let net = factory.net_for_day(day);
+                let mut expired = false;
+                let mut broken = false;
+                let mut last_hb = Instant::now();
+                let chunk = crawl_block_into(
+                    &factory,
+                    &ranks,
+                    day,
+                    shard,
+                    seq,
+                    &cfg.session,
+                    &mut scratch,
+                    &net,
+                    &mut |_| {
+                        if !cfg.visit_delay.is_zero() {
+                            std::thread::sleep(cfg.visit_delay);
+                        }
+                        if !expired && !broken && last_hb.elapsed() >= cfg.heartbeat_every {
+                            match heartbeat(&mut stream, worker_id, lease_id) {
+                                Ok(true) => {}
+                                Ok(false) => expired = true,
+                                Err(_) => broken = true,
+                            }
+                            last_hb = Instant::now();
+                        }
+                    },
+                );
+                stats.visits += chunk.len() as u64;
+                if broken {
+                    reconnect!();
+                }
+                if expired {
+                    // The block was re-issued to someone else; drop the
+                    // chunk (submitting would only be dropped as a
+                    // duplicate anyway) and move on.
+                    stats.leases_expired += 1;
+                    continue;
+                }
+                let frame = chunk.encode();
+                // One deterministic re-send on a rejected ack (a frame
+                // corrupted in flight); a second rejection abandons the
+                // block to the lease-expiry path.
+                'submit: for attempt in 0..2 {
+                    let sent = write_msg(
+                        &mut stream,
+                        &Msg::SubmitChunk {
+                            lease_id,
+                            frame: frame.clone(),
+                        },
+                    )
+                    .and_then(|()| read_msg(&mut stream));
+                    match sent {
+                        Ok(Msg::SubmitAck {
+                            accepted: true,
+                            duplicate,
+                        }) => {
+                            if duplicate {
+                                stats.duplicates += 1;
+                            } else {
+                                stats.blocks_completed += 1;
+                            }
+                            break 'submit;
+                        }
+                        Ok(Msg::SubmitAck {
+                            accepted: false, ..
+                        }) if attempt == 0 => continue,
+                        Ok(_) => break 'submit,
+                        Err(_) => {
+                            reconnect!();
+                            // The ack was lost with the connection; the
+                            // re-send is idempotent (duplicate-dropped if
+                            // the first submit landed).
+                            if attempt == 0 {
+                                continue;
+                            }
+                            break 'submit;
+                        }
+                    }
+                }
+            }
+            _ => return Err(DistdError::Protocol("unexpected lease reply")),
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub use hb_adtech as adtech;
 pub use hb_analysis as analysis;
 pub use hb_core as core;
 pub use hb_crawler as crawler;
+pub use hb_distd as distd;
 pub use hb_dom as dom;
 pub use hb_ecosystem as ecosystem;
 pub use hb_http as http;
