@@ -6,21 +6,35 @@
 //! threads speaking the wire protocol — reported as visits/sec so the
 //! fabric tax is directly comparable to `campaign/scaling_*`.
 //!
+//! `campaign/distd_batched_3w` is the same campaign with four blocks
+//! per lease — the delta against `distd_local_3w` (one block per lease)
+//! is the request/grant round-trip tax that batching removes. On a
+//! single-core loopback box the round-trips are nearly free and the
+//! tiny campaign has few blocks, so load imbalance from 4-block grants
+//! can dominate and the delta can go negative; the pair still pins both
+//! code paths and what each costs.
+//!
 //! `campaign/distd_recovery` is the recovery-time number: a doomed
 //! client takes the campaign's only lease and crashes, and the iteration
 //! ends when a healthy worker has re-leased and re-crawled that block
 //! after the 100ms heartbeat deadline lapses. The median is dominated by
 //! the lease timeout — the bound the fabric promises — plus the re-issue
 //! and re-crawl overhead on top.
+//!
+//! `campaign/distd_chaos` completes a small campaign under a seeded
+//! level-4 fault storm (resets, corruption, stalls, duplicated submits,
+//! heartbeat blackouts) with shepherded workers — the campaign wall
+//! clock when the network actively fights back.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hb_analysis::DatasetIndexBuilder;
 use hb_distd::{
-    config_fingerprint, read_msg, run_worker, write_msg, CoordConfig, Coordinator, Msg,
-    WorkerConfig,
+    config_fingerprint, read_msg, run_worker, run_worker_session, write_msg, ChaosConfig,
+    ChaosConnector, CoordConfig, Coordinator, Msg, WorkerConfig, WorkerStats,
 };
 use hb_ecosystem::EcosystemConfig;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// One full distributed campaign over a prebound coordinator config:
@@ -59,9 +73,12 @@ fn run_distributed(cfg: &CoordConfig, workers: usize) -> (u64, u64) {
 /// fabric tax (framing, checksums, leases, socket hops, fold ordering).
 fn distd_local_bench(c: &mut Criterion) {
     let eco = EcosystemConfig::tiny_scale();
+    // One block per lease: the PR-8 fabric behavior, kept as the
+    // baseline the batched number is read against.
     let cfg = CoordConfig {
         shards: 2,
         chunk_visits: 64,
+        lease_blocks: 1,
         ..CoordConfig::new(eco)
     };
     let visits = {
@@ -77,6 +94,86 @@ fn distd_local_bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(visits));
     group.bench_function("distd_local_3w", |b| {
         b.iter(|| black_box(run_distributed(&cfg, 3)))
+    });
+    // Batched leases: four blocks per lease round-trip. The delta
+    // against `distd_local_3w` is the request/grant round-trip tax the
+    // batching removes.
+    let batched = CoordConfig {
+        lease_blocks: 4,
+        ..cfg.clone()
+    };
+    group.throughput(Throughput::Elements(visits));
+    group.bench_function("distd_batched_3w", |b| {
+        b.iter(|| black_box(run_distributed(&batched, 3)))
+    });
+    group.finish();
+}
+
+/// One full campaign under a seeded mid-level chaos storm: two workers
+/// dialing through a fault-injecting connector, shepherded back up when
+/// a storm kills them, until the coordinator folds every block. The
+/// median is the campaign-completion wall clock under faults — read it
+/// against `distd_local_3w` for the price of the storm.
+fn run_chaotic(cfg: &CoordConfig, workers: u64, seed: u64, level: u32) -> u64 {
+    let coordinator = Coordinator::bind("127.0.0.1:0", cfg.clone()).expect("bind");
+    let addr = coordinator.local_addr().expect("addr").to_string();
+    let connector = ChaosConnector::new(addr, ChaosConfig::new(seed, level));
+    let done = AtomicBool::new(false);
+    let mut builder = DatasetIndexBuilder::new(cfg.eco.n_sites, cfg.eco.crawl_days);
+    let stats = std::thread::scope(|scope| {
+        let connector = &connector;
+        let done = &done;
+        for slot in 0..workers {
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut respawn = 0u64;
+                loop {
+                    let wcfg = WorkerConfig {
+                        shards: cfg.shards,
+                        chunk_visits: cfg.chunk_visits,
+                        heartbeat_every: Duration::from_millis(10),
+                        connect_attempts: 6,
+                        backoff_base: Duration::from_millis(5),
+                        io_timeout: Duration::from_secs(1),
+                        hb_deadline: Duration::from_millis(100),
+                        reconnect_budget: Duration::from_secs(1),
+                        instance: slot * 1_000 + respawn,
+                        ..WorkerConfig::new(String::new(), cfg.eco.clone())
+                    };
+                    let mut stats = WorkerStats::default();
+                    match run_worker_session(&wcfg, connector, &mut stats) {
+                        Ok(()) => break,
+                        Err(_) if done.load(Ordering::Acquire) => break,
+                        Err(_) => respawn += 1,
+                    }
+                }
+            });
+        }
+        let stats = coordinator
+            .run(&mut |chunk| builder.push_chunk(&chunk))
+            .expect("coordinator");
+        done.store(true, Ordering::Release);
+        stats
+    });
+    assert_eq!(stats.chunks_folded, stats.blocks_total);
+    black_box(builder.finish());
+    stats.chunks_folded as u64
+}
+
+fn distd_chaos_bench(c: &mut Criterion) {
+    let eco = EcosystemConfig::tiny_scale().with_sites(64);
+    let cfg = CoordConfig {
+        shards: 1,
+        chunk_visits: 16,
+        lease_timeout: Duration::from_millis(300),
+        wait_millis: 5,
+        ..CoordConfig::new(eco)
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("distd_chaos", |b| {
+        b.iter(|| black_box(run_chaotic(&cfg, 2, 0xC5A0_5EED, 4)))
     });
     group.finish();
 }
@@ -162,5 +259,5 @@ fn distd_recovery_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, distd_local_bench, distd_recovery_bench);
+criterion_group!(benches, distd_local_bench, distd_recovery_bench, distd_chaos_bench);
 criterion_main!(benches);

@@ -46,6 +46,30 @@ pub const WIRE_MAGIC: [u8; 4] = *b"HBWF";
 /// checksum).
 pub const FRAME_OVERHEAD: usize = 4 + 1 + 8 + 8;
 
+/// Bytes of the frame *header* alone (magic + version + payload length)
+/// — what a streaming reader must buffer before it knows how many more
+/// bytes the frame occupies. The trailing checksum travels after the
+/// payload and is not part of this prefix.
+pub const FRAME_HEADER: usize = 4 + 1 + 8;
+
+/// Validate a frame header prefix and return the declared payload
+/// length. Magic and version are checked before the length field is
+/// trusted, so a stray peer (or a corrupt spool segment) cannot steer a
+/// streaming reader with a garbage length; the checksum is still
+/// verified later by [`open_frame`] once the full frame is buffered.
+pub fn frame_payload_len(header: &[u8]) -> Result<usize, WireError> {
+    if header.len() < FRAME_HEADER {
+        return Err(WireError::Truncated);
+    }
+    if header[0..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    Ok(u64::from_le_bytes(header[5..13].try_into().expect("8 bytes")) as usize)
+}
+
 /// Decode failure. Every variant is a *rejection* — the decoder never
 /// trusts a frame it cannot fully validate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -37,9 +37,9 @@ pub use classify::{
     response_has_hb_params, Classification, RequestKind,
 };
 pub use columns::wire::{
-    decode_columns, decode_interner, encode_columns, encode_interner, open_frame, seal_frame,
-    seal_frame_into, xxh64, WireError, WireReader, WireWriter, FRAME_OVERHEAD, WIRE_MAGIC,
-    WIRE_VERSION,
+    decode_columns, decode_interner, encode_columns, encode_interner, frame_payload_len,
+    open_frame, seal_frame, seal_frame_into, xxh64, WireError, WireReader, WireWriter,
+    FRAME_HEADER, FRAME_OVERHEAD, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use columns::{VisitBuilder, VisitColumns, VisitScalars, VisitView};
 pub use detector::HbDetector;

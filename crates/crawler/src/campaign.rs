@@ -150,6 +150,43 @@ pub fn crawl_block_into(
     net: &hb_adtech::Net,
     on_visit: &mut dyn FnMut(usize),
 ) -> VisitChunk {
+    crawl_block_until(
+        factory,
+        ranks,
+        day,
+        shard,
+        seq,
+        session,
+        scratch,
+        net,
+        &mut |i| {
+            on_visit(i);
+            true
+        },
+    )
+    .expect("an always-true keep_going never abandons the block")
+}
+
+/// [`crawl_block_into`], but abortable: `keep_going` fires after every
+/// finished visit (with the count of visits completed in this block) and
+/// returns whether to continue. Returning `false` abandons the block —
+/// `None` comes back and no partial chunk exists anywhere. A distributed
+/// worker whose lease expired, or whose coordinator stopped answering
+/// heartbeats, uses this to stop burning CPU on a block that will be
+/// re-crawled elsewhere (visits are pure in `(seed, rank, day)`, so the
+/// abandoned work is perfectly reproducible).
+#[allow(clippy::too_many_arguments)] // mirrors crawl_site_into's shape
+pub fn crawl_block_until(
+    factory: &SiteFactory,
+    ranks: &[u32],
+    day: u32,
+    shard: u32,
+    seq: u32,
+    session: &SessionConfig,
+    scratch: &mut VisitScratch,
+    net: &hb_adtech::Net,
+    keep_going: &mut dyn FnMut(usize) -> bool,
+) -> Option<VisitChunk> {
     let mut strings = Interner::new();
     let mut visits = VisitColumns::with_capacity(ranks.len());
     let mut truths = Vec::with_capacity(ranks.len());
@@ -168,16 +205,18 @@ pub fn crawl_block_into(
             &mut visits,
             &mut truths,
         );
-        on_visit(i + 1);
+        if !keep_going(i + 1) {
+            return None;
+        }
     }
-    VisitChunk {
+    Some(VisitChunk {
         day,
         shard,
         seq,
         visits,
         truths,
         strings,
-    }
+    })
 }
 
 fn worker_count(cfg: &CampaignConfig) -> usize {

@@ -20,7 +20,8 @@ pub mod session;
 pub mod wayback_crawl;
 
 pub use campaign::{
-    crawl_block_into, crawl_shard, crawl_shard_streamed, merge_chunks, run_campaign,
+    crawl_block_into, crawl_block_until, crawl_shard, crawl_shard_streamed, merge_chunks,
+    run_campaign,
     run_campaign_streamed, run_factory_campaign, CampaignConfig, CampaignProgress, ProgressFn,
     ShardSpec,
 };

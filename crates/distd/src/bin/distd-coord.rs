@@ -6,26 +6,31 @@
 //! incremental figure index, and finally writes one CSV per figure plus a
 //! parseable `STATS` line with the fabric counters.
 //!
+//! Exit codes: 0 on success, 1 on runtime failure, 2 on a malformed
+//! command line.
+//!
 //! ```text
 //! distd-coord --listen 127.0.0.1:0 --scale tiny --shards 2 \
-//!     --chunk-visits 64 --lease-timeout-ms 2000 --spool /tmp/spool \
-//!     --out /tmp/figures
+//!     --chunk-visits 64 --lease-timeout-ms 2000 --lease-blocks 4 \
+//!     --spool /tmp/spool --compact-every 64 --out /tmp/figures
 //! ```
 
 use hb_analysis::{indexed_reports, DatasetIndexBuilder};
+use hb_distd::cli::{flag_parse, flag_value, EXIT_USAGE};
 use hb_distd::{CoordConfig, Coordinator};
 use hb_ecosystem::EcosystemConfig;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: distd-coord [--listen ADDR] [--scale tiny|test|paper] [--seed N] \
-         [--shards N] [--chunk-visits N] [--lease-timeout-ms N] \
-         [--reorder-window N] [--spool DIR] [--out DIR]"
-    );
-    std::process::exit(64);
+const USAGE: &str = "usage: distd-coord [--listen ADDR] [--scale tiny|test|paper] [--seed N] \
+[--shards N] [--chunk-visits N] [--lease-timeout-ms N] [--lease-blocks N] \
+[--reorder-window N] [--spool DIR] [--compact-every N] [--out DIR]";
+
+fn die(msg: String) -> ! {
+    eprintln!("distd-coord: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(EXIT_USAGE);
 }
 
 fn scale_config(scale: &str) -> EcosystemConfig {
@@ -33,7 +38,7 @@ fn scale_config(scale: &str) -> EcosystemConfig {
         "tiny" => EcosystemConfig::tiny_scale(),
         "test" => EcosystemConfig::test_scale(),
         "paper" => EcosystemConfig::paper_scale(),
-        _ => usage(),
+        other => die(format!("--scale: expected tiny|test|paper, got {other:?}")),
     }
 }
 
@@ -44,29 +49,33 @@ fn main() {
     let mut shards: u32 = 1;
     let mut chunk_visits: usize = 64;
     let mut lease_timeout = Duration::from_secs(10);
+    let mut lease_blocks: usize = 4;
     let mut reorder_window: usize = 16;
     let mut spool_dir: Option<PathBuf> = None;
+    let mut compact_every: usize = 0;
     let mut out_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
-        match arg.as_str() {
-            "--listen" => listen = val(&mut args),
-            "--scale" => scale = val(&mut args),
-            "--seed" => seed = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
-            "--shards" => shards = val(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--chunk-visits" => chunk_visits = val(&mut args).parse().unwrap_or_else(|_| usage()),
+        let flag = arg.as_str();
+        let r = match flag {
+            "--listen" => flag_value(&mut args, flag).map(|v| listen = v),
+            "--scale" => flag_value(&mut args, flag).map(|v| scale = v),
+            "--seed" => flag_parse(&mut args, flag).map(|v| seed = Some(v)),
+            "--shards" => flag_parse(&mut args, flag).map(|v| shards = v),
+            "--chunk-visits" => flag_parse(&mut args, flag).map(|v| chunk_visits = v),
             "--lease-timeout-ms" => {
-                lease_timeout =
-                    Duration::from_millis(val(&mut args).parse().unwrap_or_else(|_| usage()))
+                flag_parse(&mut args, flag).map(|v: u64| lease_timeout = Duration::from_millis(v))
             }
-            "--reorder-window" => {
-                reorder_window = val(&mut args).parse().unwrap_or_else(|_| usage())
-            }
-            "--spool" => spool_dir = Some(PathBuf::from(val(&mut args))),
-            "--out" => out_dir = Some(PathBuf::from(val(&mut args))),
-            _ => usage(),
+            "--lease-blocks" => flag_parse(&mut args, flag).map(|v| lease_blocks = v),
+            "--reorder-window" => flag_parse(&mut args, flag).map(|v| reorder_window = v),
+            "--spool" => flag_value(&mut args, flag).map(|v| spool_dir = Some(PathBuf::from(v))),
+            "--compact-every" => flag_parse(&mut args, flag).map(|v| compact_every = v),
+            "--out" => flag_value(&mut args, flag).map(|v| out_dir = Some(PathBuf::from(v))),
+            other => Err(format!("unrecognized argument {other:?}")),
+        };
+        if let Err(e) = r {
+            die(e);
         }
     }
 
@@ -80,8 +89,10 @@ fn main() {
         shards,
         chunk_visits,
         lease_timeout,
+        lease_blocks,
         reorder_window,
         spool_dir,
+        compact_every,
         ..CoordConfig::new(eco)
     };
 
@@ -122,7 +133,8 @@ fn main() {
 
     println!(
         "STATS blocks_total={} chunks_folded={} chunks_replayed={} leases_issued={} \
-         leases_reissued={} chunks_duplicate_dropped={} frames_rejected={} workers_seen={}",
+         leases_reissued={} chunks_duplicate_dropped={} frames_rejected={} workers_seen={} \
+         segments_written={} chunks_compacted={}",
         stats.blocks_total,
         stats.chunks_folded,
         stats.chunks_replayed,
@@ -131,5 +143,7 @@ fn main() {
         stats.chunks_duplicate_dropped,
         stats.frames_rejected,
         stats.workers_seen,
+        stats.segments_written,
+        stats.chunks_compacted,
     );
 }

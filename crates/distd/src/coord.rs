@@ -13,6 +13,9 @@
 //! * **Leases bound the buffer.** A block is only leased while its index
 //!   is within `reorder_window` of the next fold point, so the reorder
 //!   buffer can never grow past the window no matter how workers race.
+//!   One lease may carry up to `lease_blocks` blocks (all within the
+//!   window), so a fast worker is not bound by one request round-trip
+//!   per block.
 //! * **Completion is idempotent.** Campaign visits are pure functions of
 //!   `(seed, rank, day)`, so a block crawled twice (lease expired, then
 //!   the original worker submitted anyway) yields byte-identical chunks;
@@ -21,11 +24,21 @@
 //! * **Ack implies durable.** With a spool configured, the sealed frame
 //!   is fsynced to disk *before* the worker is acked; a coordinator
 //!   restarted on the same spool replays every acked chunk and re-leases
-//!   only the unfinished blocks.
+//!   only the unfinished blocks. The spool write happens *outside* the
+//!   state lock — disk latency never blocks the fabric.
 //! * **Nothing on the wire is trusted.** Frames (worker submissions and
 //!   spool files alike) are checksum-verified before parsing and
 //!   structurally validated during it; failures are counted in
 //!   `frames_rejected` and the block stays leasable.
+//!
+//! ## Event-driven serving
+//!
+//! There is no polling tick anywhere on the steady path. Connection
+//! handlers block on their sockets (with a lease-deadline-derived idle
+//! timeout as the only backstop); the fold thread sleeps on a condvar
+//! that submissions signal, waking early only when the earliest lease
+//! deadline falls due. Campaign completion wakes the accept loop with a
+//! self-connection so the listener can close without being polled.
 //!
 //! ## Schedule construction
 //!
@@ -35,14 +48,16 @@
 //! the detected rank lists are accumulated during the ordered fold, which
 //! reproduces the in-process campaign's lists exactly.
 
-use crate::proto::{read_msg, write_msg, DistdError, Msg};
-use crate::spool::{spool_load, spool_write};
+use crate::proto::{recv_msg, send_msg, DistdError, LeaseBlock, Msg};
+use crate::spool::{compact_spool, spool_load, spool_write};
+use crate::transport::{is_timeout, TcpTransport, Transport};
 use hb_crawler::{SessionConfig, ShardSpec, VisitChunk};
 use hb_ecosystem::EcosystemConfig;
 use std::collections::{BTreeMap, HashMap};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Coordinator tuning.
@@ -62,8 +77,14 @@ pub struct CoordConfig {
     /// How many blocks past the fold point may be leased at once (bounds
     /// the reorder buffer).
     pub reorder_window: usize,
+    /// Maximum blocks one lease carries (≥ 1); batching amortizes the
+    /// request round-trip for fast workers.
+    pub lease_blocks: usize,
     /// Chunk spool for crash-safe restarts; `None` disables durability.
     pub spool_dir: Option<PathBuf>,
+    /// Compact the spool into a segment once this many loose chunks have
+    /// accumulated (0 disables compaction).
+    pub compact_every: usize,
     /// Back-off suggested to workers when nothing is leasable.
     pub wait_millis: u32,
 }
@@ -78,7 +99,9 @@ impl CoordConfig {
             session: SessionConfig::default(),
             lease_timeout: Duration::from_secs(10),
             reorder_window: 16,
+            lease_blocks: 4,
             spool_dir: None,
+            compact_every: 0,
             wait_millis: 25,
         }
     }
@@ -103,6 +126,10 @@ pub struct CoordStats {
     pub frames_rejected: u64,
     /// Distinct handshakes accepted.
     pub workers_seen: u32,
+    /// Spool segment files written by compaction.
+    pub segments_written: u64,
+    /// Loose spool chunks folded into segments.
+    pub chunks_compacted: u64,
 }
 
 /// One schedulable block.
@@ -114,7 +141,9 @@ struct Block {
 }
 
 struct Lease {
-    block: usize,
+    /// Remaining block indices this lease covers; submitting a block
+    /// retires it from the lease.
+    blocks: Vec<usize>,
     deadline: Instant,
 }
 
@@ -124,6 +153,8 @@ struct State {
     key_index: HashMap<(u32, u32, u32), usize>,
     /// A chunk for this block has been accepted (buffered or folded).
     complete: Vec<bool>,
+    /// How many entries of `complete` are true.
+    complete_count: usize,
     /// Accepted chunks awaiting their turn to fold, by block index.
     buffered: BTreeMap<usize, VisitChunk>,
     /// Next block index to fold.
@@ -139,8 +170,21 @@ struct State {
     leased_block: HashMap<usize, u64>,
     next_lease_id: u64,
     next_worker_id: u32,
+    /// Loose chunks spooled since the last compaction pass.
+    spooled_since_compact: usize,
     done: bool,
     stats: CoordStats,
+}
+
+/// Everything a connection handler shares with the fold thread.
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled whenever a fresh chunk is admitted (fold progress may be
+    /// possible).
+    submitted: Condvar,
+    /// Campaign complete — lets blocked handlers and the accept loop
+    /// wind down without polling the state.
+    done: AtomicBool,
 }
 
 fn push_block(st: &mut State, block: Block) {
@@ -171,6 +215,7 @@ fn initial_state(cfg: &CoordConfig) -> State {
         schedule: Vec::new(),
         key_index: HashMap::new(),
         complete: Vec::new(),
+        complete_count: 0,
         buffered: BTreeMap::new(),
         folded: 0,
         day0_blocks: 0,
@@ -180,6 +225,7 @@ fn initial_state(cfg: &CoordConfig) -> State {
         leased_block: HashMap::new(),
         next_lease_id: 1,
         next_worker_id: 1,
+        spooled_since_compact: 0,
         done: false,
         stats: CoordStats::default(),
     };
@@ -244,7 +290,8 @@ fn fold_ready(st: &mut State, cfg: &CoordConfig, sink: &mut dyn FnMut(VisitChunk
     }
 }
 
-/// Release every lapsed lease; their blocks become leasable again.
+/// Release every lapsed lease; their blocks become leasable again. A
+/// lease with any incomplete block counts once in `leases_reissued`.
 fn expire_lapsed(st: &mut State, now: Instant) {
     let lapsed: Vec<u64> = st
         .leases
@@ -254,62 +301,82 @@ fn expire_lapsed(st: &mut State, now: Instant) {
         .collect();
     for id in lapsed {
         let lease = st.leases.remove(&id).expect("collected above");
-        st.leased_block.remove(&lease.block);
-        if !st.complete[lease.block] {
+        let mut unfinished = false;
+        for block in lease.blocks {
+            st.leased_block.remove(&block);
+            unfinished |= !st.complete[block];
+        }
+        if unfinished {
             st.stats.leases_reissued += 1;
         }
     }
 }
 
-/// Answer a lease request: the lowest incomplete, unleased block within
-/// the reorder window, or `Wait`/`Done`.
+/// All blocks complete (the last ack can tell its worker the campaign is
+/// over even before the final fold runs).
+fn all_complete(st: &State) -> bool {
+    st.schedule_final && st.complete_count == st.schedule.len()
+}
+
+/// Answer a lease request: up to `lease_blocks` of the lowest
+/// incomplete, unleased blocks within the reorder window, or
+/// `Wait`/`Done`.
 fn grant(st: &mut State, cfg: &CoordConfig) -> Msg {
     expire_lapsed(st, Instant::now());
-    if st.done {
+    if st.done || all_complete(st) {
         return Msg::Done;
     }
     let window_end = st
         .folded
         .saturating_add(cfg.reorder_window.max(1))
         .min(st.schedule.len());
+    let mut picked = Vec::new();
     for i in st.folded..window_end {
         if st.complete[i] || st.leased_block.contains_key(&i) {
             continue;
         }
-        let lease_id = st.next_lease_id;
-        st.next_lease_id += 1;
-        st.leases.insert(
-            lease_id,
-            Lease {
-                block: i,
-                deadline: Instant::now() + cfg.lease_timeout,
-            },
-        );
-        st.leased_block.insert(i, lease_id);
-        st.stats.leases_issued += 1;
-        let b = &st.schedule[i];
-        return Msg::Lease {
-            lease_id,
-            day: b.day,
-            shard: b.shard,
-            seq: b.seq,
-            ranks: b.ranks.clone(),
+        picked.push(i);
+        if picked.len() >= cfg.lease_blocks.max(1) {
+            break;
+        }
+    }
+    if picked.is_empty() {
+        return Msg::Wait {
+            millis: cfg.wait_millis,
         };
     }
-    Msg::Wait {
-        millis: cfg.wait_millis,
+    let lease_id = st.next_lease_id;
+    st.next_lease_id += 1;
+    for &i in &picked {
+        st.leased_block.insert(i, lease_id);
     }
+    let blocks = picked
+        .iter()
+        .map(|&i| {
+            let b = &st.schedule[i];
+            LeaseBlock {
+                day: b.day,
+                shard: b.shard,
+                seq: b.seq,
+                ranks: b.ranks.clone(),
+            }
+        })
+        .collect();
+    st.leases.insert(
+        lease_id,
+        Lease {
+            blocks: picked,
+            deadline: Instant::now() + cfg.lease_timeout,
+        },
+    );
+    st.stats.leases_issued += 1;
+    Msg::Lease { lease_id, blocks }
 }
 
-/// Admit one decoded chunk. Returns the ack to send. When `durable` is
-/// false and a spool is configured, the frame is written (fsync + rename)
-/// before the block is marked complete — ack implies durable.
-fn admit(
-    st: &mut State,
-    cfg: &CoordConfig,
-    chunk: VisitChunk,
-    frame: Option<&[u8]>,
-) -> Msg {
+/// Admit one decoded chunk (already durable if a spool is configured —
+/// the caller writes the spool *before* taking the state lock). Returns
+/// the ack to send.
+fn admit(st: &mut State, chunk: VisitChunk) -> Msg {
     let key = chunk.key();
     let Some(&idx) = st.key_index.get(&key) else {
         // A chunk for a block this schedule never issued: a stale worker
@@ -318,6 +385,7 @@ fn admit(
         return Msg::SubmitAck {
             accepted: false,
             duplicate: false,
+            done: all_complete(st),
         };
     };
     if st.complete[idx] {
@@ -325,62 +393,119 @@ fn admit(
         return Msg::SubmitAck {
             accepted: true,
             duplicate: true,
+            done: all_complete(st),
         };
     }
-    if let (Some(dir), Some(bytes)) = (&cfg.spool_dir, frame) {
-        if spool_write(dir, key, bytes).is_err() {
+    st.complete[idx] = true;
+    st.complete_count += 1;
+    st.buffered.insert(idx, chunk);
+    if let Some(lease_id) = st.leased_block.remove(&idx) {
+        // Retire just this block; the lease lives on for its others.
+        if let Some(lease) = st.leases.get_mut(&lease_id) {
+            lease.blocks.retain(|&b| b != idx);
+            if lease.blocks.is_empty() {
+                st.leases.remove(&lease_id);
+            }
+        }
+    }
+    Msg::SubmitAck {
+        accepted: true,
+        duplicate: false,
+        done: all_complete(st),
+    }
+}
+
+/// One submission, end to end: decode and pre-check, spool *outside* the
+/// lock, admit, wake the fold thread.
+fn handle_submit(frame: &[u8], shared: &Shared, cfg: &CoordConfig) -> Msg {
+    let chunk = match VisitChunk::decode(frame) {
+        Ok(c) => c,
+        Err(_) => {
+            let mut st = shared.state.lock().expect("coordinator state");
+            st.stats.frames_rejected += 1;
+            return Msg::SubmitAck {
+                accepted: false,
+                duplicate: false,
+                done: all_complete(&st),
+            };
+        }
+    };
+    let key = chunk.key();
+    {
+        // Unknown and duplicate keys are answered without touching disk;
+        // `admit` books the right counter for both.
+        let mut st = shared.state.lock().expect("coordinator state");
+        let fresh = st.key_index.get(&key).is_some_and(|&i| !st.complete[i]);
+        if !fresh {
+            return admit(&mut st, chunk);
+        }
+    }
+    if let Some(dir) = &cfg.spool_dir {
+        if spool_write(dir, key, frame).is_err() {
             // Durability could not be guaranteed; do not ack, leave the
             // block leasable so a later submit can retry.
             return Msg::SubmitAck {
                 accepted: false,
                 duplicate: false,
+                done: false,
             };
         }
     }
-    st.complete[idx] = true;
-    st.buffered.insert(idx, chunk);
-    if let Some(lease_id) = st.leased_block.remove(&idx) {
-        st.leases.remove(&lease_id);
+    let mut st = shared.state.lock().expect("coordinator state");
+    if cfg.spool_dir.is_some() {
+        st.spooled_since_compact += 1;
     }
-    Msg::SubmitAck {
-        accepted: true,
-        duplicate: false,
-    }
+    // Two handlers can race the same key past the pre-check; both frames
+    // are byte-identical and durable, and `admit` drops the loser by key.
+    let ack = admit(&mut st, chunk);
+    drop(st);
+    shared.submitted.notify_all();
+    ack
 }
 
-/// One worker connection, served until EOF / error / campaign end.
-fn serve_conn(stream: &mut TcpStream, state: &Mutex<State>, cfg: &CoordConfig, fingerprint: u64) {
-    // Short read timeouts keep the handler responsive to campaign
-    // completion even when its worker was SIGKILLed mid-conversation.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    let mut done_since: Option<Instant> = None;
+/// One worker connection, served until close / error / campaign end.
+/// The only timeout is the lease-deadline-derived idle backstop — the
+/// handler otherwise sleeps in the kernel until bytes arrive.
+fn serve_conn(t: &mut dyn Transport, shared: &Shared, cfg: &CoordConfig, fingerprint: u64) {
+    let idle = cfg.lease_timeout.max(Duration::from_millis(250));
+    if t.set_recv_deadline(Some(idle)).is_err() {
+        return;
+    }
+    let mut idle_strikes = 0u32;
     loop {
-        let msg = match read_msg(stream) {
-            Ok(m) => m,
-            Err(DistdError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle: give a finished campaign's worker a grace window
-                // to fetch its `Done`, then hang up.
-                let done = state.lock().expect("coordinator state").done;
-                match (done, done_since) {
-                    (false, _) => continue,
-                    (true, None) => {
-                        done_since = Some(Instant::now());
-                        continue;
-                    }
-                    (true, Some(t)) if t.elapsed() < Duration::from_secs(2) => continue,
-                    (true, Some(_)) => return,
-                }
+        let msg = match recv_msg(t) {
+            Ok(m) => {
+                idle_strikes = 0;
+                m
             }
-            Err(_) => return, // EOF, reset, or a corrupt frame: drop the conn
+            Err(ref e) if is_timeout(e) => {
+                // Idle longer than any live lease could be: either the
+                // campaign ended, or the peer is wedged past the point
+                // where its leases survive — two strikes and out.
+                if shared.done.load(Ordering::Acquire) {
+                    return;
+                }
+                idle_strikes += 1;
+                if idle_strikes >= 2 {
+                    return;
+                }
+                continue;
+            }
+            Err(DistdError::Wire(_)) => {
+                // A corrupt or truncated frame on the doorstep: count it
+                // and drop the conn (the stream can no longer be framed).
+                let mut st = shared.state.lock().expect("coordinator state");
+                st.stats.frames_rejected += 1;
+                return;
+            }
+            // Clean close or a broken socket: the worker is gone; its
+            // leases expire on their own.
+            Err(_) => return,
         };
         let reply = match msg {
             Msg::Hello { fingerprint: fp } => {
                 if fp == fingerprint {
-                    let mut st = state.lock().expect("coordinator state");
+                    let mut st = shared.state.lock().expect("coordinator state");
                     let id = st.next_worker_id;
                     st.next_worker_id += 1;
                     st.stats.workers_seen += 1;
@@ -392,11 +517,11 @@ fn serve_conn(stream: &mut TcpStream, state: &Mutex<State>, cfg: &CoordConfig, f
                 }
             }
             Msg::RequestLease { .. } => {
-                let mut st = state.lock().expect("coordinator state");
+                let mut st = shared.state.lock().expect("coordinator state");
                 grant(&mut st, cfg)
             }
             Msg::Heartbeat { lease_id, .. } => {
-                let mut st = state.lock().expect("coordinator state");
+                let mut st = shared.state.lock().expect("coordinator state");
                 expire_lapsed(&mut st, Instant::now());
                 match st.leases.get_mut(&lease_id) {
                     Some(lease) => {
@@ -406,25 +531,12 @@ fn serve_conn(stream: &mut TcpStream, state: &Mutex<State>, cfg: &CoordConfig, f
                     None => Msg::Expired,
                 }
             }
-            Msg::SubmitChunk { frame, .. } => match VisitChunk::decode(&frame) {
-                Ok(chunk) => {
-                    let mut st = state.lock().expect("coordinator state");
-                    admit(&mut st, cfg, chunk, Some(&frame))
-                }
-                Err(_) => {
-                    let mut st = state.lock().expect("coordinator state");
-                    st.stats.frames_rejected += 1;
-                    Msg::SubmitAck {
-                        accepted: false,
-                        duplicate: false,
-                    }
-                }
-            },
+            Msg::SubmitChunk { frame, .. } => handle_submit(&frame, shared, cfg),
             // Anything else is a peer speaking the wrong side of the
             // protocol; drop it.
             _ => return,
         };
-        if write_msg(stream, &reply).is_err() {
+        if send_msg(t, &reply).is_err() {
             return;
         }
     }
@@ -453,8 +565,9 @@ impl Coordinator {
 
     /// Run the campaign to completion: replay the spool, serve workers,
     /// fold every chunk to `sink` in `(day, shard, seq)` order. Returns
-    /// the run's counters.
-    pub fn run(self, sink: &mut dyn FnMut(VisitChunk)) -> Result<CoordStats, DistdError> {
+    /// the run's counters. (`sink` runs on the fold thread, hence the
+    /// `Send` bound.)
+    pub fn run(self, sink: &mut (dyn FnMut(VisitChunk) + Send)) -> Result<CoordStats, DistdError> {
         let cfg = &self.cfg;
         let fingerprint = crate::proto::config_fingerprint(
             &cfg.eco,
@@ -478,12 +591,11 @@ impl Coordinator {
                 let mut rest = Vec::new();
                 for chunk in pending {
                     if st.key_index.contains_key(&chunk.key()) {
-                        // `frame: None` skips the spool write — the chunk
-                        // is already durable, that's where it came from.
                         if let Msg::SubmitAck {
                             accepted: true,
                             duplicate: false,
-                        } = admit(&mut st, cfg, chunk, None)
+                            ..
+                        } = admit(&mut st, chunk)
                         {
                             st.stats.chunks_replayed += 1;
                         }
@@ -491,7 +603,7 @@ impl Coordinator {
                         rest.push(chunk);
                     }
                 }
-                fold_ready(&mut st, cfg, sink);
+                fold_ready(&mut st, cfg, &mut *sink);
                 if rest.is_empty() || rest.len() == before {
                     // Leftovers belong to no block of this schedule:
                     // refuse them like any unknown submission.
@@ -506,30 +618,79 @@ impl Coordinator {
         }
 
         // --- Serve --------------------------------------------------------
-        self.listener.set_nonblocking(true)?;
-        let state = Mutex::new(st);
+        let wake_addr = self.listener.local_addr()?;
+        let shared = Shared {
+            state: Mutex::new(st),
+            submitted: Condvar::new(),
+            done: AtomicBool::new(false),
+        };
         std::thread::scope(|scope| {
-            loop {
-                match self.listener.accept() {
-                    Ok((mut stream, _)) => {
-                        let state = &state;
-                        scope.spawn(move || serve_conn(&mut stream, state, cfg, fingerprint));
+            let shared = &shared;
+            // The fold thread owns the sink: it sleeps on the submission
+            // condvar, waking early only for the earliest lease deadline
+            // (to expire lapsed leases promptly) or a due compaction.
+            scope.spawn(move || {
+                let mut st = shared.state.lock().expect("coordinator state");
+                loop {
+                    fold_ready(&mut st, cfg, &mut *sink);
+                    if st.done {
+                        break;
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                    Err(_) => {}
-                }
-                let mut st = state.lock().expect("coordinator state");
-                fold_ready(&mut st, cfg, sink);
-                if st.done {
-                    break;
+                    if let Some(dir) = &cfg.spool_dir {
+                        if cfg.compact_every > 0 && st.spooled_since_compact >= cfg.compact_every {
+                            // Claim the pass, then compact off-lock: the
+                            // fabric keeps admitting while disk churns.
+                            st.spooled_since_compact = 0;
+                            drop(st);
+                            let report =
+                                compact_spool(dir, cfg.compact_every).unwrap_or_default();
+                            st = shared.state.lock().expect("coordinator state");
+                            st.stats.segments_written += report.segments_written;
+                            st.stats.chunks_compacted += report.chunks_compacted;
+                            continue;
+                        }
+                    }
+                    expire_lapsed(&mut st, Instant::now());
+                    let wait = st
+                        .leases
+                        .values()
+                        .map(|l| l.deadline)
+                        .min()
+                        .map(|d| d.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_secs(60))
+                        .max(Duration::from_millis(1));
+                    let (guard, _) = shared
+                        .submitted
+                        .wait_timeout(st, wait)
+                        .expect("coordinator state");
+                    st = guard;
                 }
                 drop(st);
-                std::thread::sleep(Duration::from_millis(5));
+                shared.done.store(true, Ordering::Release);
+                // Wake the (blocking) accept loop so it can observe done.
+                let _ = TcpStream::connect(wake_addr);
+            });
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(mut t) = TcpTransport::new(stream) {
+                            scope.spawn(move || serve_conn(&mut t, shared, cfg, fingerprint));
+                        }
+                    }
+                    Err(_) => {
+                        if shared.done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }
             }
-            // Scope exit joins the handlers; they see `done` and hang up
-            // after the grace window.
+            // Scope exit joins the handlers; they see `done` on their
+            // next idle timeout (workers normally hang up first).
         });
-        let st = state.into_inner().expect("coordinator state");
+        let st = shared.state.into_inner().expect("coordinator state");
         Ok(st.stats)
     }
 }
@@ -568,12 +729,13 @@ mod tests {
             let mut rest = Vec::new();
             for chunk in queue.into_iter().rev() {
                 if st.key_index.contains_key(&chunk.key()) {
-                    let ack = admit(&mut st, &cfg, chunk, None);
+                    let ack = admit(&mut st, chunk);
                     assert!(matches!(
                         ack,
                         Msg::SubmitAck {
                             accepted: true,
-                            duplicate: false
+                            duplicate: false,
+                            ..
                         }
                     ));
                 } else {
@@ -603,18 +765,20 @@ mod tests {
         let mut sink = |_c: VisitChunk| n += 1;
         let first = chunks[0].clone();
         assert!(matches!(
-            admit(&mut st, &cfg, first.clone(), None),
+            admit(&mut st, first.clone()),
             Msg::SubmitAck {
                 accepted: true,
-                duplicate: false
+                duplicate: false,
+                ..
             }
         ));
         // The re-crawl of an expired lease arrives late: same key.
         assert!(matches!(
-            admit(&mut st, &cfg, first, None),
+            admit(&mut st, first),
             Msg::SubmitAck {
                 accepted: true,
-                duplicate: true
+                duplicate: true,
+                ..
             }
         ));
         fold_ready(&mut st, &cfg, &mut sink);
@@ -627,10 +791,11 @@ mod tests {
         let cfg = CoordConfig {
             lease_timeout: Duration::from_millis(1),
             reorder_window: 2,
+            lease_blocks: 1,
             ..tiny_cfg()
         };
         let mut st = initial_state(&cfg);
-        // Window of 2: exactly two grants, then Wait.
+        // Window of 2, one block per lease: exactly two grants, then Wait.
         let a = grant(&mut st, &cfg);
         let b = grant(&mut st, &cfg);
         assert!(matches!(a, Msg::Lease { .. }));
@@ -642,9 +807,54 @@ mod tests {
         assert!(matches!(c, Msg::Lease { .. }));
         assert_eq!(st.stats.leases_reissued, 2);
         assert_eq!(st.stats.leases_issued, 3);
-        if let (Msg::Lease { seq: s0, .. }, Msg::Lease { seq: s2, .. }) = (a, c) {
-            assert_eq!(s0, s2, "the re-issued lease names the same block");
+        if let (Msg::Lease { blocks: b0, .. }, Msg::Lease { blocks: b2, .. }) = (a, c) {
+            assert_eq!(
+                b0[0].seq, b2[0].seq,
+                "the re-issued lease names the same block"
+            );
         }
+    }
+
+    #[test]
+    fn batched_leases_retire_block_by_block() {
+        let cfg = CoordConfig {
+            reorder_window: 8,
+            lease_blocks: 3,
+            lease_timeout: Duration::from_millis(1),
+            ..tiny_cfg()
+        };
+        let eco = Ecosystem::generate(cfg.eco.clone());
+        let campaign = CampaignConfig {
+            chunk_visits: cfg.chunk_visits,
+            ..CampaignConfig::default()
+        };
+        let chunks = crawl_shard(eco.factory(), &campaign, 0);
+        assert!(chunks.len() >= 3, "need ≥ 3 day-0 blocks for a batch");
+        let mut st = initial_state(&cfg);
+        let Msg::Lease { lease_id, blocks } = grant(&mut st, &cfg) else {
+            panic!("first grant must lease");
+        };
+        assert_eq!(blocks.len(), 3, "the lease batches up to lease_blocks");
+        assert_eq!(st.stats.leases_issued, 1, "one round-trip, three blocks");
+        // Submitting the first block retires it but keeps the lease.
+        assert!(matches!(
+            admit(&mut st, chunks[0].clone()),
+            Msg::SubmitAck { accepted: true, duplicate: false, .. }
+        ));
+        assert!(st.leases.contains_key(&lease_id), "lease survives");
+        assert_eq!(st.leases[&lease_id].blocks.len(), 2);
+        // Let it lapse with two blocks unfinished: one re-issue, and the
+        // completed block is never granted again.
+        std::thread::sleep(Duration::from_millis(5));
+        expire_lapsed(&mut st, Instant::now());
+        assert_eq!(st.stats.leases_reissued, 1, "a lapsed batch counts once");
+        let Msg::Lease { blocks: again, .. } = grant(&mut st, &cfg) else {
+            panic!("re-grant must lease");
+        };
+        assert!(
+            again.iter().all(|b| b.seq != chunks[0].key().2),
+            "the completed block is not re-leased"
+        );
     }
 
     #[test]
@@ -659,10 +869,11 @@ mod tests {
         chunk.shard = 9; // no such shard in a 1-shard schedule
         let mut st = initial_state(&cfg);
         assert!(matches!(
-            admit(&mut st, &cfg, chunk, None),
+            admit(&mut st, chunk),
             Msg::SubmitAck {
                 accepted: false,
-                duplicate: false
+                duplicate: false,
+                ..
             }
         ));
         assert_eq!(st.stats.frames_rejected, 1);

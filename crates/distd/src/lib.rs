@@ -16,6 +16,14 @@
 //! back), a duplicate submission can be dropped by key, and a resumed
 //! campaign's figures are byte-identical to a single-process run.
 //!
+//! Byte streams flow through the [`transport`] abstraction: production
+//! uses plain TCP, and the deterministic fault-injection harness
+//! ([`chaos`]) wraps the same sockets in a seeded schedule of resets,
+//! truncations, bit flips, stalls, duplicated submissions and heartbeat
+//! blackouts — so the recovery paths above are exercised, on every CI
+//! run, by reproducible storms. See `docs/distd.md` for the protocol
+//! state machine and recovery invariants.
+//!
 //! ```no_run
 //! use hb_distd::{CoordConfig, Coordinator, WorkerConfig, run_worker};
 //! use hb_ecosystem::EcosystemConfig;
@@ -37,12 +45,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod cli;
 pub mod coord;
 pub mod proto;
 pub mod spool;
+pub mod transport;
 pub mod worker;
 
+pub use chaos::{
+    ChaosConfig, ChaosConnector, ChaosLedger, ChaosSchedule, RxFault, TxFault,
+};
 pub use coord::{CoordConfig, CoordStats, Coordinator};
-pub use proto::{config_fingerprint, read_msg, write_msg, DistdError, Msg, MAX_PAYLOAD};
-pub use spool::{spool_load, spool_path, spool_write, SpoolReplay};
-pub use worker::{run_worker, WorkerConfig, WorkerStats};
+pub use proto::{
+    config_fingerprint, read_msg, recv_msg, send_msg, write_msg, DistdError, LeaseBlock, Msg,
+    MAX_PAYLOAD,
+};
+pub use spool::{
+    compact_spool, segment_file_name, spool_load, spool_path, spool_write, CompactReport,
+    SegmentManifest, SegmentRecord, SpoolReplay,
+};
+pub use transport::{is_timeout, Connector, TcpConnector, TcpTransport, Transport};
+pub use worker::{
+    reconnect_backoff, run_worker, run_worker_session, WorkerConfig, WorkerStats,
+};

@@ -1,4 +1,4 @@
-//! The lease protocol: message types and framed TCP transport.
+//! The lease protocol: message types and framed transport.
 //!
 //! Every message travels as one sealed wire frame (`hb_core`'s
 //! `columns::wire` framing: magic, version, length, payload, XXH64
@@ -11,21 +11,23 @@
 //!   Hello{fingerprint}       -->
 //!                            <--  Welcome{worker_id} | Reject{reason}
 //!   RequestLease{worker_id}  -->
-//!                            <--  Lease{..} | Wait{millis} | Done
+//!                            <--  Lease{lease_id, blocks} | Wait{millis} | Done
 //!   Heartbeat{lease_id}      -->
 //!                            <--  HeartbeatAck | Expired
 //!   SubmitChunk{lease_id,..} -->
-//!                            <--  SubmitAck{accepted, duplicate}
+//!                            <--  SubmitAck{accepted, duplicate, done}
 //! ```
 //!
-//! A lease names a concrete block — `(day, shard, seq)` plus the explicit
-//! rank list — so a worker needs no schedule state of its own: campaign
-//! visits are pure functions of `(seed, rank, day)`, which is what makes
-//! lease re-issue after a crash idempotent (any two workers crawling the
-//! same block produce byte-identical chunks).
+//! A lease names up to `lease_blocks` concrete blocks — each a `(day,
+//! shard, seq)` key plus the explicit rank list — so a worker needs no
+//! schedule state of its own and a fast worker is not bound by one
+//! request round-trip per block. Campaign visits are pure functions of
+//! `(seed, rank, day)`, which is what makes lease re-issue after a crash
+//! idempotent (any two workers crawling the same block produce
+//! byte-identical chunks).
 
-use hb_core::{open_frame, seal_frame, WireError, WireReader, WireWriter, FRAME_OVERHEAD};
-use std::io::{Read, Write};
+use crate::transport::{read_frame, Transport};
+use hb_core::{open_frame, seal_frame, WireError, WireReader, WireWriter};
 use std::net::TcpStream;
 
 /// Upper bound on one frame's payload; a corrupt or hostile length header
@@ -40,12 +42,15 @@ pub enum DistdError {
     Io(std::io::Error),
     /// A frame failed integrity or structural validation.
     Wire(WireError),
+    /// The peer hung up cleanly at a frame boundary (EOF between
+    /// messages) — a protocol ending, not a wire fault.
+    Closed,
     /// The peer answered with a message the protocol does not allow here.
     Protocol(&'static str),
     /// The coordinator refused the handshake (config fingerprint
     /// mismatch, usually).
     Rejected(String),
-    /// The coordinator went away and reconnection attempts ran out.
+    /// The coordinator went away and the reconnect budget ran out.
     CoordinatorLost,
 }
 
@@ -54,6 +59,7 @@ impl std::fmt::Display for DistdError {
         match self {
             DistdError::Io(e) => write!(f, "i/o: {e}"),
             DistdError::Wire(e) => write!(f, "wire: {e}"),
+            DistdError::Closed => write!(f, "connection closed"),
             DistdError::Protocol(what) => write!(f, "protocol violation: {what}"),
             DistdError::Rejected(reason) => write!(f, "handshake rejected: {reason}"),
             DistdError::CoordinatorLost => write!(f, "coordinator lost"),
@@ -72,6 +78,49 @@ impl From<std::io::Error> for DistdError {
 impl From<WireError> for DistdError {
     fn from(e: WireError) -> DistdError {
         DistdError::Wire(e)
+    }
+}
+
+/// One leased block: the chunk key plus the explicit 1-based ranks to
+/// crawl, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaseBlock {
+    /// Crawl day of the block.
+    pub day: u32,
+    /// Shard the block belongs to.
+    pub shard: u32,
+    /// Chunk sequence number within `(day, shard)`.
+    pub seq: u32,
+    /// Explicit 1-based ranks to crawl, in order.
+    pub ranks: Vec<u32>,
+}
+
+impl LeaseBlock {
+    fn encode_into(&self, w: &mut WireWriter) {
+        w.u32(self.day);
+        w.u32(self.shard);
+        w.u32(self.seq);
+        w.len(self.ranks.len());
+        for &r in &self.ranks {
+            w.u32(r);
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<LeaseBlock, WireError> {
+        let day = r.u32()?;
+        let shard = r.u32()?;
+        let seq = r.u32()?;
+        let n = r.bounded_len(4)?;
+        let mut ranks = Vec::with_capacity(n);
+        for _ in 0..n {
+            ranks.push(r.u32()?);
+        }
+        Ok(LeaseBlock {
+            day,
+            shard,
+            seq,
+            ranks,
+        })
     }
 }
 
@@ -100,19 +149,14 @@ pub enum Msg {
         /// Id from [`Msg::Welcome`].
         worker_id: u32,
     },
-    /// A block lease: crawl `ranks` for `day` and submit the sealed chunk
-    /// keyed `(day, shard, seq)` before the lease deadline lapses.
+    /// A batched block lease: crawl every block in `blocks` and submit
+    /// each sealed chunk before the lease deadline lapses (heartbeats
+    /// renew the whole batch; each submitted chunk retires its block).
     Lease {
-        /// Lease identity, echoed in heartbeats and the submit.
+        /// Lease identity, echoed in heartbeats and every submit.
         lease_id: u64,
-        /// Crawl day of the block.
-        day: u32,
-        /// Shard the block belongs to.
-        shard: u32,
-        /// Chunk sequence number within `(day, shard)`.
-        seq: u32,
-        /// Explicit 1-based ranks to crawl, in order.
-        ranks: Vec<u32>,
+        /// The leased blocks, in schedule (fold) order; never empty.
+        blocks: Vec<LeaseBlock>,
     },
     /// Nothing leasable right now (reorder window full, or the schedule
     /// tail is not yet known); ask again after `millis`.
@@ -122,7 +166,7 @@ pub enum Msg {
     },
     /// Campaign complete; the worker should exit.
     Done,
-    /// Renew a held lease.
+    /// Renew a held lease (all of its remaining blocks).
     Heartbeat {
         /// Id from [`Msg::Welcome`].
         worker_id: u32,
@@ -131,7 +175,7 @@ pub enum Msg {
     },
     /// Lease renewed.
     HeartbeatAck,
-    /// The lease lapsed and was re-issued; abandon the block.
+    /// The lease lapsed and was re-issued; abandon its blocks.
     Expired,
     /// Deliver a finished block: the sealed chunk frame, verbatim.
     SubmitChunk {
@@ -142,12 +186,16 @@ pub enum Msg {
     },
     /// Submit outcome. `accepted && duplicate` means another worker beat
     /// this one to the block (normal after a lease re-issue) — the chunk
-    /// was dropped but the worker is square.
+    /// was dropped but the worker is square. `done` piggybacks campaign
+    /// completion on the final ack so the submitting worker can exit
+    /// without another request round-trip.
     SubmitAck {
         /// False only when the frame failed validation.
         accepted: bool,
         /// The block was already complete.
         duplicate: bool,
+        /// This submit completed the campaign.
+        done: bool,
     },
 }
 
@@ -158,11 +206,22 @@ const TAG_REQUEST_LEASE: u8 = 4;
 const TAG_LEASE: u8 = 5;
 const TAG_WAIT: u8 = 6;
 const TAG_DONE: u8 = 7;
-const TAG_HEARTBEAT: u8 = 8;
+pub(crate) const TAG_HEARTBEAT: u8 = 8;
 const TAG_HEARTBEAT_ACK: u8 = 9;
 const TAG_EXPIRED: u8 = 10;
-const TAG_SUBMIT_CHUNK: u8 = 11;
-const TAG_SUBMIT_ACK: u8 = 12;
+pub(crate) const TAG_SUBMIT_CHUNK: u8 = 11;
+pub(crate) const TAG_SUBMIT_ACK: u8 = 12;
+
+/// Message tag of a sealed frame, without decoding it (the chaos layer
+/// keys some fault kinds on the message kind; a frame too short to carry
+/// a tag yields `None`).
+pub(crate) fn frame_tag(frame: &[u8]) -> Option<u8> {
+    frame.get(hb_core::FRAME_HEADER).copied()
+}
+
+/// Smallest on-wire footprint of one [`LeaseBlock`]: three key words
+/// plus an empty rank list.
+const LEASE_BLOCK_MIN: usize = 4 + 4 + 4 + 4;
 
 impl Msg {
     /// Encode as a sealed frame ready for the socket.
@@ -185,21 +244,12 @@ impl Msg {
                 w.u8(TAG_REQUEST_LEASE);
                 w.u32(*worker_id);
             }
-            Msg::Lease {
-                lease_id,
-                day,
-                shard,
-                seq,
-                ranks,
-            } => {
+            Msg::Lease { lease_id, blocks } => {
                 w.u8(TAG_LEASE);
                 w.u64(*lease_id);
-                w.u32(*day);
-                w.u32(*shard);
-                w.u32(*seq);
-                w.len(ranks.len());
-                for &r in ranks {
-                    w.u32(r);
+                w.len(blocks.len());
+                for b in blocks {
+                    b.encode_into(&mut w);
                 }
             }
             Msg::Wait { millis } => {
@@ -225,10 +275,12 @@ impl Msg {
             Msg::SubmitAck {
                 accepted,
                 duplicate,
+                done,
             } => {
                 w.u8(TAG_SUBMIT_ACK);
                 w.bool(*accepted);
                 w.bool(*duplicate);
+                w.bool(*done);
             }
         }
         seal_frame(&w.into_bytes())
@@ -253,21 +305,15 @@ impl Msg {
             },
             TAG_LEASE => {
                 let lease_id = r.u64()?;
-                let day = r.u32()?;
-                let shard = r.u32()?;
-                let seq = r.u32()?;
-                let n = r.bounded_len(4)?;
-                let mut ranks = Vec::with_capacity(n);
+                let n = r.bounded_len(LEASE_BLOCK_MIN)?;
+                if n == 0 {
+                    return Err(WireError::Corrupt("empty lease"));
+                }
+                let mut blocks = Vec::with_capacity(n);
                 for _ in 0..n {
-                    ranks.push(r.u32()?);
+                    blocks.push(LeaseBlock::decode_from(&mut r)?);
                 }
-                Msg::Lease {
-                    lease_id,
-                    day,
-                    shard,
-                    seq,
-                    ranks,
-                }
+                Msg::Lease { lease_id, blocks }
             }
             TAG_WAIT => Msg::Wait { millis: r.u32()? },
             TAG_DONE => Msg::Done,
@@ -284,45 +330,43 @@ impl Msg {
             TAG_SUBMIT_ACK => Msg::SubmitAck {
                 accepted: r.bool()?,
                 duplicate: r.bool()?,
+                done: r.bool()?,
             },
             _ => return Err(WireError::Corrupt("message tag")),
         };
         r.finish()?;
         Ok(msg)
     }
+
 }
 
-/// Frame header length on the socket: magic (4) + version (1) + payload
-/// length (8). The trailing checksum is read with the payload.
-const HEADER: usize = FRAME_OVERHEAD - 8;
+/// Send one message over a transport.
+pub fn send_msg(t: &mut dyn Transport, msg: &Msg) -> Result<(), DistdError> {
+    t.send_frame(&msg.encode())
+}
 
-/// Write one message to the socket.
+/// Receive and decode one message from a transport. Integrity (checksum)
+/// and structure are both verified before the message is trusted.
+pub fn recv_msg(t: &mut dyn Transport) -> Result<Msg, DistdError> {
+    let frame = t.recv_frame()?;
+    Ok(Msg::decode(&frame)?)
+}
+
+/// Write one message to a raw socket (compat shim over the transport
+/// path for tools that drive the protocol directly on a `TcpStream`).
 pub fn write_msg(stream: &mut TcpStream, msg: &Msg) -> Result<(), DistdError> {
+    use std::io::Write;
     stream.write_all(&msg.encode())?;
     Ok(())
 }
 
-/// Read one full frame off the socket and decode it. The header is
-/// validated (magic, version, length bound) before the payload is
-/// buffered, so a garbage peer cannot force a huge allocation; the
-/// checksum is then verified by [`Msg::decode`] before any parsing.
+/// Read one full frame off a raw socket and decode it (compat shim; see
+/// [`write_msg`]). The header is validated (magic, version, length
+/// bound) before the payload is buffered, so a garbage peer cannot force
+/// a huge allocation; the checksum is then verified by [`Msg::decode`]
+/// before any parsing.
 pub fn read_msg(stream: &mut TcpStream) -> Result<Msg, DistdError> {
-    let mut head = [0u8; HEADER];
-    stream.read_exact(&mut head)?;
-    let mut frame = Vec::with_capacity(HEADER + 64);
-    frame.extend_from_slice(&head);
-    // Magic and version are re-checked by open_frame; checking here too
-    // rejects a stray peer before trusting its length field.
-    if head[0..4] != hb_core::WIRE_MAGIC {
-        return Err(DistdError::Wire(WireError::BadMagic));
-    }
-    let len = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes")) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(DistdError::Wire(WireError::Corrupt("oversized frame")));
-    }
-    let mut rest = vec![0u8; len + 8]; // payload + checksum
-    stream.read_exact(&mut rest)?;
-    frame.extend_from_slice(&rest);
+    let frame = read_frame(stream)?;
     Ok(Msg::decode(&frame)?)
 }
 
@@ -357,10 +401,20 @@ mod tests {
             Msg::RequestLease { worker_id: 7 },
             Msg::Lease {
                 lease_id: 99,
-                day: 2,
-                shard: 1,
-                seq: 3,
-                ranks: vec![10, 11, 12],
+                blocks: vec![
+                    LeaseBlock {
+                        day: 2,
+                        shard: 1,
+                        seq: 3,
+                        ranks: vec![10, 11, 12],
+                    },
+                    LeaseBlock {
+                        day: 2,
+                        shard: 1,
+                        seq: 4,
+                        ranks: vec![13],
+                    },
+                ],
             },
             Msg::Wait { millis: 50 },
             Msg::Done,
@@ -377,6 +431,7 @@ mod tests {
             Msg::SubmitAck {
                 accepted: true,
                 duplicate: false,
+                done: true,
             },
         ];
         for msg in msgs {
@@ -387,6 +442,31 @@ mod tests {
             bad[frame.len() / 2] ^= 0x40;
             assert!(Msg::decode(&bad).is_err(), "corruption detected: {msg:?}");
         }
+    }
+
+    #[test]
+    fn empty_lease_is_structural_corruption() {
+        let msg = Msg::Lease {
+            lease_id: 1,
+            blocks: vec![LeaseBlock {
+                day: 0,
+                shard: 0,
+                seq: 0,
+                ranks: vec![1],
+            }],
+        };
+        let mut frame = msg.encode();
+        // Splice the block count down to zero and re-seal, so the frame
+        // passes integrity but fails structure.
+        let payload_start = hb_core::FRAME_HEADER;
+        let payload_end = frame.len() - 8;
+        let mut payload = frame[payload_start..payload_end].to_vec();
+        payload[9..13].copy_from_slice(&0u32.to_le_bytes());
+        frame = hb_core::seal_frame(&payload);
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(WireError::Corrupt("empty lease"))
+        ));
     }
 
     #[test]

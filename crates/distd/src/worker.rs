@@ -2,24 +2,27 @@
 //!
 //! A worker owns no schedule state. It derives its universe from the same
 //! `EcosystemConfig` the coordinator holds (the handshake fingerprint
-//! proves it), asks for one block lease at a time, crawls it with the
-//! exact in-process machinery (`hb_crawler::crawl_block_into` — same
-//! block-local interner, same direct-to-column sessions, same pooled
-//! scratch), and ships the sealed chunk back. Because visits are pure
-//! functions of `(seed, rank, day)`, a worker can be SIGKILLed at any
-//! instant and the re-issued lease produces a byte-identical chunk on
-//! another worker.
+//! proves it), asks for a lease — up to `lease_blocks` blocks per
+//! round-trip — crawls each block with the exact in-process machinery
+//! (`hb_crawler::crawl_block_until` — same block-local interner, same
+//! direct-to-column sessions, same pooled scratch), and ships each sealed
+//! chunk back. Because visits are pure functions of `(seed, rank, day)`,
+//! a worker can be SIGKILLed at any instant and the re-issued lease
+//! produces a byte-identical chunk on another worker.
 //!
 //! Failure posture mirrors the ad-stack's `RobustnessPolicy`: every
-//! remote interaction has a deadline, failures are retried a bounded,
-//! deterministic number of times with doubling backoff, and when the
-//! budget is spent the worker exits cleanly with
+//! remote interaction has a deadline, heartbeat replies get a *tighter*
+//! deadline (`hb_deadline`) so a half-open connection is detected as a
+//! stall and the wedged lease abandoned mid-block instead of heartbeated
+//! forever; reconnects back off with deterministic jitter (pure in
+//! `(session, attempt)` — see [`reconnect_backoff`]) under a total time
+//! budget, and when the budget is spent the worker exits cleanly with
 //! [`DistdError::CoordinatorLost`] rather than hanging.
 
-use crate::proto::{config_fingerprint, read_msg, write_msg, DistdError, Msg};
-use hb_crawler::{crawl_block_into, SessionConfig, VisitScratch};
+use crate::proto::{config_fingerprint, recv_msg, send_msg, DistdError, Msg};
+use crate::transport::{Connector, TcpConnector, Transport};
+use hb_crawler::{crawl_block_until, SessionConfig, VisitScratch};
 use hb_ecosystem::{Ecosystem, EcosystemConfig};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Worker tuning.
@@ -44,12 +47,23 @@ pub struct WorkerConfig {
     pub visit_delay: Duration,
     /// Connection attempts before declaring the coordinator lost.
     pub connect_attempts: u32,
-    /// First retry backoff; doubles per attempt (deterministic, like the
-    /// wrapper's retry policy).
+    /// First retry backoff; doubles per attempt with deterministic
+    /// jitter (see [`reconnect_backoff`]).
     pub backoff_base: Duration,
     /// Per-read socket deadline; a coordinator silent this long counts as
     /// a broken connection.
     pub io_timeout: Duration,
+    /// Tighter deadline for heartbeat replies: a renewal slower than
+    /// this marks the connection half-open and the lease is abandoned
+    /// mid-block (stall detection).
+    pub hb_deadline: Duration,
+    /// Hard cap on the total time one reconnect incident may spend
+    /// backing off before the worker exits with `CoordinatorLost`.
+    pub reconnect_budget: Duration,
+    /// Instance discriminator for the jitter schedule — respawns of a
+    /// crashed worker should use distinct instances so their backoff
+    /// never marches in lockstep.
+    pub instance: u64,
 }
 
 impl WorkerConfig {
@@ -66,6 +80,9 @@ impl WorkerConfig {
             connect_attempts: 5,
             backoff_base: Duration::from_millis(100),
             io_timeout: Duration::from_secs(10),
+            hb_deadline: Duration::from_secs(1),
+            reconnect_budget: Duration::from_secs(10),
+            instance: 0,
         }
     }
 }
@@ -77,7 +94,8 @@ pub struct WorkerStats {
     pub worker_id: u32,
     /// Blocks crawled, submitted and acked as fresh.
     pub blocks_completed: u64,
-    /// Visits crawled (including blocks later dropped as duplicates).
+    /// Visits crawled (including blocks later dropped as duplicates and
+    /// blocks abandoned mid-crawl).
     pub visits: u64,
     /// Leases the coordinator declared expired under this worker.
     pub leases_expired: u64,
@@ -85,61 +103,130 @@ pub struct WorkerStats {
     pub duplicates: u64,
     /// Times the connection was re-established mid-campaign.
     pub reconnects: u64,
+    /// Established connections that broke (reset, timeout, stall,
+    /// rejected frame) before the campaign ended.
+    pub conn_breaks: u64,
+    /// Dial attempts that failed (refused, unreachable, handshake i/o).
+    pub connect_failures: u64,
+    /// Inbound frames that failed integrity/structural validation.
+    pub wire_rejected: u64,
+    /// Leases walked away from (wedged connection or unackable submit).
+    pub leases_abandoned: u64,
 }
 
-/// Connect + handshake, with deterministic doubling backoff.
-fn connect(cfg: &WorkerConfig, fingerprint: u64) -> Result<(TcpStream, u32), DistdError> {
-    let mut backoff = cfg.backoff_base;
+/// The reconnect backoff schedule: pure in `(session, attempt)`.
+/// Exponential (doubling, capped at 64×) plus a deterministic jitter in
+/// `[0, base)` drawn by hashing the coordinates — two workers that died
+/// together (same crash, same attempt counter) still dial back at
+/// different instants, without any RNG state to make the schedule
+/// unreproducible.
+pub fn reconnect_backoff(base: Duration, session: u64, attempt: u32) -> Duration {
+    let base = base.max(Duration::from_millis(1));
+    let exp = base.saturating_mul(1u32 << attempt.min(6));
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&session.to_le_bytes());
+    bytes[8..].copy_from_slice(&u64::from(attempt).to_le_bytes());
+    let jitter_ns = hb_core::xxh64(&bytes) % (base.as_nanos() as u64).max(1);
+    exp + Duration::from_nanos(jitter_ns)
+}
+
+/// Connect + handshake, with jittered deterministic backoff under a
+/// total time budget.
+fn connect(
+    cfg: &WorkerConfig,
+    connector: &dyn Connector,
+    fingerprint: u64,
+    session_id: u64,
+    stats: &mut WorkerStats,
+) -> Result<(Box<dyn Transport>, u32), DistdError> {
     let attempts = cfg.connect_attempts.max(1);
+    let started = Instant::now();
     for attempt in 0..attempts {
-        match try_connect(cfg, fingerprint) {
+        match try_connect(cfg, connector, fingerprint) {
             Ok(ok) => return Ok(ok),
             Err(DistdError::Rejected(reason)) => return Err(DistdError::Rejected(reason)),
-            Err(_) if attempt + 1 < attempts => {
+            Err(_) => {
+                stats.connect_failures += 1;
+                if attempt + 1 >= attempts {
+                    break;
+                }
+                let backoff = reconnect_backoff(cfg.backoff_base, session_id, attempt);
+                if started.elapsed() + backoff > cfg.reconnect_budget {
+                    // The budget would be blown sleeping; give up now,
+                    // cleanly, rather than half-sleep and give up later.
+                    break;
+                }
                 std::thread::sleep(backoff);
-                backoff *= 2;
             }
-            Err(_) => break,
         }
     }
     Err(DistdError::CoordinatorLost)
 }
 
-fn try_connect(cfg: &WorkerConfig, fingerprint: u64) -> Result<(TcpStream, u32), DistdError> {
-    let mut stream = TcpStream::connect(&cfg.addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(cfg.io_timeout))?;
-    write_msg(&mut stream, &Msg::Hello { fingerprint })?;
-    match read_msg(&mut stream)? {
-        Msg::Welcome { worker_id } => Ok((stream, worker_id)),
+fn try_connect(
+    cfg: &WorkerConfig,
+    connector: &dyn Connector,
+    fingerprint: u64,
+) -> Result<(Box<dyn Transport>, u32), DistdError> {
+    let mut t = connector.connect()?;
+    t.set_recv_deadline(Some(cfg.io_timeout))?;
+    send_msg(&mut *t, &Msg::Hello { fingerprint })?;
+    match recv_msg(&mut *t)? {
+        Msg::Welcome { worker_id } => Ok((t, worker_id)),
         Msg::Reject { reason } => Err(DistdError::Rejected(reason)),
         _ => Err(DistdError::Protocol("expected Welcome or Reject")),
     }
 }
 
-/// Send one heartbeat; `Ok(true)` = renewed, `Ok(false)` = expired.
-fn heartbeat(stream: &mut TcpStream, worker_id: u32, lease_id: u64) -> Result<bool, DistdError> {
-    write_msg(
-        stream,
+/// Send one heartbeat; `Ok(true)` = renewed, `Ok(false)` = expired. The
+/// reply is awaited under the tight `hb_deadline` — a coordinator that
+/// cannot renew a lease within it is treated as a wedged connection.
+fn heartbeat(
+    t: &mut dyn Transport,
+    cfg: &WorkerConfig,
+    worker_id: u32,
+    lease_id: u64,
+) -> Result<bool, DistdError> {
+    send_msg(
+        t,
         &Msg::Heartbeat {
             worker_id,
             lease_id,
         },
     )?;
-    match read_msg(stream)? {
+    t.set_recv_deadline(Some(cfg.hb_deadline))?;
+    let reply = recv_msg(t);
+    let _ = t.set_recv_deadline(Some(cfg.io_timeout));
+    match reply? {
         Msg::HeartbeatAck => Ok(true),
         Msg::Expired => Ok(false),
         _ => Err(DistdError::Protocol("expected HeartbeatAck or Expired")),
     }
 }
 
-/// Run one worker until the coordinator reports the campaign done.
+/// Run one worker over plain TCP until the coordinator reports the
+/// campaign done.
 ///
 /// Crash-safety contract: the worker never holds campaign state the
 /// coordinator cannot reconstruct — killing it at any point costs at most
 /// one lease timeout. Coordinator loss (connection refused/broken through
 /// the whole retry budget) returns [`DistdError::CoordinatorLost`].
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerStats, DistdError> {
+    let connector = TcpConnector::new(cfg.addr.clone());
+    let mut stats = WorkerStats::default();
+    run_worker_session(cfg, &connector, &mut stats)?;
+    Ok(stats)
+}
+
+/// [`run_worker`] over an explicit [`Connector`] (the chaos soak dials
+/// through a fault schedule) and caller-owned stats — the counters
+/// survive an error exit, so a harness respawning crashed workers can
+/// still account for everything this session saw.
+pub fn run_worker_session(
+    cfg: &WorkerConfig,
+    connector: &dyn Connector,
+    stats: &mut WorkerStats,
+) -> Result<(), DistdError> {
     let eco = Ecosystem::generate(cfg.eco.clone());
     let factory = eco.factory();
     let fingerprint = config_fingerprint(
@@ -148,17 +235,19 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerStats, DistdError> {
         cfg.chunk_visits,
         &cfg.session,
     );
+    // The jitter session: the campaign identity plus this instance, so
+    // respawns never share a backoff schedule.
+    let session_id = fingerprint ^ cfg.instance.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut scratch = VisitScratch::new(factory.partner_list());
-    let mut stats = WorkerStats::default();
-    let (mut stream, mut worker_id) = connect(cfg, fingerprint)?;
+    let (mut t, mut worker_id) = connect(cfg, connector, fingerprint, session_id, stats)?;
     stats.worker_id = worker_id;
 
     // One bounded reconnect cycle; campaign-level retries are the
     // connect() budget, applied afresh per incident.
     macro_rules! reconnect {
         () => {{
-            let (s, id) = connect(cfg, fingerprint)?;
-            stream = s;
+            let (nt, id) = connect(cfg, connector, fingerprint, session_id, stats)?;
+            t = nt;
             worker_id = id;
             stats.worker_id = id;
             stats.reconnects += 1;
@@ -166,110 +255,197 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerStats, DistdError> {
     }
 
     loop {
-        if write_msg(&mut stream, &Msg::RequestLease { worker_id }).is_err() {
+        if send_msg(&mut *t, &Msg::RequestLease { worker_id }).is_err() {
+            stats.conn_breaks += 1;
             reconnect!();
             continue;
         }
-        let reply = match read_msg(&mut stream) {
+        let reply = match recv_msg(&mut *t) {
             Ok(m) => m,
-            Err(_) => {
+            Err(e) => {
+                if matches!(e, DistdError::Wire(_)) {
+                    stats.wire_rejected += 1;
+                }
+                stats.conn_breaks += 1;
                 reconnect!();
                 continue;
             }
         };
         match reply {
-            Msg::Done => return Ok(stats),
+            Msg::Done => return Ok(()),
             Msg::Wait { millis } => {
                 std::thread::sleep(Duration::from_millis(u64::from(millis).max(1)));
             }
-            Msg::Lease {
-                lease_id,
-                day,
-                shard,
-                seq,
-                ranks,
-            } => {
-                let net = factory.net_for_day(day);
-                let mut expired = false;
-                let mut broken = false;
-                let mut last_hb = Instant::now();
-                let chunk = crawl_block_into(
-                    &factory,
-                    &ranks,
-                    day,
-                    shard,
-                    seq,
-                    &cfg.session,
-                    &mut scratch,
-                    &net,
-                    &mut |_| {
-                        if !cfg.visit_delay.is_zero() {
-                            std::thread::sleep(cfg.visit_delay);
-                        }
-                        if !expired && !broken && last_hb.elapsed() >= cfg.heartbeat_every {
-                            match heartbeat(&mut stream, worker_id, lease_id) {
-                                Ok(true) => {}
-                                Ok(false) => expired = true,
-                                Err(_) => broken = true,
+            Msg::Lease { lease_id, blocks } => {
+                // The whole batch rides one lease: a heartbeat renews
+                // every remaining block, each submit retires one, and
+                // expiry/wedging abandons whatever is left.
+                let mut lease_dead = false;
+                for block in blocks {
+                    if lease_dead {
+                        break;
+                    }
+                    let net = factory.net_for_day(block.day);
+                    let mut expired = false;
+                    let mut wedged = false;
+                    let mut crawled = 0u64;
+                    let mut last_hb = Instant::now();
+                    let chunk = crawl_block_until(
+                        &factory,
+                        &block.ranks,
+                        block.day,
+                        block.shard,
+                        block.seq,
+                        &cfg.session,
+                        &mut scratch,
+                        &net,
+                        &mut |i| {
+                            crawled = i as u64;
+                            if !cfg.visit_delay.is_zero() {
+                                std::thread::sleep(cfg.visit_delay);
                             }
-                            last_hb = Instant::now();
-                        }
-                    },
-                );
-                stats.visits += chunk.len() as u64;
-                if broken {
-                    reconnect!();
-                }
-                if expired {
-                    // The block was re-issued to someone else; drop the
-                    // chunk (submitting would only be dropped as a
-                    // duplicate anyway) and move on.
-                    stats.leases_expired += 1;
-                    continue;
-                }
-                let frame = chunk.encode();
-                // One deterministic re-send on a rejected ack (a frame
-                // corrupted in flight); a second rejection abandons the
-                // block to the lease-expiry path.
-                'submit: for attempt in 0..2 {
-                    let sent = write_msg(
-                        &mut stream,
-                        &Msg::SubmitChunk {
-                            lease_id,
-                            frame: frame.clone(),
+                            if last_hb.elapsed() >= cfg.heartbeat_every {
+                                match heartbeat(&mut *t, cfg, worker_id, lease_id) {
+                                    Ok(true) => {}
+                                    Ok(false) => expired = true,
+                                    Err(_) => wedged = true,
+                                }
+                                last_hb = Instant::now();
+                            }
+                            // Abandon mid-block the moment the lease is
+                            // gone or the connection wedges — the block
+                            // will be re-crawled elsewhere, identically.
+                            !expired && !wedged
                         },
-                    )
-                    .and_then(|()| read_msg(&mut stream));
-                    match sent {
-                        Ok(Msg::SubmitAck {
-                            accepted: true,
-                            duplicate,
-                        }) => {
-                            if duplicate {
-                                stats.duplicates += 1;
-                            } else {
-                                stats.blocks_completed += 1;
+                    );
+                    stats.visits += crawled;
+                    if expired {
+                        // The batch was re-issued to someone else; drop
+                        // everything (submitting would only be dropped
+                        // as duplicates anyway) and move on.
+                        stats.leases_expired += 1;
+                        lease_dead = true;
+                        continue;
+                    }
+                    if wedged {
+                        // Half-open connection: no renewals are landing,
+                        // so the lease is as good as lapsed. Walk away
+                        // and start clean instead of heartbeating a
+                        // black hole.
+                        stats.leases_abandoned += 1;
+                        stats.conn_breaks += 1;
+                        lease_dead = true;
+                        reconnect!();
+                        continue;
+                    }
+                    let chunk = chunk.expect("not abandoned");
+                    let frame = chunk.encode();
+                    // One deterministic re-send on a rejected ack or a
+                    // lost connection; a second failure abandons the
+                    // batch to the lease-expiry path.
+                    let mut settled = false;
+                    'submit: for attempt in 0..2 {
+                        let sent = send_msg(
+                            &mut *t,
+                            &Msg::SubmitChunk {
+                                lease_id,
+                                frame: frame.clone(),
+                            },
+                        )
+                        .and_then(|()| recv_msg(&mut *t));
+                        match sent {
+                            Ok(Msg::SubmitAck {
+                                accepted: true,
+                                duplicate,
+                                done,
+                            }) => {
+                                if duplicate {
+                                    stats.duplicates += 1;
+                                } else {
+                                    stats.blocks_completed += 1;
+                                }
+                                settled = true;
+                                if done {
+                                    // Completion piggybacked on the ack:
+                                    // no final request round-trip.
+                                    return Ok(());
+                                }
+                                break 'submit;
                             }
-                            break 'submit;
-                        }
-                        Ok(Msg::SubmitAck {
-                            accepted: false, ..
-                        }) if attempt == 0 => continue,
-                        Ok(_) => break 'submit,
-                        Err(_) => {
-                            reconnect!();
-                            // The ack was lost with the connection; the
-                            // re-send is idempotent (duplicate-dropped if
-                            // the first submit landed).
-                            if attempt == 0 {
-                                continue;
+                            Ok(Msg::SubmitAck {
+                                accepted: false, ..
+                            }) if attempt == 0 => continue,
+                            Ok(_) => break 'submit,
+                            Err(e) => {
+                                if matches!(e, DistdError::Wire(_)) {
+                                    stats.wire_rejected += 1;
+                                }
+                                stats.conn_breaks += 1;
+                                reconnect!();
+                                // The ack was lost with the connection;
+                                // the re-send is idempotent (duplicate-
+                                // dropped if the first submit landed).
+                                if attempt == 0 {
+                                    continue;
+                                }
+                                break 'submit;
                             }
-                            break 'submit;
                         }
+                    }
+                    if !settled {
+                        stats.leases_abandoned += 1;
+                        lease_dead = true;
                     }
                 }
             }
             _ => return Err(DistdError::Protocol("unexpected lease reply")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_in_session_and_attempt() {
+        let base = Duration::from_millis(100);
+        for session in [0u64, 7, u64::MAX] {
+            for attempt in 0..10 {
+                assert_eq!(
+                    reconnect_backoff(base, session, attempt),
+                    reconnect_backoff(base, session, attempt),
+                    "same coordinates, same backoff"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_with_bounded_jitter() {
+        let base = Duration::from_millis(100);
+        let session = 42u64;
+        for attempt in 0..12u32 {
+            let d = reconnect_backoff(base, session, attempt);
+            let exp = base * (1 << attempt.min(6));
+            assert!(d >= exp, "attempt {attempt}: jitter only adds");
+            assert!(
+                d < exp + base,
+                "attempt {attempt}: jitter stays under one base"
+            );
+        }
+        // The exponential part stops growing at the cap.
+        let capped = reconnect_backoff(base, session, 6);
+        let beyond = reconnect_backoff(base, session, 11);
+        assert!(beyond < capped + 2 * base, "cap holds past attempt 6");
+    }
+
+    #[test]
+    fn backoff_jitter_separates_sessions() {
+        let base = Duration::from_millis(100);
+        let differs = (0..8u32).any(|attempt| {
+            reconnect_backoff(base, 1, attempt) != reconnect_backoff(base, 2, attempt)
+        });
+        assert!(differs, "two sessions must not march in lockstep");
     }
 }
