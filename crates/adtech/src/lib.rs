@@ -17,6 +17,7 @@
 pub mod adserver;
 pub mod partner;
 pub mod protocol;
+pub mod provider;
 pub mod rtb;
 pub mod session;
 pub mod types;
@@ -26,6 +27,10 @@ pub mod wrapper;
 pub use adserver::{AdServerAccount, AdServerEndpoint, DirectOrder, PresentedBid, SlotDecision};
 pub use partner::{partner_endpoint, PartnerId, PartnerKind, PartnerProfile};
 pub use protocol::{BidPayload, FillChannel, WinnerPayload};
+pub use provider::{
+    hb_bid_request, hb_bids_from, mediation_request, mediation_winner, providers_for,
+    tier_fill, tier_request, ProviderKind, ProviderSpec,
+};
 pub use rtb::{first_price_winner, AuctionOutcome, InternalAuction, SeatBid};
 pub use session::{send_request, HostDirectory, Net, NetOutcome, PageWorld};
 pub use types::{AdSize, AdUnit, Cpm, HbFacet, SizeList};

@@ -31,7 +31,9 @@
 use hb_adtech::HbFacet;
 use hb_core::{Interner, VisitColumns};
 use hb_crawler::{crawl_site_into, crawl_site_pooled, SessionConfig, TruthRecord, VisitScratch};
-use hb_ecosystem::{Ecosystem, EcosystemConfig};
+use hb_ecosystem::{Ecosystem, EcosystemConfig, ScenarioConfig};
+use hb_serve::{serve_load_with, LoadGenConfig, ServeConfig};
+use hb_simnet::{Dist, HostFaultProfile, SimDuration};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -188,6 +190,56 @@ fn measure_columnar_allocs() -> Vec<(&'static str, u64, u64, u64)> {
     out
 }
 
+/// The serving plane's snapshot numbers: sim-time auction latency
+/// quantiles plus the envelope counters, from the same degraded-slice
+/// workload `benches/serve.rs` drives (tiny scale, 4 lossy providers,
+/// 8 shards). The quantiles are **deterministic** — they come from the
+/// simulation clock, not the host — so this section only moves when the
+/// orchestrator's behavior moves; wall-clock auctions/sec rides in from
+/// the `serve/auction_mixed` bench median.
+fn measure_serving() -> (u64, f64, f64, f64, u64, u64, u64, u64) {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny_scale().with_seed(0x5EE_D10));
+    let f = eco.factory();
+    let lossy = HostFaultProfile {
+        drop_chance: 0.45,
+        slow_chance: 0.35,
+        slow_penalty_ms: Dist::Const(220.0),
+    };
+    let slice: Vec<String> = f
+        .gen()
+        .specs
+        .iter()
+        .filter(|s| !s.is_ad_server)
+        .take(4)
+        .map(|s| s.host())
+        .collect();
+    let scenario = ScenarioConfig::healthy().with_provider_slice(slice, lossy);
+    let inj = scenario.injector_for_day(&f.faults(), 0);
+    let net = hb_adtech::Net::new(f.router(), f.latency(), std::sync::Arc::new(inj));
+    let cfg = ServeConfig {
+        shards: 8,
+        ..ServeConfig::default()
+    };
+    let load = LoadGenConfig {
+        n_requests: 4_000,
+        n_sites: f.config().n_sites as u64,
+        mean_gap: SimDuration::from_micros(400),
+        ..LoadGenConfig::default()
+    };
+    let report = serve_load_with(f.gen(), &net, &cfg, &load, 4, false);
+    let (p50, p99, p999) = report.latency_ms();
+    (
+        report.stats.auctions,
+        p50,
+        p99,
+        p999,
+        report.stats.fills(),
+        report.stats.sheds,
+        report.stats.breaker_trips,
+        report.stats.hedges_fired,
+    )
+}
+
 /// A minimal field extractor for the shim's flat JSON lines (keys and
 /// numeric/string scalars only — exactly what the shim emits).
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -308,6 +360,22 @@ fn main() {
             speedup * 0.75
         ));
     }
+    // The serving plane: deterministic sim-time latency quantiles and
+    // envelope counters, plus wall-clock auctions/sec from the
+    // serve/auction_mixed bench when it ran.
+    let (auctions, p50, p99, p999, fills, sheds, trips, hedges) = measure_serving();
+    out.push_str(&format!(
+        "  \"serving\": {{\n    \"auctions\": {auctions},\n"
+    ));
+    if let Some((median_ns, Some(elems), _)) = latest.get("serve/auction_mixed") {
+        let per_sec = *elems as f64 / (median_ns / 1e9);
+        out.push_str(&format!("    \"auctions_per_sec\": {per_sec:.1},\n"));
+    }
+    out.push_str(&format!(
+        "    \"latency_ms\": {{\"p50\": {p50:.3}, \"p99\": {p99:.3}, \"p999\": {p999:.3}}},\n    \
+         \"fills\": {fills},\n    \"sheds\": {sheds},\n    \"breaker_trips\": {trips},\n    \
+         \"hedges_fired\": {hedges}\n  }},\n"
+    ));
     out.push_str("  \"alloc_per_visit\": {\n");
     let allocs = measure_visit_allocs();
     let n_flows = allocs.len();

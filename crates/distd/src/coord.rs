@@ -170,6 +170,11 @@ struct State {
     leased_block: HashMap<usize, u64>,
     next_lease_id: u64,
     next_worker_id: u32,
+    /// Connections that completed a handshake and are still attached.
+    /// Grants cap a lease's batch at `ceil(remaining / live_workers)` so
+    /// a big `lease_blocks` can't starve the rest of a small fleet on a
+    /// short campaign.
+    live_workers: u32,
     /// Loose chunks spooled since the last compaction pass.
     spooled_since_compact: usize,
     done: bool,
@@ -225,6 +230,7 @@ fn initial_state(cfg: &CoordConfig) -> State {
         leased_block: HashMap::new(),
         next_lease_id: 1,
         next_worker_id: 1,
+        live_workers: 0,
         spooled_since_compact: 0,
         done: false,
         stats: CoordStats::default(),
@@ -321,6 +327,12 @@ fn all_complete(st: &State) -> bool {
 /// Answer a lease request: up to `lease_blocks` of the lowest
 /// incomplete, unleased blocks within the reorder window, or
 /// `Wait`/`Done`.
+///
+/// The batch is additionally capped at `ceil(remaining / live_workers)`
+/// — a fair share of the incomplete blocks — so on a short campaign a
+/// 4-block lease can't hand one worker half the schedule while its
+/// peers idle on `Wait` (the BENCH_9 `distd_batched_3w` regression: 8
+/// blocks, 3 workers, 4-block grants left two workers starved).
 fn grant(st: &mut State, cfg: &CoordConfig) -> Msg {
     expire_lapsed(st, Instant::now());
     if st.done || all_complete(st) {
@@ -330,13 +342,18 @@ fn grant(st: &mut State, cfg: &CoordConfig) -> Msg {
         .folded
         .saturating_add(cfg.reorder_window.max(1))
         .min(st.schedule.len());
+    let remaining = st.schedule.len() - st.complete_count;
+    let fair_share = remaining
+        .div_ceil(st.live_workers.max(1) as usize)
+        .max(1);
+    let batch = cfg.lease_blocks.max(1).min(fair_share);
     let mut picked = Vec::new();
     for i in st.folded..window_end {
         if st.complete[i] || st.leased_block.contains_key(&i) {
             continue;
         }
         picked.push(i);
-        if picked.len() >= cfg.lease_blocks.max(1) {
+        if picked.len() >= batch {
             break;
         }
     }
@@ -463,6 +480,33 @@ fn handle_submit(frame: &[u8], shared: &Shared, cfg: &CoordConfig) -> Msg {
     ack
 }
 
+/// Keeps the live-worker count honest across every `serve_conn` exit
+/// path: armed when a handshake is accepted, decrements on drop (clean
+/// close, wire error, idle strikes, or panic alike).
+struct LiveGuard<'a> {
+    shared: &'a Shared,
+    armed: bool,
+}
+
+impl LiveGuard<'_> {
+    fn arm(&mut self, st: &mut State) {
+        if !self.armed {
+            st.live_workers += 1;
+            self.armed = true;
+        }
+    }
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.shared.state.lock() {
+                st.live_workers = st.live_workers.saturating_sub(1);
+            }
+        }
+    }
+}
+
 /// One worker connection, served until close / error / campaign end.
 /// The only timeout is the lease-deadline-derived idle backstop — the
 /// handler otherwise sleeps in the kernel until bytes arrive.
@@ -471,6 +515,10 @@ fn serve_conn(t: &mut dyn Transport, shared: &Shared, cfg: &CoordConfig, fingerp
     if t.set_recv_deadline(Some(idle)).is_err() {
         return;
     }
+    let mut live = LiveGuard {
+        shared,
+        armed: false,
+    };
     let mut idle_strikes = 0u32;
     loop {
         let msg = match recv_msg(t) {
@@ -509,6 +557,7 @@ fn serve_conn(t: &mut dyn Transport, shared: &Shared, cfg: &CoordConfig, fingerp
                     let id = st.next_worker_id;
                     st.next_worker_id += 1;
                     st.stats.workers_seen += 1;
+                    live.arm(&mut st);
                     Msg::Welcome { worker_id: id }
                 } else {
                     Msg::Reject {
@@ -855,6 +904,38 @@ mod tests {
             again.iter().all(|b| b.seq != chunks[0].key().2),
             "the completed block is not re-leased"
         );
+    }
+
+    /// The BENCH_9 starvation shape: 8 day-0 blocks, 3 live workers,
+    /// 4-block leases. Uncapped grants hand out 4+4 and starve the third
+    /// worker; the fair-share cap (`ceil(remaining / live_workers)`)
+    /// spreads the schedule 3+3+2 so every live worker crawls.
+    #[test]
+    fn batched_grants_leave_fair_shares_for_live_peers() {
+        let cfg = CoordConfig {
+            chunk_visits: 64,
+            lease_blocks: 4,
+            ..CoordConfig::new(EcosystemConfig::tiny_scale().with_sites(512))
+        };
+        let mut st = initial_state(&cfg);
+        assert_eq!(st.schedule.len(), 8, "8 day-0 blocks");
+        st.live_workers = 3;
+        let mut granted = Vec::new();
+        for _ in 0..3 {
+            match grant(&mut st, &cfg) {
+                Msg::Lease { blocks, .. } => granted.push(blocks.len()),
+                other => panic!("every live worker gets a lease, got {other:?}"),
+            }
+        }
+        assert_eq!(granted, vec![3, 3, 2], "fair shares, nobody starved");
+        // A lone worker still gets the full batch — the cap only bites
+        // when peers are attached.
+        let mut solo = initial_state(&cfg);
+        solo.live_workers = 1;
+        let Msg::Lease { blocks, .. } = grant(&mut solo, &cfg) else {
+            panic!("solo grant must lease");
+        };
+        assert_eq!(blocks.len(), 4, "solo worker keeps full batching");
     }
 
     #[test]

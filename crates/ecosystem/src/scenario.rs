@@ -106,6 +106,32 @@ impl ScenarioConfig {
         self
     }
 
+    /// Builder: give every host in a provider slice — and each host's
+    /// `rtb.` waterfall edge — the same ambient fault profile. This is
+    /// the serving-plane shorthand for "these N providers are degraded":
+    /// the serving tests and `serve/*` benches use it to push a
+    /// deterministic slice of the bidder population into the regime
+    /// where circuit breakers trip and hedges fire.
+    pub fn with_provider_slice<I, H>(
+        mut self,
+        hosts: I,
+        profile: HostFaultProfile,
+    ) -> ScenarioConfig
+    where
+        I: IntoIterator<Item = H>,
+        H: Into<HStr>,
+    {
+        for host in hosts {
+            let host: HStr = host.into();
+            self.host_profiles.push((
+                HStr::from_display(format_args!("rtb.{host}")),
+                profile.clone(),
+            ));
+            self.host_profiles.push((host, profile.clone()));
+        }
+        self
+    }
+
     /// Builder: override the latency model of the link to `host`.
     pub fn with_degraded_link(
         mut self,
@@ -217,6 +243,25 @@ mod tests {
             assert_eq!(inj.decide("lossy.example", &mut rng), FaultDecision::Drop);
             assert_eq!(inj.decide("ok.example", &mut rng), FaultDecision::Deliver);
         }
+    }
+
+    #[test]
+    fn provider_slice_degrades_hosts_and_rtb_edges() {
+        let lossy = HostFaultProfile {
+            drop_chance: 1.0,
+            slow_chance: 0.0,
+            slow_penalty_ms: Dist::Const(0.0),
+        };
+        let s = ScenarioConfig::healthy()
+            .with_provider_slice(["p0.example", "p1.example"], lossy);
+        assert_eq!(s.host_profiles.len(), 4, "host + rtb edge per provider");
+        let base = FaultInjector::none();
+        let mut rng = Rng::new(7);
+        let inj = s.injector_for_day(&base, 0);
+        for host in ["p0.example", "rtb.p0.example", "p1.example", "rtb.p1.example"] {
+            assert_eq!(inj.decide(host, &mut rng), FaultDecision::Drop, "{host}");
+        }
+        assert_eq!(inj.decide("p2.example", &mut rng), FaultDecision::Deliver);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Per-provider circuit breakers: a deterministic closed/open/half-open
+//! state machine keyed on a rolling window of outcomes.
+//!
+//! The breaker exists so a dead bidder stops costing its full timeout
+//! on every auction. It is driven entirely by the simulation clock and
+//! the outcome sequence — no wall clock, no randomness — so a replay of
+//! the same `(seed, request stream)` reproduces every trip and probe
+//! byte-for-byte (proptested against a naive reference model in
+//! `tests/breaker_proptest.rs`).
+//!
+//! State machine:
+//!
+//! * **Closed** — all traffic allowed. The last [`BreakerConfig::window`]
+//!   outcomes live in a bitmask; when the window holds
+//!   [`BreakerConfig::trip_failures`] failures the breaker opens (one
+//!   *trip*) and the window clears.
+//! * **Open** — no traffic until [`BreakerConfig::cooldown`] elapses;
+//!   the first `allow` at/after the reopen time moves to half-open.
+//!   Late results from before the trip are ignored.
+//! * **Half-open** — exactly [`BreakerConfig::probes`] requests are
+//!   allowed through. Every probe must succeed to close; the first
+//!   probe failure re-opens (another trip) and restarts the cooldown.
+
+use hb_simnet::{SimDuration, SimTime};
+
+/// Breaker tuning. The window is a `u64` bitmask, so `window <= 64`.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Rolling outcomes tracked while closed (1..=64).
+    pub window: u32,
+    /// Failures within the window that trip the breaker.
+    pub trip_failures: u32,
+    /// How long an open breaker rejects before probing.
+    pub cooldown: SimDuration,
+    /// Probe requests allowed in half-open; all must succeed to close.
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            trip_failures: 8,
+            cooldown: SimDuration::from_millis(2_000),
+            probes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    fn window_bits(&self) -> u32 {
+        self.window.clamp(1, 64)
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes fill the rolling window.
+    Closed,
+    /// Rejecting until the cooldown elapses.
+    Open,
+    /// Letting a bounded probe budget through.
+    HalfOpen,
+}
+
+/// One provider's circuit breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Rolling outcome bits while closed (bit 0 = newest, 1 = failure).
+    bits: u64,
+    /// Outcomes currently tracked (≤ window).
+    filled: u32,
+    /// Failures among tracked outcomes.
+    fails: u32,
+    /// When an open breaker may move to half-open.
+    reopen_at: SimTime,
+    /// Probe permits left in half-open.
+    probes_left: u32,
+    /// Probe successes collected in half-open.
+    probe_successes: u32,
+    /// Closed→open transitions (including half-open re-trips).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            bits: 0,
+            filled: 0,
+            fails: 0,
+            reopen_at: SimTime::ZERO,
+            probes_left: 0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (after any cooldown that elapsed by `now`, the
+    /// state reported to callers is still the stored one — transitions
+    /// happen in `allow`, keeping the machine single-stepped).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// May a request go out now? In half-open, a `true` answer consumes
+    /// one probe permit, so callers must send the request they asked
+    /// about.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now < self.reopen_at {
+                    return false;
+                }
+                self.state = BreakerState::HalfOpen;
+                self.probes_left = self.cfg.probes.max(1);
+                self.probe_successes = 0;
+                self.probes_left -= 1;
+                true
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_left == 0 {
+                    return false;
+                }
+                self.probes_left -= 1;
+                true
+            }
+        }
+    }
+
+    /// Record a provider answer (any response, including no-bid).
+    pub fn record_success(&mut self, _now: SimTime) {
+        match self.state {
+            BreakerState::Closed => self.push(false),
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.probes.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.bits = 0;
+                    self.filled = 0;
+                    self.fails = 0;
+                }
+            }
+            // A straggler from before the trip: ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a timeout/failure.
+    pub fn record_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.push(true);
+                if self.fails >= self.cfg.trip_failures.max(1) {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.reopen_at = now.saturating_add(self.cfg.cooldown);
+        self.trips += 1;
+        self.bits = 0;
+        self.filled = 0;
+        self.fails = 0;
+        self.probes_left = 0;
+        self.probe_successes = 0;
+    }
+
+    fn push(&mut self, fail: bool) {
+        let window = self.cfg.window_bits();
+        if self.filled == window {
+            let oldest = (self.bits >> (window - 1)) & 1;
+            self.fails -= oldest as u32;
+        } else {
+            self.filled += 1;
+        }
+        self.bits = (self.bits << 1) | fail as u64;
+        if window < 64 {
+            self.bits &= (1u64 << window) - 1;
+        }
+        self.fails += fail as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            trip_failures: 3,
+            cooldown: SimDuration::from_millis(100),
+            probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_on_windowed_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = SimTime::from_millis(1);
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success pushes one failure toward the edge of the window.
+        b.record_success(t);
+        b.record_failure(t);
+        // Window now [F,S,F,F] = 3 failures → trip.
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow(SimTime::from_millis(50)), "cooldown rejects");
+    }
+
+    #[test]
+    fn window_forgets_old_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = SimTime::from_millis(1);
+        // Two failures, then a run of successes that evicts them.
+        b.record_failure(t);
+        b.record_failure(t);
+        for _ in 0..4 {
+            b.record_success(t);
+        }
+        b.record_failure(t);
+        b.record_failure(t);
+        // Only two failures in the window: still closed.
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probes_then_close_or_reopen() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = SimTime::from_millis(1);
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        let after = SimTime::from_millis(101);
+        // Exactly `probes` permits.
+        assert!(b.allow(after));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(after));
+        assert!(!b.allow(after), "probe budget spent");
+        // Both probes succeed → closed, window fresh.
+        b.record_success(after);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(after);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Trip again; a probe failure re-opens with a fresh cooldown.
+        for _ in 0..3 {
+            b.record_failure(after);
+        }
+        let probe_at = after.saturating_add(SimDuration::from_millis(100));
+        assert!(b.allow(probe_at));
+        b.record_failure(probe_at);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 3);
+        assert!(!b.allow(probe_at.saturating_add(SimDuration::from_millis(99))));
+        assert!(b.allow(probe_at.saturating_add(SimDuration::from_millis(100))));
+    }
+
+    #[test]
+    fn late_results_while_open_are_ignored() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t = SimTime::from_millis(1);
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        let trips = b.trips();
+        b.record_success(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), trips, "stragglers don't re-trip");
+    }
+}

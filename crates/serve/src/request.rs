@@ -1,0 +1,175 @@
+//! Serving-plane request/outcome types and the canonical outcome digest.
+//!
+//! An [`AdRequest`] is the OpenRTB-shaped unit of work the orchestrator
+//! admits; an [`AuctionOutcome`] is what it must always produce by the
+//! deadline budget — a winner, a passback, or an explicit shed. The
+//! outcome carries every degradation decision (hedges, breaker skips)
+//! so the determinism tests can pin the *whole* robustness envelope,
+//! not just prices. [`AuctionOutcome::fold_digest`] chains outcomes
+//! into one order-sensitive 64-bit digest; per-shard digests compared
+//! across worker counts are the byte-identity check.
+
+use hb_simnet::{fnv1a, HStr, SimDuration, SimTime};
+
+/// An OpenRTB-shaped ad request from the synthetic user population.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdRequest {
+    /// Global request number (unique, dense from 0).
+    pub id: u64,
+    /// Site rank whose inventory is up for auction (1-based, zipf-hot).
+    pub rank: u32,
+    /// Simulated user id.
+    pub user: u64,
+    /// Arrival time at the orchestrator.
+    pub arrival: SimTime,
+}
+
+/// Which demand channel produced the winning fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// A parallel header-bidding partner's bid won (possibly decided
+    /// by the ad server's mediation).
+    Hb,
+    /// A server-side seat surfaced by the mediation leg won.
+    S2s,
+    /// A sequential waterfall tier filled.
+    Waterfall,
+    /// A direct order (sponsorship line item) filled.
+    Direct,
+    /// The ad server's house/fallback line filled.
+    House,
+}
+
+impl Channel {
+    fn tag(self) -> u64 {
+        match self {
+            Channel::Hb => 1,
+            Channel::S2s => 2,
+            Channel::Waterfall => 3,
+            Channel::Direct => 4,
+            Channel::House => 5,
+        }
+    }
+}
+
+/// What the orchestrator answered with — always one of these, always
+/// by the budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// A fill: winning provider, price in milli-CPM (exact integer so
+    /// outcomes compare bytewise), and the channel that produced it.
+    Won {
+        /// Winning provider/bidder code.
+        bidder: HStr,
+        /// Clearing price in thousandths of a CPM dollar.
+        price_milli: u64,
+        /// Demand channel of the fill.
+        channel: Channel,
+    },
+    /// No demand answered in budget: the passback/house creative.
+    Passback,
+    /// Admission control refused the auction (overload).
+    Shed,
+}
+
+/// The resolved outcome of one admitted (or shed) auction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuctionOutcome {
+    /// The request's global number.
+    pub request: u64,
+    /// Site rank the auction ran for.
+    pub rank: u32,
+    /// The decision produced by the budget deadline at the latest.
+    pub decision: Decision,
+    /// Arrival-to-decision latency (zero for sheds).
+    pub latency: SimDuration,
+    /// Hedge requests fired during this auction.
+    pub hedges_fired: u32,
+    /// Hedge requests that beat their primary.
+    pub hedge_wins: u32,
+    /// Provider legs skipped because their circuit breaker was open.
+    pub breaker_skips: u32,
+}
+
+/// One SplitMix64-style avalanche fold step.
+#[inline]
+fn mix64(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl AuctionOutcome {
+    /// Fold this outcome into a running digest. Order-sensitive by
+    /// design: a shard's digest pins both every outcome *and* the
+    /// resolution order, so any scheduling drift between worker counts
+    /// shows up as a digest mismatch.
+    pub fn fold_digest(&self, h: u64) -> u64 {
+        let mut h = mix64(h, self.request);
+        h = mix64(h, self.rank as u64);
+        h = match &self.decision {
+            Decision::Won {
+                bidder,
+                price_milli,
+                channel,
+            } => {
+                let hh = mix64(h, 1);
+                let hh = mix64(hh, fnv1a(bidder.as_str().as_bytes()));
+                let hh = mix64(hh, *price_milli);
+                mix64(hh, channel.tag())
+            }
+            Decision::Passback => mix64(h, 2),
+            Decision::Shed => mix64(h, 3),
+        };
+        h = mix64(h, self.latency.as_micros());
+        h = mix64(h, self.hedges_fired as u64);
+        h = mix64(h, self.hedge_wins as u64);
+        mix64(h, self.breaker_skips as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(request: u64, price: u64) -> AuctionOutcome {
+        AuctionOutcome {
+            request,
+            rank: 3,
+            decision: Decision::Won {
+                bidder: "bidder0".into(),
+                price_milli: price,
+                channel: Channel::Hb,
+            },
+            latency: SimDuration::from_millis(120),
+            hedges_fired: 1,
+            hedge_wins: 0,
+            breaker_skips: 2,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = outcome(1, 1250);
+        let h1 = a.fold_digest(0);
+        assert_eq!(h1, a.fold_digest(0), "pure function");
+        assert_ne!(h1, outcome(2, 1250).fold_digest(0), "request id matters");
+        assert_ne!(h1, outcome(1, 1251).fold_digest(0), "price matters");
+        let mut hedged = outcome(1, 1250);
+        hedged.hedge_wins = 1;
+        assert_ne!(h1, hedged.fold_digest(0), "hedge accounting matters");
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = outcome(1, 1000);
+        let b = outcome(2, 2000);
+        assert_ne!(
+            b.fold_digest(a.fold_digest(0)),
+            a.fold_digest(b.fold_digest(0))
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests pinning the circuit breaker's bitmask state machine
+//! against a naive reference model.
+//!
+//! The production breaker packs its rolling outcome window into a `u64`
+//! bitmask for an allocation-free record path; the reference model here
+//! keeps a plain `Vec<bool>` and follows the documented semantics as
+//! literally as possible. Any divergence — state, permit decisions, or
+//! trip counts — under arbitrary operation sequences is a bug in one of
+//! them. A second property pins deterministic replay: the machine is a
+//! pure fold over `(config, operation sequence)`.
+
+use hb_serve::{BreakerConfig, BreakerState, CircuitBreaker};
+use hb_simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The naive reference: a Vec-backed window and explicit transitions.
+struct ModelBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    window: Vec<bool>, // true = failure, newest last
+    reopen_at: SimTime,
+    probes_left: u32,
+    probe_successes: u32,
+    trips: u64,
+}
+
+impl ModelBreaker {
+    fn new(cfg: BreakerConfig) -> ModelBreaker {
+        ModelBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: Vec::new(),
+            reopen_at: SimTime::ZERO,
+            probes_left: 0,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    fn window_len(&self) -> usize {
+        self.cfg.window.clamp(1, 64) as usize
+    }
+
+    fn probes(&self) -> u32 {
+        self.cfg.probes.max(1)
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.reopen_at = now.saturating_add(self.cfg.cooldown);
+        self.trips += 1;
+        self.window.clear();
+        self.probes_left = 0;
+        self.probe_successes = 0;
+    }
+
+    fn allow(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now < self.reopen_at {
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_left = self.probes() - 1;
+                    self.probe_successes = 0;
+                    true
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_left == 0 {
+                    false
+                } else {
+                    self.probes_left -= 1;
+                    true
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, now: SimTime, fail: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                self.window.push(fail);
+                if self.window.len() > self.window_len() {
+                    self.window.remove(0);
+                }
+                let fails = self.window.iter().filter(|f| **f).count() as u32;
+                if fail && fails >= self.cfg.trip_failures.max(1) {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if fail {
+                    self.trip(now);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.probes() {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                    }
+                }
+            }
+            BreakerState::Open => {} // straggler from before the trip
+        }
+    }
+}
+
+/// One step of a driven sequence: advance time, then apply an op.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Allow,
+    Success,
+    Failure,
+}
+
+fn arb_cfg() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..=20, 1u32..=10, 1u64..5_000, 1u32..=4).prop_map(
+        |(window, trip_failures, cooldown_ms, probes)| BreakerConfig {
+            window,
+            trip_failures,
+            cooldown: SimDuration::from_millis(cooldown_ms),
+            probes,
+        },
+    )
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(Op, u64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(Op::Allow), Just(Op::Success), Just(Op::Failure)],
+            0u64..400_000,
+        ),
+        1..250,
+    )
+}
+
+proptest! {
+    #[test]
+    fn breaker_matches_naive_reference_model(
+        cfg in arb_cfg(),
+        ops in arb_ops(),
+    ) {
+        let mut real = CircuitBreaker::new(cfg);
+        let mut model = ModelBreaker::new(cfg);
+        let mut now = SimTime::ZERO;
+        for (step, (op, dt)) in ops.iter().enumerate() {
+            now = now.saturating_add(SimDuration::from_micros(*dt));
+            match op {
+                Op::Allow => {
+                    let a = real.allow(now);
+                    let b = model.allow(now);
+                    prop_assert_eq!(a, b, "allow diverged at step {}", step);
+                }
+                Op::Success => {
+                    real.record_success(now);
+                    model.record(now, false);
+                }
+                Op::Failure => {
+                    real.record_failure(now);
+                    model.record(now, true);
+                }
+            }
+            prop_assert_eq!(
+                real.state(), model.state,
+                "state diverged at step {} ({:?})", step, op
+            );
+            prop_assert_eq!(
+                real.trips(), model.trips,
+                "trip count diverged at step {}", step
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_replay_is_deterministic(
+        cfg in arb_cfg(),
+        ops in arb_ops(),
+    ) {
+        // The machine is a pure fold over (config, sequence): replaying
+        // the identical sequence reproduces every decision bytewise.
+        let run = |ops: &[(Op, u64)]| {
+            let mut b = CircuitBreaker::new(cfg);
+            let mut now = SimTime::ZERO;
+            let mut decisions = Vec::new();
+            for (op, dt) in ops {
+                now = now.saturating_add(SimDuration::from_micros(*dt));
+                match op {
+                    Op::Allow => decisions.push(b.allow(now)),
+                    Op::Success => b.record_success(now),
+                    Op::Failure => b.record_failure(now),
+                }
+            }
+            (decisions, b.state(), b.trips())
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}

@@ -16,6 +16,7 @@
 //! | harness | [`crawler`] | sessions, campaigns, datasets |
 //! | statistics | [`stats`] | ECDF, quantiles, whiskers, tables |
 //! | figures | [`analysis`] | every table/figure regenerated as a report |
+//! | serving | [`serve`] | auction orchestrator: budgets, breakers, hedging, shedding |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use hb_distd as distd;
 pub use hb_dom as dom;
 pub use hb_ecosystem as ecosystem;
 pub use hb_http as http;
+pub use hb_serve as serve;
 pub use hb_simnet as simnet;
 pub use hb_stats as stats;
 
@@ -55,6 +57,10 @@ pub mod prelude {
     };
     pub use hb_ecosystem::{
         Ecosystem, EcosystemConfig, OutageWindow, ScenarioConfig, SiteFactory,
+    };
+    pub use hb_serve::{
+        serve_load, AdRequest, AuctionOutcome, Decision, LoadGenConfig, ServeConfig,
+        ServeReport,
     };
     pub use hb_simnet::{Rng, SimDuration, SimTime};
 }
